@@ -1,0 +1,283 @@
+// Package repro's benchmarks: one testing.B benchmark per experiment of
+// EXPERIMENTS.md (E1–E10). cmd/benchtab prints the full tables with
+// cross-checks; these benchmarks measure the same code paths under the
+// standard Go harness so regressions are caught by `go test -bench`.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/porder"
+	"repro/internal/prxml"
+	"repro/internal/rel"
+	"repro/internal/rules"
+	"repro/internal/sampling"
+)
+
+// BenchmarkE1TIDScaling measures Theorem 1: the tractable engine on
+// treewidth-1 TID chains of growing size (expected: ns/op grows linearly
+// with n).
+func BenchmarkE1TIDScaling(b *testing.B) {
+	q := rel.HardQuery()
+	for _, n := range []int{50, 200, 800} {
+		tid := gen.RSTChain(n, 0.5)
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ProbabilityTID(tid, q, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The exponential baseline, at the largest size it can stand.
+	for _, n := range []int{3, 5} {
+		tid := gen.RSTChain(n, 0.5)
+		b.Run(fmt.Sprintf("enumeration/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tid.QueryProbabilityEnumeration(q)
+			}
+		})
+	}
+}
+
+// BenchmarkE2WidthSweep measures Theorem 2: cost vs planted width on
+// partial k-tree TIDs of fixed size, plus correlated pc-instances.
+func BenchmarkE2WidthSweep(b *testing.B) {
+	q := rel.HardQuery()
+	for _, k := range []int{1, 2, 3} {
+		r := rand.New(rand.NewSource(42))
+		g, _ := gen.PartialKTree(30, k, 0.6, r)
+		tid := gen.RSTOverGraph(g, 0.05, 0.3, r)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ProbabilityTID(tid, q, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	r := rand.New(rand.NewSource(42))
+	c, p := gen.CorrelatedPC(200, 4, r)
+	qp := rel.NewCQ(
+		rel.NewAtom("E", rel.V("x"), rel.V("y")),
+		rel.NewAtom("E", rel.V("y"), rel.V("z")),
+	)
+	b.Run("correlated/n=200", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ProbabilityPC(c, p, qp, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3PrXMLLocal measures tree-pattern probability on local
+// (ind/mux) documents: linear in document size.
+func BenchmarkE3PrXMLLocal(b *testing.B) {
+	pattern := prxml.NewPattern("item").WithDescendant(prxml.NewPattern("value"))
+	for _, n := range []int{100, 400, 1600} {
+		r := rand.New(rand.NewSource(7))
+		doc := gen.LocalDoc(n, 3, r)
+		b.Run(fmt.Sprintf("n=%d", doc.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := doc.MatchProbability(pattern); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4ScopeSweep measures event documents of fixed size with growing
+// scope bound: exponential in the bound only.
+func BenchmarkE4ScopeSweep(b *testing.B) {
+	pattern := prxml.NewPattern("entry").WithChild(prxml.NewPattern("payload"))
+	for _, scope := range []int{1, 2, 4, 6, 8} {
+		r := rand.New(rand.NewSource(int64(scope)))
+		doc := gen.ScopedEventDoc(20, scope, r)
+		b.Run(fmt.Sprintf("scope=%d", scope), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := doc.MatchProbability(pattern); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5HardQuery contrasts the intro's #P-hard query on tree-shaped
+// vs bipartite instances.
+func BenchmarkE5HardQuery(b *testing.B) {
+	q := rel.HardQuery()
+	cases := map[string]*pdb.TID{
+		"engine/chain200":    gen.RSTChain(200, 0.5),
+		"engine/bipartite5":  gen.RSTBipartite(5, 5, 0.5),
+		"enumeration/chain3": gen.RSTChain(3, 0.5),
+	}
+	for name, tid := range cases {
+		tid := tid
+		if name == "enumeration/chain3" {
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tid.QueryProbabilityEnumeration(q)
+				}
+			})
+			continue
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ProbabilityTID(tid, q, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Linext measures linear-extension counting: the downset DP on
+// random posets vs the closed form on series-parallel ones.
+func BenchmarkE6Linext(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{12, 18, 24} {
+		l := gen.RandomDAGPoset(n, 0.15, 3, r)
+		b.Run(fmt.Sprintf("downsetDP/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := l.CountLinearExtensions(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, n := range []int{100, 1000, 10000} {
+		sp := gen.RandomSP(n, r)
+		b.Run(fmt.Sprintf("seriesParallel/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sp.CountLinearExtensions()
+			}
+		})
+	}
+}
+
+// BenchmarkE7OrderAlgebra measures the algebra operators on merged logs.
+func BenchmarkE7OrderAlgebra(b *testing.B) {
+	merged := gen.InterleavedLogs(3, 60)
+	b.Run("select", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			porder.Select(merged, func(t porder.Tuple) bool { return t[0] == "m0" })
+		}
+	})
+	b.Run("unionParallel", func(b *testing.B) {
+		a := gen.InterleavedLogs(1, 60)
+		c := gen.InterleavedLogs(1, 60)
+		for i := 0; i < b.N; i++ {
+			porder.UnionParallel(a, c)
+		}
+	})
+	var world []porder.Tuple
+	for j := 0; j < 60; j++ {
+		for m := 0; m < 3; m++ {
+			world = append(world, porder.Tuple{fmt.Sprintf("m%d", m), fmt.Sprintf("evt%d", j)})
+		}
+	}
+	b.Run("membership", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := merged.IsPossibleWorld(world); err != nil || !ok {
+				b.Fatal("membership failed")
+			}
+		}
+	})
+	b.Run("productLex20x20", func(b *testing.B) {
+		x := gen.InterleavedLogs(1, 20)
+		y := gen.InterleavedLogs(1, 20)
+		for i := 0; i < b.N; i++ {
+			porder.ProductLex(x, y)
+		}
+	})
+}
+
+// BenchmarkE8Chase measures the probabilistic chase on uncertain chains
+// with soft transitivity.
+func BenchmarkE8Chase(b *testing.B) {
+	prog := rules.NewProgram(
+		rules.NewRule(rel.NewAtom("T", rel.V("x"), rel.V("y")), rel.NewAtom("E", rel.V("x"), rel.V("y"))),
+		rules.NewSoftRule(0.9, rel.NewAtom("T", rel.V("x"), rel.V("z")),
+			rel.NewAtom("T", rel.V("x"), rel.V("y")), rel.NewAtom("T", rel.V("y"), rel.V("z"))),
+	)
+	for _, n := range []int{2, 3, 4} {
+		base := pdb.NewCInstance()
+		prob := logic.Prob{}
+		for i := 0; i < n; i++ {
+			e := logic.Event(fmt.Sprintf("e%d", i))
+			base.AddFact(logic.Var(e), "E", fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1))
+			prob[e] = 0.8
+		}
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Chase(base, prob, rules.ChaseOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9Conditioning measures posterior computation after a fact
+// observation, engine vs enumeration.
+func BenchmarkE9Conditioning(b *testing.B) {
+	c := pdb.NewCInstance()
+	p := logic.Prob{}
+	for u := 0; u < 8; u++ {
+		e := logic.Event(fmt.Sprintf("u%d", u))
+		p[e] = 0.6
+		c.AddFact(logic.Var(e), "Claim", fmt.Sprintf("s%d", u), fmt.Sprintf("o%d", u%2))
+	}
+	c.AddFact(logic.True, "Good", "o0")
+	q := rel.NewCQ(rel.NewAtom("Claim", rel.V("x"), rel.V("y")), rel.NewAtom("Good", rel.V("y")))
+	cd, err := cond.NewConditioned(c, p).ObserveFact(c.Inst.Fact(0), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cd.Probability(q, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enumeration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cd.ProbabilityEnumeration(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10Sampling measures Monte Carlo estimation against the exact
+// engine on the same instance.
+func BenchmarkE10Sampling(b *testing.B) {
+	tid := gen.RSTChain(50, 0.5)
+	q := rel.HardQuery()
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ProbabilityTID(tid, q, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("samples=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				sampling.QueryTID(tid, q, n, 0.99, r)
+			}
+		})
+	}
+}

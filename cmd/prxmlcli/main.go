@@ -1,0 +1,271 @@
+// Command prxmlcli evaluates tree-pattern queries on PrXML documents
+// described in a small indented text format.
+//
+// Usage:
+//
+//	prxmlcli -i doc.prxml -p 'given_name[/Chelsea]'
+//	prxmlcli -i doc.prxml -worlds        # list the possible worlds
+//	prxmlcli -i doc.prxml -scopes        # report event scopes
+//
+// Document format: one node per line, nesting by two-space indentation.
+//
+//	tag LABEL
+//	ind P1 P2 ...          # one probability per child, in order
+//	mux P1 P2 ...
+//	det
+//	cie COND1 COND2 ...    # per-child conjunctions like e1&!e2
+//	event NAME PROB        # global event declaration (top level only)
+//
+// Pattern syntax: LABEL, children in brackets: 'a[/b][//c]' means child b
+// and descendant c; '*' is a wildcard label.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/prxml"
+)
+
+func main() {
+	inPath := flag.String("i", "", "document file (default: stdin)")
+	patternStr := flag.String("p", "", "tree pattern, e.g. 'a[/b][//c]'")
+	worlds := flag.Bool("worlds", false, "enumerate the possible worlds")
+	scopes := flag.Bool("scopes", false, "report event scope statistics")
+	flag.Parse()
+
+	r := os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := ParseDocument(bufio.NewScanner(r))
+	if err != nil {
+		fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("document: %d nodes, events %v\n", doc.Size(), doc.Events())
+
+	if *scopes {
+		fmt.Printf("max scope: %d\n", doc.MaxScope())
+	}
+	if *worlds {
+		doc.EnumerateWorlds(func(w *prxml.XNode, p float64) {
+			fmt.Printf("%.6f  %s\n", p, w)
+		})
+	}
+	if *patternStr != "" {
+		pat, err := ParsePattern(*patternStr)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := doc.MatchProbability(pat)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("P(%s) = %.9f\n", pat, p)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prxmlcli:", err)
+	os.Exit(1)
+}
+
+type docLine struct {
+	indent int
+	fields []string
+}
+
+// ParseDocument reads the indented document format.
+func ParseDocument(sc *bufio.Scanner) (*prxml.Document, error) {
+	var lines []docLine
+	prob := logic.Prob{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		text := strings.TrimLeft(raw, " ")
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		indent := len(raw) - len(text)
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("line %d: indentation must be multiples of two spaces", lineNo)
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "event" {
+			if indent != 0 || len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: event NAME PROB at top level", lineNo)
+			}
+			p, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			prob[logic.Event(fields[1])] = p
+			continue
+		}
+		lines = append(lines, docLine{indent: indent / 2, fields: fields})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	node, next, err := parseNode(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("multiple roots in document")
+	}
+	if node.Kind != prxml.Tag {
+		return nil, fmt.Errorf("root must be a tag node")
+	}
+	return prxml.NewDocument(node, prob), nil
+}
+
+// parseNode parses the node at lines[i] (expected at the given depth) and
+// its subtree, returning the node and the next unconsumed index.
+func parseNode(lines []docLine, i, depth int) (*prxml.Node, int, error) {
+	if i >= len(lines) || lines[i].indent != depth {
+		return nil, i, fmt.Errorf("expected a node at depth %d", depth)
+	}
+	fields := lines[i].fields
+	var children []*prxml.Node
+	next := i + 1
+	for next < len(lines) && lines[next].indent > depth {
+		child, n, err := parseNode(lines, next, depth+1)
+		if err != nil {
+			return nil, n, err
+		}
+		children = append(children, child)
+		next = n
+	}
+	switch fields[0] {
+	case "tag":
+		if len(fields) != 2 {
+			return nil, next, fmt.Errorf("tag needs exactly one label")
+		}
+		return prxml.NewTag(fields[1], children...), next, nil
+	case "det":
+		return prxml.NewDet(children...), next, nil
+	case "ind", "mux":
+		probs := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			p, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, next, err
+			}
+			probs = append(probs, p)
+		}
+		if len(probs) != len(children) {
+			return nil, next, fmt.Errorf("%s has %d probabilities for %d children", fields[0], len(probs), len(children))
+		}
+		if fields[0] == "ind" {
+			return prxml.NewInd(probs, children...), next, nil
+		}
+		return prxml.NewMux(probs, children...), next, nil
+	case "cie":
+		conds := make([][]logic.Literal, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			cond, err := parseCond(f)
+			if err != nil {
+				return nil, next, err
+			}
+			conds = append(conds, cond)
+		}
+		if len(conds) != len(children) {
+			return nil, next, fmt.Errorf("cie has %d conditions for %d children", len(conds), len(children))
+		}
+		return prxml.NewCie(conds, children...), next, nil
+	}
+	return nil, next, fmt.Errorf("unknown node kind %q", fields[0])
+}
+
+func parseCond(s string) ([]logic.Literal, error) {
+	var out []logic.Literal
+	for _, part := range strings.Split(s, "&") {
+		part = strings.TrimSpace(part)
+		neg := strings.HasPrefix(part, "!")
+		if neg {
+			part = part[1:]
+		}
+		if part == "" {
+			return nil, fmt.Errorf("empty literal in condition %q", s)
+		}
+		out = append(out, logic.Literal{Event: logic.Event(part), Negated: neg})
+	}
+	return out, nil
+}
+
+// ParsePattern parses 'a[/b[//c]][//d]'.
+func ParsePattern(s string) (*prxml.Pattern, error) {
+	p := &pparser{input: s}
+	pat, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("trailing input %q in pattern", p.input[p.pos:])
+	}
+	return pat, nil
+}
+
+type pparser struct {
+	input string
+	pos   int
+}
+
+func (p *pparser) parse() (*prxml.Pattern, error) {
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] != '[' && p.input[p.pos] != ']' {
+		p.pos++
+	}
+	label := strings.TrimSpace(p.input[start:p.pos])
+	if label == "" {
+		return nil, fmt.Errorf("empty label at position %d", start)
+	}
+	if label == "*" {
+		label = ""
+	}
+	pat := prxml.NewPattern(label)
+	for p.pos < len(p.input) && p.input[p.pos] == '[' {
+		p.pos++
+		descendant := false
+		if strings.HasPrefix(p.input[p.pos:], "//") {
+			descendant = true
+			p.pos += 2
+		} else if strings.HasPrefix(p.input[p.pos:], "/") {
+			p.pos++
+		} else {
+			return nil, fmt.Errorf("edge must start with / or // at position %d", p.pos)
+		}
+		child, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.input) || p.input[p.pos] != ']' {
+			return nil, fmt.Errorf("missing ']' at position %d", p.pos)
+		}
+		p.pos++
+		if descendant {
+			pat.WithDescendant(child)
+		} else {
+			pat.WithChild(child)
+		}
+	}
+	return pat, nil
+}

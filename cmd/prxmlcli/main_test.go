@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+)
+
+const figure1Text = `
+event eJane 0.9
+tag Q298423
+  ind 0.4
+    tag occupation
+      tag musician
+  tag place_of_birth
+    cie eJane
+      tag Crescent
+  tag surname
+    cie eJane
+      tag Manning
+  tag given_name
+    mux 0.4 0.6
+      tag Bradley
+      tag Chelsea
+`
+
+func TestParseDocumentFigure1(t *testing.T) {
+	doc, err := ParseDocument(bufio.NewScanner(strings.NewReader(figure1Text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() != 14 {
+		t.Errorf("size = %d, want 14", doc.Size())
+	}
+	pat, err := ParsePattern("given_name[/Chelsea]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := doc.MatchProbability(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.6) > 1e-12 {
+		t.Errorf("P = %v, want 0.6", p)
+	}
+	// Correlated facts.
+	pat2, err := ParsePattern("Q298423[/place_of_birth[/Crescent]][/surname[/Manning]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := doc.MatchProbability(pat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-0.9) > 1e-12 {
+		t.Errorf("P(both) = %v, want 0.9", p2)
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	pat, err := ParsePattern("a[/b[//c]][//d]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pat.String(); got != "a[/b[//c]][//d]" {
+		t.Errorf("round trip = %q", got)
+	}
+	if pat.Edges[0].Descendant || !pat.Edges[1].Descendant {
+		t.Error("edge kinds wrong")
+	}
+	wild, err := ParsePattern("*[/x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wild.Label != "" {
+		t.Errorf("wildcard label = %q", wild.Label)
+	}
+	for _, bad := range []string{"", "a[b]", "a[/b", "[/a]", "a]"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseDocumentErrors(t *testing.T) {
+	cases := []string{
+		"tag a\n   tag b",                       // odd indentation
+		"ind 0.5\n  tag x",                      // root not a tag... ind root
+		"tag a\ntag b",                          // two roots
+		"tag a\n  ind 0.5 0.5\n    tag x",       // prob/child mismatch
+		"tag a\n  cie e1\n    tag x\n    tag y", // cond/child mismatch
+		"event x notanumber",
+	}
+	for _, bad := range cases {
+		if _, err := ParseDocument(bufio.NewScanner(strings.NewReader(bad))); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseCondLiterals(t *testing.T) {
+	lits, err := parseCond("e1&!e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lits) != 2 || lits[0].Negated || !lits[1].Negated {
+		t.Errorf("lits = %v", lits)
+	}
+	if _, err := parseCond("e1&&e2"); err == nil {
+		t.Error("expected error for empty literal")
+	}
+}

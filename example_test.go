@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/porder"
+	"repro/internal/prxml"
+	"repro/internal/rel"
+)
+
+// Example_hardQuery evaluates the paper's #P-hard query exactly on a
+// tree-shaped uncertain instance.
+func Example_hardQuery() {
+	tid := pdb.NewTID()
+	tid.AddFact(0.9, "R", "a")
+	tid.AddFact(0.5, "S", "a", "b")
+	tid.AddFact(0.8, "T", "b")
+	res, err := core.ProbabilityTID(tid, rel.HardQuery(), core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P = %.3f\n", res.Probability)
+	// Output: P = 0.360
+}
+
+// Example_figure1 queries the paper's Figure 1 PrXML document.
+func Example_figure1() {
+	doc := prxml.Figure1()
+	p, err := doc.MatchProbability(prxml.NewPattern("given_name", prxml.NewPattern("Chelsea")))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(given name = Chelsea) = %.1f\n", p)
+	// Output: P(given name = Chelsea) = 0.6
+}
+
+// Example_table1 asks a certainty question on the paper's Table 1
+// c-instance.
+func Example_table1() {
+	pods, stoc := logic.Var("pods"), logic.Var("stoc")
+	c := pdb.NewCInstance()
+	c.AddFact(pods, "Trip", "CDG", "MEL")
+	c.AddFact(logic.And(pods, logic.Not(stoc)), "Trip", "MEL", "CDG")
+	c.AddFact(logic.And(pods, stoc), "Trip", "MEL", "PDX")
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("MEL"), rel.V("x")))
+	fmt.Println("possible:", c.PossibleEnumeration(q))
+	fmt.Println("certain under pods:",
+		c.QueryProbabilityEnumeration(q, logic.Prob{"pods": 1, "stoc": 0.5}) == 1)
+	// Output:
+	// possible: true
+	// certain under pods: true
+}
+
+// Example_orderMerge merges two ordered logs and counts the interleavings.
+func Example_orderMerge() {
+	a := porder.Chain(porder.Tuple{"a1"}, porder.Tuple{"a2"})
+	b := porder.Chain(porder.Tuple{"b1"}, porder.Tuple{"b2"})
+	merged := porder.UnionParallel(a, b)
+	n, err := merged.CountLinearExtensions()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("interleavings:", n)
+	// Output: interleavings: 6
+}
+
+// Example_reachability evaluates an MSO query (s-t connectivity) that no
+// conjunctive query expresses.
+func Example_reachability() {
+	tid := pdb.NewTID()
+	tid.AddFact(0.5, "E", "s", "m")
+	tid.AddFact(0.5, "E", "m", "t")
+	tid.AddFact(0.5, "E", "s", "t")
+	res, err := core.ReachProbabilityTID(tid, "E", "s", "t", core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(s ~ t) = %.4f\n", res.Probability)
+	// Output: P(s ~ t) = 0.6250
+}

@@ -1,0 +1,420 @@
+// Package automata implements bottom-up tree automata on binary trees.
+//
+// Tree automata are the query-compilation target of the paper's Section 2.2
+// (via Thatcher–Wright / Courcelle): an MSO query over bounded-treewidth
+// structures compiles to an automaton that reads tree encodings of the
+// structure. This package provides the automaton machinery — nondeterministic
+// runs, product, union, determinization, complement — together with a
+// probabilistic run over trees whose node labels are drawn independently
+// (the binary-tree core of "running tree automata on probabilistic XML").
+// The bag automata of internal/core are the same idea specialized to nice
+// tree decompositions; here the classical form is available for tests,
+// ablations, and MSO queries on trees, such as label-parity, that neither
+// CQs nor tree patterns express.
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is a binary tree with labelled nodes. Leaves have nil children; a
+// node must have either zero or two children.
+type Tree struct {
+	Label       string
+	Left, Right *Tree
+}
+
+// Leaf returns a leaf node.
+func Leaf(label string) *Tree { return &Tree{Label: label} }
+
+// Branch returns an inner node.
+func Branch(label string, l, r *Tree) *Tree { return &Tree{Label: label, Left: l, Right: r} }
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int {
+	if t == nil {
+		return 0
+	}
+	return 1 + t.Left.Size() + t.Right.Size()
+}
+
+// LeafRule maps a leaf label to a possible state.
+type LeafRule struct {
+	Label string
+	State int
+}
+
+// BranchRule maps (label, left state, right state) to a possible state.
+type BranchRule struct {
+	Label       string
+	Left, Right int
+	State       int
+}
+
+// NTA is a nondeterministic bottom-up tree automaton.
+type NTA struct {
+	NumStates int
+	Accepting []bool
+	Leaves    []LeafRule
+	Branches  []BranchRule
+}
+
+// Validate checks that all rules reference valid states.
+func (a *NTA) Validate() error {
+	if len(a.Accepting) != a.NumStates {
+		return fmt.Errorf("automata: accepting vector has %d entries for %d states", len(a.Accepting), a.NumStates)
+	}
+	for _, r := range a.Leaves {
+		if r.State < 0 || r.State >= a.NumStates {
+			return fmt.Errorf("automata: leaf rule state %d out of range", r.State)
+		}
+	}
+	for _, r := range a.Branches {
+		for _, s := range []int{r.Left, r.Right, r.State} {
+			if s < 0 || s >= a.NumStates {
+				return fmt.Errorf("automata: branch rule state %d out of range", s)
+			}
+		}
+	}
+	return nil
+}
+
+// Run returns the set of states reachable at the root of t.
+func (a *NTA) Run(t *Tree) map[int]bool {
+	if t == nil {
+		return nil
+	}
+	if t.Left == nil {
+		out := map[int]bool{}
+		for _, r := range a.Leaves {
+			if r.Label == t.Label {
+				out[r.State] = true
+			}
+		}
+		return out
+	}
+	left := a.Run(t.Left)
+	right := a.Run(t.Right)
+	out := map[int]bool{}
+	for _, r := range a.Branches {
+		if r.Label == t.Label && left[r.Left] && right[r.Right] {
+			out[r.State] = true
+		}
+	}
+	return out
+}
+
+// Accepts reports whether some run of a on t ends in an accepting state.
+func (a *NTA) Accepts(t *Tree) bool {
+	for q := range a.Run(t) {
+		if a.Accepting[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Product returns the synchronous product of a and b, accepting with the
+// given combiner of the two acceptance bits (intersection: x && y; union:
+// x || y; difference: x && !y). Labels are the union of both alphabets.
+func Product(a, b *NTA, accept func(x, y bool) bool) *NTA {
+	id := func(qa, qb int) int { return qa*b.NumStates + qb }
+	p := &NTA{NumStates: a.NumStates * b.NumStates}
+	p.Accepting = make([]bool, p.NumStates)
+	for qa := 0; qa < a.NumStates; qa++ {
+		for qb := 0; qb < b.NumStates; qb++ {
+			p.Accepting[id(qa, qb)] = accept(a.Accepting[qa], b.Accepting[qb])
+		}
+	}
+	for _, ra := range a.Leaves {
+		for _, rb := range b.Leaves {
+			if ra.Label == rb.Label {
+				p.Leaves = append(p.Leaves, LeafRule{ra.Label, id(ra.State, rb.State)})
+			}
+		}
+	}
+	for _, ra := range a.Branches {
+		for _, rb := range b.Branches {
+			if ra.Label == rb.Label {
+				p.Branches = append(p.Branches, BranchRule{
+					Label: ra.Label,
+					Left:  id(ra.Left, rb.Left),
+					Right: id(ra.Right, rb.Right),
+					State: id(ra.State, rb.State),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// Intersection returns an automaton accepting the trees accepted by both.
+func Intersection(a, b *NTA) *NTA { return Product(a, b, func(x, y bool) bool { return x && y }) }
+
+// Union returns an automaton accepting the trees accepted by either.
+func Union(a, b *NTA) *NTA { return Product(a, b, func(x, y bool) bool { return x || y }) }
+
+// DTA is a deterministic bottom-up tree automaton: at most one rule applies
+// at every node. Determinism is what probability computations need — the
+// states of a deterministic automaton partition the possible worlds.
+type DTA struct {
+	Alphabet []string
+	// States are subsets of the source NTA's states, encoded canonically;
+	// state 0 is the empty set (rejecting sink).
+	NumStates int
+	Accepting []bool
+	LeafTrans map[string]int
+	// BranchTrans[label][left*NumStates+right] = state.
+	BranchTrans map[string][]int
+}
+
+// Determinize applies the subset construction to a, restricted to reachable
+// state sets, over the given alphabet.
+func Determinize(a *NTA, alphabet []string) *DTA {
+	type setKey = string
+	encode := func(set map[int]bool) setKey {
+		ids := make([]int, 0, len(set))
+		for q := range set {
+			ids = append(ids, q)
+		}
+		sort.Ints(ids)
+		parts := make([]string, len(ids))
+		for i, q := range ids {
+			parts[i] = fmt.Sprint(q)
+		}
+		return strings.Join(parts, ",")
+	}
+	// Index leaf and branch rules.
+	leafSets := map[string]map[int]bool{}
+	for _, lbl := range alphabet {
+		leafSets[lbl] = map[int]bool{}
+	}
+	for _, r := range a.Leaves {
+		if _, ok := leafSets[r.Label]; ok {
+			leafSets[r.Label][r.State] = true
+		}
+	}
+	branchRules := map[string][]BranchRule{}
+	for _, r := range a.Branches {
+		branchRules[r.Label] = append(branchRules[r.Label], r)
+	}
+
+	stateOf := map[setKey]int{}
+	var sets []map[int]bool
+	intern := func(set map[int]bool) int {
+		k := encode(set)
+		if id, ok := stateOf[k]; ok {
+			return id
+		}
+		id := len(sets)
+		stateOf[k] = id
+		sets = append(sets, set)
+		return id
+	}
+	intern(map[int]bool{}) // state 0: empty set
+
+	d := &DTA{Alphabet: alphabet, LeafTrans: map[string]int{}, BranchTrans: map[string][]int{}}
+	for _, lbl := range alphabet {
+		d.LeafTrans[lbl] = intern(leafSets[lbl])
+	}
+	// Fixpoint: repeatedly close the branch transitions over the known
+	// reachable sets until no new set appears.
+	for {
+		n := len(sets)
+		for _, lbl := range alphabet {
+			for l := 0; l < n; l++ {
+				for r := 0; r < n; r++ {
+					out := map[int]bool{}
+					for _, br := range branchRules[lbl] {
+						if sets[l][br.Left] && sets[r][br.Right] {
+							out[br.State] = true
+						}
+					}
+					intern(out)
+				}
+			}
+		}
+		if len(sets) == n {
+			break
+		}
+	}
+	d.NumStates = len(sets)
+	d.Accepting = make([]bool, d.NumStates)
+	for i, set := range sets {
+		for q := range set {
+			if a.Accepting[q] {
+				d.Accepting[i] = true
+			}
+		}
+	}
+	// The fixpoint may have left stale smaller tables; rebuild once at the
+	// final size.
+	n := d.NumStates
+	for _, lbl := range alphabet {
+		tbl := make([]int, n*n)
+		for l := 0; l < n; l++ {
+			for r := 0; r < n; r++ {
+				out := map[int]bool{}
+				for _, br := range branchRules[lbl] {
+					if sets[l][br.Left] && sets[r][br.Right] {
+						out[br.State] = true
+					}
+				}
+				k := encode(out)
+				tbl[l*n+r] = stateOf[k]
+			}
+		}
+		d.BranchTrans[lbl] = tbl
+	}
+	return d
+}
+
+// Run returns the unique state of the deterministic automaton at the root.
+func (d *DTA) Run(t *Tree) int {
+	if t.Left == nil {
+		return d.LeafTrans[t.Label]
+	}
+	l := d.Run(t.Left)
+	r := d.Run(t.Right)
+	return d.BranchTrans[t.Label][l*d.NumStates+r]
+}
+
+// Accepts reports acceptance of t.
+func (d *DTA) Accepts(t *Tree) bool { return d.Accepting[d.Run(t)] }
+
+// Complement flips acceptance (valid because the automaton is complete).
+func (d *DTA) Complement() *DTA {
+	out := *d
+	out.Accepting = make([]bool, d.NumStates)
+	for i, acc := range d.Accepting {
+		out.Accepting[i] = !acc
+	}
+	return &out
+}
+
+// LabelDist is a probability distribution over labels at one tree node.
+type LabelDist map[string]float64
+
+// ProbTree is a binary tree whose node labels are drawn independently from
+// per-node distributions: the binary-tree analogue of a local-uncertainty
+// probabilistic document.
+type ProbTree struct {
+	Dist        LabelDist
+	Left, Right *ProbTree
+}
+
+// AcceptProbability computes the exact probability that the deterministic
+// automaton accepts a random tree drawn from pt, by the bottom-up state-
+// distribution DP (linear in the tree for a fixed automaton). Determinism
+// makes the per-node state distribution well defined.
+func (d *DTA) AcceptProbability(pt *ProbTree) float64 {
+	var eval func(n *ProbTree) []float64
+	eval = func(n *ProbTree) []float64 {
+		out := make([]float64, d.NumStates)
+		if n.Left == nil {
+			for lbl, p := range n.Dist {
+				out[d.LeafTrans[lbl]] += p
+			}
+			return out
+		}
+		left := eval(n.Left)
+		right := eval(n.Right)
+		for lbl, p := range n.Dist {
+			tbl := d.BranchTrans[lbl]
+			for l, pl := range left {
+				if pl == 0 {
+					continue
+				}
+				for r, pr := range right {
+					if pr == 0 {
+						continue
+					}
+					out[tbl[l*d.NumStates+r]] += p * pl * pr
+				}
+			}
+		}
+		return out
+	}
+	dist := eval(pt)
+	total := 0.0
+	for q, p := range dist {
+		if d.Accepting[q] {
+			total += p
+		}
+	}
+	return total
+}
+
+// EnumerateTrees calls fn with every deterministic labelling of pt and its
+// probability — the exponential baseline for AcceptProbability.
+func (pt *ProbTree) EnumerateTrees(fn func(*Tree, float64)) {
+	var rec func(n *ProbTree, k func(*Tree, float64))
+	rec = func(n *ProbTree, k func(*Tree, float64)) {
+		labels := make([]string, 0, len(n.Dist))
+		for lbl := range n.Dist {
+			labels = append(labels, lbl)
+		}
+		sort.Strings(labels)
+		for _, lbl := range labels {
+			p := n.Dist[lbl]
+			if p == 0 {
+				continue
+			}
+			if n.Left == nil {
+				k(Leaf(lbl), p)
+				continue
+			}
+			rec(n.Left, func(lt *Tree, pl float64) {
+				rec(n.Right, func(rt *Tree, pr float64) {
+					k(Branch(lbl, lt, rt), p*pl*pr)
+				})
+			})
+		}
+	}
+	rec(pt, fn)
+}
+
+// EvenAs returns an NTA over the given alphabet accepting trees with an
+// even number of nodes labelled "a" — an MSO property that no conjunctive
+// query or tree pattern expresses. State 0: even so far; state 1: odd.
+func EvenAs(alphabet []string) *NTA {
+	a := &NTA{NumStates: 2, Accepting: []bool{true, false}}
+	parity := func(lbl string) int {
+		if lbl == "a" {
+			return 1
+		}
+		return 0
+	}
+	for _, lbl := range alphabet {
+		a.Leaves = append(a.Leaves, LeafRule{lbl, parity(lbl)})
+		for l := 0; l < 2; l++ {
+			for r := 0; r < 2; r++ {
+				a.Branches = append(a.Branches, BranchRule{lbl, l, r, (l + r + parity(lbl)) % 2})
+			}
+		}
+	}
+	return a
+}
+
+// SomeLabel returns an NTA accepting trees containing at least one node
+// with the given label. State 1: seen.
+func SomeLabel(alphabet []string, want string) *NTA {
+	a := &NTA{NumStates: 2, Accepting: []bool{false, true}}
+	seen := func(lbl string, sub int) int {
+		if lbl == want || sub == 1 {
+			return 1
+		}
+		return 0
+	}
+	for _, lbl := range alphabet {
+		a.Leaves = append(a.Leaves, LeafRule{lbl, seen(lbl, 0)})
+		for l := 0; l < 2; l++ {
+			for r := 0; r < 2; r++ {
+				a.Branches = append(a.Branches, BranchRule{lbl, l, r, seen(lbl, l|r)})
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,165 @@
+package automata
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var alphabet = []string{"a", "b"}
+
+// countLabel counts nodes labelled lbl.
+func countLabel(t *Tree, lbl string) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	if t.Label == lbl {
+		n = 1
+	}
+	return n + countLabel(t.Left, lbl) + countLabel(t.Right, lbl)
+}
+
+func randomTree(r *rand.Rand, depth int) *Tree {
+	lbl := alphabet[r.Intn(len(alphabet))]
+	if depth <= 0 || r.Intn(3) == 0 {
+		return Leaf(lbl)
+	}
+	return Branch(lbl, randomTree(r, depth-1), randomTree(r, depth-1))
+}
+
+func TestEvenAsSemantics(t *testing.T) {
+	a := EvenAs(alphabet)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		tree := randomTree(r, 4)
+		want := countLabel(tree, "a")%2 == 0
+		if got := a.Accepts(tree); got != want {
+			t.Fatalf("EvenAs on %d a-nodes: got %v", countLabel(tree, "a"), got)
+		}
+	}
+}
+
+func TestSomeLabelSemantics(t *testing.T) {
+	a := SomeLabel(alphabet, "b")
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		tree := randomTree(r, 4)
+		want := countLabel(tree, "b") > 0
+		if got := a.Accepts(tree); got != want {
+			t.Fatalf("SomeLabel: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBooleanClosure(t *testing.T) {
+	even := EvenAs(alphabet)
+	someB := SomeLabel(alphabet, "b")
+	inter := Intersection(even, someB)
+	union := Union(even, someB)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		tree := randomTree(r, 4)
+		e, s := even.Accepts(tree), someB.Accepts(tree)
+		if inter.Accepts(tree) != (e && s) {
+			t.Fatal("intersection mismatch")
+		}
+		if union.Accepts(tree) != (e || s) {
+			t.Fatal("union mismatch")
+		}
+	}
+}
+
+func TestDeterminizepreservesLanguage(t *testing.T) {
+	for _, nta := range []*NTA{EvenAs(alphabet), SomeLabel(alphabet, "a"), Intersection(EvenAs(alphabet), SomeLabel(alphabet, "b"))} {
+		d := Determinize(nta, alphabet)
+		r := rand.New(rand.NewSource(4))
+		for i := 0; i < 150; i++ {
+			tree := randomTree(r, 4)
+			if d.Accepts(tree) != nta.Accepts(tree) {
+				t.Fatalf("determinization changed the language")
+			}
+			if d.Complement().Accepts(tree) == nta.Accepts(tree) {
+				t.Fatalf("complement did not flip acceptance")
+			}
+		}
+	}
+}
+
+func randomProbTree(r *rand.Rand, depth int) *ProbTree {
+	p := r.Float64()
+	n := &ProbTree{Dist: LabelDist{"a": p, "b": 1 - p}}
+	if depth > 0 && r.Intn(3) != 0 {
+		n.Left = randomProbTree(r, depth-1)
+		n.Right = randomProbTree(r, depth-1)
+	}
+	return n
+}
+
+func TestPropertyAcceptProbabilityMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	even := Determinize(EvenAs(alphabet), alphabet)
+	someB := Determinize(SomeLabel(alphabet, "b"), alphabet)
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pt := randomProbTree(r, 3)
+		for _, d := range []*DTA{even, someB} {
+			got := d.AcceptProbability(pt)
+			want := 0.0
+			total := 0.0
+			pt.EnumerateTrees(func(tree *Tree, p float64) {
+				total += p
+				if d.Accepts(tree) {
+					want += p
+				}
+			})
+			if math.Abs(total-1) > 1e-9 || math.Abs(got-want) > 1e-9 {
+				t.Logf("seed %d: DP %v, enum %v (mass %v)", seed, got, want, total)
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcceptProbabilityLargeTreeLinear(t *testing.T) {
+	// A full binary tree of depth 12 (8191 nodes): enumeration would need
+	// 2^8191 labellings; the DP answers instantly. For even-parity of "a"
+	// with p = 1/2 everywhere, P(even) = 1/2 by symmetry... except the
+	// total count parity distribution is exactly uniform when every node
+	// flips a fair coin: P(even) = 1/2.
+	var build func(d int) *ProbTree
+	build = func(d int) *ProbTree {
+		n := &ProbTree{Dist: LabelDist{"a": 0.5, "b": 0.5}}
+		if d > 0 {
+			n.Left = build(d - 1)
+			n.Right = build(d - 1)
+		}
+		return n
+	}
+	pt := build(12)
+	d := Determinize(EvenAs(alphabet), alphabet)
+	got := d.AcceptProbability(pt)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("P(even) = %v, want 0.5", got)
+	}
+}
+
+func TestProductStateCount(t *testing.T) {
+	a := EvenAs(alphabet)
+	b := SomeLabel(alphabet, "b")
+	p := Intersection(a, b)
+	if p.NumStates != 4 {
+		t.Errorf("product states = %d, want 4", p.NumStates)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}

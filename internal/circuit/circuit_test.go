@@ -1,0 +1,264 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func TestBuilderFolding(t *testing.T) {
+	c := New()
+	a := c.Var("a")
+	if c.Var("a") != a {
+		t.Error("Var must deduplicate")
+	}
+	if c.And(a, c.Const(true)) != a {
+		t.Error("And with true must collapse")
+	}
+	if g := c.And(a, c.Const(false)); c.KindOf(g) != KindConst || c.ConstValue(g) {
+		t.Error("And with false must be const false")
+	}
+	if c.Or(a, c.Const(false)) != a {
+		t.Error("Or with false must collapse")
+	}
+	if g := c.Or(a, c.Const(true)); c.KindOf(g) != KindConst || !c.ConstValue(g) {
+		t.Error("Or with true must be const true")
+	}
+	if c.Not(c.Not(a)) != a {
+		t.Error("double negation must collapse")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestEval(t *testing.T) {
+	c := New()
+	a, b, d := c.Var("a"), c.Var("b"), c.Var("d")
+	root := c.Or(c.And(a, b), c.And(c.Not(a), d))
+	cases := []struct {
+		v    logic.Valuation
+		want bool
+	}{
+		{logic.Valuation{"a": true, "b": true}, true},
+		{logic.Valuation{"a": true, "b": false, "d": true}, false},
+		{logic.Valuation{"a": false, "d": true}, true},
+		{logic.Valuation{"a": false, "d": false}, false},
+	}
+	for _, tc := range cases {
+		if got := c.Eval(root, tc.v); got != tc.want {
+			t.Errorf("Eval(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestFromFormulaAgreesWithFormula(t *testing.T) {
+	f := logic.Or(
+		logic.And(logic.Var("x"), logic.Not(logic.Var("y"))),
+		logic.And(logic.Var("y"), logic.Var("z")),
+	)
+	c := New()
+	root := c.FromFormula(f)
+	logic.EnumerateValuations(logic.Vars(f), func(v logic.Valuation) {
+		if c.Eval(root, v) != f.Eval(v) {
+			t.Errorf("circuit and formula disagree on %v", v)
+		}
+	})
+}
+
+func TestProbabilitySimple(t *testing.T) {
+	c := New()
+	a, b := c.Var("a"), c.Var("b")
+	p := logic.Prob{"a": 0.3, "b": 0.5}
+	cases := []struct {
+		root Gate
+		want float64
+	}{
+		{a, 0.3},
+		{c.Not(a), 0.7},
+		{c.And(a, b), 0.15},
+		{c.Or(a, b), 0.65},
+		{c.Const(true), 1},
+		{c.Const(false), 0},
+	}
+	for _, tc := range cases {
+		got, err := c.Probability(tc.root, p, nil)
+		if err != nil {
+			t.Fatalf("Probability(%s): %v", c.String(tc.root), err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P(%s) = %v, want %v", c.String(tc.root), got, tc.want)
+		}
+	}
+}
+
+func TestProbabilitySharedSubcircuit(t *testing.T) {
+	// root = (a & b) | (a & !b): shared a; P = P(a) = 0.4.
+	c := New()
+	a, b := c.Var("a"), c.Var("b")
+	root := c.Or(c.And(a, b), c.And(a, c.Not(b)))
+	got, err := c.Probability(root, logic.Prob{"a": 0.4, "b": 0.9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("P = %v, want 0.4", got)
+	}
+}
+
+// randomCircuit builds a random circuit and returns it with a root gate.
+func randomCircuit(r *rand.Rand, nVars, nOps int) (*Circuit, Gate) {
+	c := New()
+	gates := []Gate{c.Const(true), c.Const(false)}
+	for i := 0; i < nVars; i++ {
+		gates = append(gates, c.Var(logic.Event(string(rune('a'+i)))))
+	}
+	for i := 0; i < nOps; i++ {
+		pick := func() Gate { return gates[r.Intn(len(gates))] }
+		var g Gate
+		switch r.Intn(3) {
+		case 0:
+			g = c.Not(pick())
+		case 1:
+			g = c.And(pick(), pick())
+		default:
+			g = c.Or(pick(), pick(), pick())
+		}
+		gates = append(gates, g)
+	}
+	return c, gates[len(gates)-1]
+}
+
+func TestPropertyMessagePassingMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, root := randomCircuit(r, 2+r.Intn(4), 3+r.Intn(12))
+		p := logic.Prob{}
+		for _, e := range c.Events() {
+			p[e] = r.Float64()
+		}
+		want := c.EnumerationProbability(root, p)
+		got, err := c.Probability(root, p, nil)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Logf("seed %d: msgpass %v vs enum %v on %s", seed, got, want, c.String(root))
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPossibleCertainMatchEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, root := randomCircuit(r, 2+r.Intn(3), 3+r.Intn(8))
+		events := c.Events()
+		possible, certain := false, true
+		logic.EnumerateValuations(events, func(v logic.Valuation) {
+			if c.Eval(root, v) {
+				possible = true
+			} else {
+				certain = false
+			}
+		})
+		gotP, err := c.Possible(root, nil)
+		if err != nil {
+			return false
+		}
+		gotC, err := c.Certain(root, nil)
+		if err != nil {
+			return false
+		}
+		return gotP == possible && gotC == certain
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonePossibleCertainFastPath(t *testing.T) {
+	c := New()
+	a, b := c.Var("a"), c.Var("b")
+	root := c.Or(c.And(a, b), b)
+	if !c.Monotone() {
+		t.Fatal("circuit should be monotone")
+	}
+	possible, err := c.Possible(root, nil)
+	if err != nil || !possible {
+		t.Errorf("Possible = %v, %v; want true", possible, err)
+	}
+	certain, err := c.Certain(root, nil)
+	if err != nil || certain {
+		t.Errorf("Certain = %v, %v; want false", certain, err)
+	}
+}
+
+func TestLongChainProbability(t *testing.T) {
+	// AND-chain over 40 events with p = 0.9: P = 0.9^40. Enumeration would
+	// need 2^40 worlds; message passing handles it easily.
+	c := New()
+	acc := c.Const(true)
+	for i := 0; i < 40; i++ {
+		acc = c.And(acc, c.Var(logic.Event(fmt_i("e", i))))
+	}
+	p := logic.Prob{}
+	for _, e := range c.Events() {
+		p[e] = 0.9
+	}
+	got, err := c.Probability(acc, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.9, 40)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P = %v, want %v", got, want)
+	}
+}
+
+func fmt_i(prefix string, i int) logic.Event {
+	return logic.Event(prefix + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	a, b := c.Var("a"), c.Var("b")
+	c.Or(c.And(a, b), c.Not(a))
+	s := c.Stat()
+	if s.Vars != 2 || s.Ands != 1 || s.Ors != 1 || s.Nots != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	c := New()
+	a, b := c.Var("a"), c.Var("b")
+	g1 := c.And(a, b)
+	c.Or(a, b) // unreachable from g1
+	reach := c.ReachableFrom(g1)
+	if len(reach) != 3 {
+		t.Errorf("ReachableFrom = %v, want 3 gates", reach)
+	}
+}
+
+func TestEnumerationProbabilityMatchesFormula(t *testing.T) {
+	f := logic.Or(logic.And(logic.Var("a"), logic.Var("b")), logic.Var("c"))
+	p := logic.Prob{"a": 0.2, "b": 0.7, "c": 0.1}
+	c := New()
+	root := c.FromFormula(f)
+	got := c.EnumerationProbability(root, p)
+	want := logic.Probability(f, p)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("enum = %v, formula = %v", got, want)
+	}
+}

@@ -1,0 +1,365 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/logic"
+	"repro/internal/treedec"
+)
+
+// MoralGraph returns the "moralized" gate graph of the circuit: one vertex
+// per gate, with the scope of every gate ({gate} ∪ inputs) turned into a
+// clique. A tree decomposition of this graph is exactly what sum-product
+// message passing needs: every factor's scope fits in a bag.
+func (c *Circuit) MoralGraph() *treedec.Graph {
+	g := treedec.NewGraph(len(c.nodes))
+	for i, n := range c.nodes {
+		scope := make([]int, 0, len(n.inputs)+1)
+		scope = append(scope, i)
+		for _, in := range n.inputs {
+			scope = append(scope, int(in))
+		}
+		g.AddClique(scope)
+	}
+	return g
+}
+
+// factor is a function over an ordered scope of gates; values indexes
+// assignments by bitmask in scope order.
+type factor struct {
+	scope  []int
+	values []float64
+}
+
+// Probability computes the exact probability that gate root evaluates to
+// true when each event is drawn independently with the probabilities in p.
+//
+// If d is nil, a tree decomposition of the moralized gate graph is computed
+// with the min-fill heuristic; callers that already hold a decomposition
+// (e.g. the lineage constructions of internal/core, which emit one as a
+// by-product per Theorem 2) should pass it to skip that step. The cost is
+// O(#bags · 2^bagsize), i.e. exponential only in the decomposition width.
+func (c *Circuit) Probability(root Gate, p logic.Prob, d *treedec.Decomposition) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if c.nodes[root].kind == KindConst {
+		if c.nodes[root].value {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	moral := c.MoralGraph()
+	if d == nil {
+		d = treedec.Decompose(moral, treedec.MinFill)
+	} else if err := d.Validate(moral); err != nil {
+		return 0, fmt.Errorf("circuit: supplied decomposition invalid for moral graph: %w", err)
+	}
+
+	factors, err := c.buildFactors(root, p)
+	if err != nil {
+		return 0, err
+	}
+	total, err := sumProduct(d, len(c.nodes), factors)
+	if err != nil {
+		return 0, err
+	}
+	// Clamp floating noise.
+	if total < 0 && total > -1e-9 {
+		total = 0
+	}
+	if total > 1 && total < 1+1e-9 {
+		total = 1
+	}
+	if total < 0 || total > 1 || math.IsNaN(total) {
+		return 0, fmt.Errorf("circuit: message passing produced invalid probability %v", total)
+	}
+	return total, nil
+}
+
+// buildFactors creates one semantics factor per gate, a Bernoulli factor per
+// variable gate, and the root indicator.
+func (c *Circuit) buildFactors(root Gate, p logic.Prob) ([]factor, error) {
+	var factors []factor
+	for i, n := range c.nodes {
+		switch n.kind {
+		case KindConst:
+			val := []float64{1, 0}
+			if n.value {
+				val = []float64{0, 1}
+			}
+			factors = append(factors, factor{scope: []int{i}, values: val})
+		case KindVar:
+			pe := p.P(n.event)
+			factors = append(factors, factor{scope: []int{i}, values: []float64{1 - pe, pe}})
+		case KindNot, KindAnd, KindOr:
+			scope := make([]int, 0, len(n.inputs)+1)
+			scope = append(scope, i)
+			for _, in := range n.inputs {
+				scope = append(scope, int(in))
+			}
+			if len(scope) > 24 {
+				return nil, fmt.Errorf("circuit: gate %d has fan-in %d, too wide for tabulated factors", i, len(n.inputs))
+			}
+			nAssign := 1 << uint(len(scope))
+			values := make([]float64, nAssign)
+			for mask := 0; mask < nAssign; mask++ {
+				out := mask&1 != 0
+				want := c.gateSemantics(n, mask)
+				if out == want {
+					values[mask] = 1
+				}
+			}
+			factors = append(factors, factor{scope: scope, values: values})
+		}
+	}
+	// Root indicator: root must be true.
+	factors = append(factors, factor{scope: []int{int(root)}, values: []float64{0, 1}})
+	return factors, nil
+}
+
+// gateSemantics computes the intended output of gate n when its inputs take
+// the values encoded in mask (bit i+1 is input i; bit 0 is the output).
+func (c *Circuit) gateSemantics(n node, mask int) bool {
+	inputVal := func(i int) bool { return mask&(1<<uint(i+1)) != 0 }
+	switch n.kind {
+	case KindNot:
+		return !inputVal(0)
+	case KindAnd:
+		for i := range n.inputs {
+			if !inputVal(i) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for i := range n.inputs {
+			if inputVal(i) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("circuit: gateSemantics on 0-input gate")
+}
+
+// sumProduct runs exact sum-product message passing over the tree
+// decomposition d, whose bags range over vertices 0..n-1, and returns the
+// total partition sum with every factor included exactly once.
+func sumProduct(d *treedec.Decomposition, n int, factors []factor) (float64, error) {
+	nb := d.NumNodes()
+	// Index bags: position of each vertex within each bag.
+	bagPos := make([]map[int]int, nb)
+	for i, b := range d.Bags {
+		m := make(map[int]int, len(b))
+		for j, v := range b {
+			m[v] = j
+		}
+		bagPos[i] = m
+		if len(b) > 30 {
+			return 0, fmt.Errorf("circuit: bag of size %d too large for bitmask enumeration", len(b))
+		}
+	}
+	// Assign each factor to one bag containing its scope. To find it fast,
+	// keep the bags containing each vertex.
+	bagsOf := make([][]int, n)
+	for i, b := range d.Bags {
+		for _, v := range b {
+			bagsOf[v] = append(bagsOf[v], i)
+		}
+	}
+	factorsAt := make([][]int, nb)
+	for fi, f := range factors {
+		home := -1
+		// Search the bags of the first scope vertex.
+		for _, bi := range bagsOf[f.scope[0]] {
+			ok := true
+			for _, v := range f.scope[1:] {
+				if _, in := bagPos[bi][v]; !in {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				home = bi
+				break
+			}
+		}
+		if home < 0 {
+			return 0, fmt.Errorf("circuit: factor scope %v fits in no bag", f.scope)
+		}
+		factorsAt[home] = append(factorsAt[home], fi)
+	}
+	// Bernoulli factors of vertices appearing in multiple bags must count
+	// once: the assignment above already picks a single home bag.
+
+	children := d.Children()
+	roots := d.Roots()
+
+	// messages[t] is the message from t to its parent: a table over the
+	// separator (bag(t) ∩ bag(parent)), indexed by bitmask in separator
+	// order.
+	messages := make([][]float64, nb)
+	separators := make([][]int, nb) // separator vertex lists in bag-of-parent terms
+
+	var process func(t int) error
+	process = func(t int) error {
+		for _, ch := range children[t] {
+			if err := process(ch); err != nil {
+				return err
+			}
+		}
+		bag := d.Bags[t]
+		size := len(bag)
+		nAssign := 1 << uint(size)
+
+		// Precompute per-child separator projections: for an assignment
+		// mask over this bag, the child message index.
+		type childProj struct {
+			msg  []float64
+			bits []int // for each separator position, the bit index in this bag
+		}
+		var projs []childProj
+		for _, ch := range children[t] {
+			sep := separators[ch]
+			bits := make([]int, len(sep))
+			for i, v := range sep {
+				pos, ok := bagPos[t][v]
+				if !ok {
+					return fmt.Errorf("circuit: separator vertex %d missing from parent bag", v)
+				}
+				bits[i] = pos
+			}
+			projs = append(projs, childProj{msg: messages[ch], bits: bits})
+		}
+		// Factor projections for factors homed at t.
+		type factorProj struct {
+			values []float64
+			bits   []int
+		}
+		var fprojs []factorProj
+		for _, fi := range factorsAt[t] {
+			f := factors[fi]
+			bits := make([]int, len(f.scope))
+			for i, v := range f.scope {
+				bits[i] = bagPos[t][v]
+			}
+			fprojs = append(fprojs, factorProj{values: f.values, bits: bits})
+		}
+
+		// Separator with the parent.
+		parent := d.Parent[t]
+		var sep []int
+		var sepBits []int
+		if parent >= 0 {
+			for _, v := range bag {
+				if _, ok := bagPos[parent][v]; ok {
+					sep = append(sep, v)
+					sepBits = append(sepBits, bagPos[t][v])
+				}
+			}
+		}
+		out := make([]float64, 1<<uint(len(sep)))
+
+		for mask := 0; mask < nAssign; mask++ {
+			w := 1.0
+			for _, fp := range fprojs {
+				idx := 0
+				for i, b := range fp.bits {
+					if mask&(1<<uint(b)) != 0 {
+						idx |= 1 << uint(i)
+					}
+				}
+				w *= fp.values[idx]
+				if w == 0 {
+					break
+				}
+			}
+			if w != 0 {
+				for _, cp := range projs {
+					idx := 0
+					for i, b := range cp.bits {
+						if mask&(1<<uint(b)) != 0 {
+							idx |= 1 << uint(i)
+						}
+					}
+					w *= cp.msg[idx]
+					if w == 0 {
+						break
+					}
+				}
+			}
+			if w == 0 {
+				continue
+			}
+			sidx := 0
+			for i, b := range sepBits {
+				if mask&(1<<uint(b)) != 0 {
+					sidx |= 1 << uint(i)
+				}
+			}
+			out[sidx] += w
+		}
+		messages[t] = out
+		separators[t] = sep
+		return nil
+	}
+
+	total := 1.0
+	for _, r := range roots {
+		if err := process(r); err != nil {
+			return 0, err
+		}
+		// Root message is over the empty separator: a single number.
+		total *= messages[r][0]
+	}
+	return total, nil
+}
+
+// Possible reports whether some valuation makes root true. For monotone
+// circuits this is a single evaluation with every event true; otherwise it
+// falls back to a probability computation with uniform probabilities.
+func (c *Circuit) Possible(root Gate, d *treedec.Decomposition) (bool, error) {
+	if c.Monotone() {
+		v := logic.Valuation{}
+		for _, e := range c.Events() {
+			v[e] = true
+		}
+		return c.Eval(root, v), nil
+	}
+	pr, err := c.Probability(root, uniformProb(c), d)
+	if err != nil {
+		return false, err
+	}
+	return pr > 1e-15, nil
+}
+
+// Certain reports whether every valuation makes root true. For monotone
+// circuits this is a single evaluation with every event false; otherwise it
+// falls back to a probability computation with uniform probabilities.
+func (c *Circuit) Certain(root Gate, d *treedec.Decomposition) (bool, error) {
+	if c.Monotone() {
+		v := logic.Valuation{}
+		for _, e := range c.Events() {
+			v[e] = false
+		}
+		return c.Eval(root, v), nil
+	}
+	pr, err := c.Probability(root, uniformProb(c), d)
+	if err != nil {
+		return false, err
+	}
+	return pr > 1-1e-12, nil
+}
+
+func uniformProb(c *Circuit) logic.Prob {
+	p := logic.Prob{}
+	for _, e := range c.Events() {
+		p[e] = 0.5
+	}
+	return p
+}

@@ -1,0 +1,194 @@
+package cond
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+// table1 builds the paper's Table 1 c-instance with P(pods), P(stoc).
+func table1() (*pdb.CInstance, logic.Prob) {
+	pods := logic.Var("pods")
+	stoc := logic.Var("stoc")
+	c := pdb.NewCInstance()
+	c.AddFact(pods, "Trip", "CDG", "MEL")
+	c.AddFact(logic.And(pods, logic.Not(stoc)), "Trip", "MEL", "CDG")
+	c.AddFact(logic.And(pods, stoc), "Trip", "MEL", "PDX")
+	c.AddFact(logic.And(logic.Not(pods), stoc), "Trip", "CDG", "PDX")
+	c.AddFact(stoc, "Trip", "PDX", "CDG")
+	return c, logic.Prob{"pods": 0.7, "stoc": 0.4}
+}
+
+func TestConditionOnEvent(t *testing.T) {
+	c, p := table1()
+	// Condition on pods = true: the CDG->MEL trip becomes certain, the
+	// CDG->PDX trip (needs !pods) disappears.
+	c2, p2 := ConditionOnEvent(c, p, "pods", true)
+	if c2.NumFacts() != 4 {
+		t.Errorf("facts after conditioning = %d, want 4", c2.NumFacts())
+	}
+	i := c2.Inst.IndexOf(rel.NewFact("Trip", "CDG", "MEL"))
+	if i < 0 {
+		t.Fatal("CDG->MEL missing")
+	}
+	if v, isConst := logic.IsConst(c2.Ann[i]); !isConst || !v {
+		t.Errorf("CDG->MEL should be certain, ann = %s", logic.String(c2.Ann[i]))
+	}
+	if _, ok := p2["pods"]; ok {
+		t.Error("pods should be dropped from the probability map")
+	}
+	// Probabilities agree with the posterior semantics.
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("MEL"), rel.V("x")))
+	got := c2.QueryProbabilityEnumeration(q, p2)
+	want, err := NewConditioned(c, p).ObserveEvent("pods", true).ProbabilityEnumeration(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("substitution %v vs constraint %v", got, want)
+	}
+}
+
+func TestObserveFactPosterior(t *testing.T) {
+	c, p := table1()
+	cd := NewConditioned(c, p)
+	// Observe that the MEL->PDX trip is booked: then pods ∧ stoc, so the
+	// PDX->CDG return (ann stoc) is certain.
+	cd2, err := cd.ObserveFact(rel.NewFact("Trip", "MEL", "PDX"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("PDX"), rel.C("CDG")))
+	got, err := cd2.ProbabilityEnumeration(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("P(return | MEL->PDX) = %v, want 1", got)
+	}
+	// Prior is lower.
+	prior, err := cd.ProbabilityEnumeration(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prior-0.4) > 1e-12 {
+		t.Errorf("prior = %v, want 0.4", prior)
+	}
+}
+
+func TestObserveFactAbsent(t *testing.T) {
+	c, p := table1()
+	cd := NewConditioned(c, p)
+	// Observe CDG->MEL NOT booked: pods is false, so P(MEL->CDG) = 0.
+	cd2, err := cd.ObserveFact(rel.NewFact("Trip", "CDG", "MEL"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cd2.ProbabilityEnumeration(rel.NewCQ(rel.NewAtom("Trip", rel.C("MEL"), rel.C("CDG"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("P = %v, want 0", got)
+	}
+}
+
+func TestObserveUnknownFactErrors(t *testing.T) {
+	c, p := table1()
+	if _, err := NewConditioned(c, p).ObserveFact(rel.NewFact("Trip", "X", "Y"), true); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestZeroProbabilityObservation(t *testing.T) {
+	c := pdb.NewCInstance()
+	c.AddFact(logic.And(logic.Var("e"), logic.Not(logic.Var("e"))), "R", "a")
+	cd := NewConditioned(c, logic.Prob{"e": 0.5})
+	cd2, err := cd.ObserveFact(rel.NewFact("R", "a"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cd2.ProbabilityEnumeration(rel.NewCQ(rel.NewAtom("R", rel.V("x")))); err == nil {
+		t.Error("expected zero-probability error")
+	}
+}
+
+func TestTractablePosteriorMatchesEnumeration(t *testing.T) {
+	c, p := table1()
+	cd, err := NewConditioned(c, p).ObserveFact(rel.NewFact("Trip", "PDX", "CDG"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.V("x"), rel.C("PDX")))
+	want, err := cd.ProbabilityEnumeration(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cd.Probability(q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("engine %v, enumeration %v", got, want)
+	}
+}
+
+func TestRankQuestionsPrefersDecisiveEvent(t *testing.T) {
+	// Query depends only on event a; b is irrelevant noise.
+	c := pdb.NewCInstance()
+	c.AddFact(logic.Var("a"), "R", "x")
+	c.AddFact(logic.Var("b"), "S", "y")
+	cd := NewConditioned(c, logic.Prob{"a": 0.5, "b": 0.5})
+	q := rel.NewCQ(rel.NewAtom("R", rel.V("v")))
+	ranked, err := cd.RankQuestions(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Event != "a" {
+		t.Errorf("best question = %v, want a", ranked[0])
+	}
+	if ranked[0].Gain < 0.99 { // resolves a fair coin: gain = 1 bit
+		t.Errorf("gain = %v, want ~1", ranked[0].Gain)
+	}
+	// b gains nothing.
+	for _, qu := range ranked {
+		if qu.Event == "b" && qu.Gain > 1e-9 {
+			t.Errorf("irrelevant event has gain %v", qu.Gain)
+		}
+	}
+}
+
+func TestResolveGreedyReachesCertainty(t *testing.T) {
+	c, p := table1()
+	cd := NewConditioned(c, p)
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("MEL"), rel.C("PDX")))
+	oracle := &Oracle{Truth: logic.Valuation{"pods": true, "stoc": true}}
+	res, err := cd.ResolveGreedy(q, oracle, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Posterior-1) > 1e-12 {
+		t.Errorf("posterior = %v, want 1", res.Posterior)
+	}
+	if len(res.Questions) == 0 || len(res.Questions) > 2 {
+		t.Errorf("asked %d questions, want 1-2", len(res.Questions))
+	}
+}
+
+func TestResolveGreedyNegativeCase(t *testing.T) {
+	c, p := table1()
+	cd := NewConditioned(c, p)
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("MEL"), rel.C("PDX")))
+	oracle := &Oracle{Truth: logic.Valuation{"pods": false, "stoc": true}}
+	res, err := cd.ResolveGreedy(q, oracle, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Posterior > 1e-12 {
+		t.Errorf("posterior = %v, want 0", res.Posterior)
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// CQQuery compiles a Boolean conjunctive query into a bag automaton
+// (the Query interface). A state records, for every query variable, whether
+// it is unassigned, assigned to a domain element currently in the bag, or
+// assigned to an element already forgotten; plus the set of atoms already
+// witnessed by a fact. This is the "query type" state space: its size
+// depends only on the query and the bag size, never on the instance, which
+// is what makes the evaluation linear in the data (Theorem 1).
+type CQQuery struct {
+	Q     rel.CQ
+	vars  []string
+	atoms []rel.Atom
+	inst  *rel.Instance
+	di    *rel.DomainIndex
+	// factAtoms[fi] lists the atoms whose relation and constants are
+	// compatible with fact fi, with the variable positions to check.
+	factAtoms [][]factAtomMatch
+	// decoded caches key -> state: the engine revisits the same few states
+	// at every node, and parsing dominated profiles without it.
+	decoded map[string]cqState
+	// joined caches Join results by the concatenated pair key, for the
+	// same reason.
+	joined map[string]joinResult
+}
+
+type joinResult struct {
+	merged string
+	ok     bool
+}
+
+type factAtomMatch struct {
+	atom int
+	// varElem[v] = the element id the query variable with index v must be
+	// assigned to, or -1 when the variable does not occur in the atom.
+	varElem []int
+}
+
+const (
+	cqUnassigned = -1
+	cqForgotten  = -2
+)
+
+// cqDone is the absorbing accepting state: once every atom is witnessed,
+// the run's assignments no longer matter. Collapsing to it keeps the
+// determinized state sets small.
+const cqDone = "D"
+
+// NewCQQuery compiles q for evaluation over the given instance (the
+// candidate facts of the uncertain database) and its domain index.
+func NewCQQuery(q rel.CQ, inst *rel.Instance, di *rel.DomainIndex) *CQQuery {
+	if len(q.Atoms) > 30 {
+		panic("core: CQ has too many atoms for a bitmask")
+	}
+	c := &CQQuery{
+		Q: q, vars: q.Vars(), atoms: q.Atoms, inst: inst, di: di,
+		decoded: map[string]cqState{},
+		joined:  map[string]joinResult{},
+	}
+	varIdx := make(map[string]int, len(c.vars))
+	for i, v := range c.vars {
+		varIdx[v] = i
+	}
+	c.factAtoms = make([][]factAtomMatch, inst.NumFacts())
+	for fi := 0; fi < inst.NumFacts(); fi++ {
+		f := inst.Fact(fi)
+		for ai, atom := range c.atoms {
+			if atom.Rel != f.Rel || len(atom.Terms) != len(f.Args) {
+				continue
+			}
+			match := factAtomMatch{atom: ai, varElem: make([]int, len(c.vars))}
+			for i := range match.varElem {
+				match.varElem[i] = -1
+			}
+			ok := true
+			for pos, t := range atom.Terms {
+				arg := f.Args[pos]
+				if !t.IsVar {
+					if t.Name != arg {
+						ok = false
+						break
+					}
+					continue
+				}
+				vi := varIdx[t.Name]
+				elem := di.ByName[arg]
+				if match.varElem[vi] >= 0 && match.varElem[vi] != elem {
+					ok = false // repeated variable bound to two distinct args
+					break
+				}
+				match.varElem[vi] = elem
+			}
+			if ok {
+				c.factAtoms[fi] = append(c.factAtoms[fi], match)
+			}
+		}
+	}
+	return c
+}
+
+// cqState is the decoded form of a state key.
+type cqState struct {
+	assign []int // per variable: cqUnassigned, cqForgotten, or element id
+	mask   uint32
+}
+
+func (c *CQQuery) encode(s cqState) string {
+	var sb strings.Builder
+	for i, a := range s.assign {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(a))
+	}
+	sb.WriteByte('#')
+	sb.WriteString(strconv.FormatUint(uint64(s.mask), 16))
+	return sb.String()
+}
+
+func (c *CQQuery) decode(key string) cqState {
+	if s, ok := c.decoded[key]; ok {
+		return s
+	}
+	s := c.decodeSlow(key)
+	c.decoded[key] = s
+	return s
+}
+
+func (c *CQQuery) decodeSlow(key string) cqState {
+	hash := strings.IndexByte(key, '#')
+	mask, err := strconv.ParseUint(key[hash+1:], 16, 32)
+	if err != nil {
+		panic("core: bad cq state key: " + key)
+	}
+	s := cqState{assign: make([]int, len(c.vars)), mask: uint32(mask)}
+	if len(c.vars) > 0 {
+		parts := strings.Split(key[:hash], ",")
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				panic("core: bad cq state key: " + key)
+			}
+			s.assign[i] = v
+		}
+	}
+	return s
+}
+
+func (c *CQQuery) fullMask() uint32 { return (1 << uint(len(c.atoms))) - 1 }
+
+// Start returns the single initial state: nothing assigned, no atom
+// witnessed.
+func (c *CQQuery) Start() []string {
+	s := cqState{assign: make([]int, len(c.vars))}
+	for i := range s.assign {
+		s.assign[i] = cqUnassigned
+	}
+	return []string{c.encode(s)}
+}
+
+// Introduce guesses, for every subset of the currently unassigned
+// variables, that they map to the introduced element v.
+func (c *CQQuery) Introduce(key string, v int) []string {
+	if key == cqDone {
+		return []string{cqDone}
+	}
+	s := c.decode(key)
+	var free []int
+	for i, a := range s.assign {
+		if a == cqUnassigned {
+			free = append(free, i)
+		}
+	}
+	out := make([]string, 0, 1<<uint(len(free)))
+	for sub := 0; sub < 1<<uint(len(free)); sub++ {
+		ns := cqState{assign: append([]int(nil), s.assign...), mask: s.mask}
+		for bit, vi := range free {
+			if sub&(1<<uint(bit)) != 0 {
+				ns.assign[vi] = v
+			}
+		}
+		out = append(out, c.encode(ns))
+	}
+	return out
+}
+
+// Forget marks variables assigned to v as forgotten. The run dies if an
+// atom mentioning such a variable is still unwitnessed: any witnessing fact
+// has v among its arguments, so its bag (which must contain v) can only lie
+// below this forget node, and the chance has passed.
+func (c *CQQuery) Forget(key string, v int) []string {
+	if key == cqDone {
+		return []string{cqDone}
+	}
+	s := c.decode(key)
+	var out []int // lazily copied assignment (decode results are cached)
+	for vi, a := range s.assign {
+		if a != v {
+			continue
+		}
+		for ai, atom := range c.atoms {
+			if s.mask&(1<<uint(ai)) != 0 {
+				continue
+			}
+			if atomUsesVar(atom, c.vars[vi]) {
+				return nil // dead run
+			}
+		}
+		if out == nil {
+			out = append([]int(nil), s.assign...)
+		}
+		out[vi] = cqForgotten
+	}
+	if out == nil {
+		return []string{key}
+	}
+	return []string{c.encode(cqState{assign: out, mask: s.mask})}
+}
+
+func atomUsesVar(a rel.Atom, name string) bool {
+	for _, t := range a.Terms {
+		if t.IsVar && t.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Join merges sibling runs. Two assignments are compatible when they agree
+// wherever both are committed; "forgotten" clashes with any other
+// commitment because the two elements are necessarily distinct (a forgotten
+// element never reappears in the sibling branch, by the connectivity of
+// occurrences in a tree decomposition).
+func (c *CQQuery) Join(ka, kb string) (string, bool) {
+	pair := ka + "\x00" + kb
+	if r, ok := c.joined[pair]; ok {
+		return r.merged, r.ok
+	}
+	merged, ok := c.joinSlow(ka, kb)
+	c.joined[pair] = joinResult{merged, ok}
+	return merged, ok
+}
+
+func (c *CQQuery) joinSlow(ka, kb string) (string, bool) {
+	if ka == cqDone || kb == cqDone {
+		return cqDone, true
+	}
+	a, b := c.decode(ka), c.decode(kb)
+	m := cqState{assign: make([]int, len(c.vars)), mask: a.mask | b.mask}
+	for i := range m.assign {
+		x, y := a.assign[i], b.assign[i]
+		switch {
+		case x == y:
+			m.assign[i] = x
+			if x == cqForgotten {
+				return "", false // two distinct forgotten elements
+			}
+		case x == cqUnassigned:
+			m.assign[i] = y
+		case y == cqUnassigned:
+			m.assign[i] = x
+		default:
+			return "", false // two distinct commitments
+		}
+	}
+	return c.encode(m), true
+}
+
+// FactTransitions witnesses with fact fi every atom whose variables are all
+// assigned consistently with the fact's arguments. Witnessing all matching
+// atoms at once is sound and complete for monotone conjunctive queries.
+func (c *CQQuery) FactTransitions(key string, fi int) []string {
+	if key == cqDone {
+		return nil
+	}
+	matches := c.factAtoms[fi]
+	if len(matches) == 0 {
+		return nil
+	}
+	s := c.decode(key)
+	newMask := s.mask
+	for _, m := range matches {
+		if newMask&(1<<uint(m.atom)) != 0 {
+			continue
+		}
+		ok := true
+		for vi, elem := range m.varElem {
+			if elem >= 0 && s.assign[vi] != elem {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			newMask |= 1 << uint(m.atom)
+		}
+	}
+	if newMask == s.mask {
+		return nil
+	}
+	if newMask == c.fullMask() {
+		return []string{cqDone}
+	}
+	return []string{c.encode(cqState{assign: s.assign, mask: newMask})}
+}
+
+// Accept holds when every atom has been witnessed. (A full mask implies
+// every variable was assigned, since each variable occurs in some atom.)
+func (c *CQQuery) Accept(key string) bool {
+	if key == cqDone {
+		return true
+	}
+	return c.decode(key).mask == c.fullMask()
+}
+
+// PruneSet keeps the determinized state sets small without changing which
+// worlds are accepted:
+//
+//   - if some state has witnessed every atom, the whole set collapses to
+//     the absorbing accepting state;
+//   - among states with identical assignments, only the maximal witness
+//     masks are kept (a subset mask is dominated: any continuation that
+//     accepts from it also accepts from the dominating state, and
+//     domination is preserved by every transition).
+func (c *CQQuery) PruneSet(set []string) []string {
+	full := c.fullMask()
+	// Group masks by assignment.
+	type group struct {
+		masks []uint32
+		keys  []string
+	}
+	groups := map[string]*group{}
+	var orderedAssign []string
+	for _, key := range set {
+		if key == cqDone {
+			return []string{cqDone}
+		}
+		s := c.decode(key)
+		if s.mask == full {
+			return []string{cqDone}
+		}
+		hash := strings.IndexByte(key, '#')
+		ak := key[:hash]
+		g, ok := groups[ak]
+		if !ok {
+			g = &group{}
+			groups[ak] = g
+			orderedAssign = append(orderedAssign, ak)
+		}
+		g.masks = append(g.masks, s.mask)
+		g.keys = append(g.keys, key)
+	}
+	out := make([]string, 0, len(set))
+	for _, ak := range orderedAssign {
+		g := groups[ak]
+		for i, m := range g.masks {
+			dominated := false
+			for j, m2 := range g.masks {
+				if i != j && m&m2 == m && (m != m2 || j < i) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, g.keys[i])
+			}
+		}
+	}
+	sortStrings(out)
+	return out
+}

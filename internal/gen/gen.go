@@ -1,0 +1,355 @@
+// Package gen provides deterministic (seeded) workload generators for the
+// experiments: bounded-treewidth TID instances (chains, grids, partial
+// k-trees), the bipartite hard-query instances of the intro's #P-hardness
+// discussion, PrXML documents (local and event-annotated with planted scope
+// bounds), Wikidata-like documents, and labeled partial orders (interleaved
+// logs, random DAGs, series-parallel structures).
+//
+// These stand in for the paper's motivating data sources (Wikidata dumps,
+// crowd answers, machine logs), which are not available offline; the
+// generators control exactly the structural parameters — treewidth, scope
+// bound, poset shape — that the paper's tractability results depend on.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/porder"
+	"repro/internal/prxml"
+	"repro/internal/treedec"
+)
+
+func elem(i int) string { return fmt.Sprintf("v%d", i) }
+
+// RSTChain builds the TID instance for the intro's query
+// ∃xy R(x) S(x,y) T(y) over an n-element chain: R(v_i), S(v_i, v_{i+1}),
+// T(v_{i+1}) with independent probability p each. Treewidth 1: the
+// tractable arm of experiment E1/E5.
+func RSTChain(n int, p float64) *pdb.TID {
+	t := pdb.NewTID()
+	for i := 0; i < n; i++ {
+		t.AddFact(p, "R", elem(i))
+		t.AddFact(p, "S", elem(i), elem(i+1))
+		t.AddFact(p, "T", elem(i+1))
+	}
+	return t
+}
+
+// RSTBipartite builds the TID instance for the same query over a complete
+// bipartite S relation between nl left and nr right elements: the
+// high-treewidth shape behind the #P-hardness reduction (the hard arm of
+// experiment E5).
+func RSTBipartite(nl, nr int, p float64) *pdb.TID {
+	t := pdb.NewTID()
+	for i := 0; i < nl; i++ {
+		t.AddFact(p, "R", fmt.Sprintf("l%d", i))
+	}
+	for j := 0; j < nr; j++ {
+		t.AddFact(p, "T", fmt.Sprintf("r%d", j))
+	}
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
+			t.AddFact(p, "S", fmt.Sprintf("l%d", i), fmt.Sprintf("r%d", j))
+		}
+	}
+	return t
+}
+
+// EdgeChain builds an n-edge path TID of E facts (for reachability).
+func EdgeChain(n int, p float64) *pdb.TID {
+	t := pdb.NewTID()
+	for i := 0; i < n; i++ {
+		t.AddFact(p, "E", elem(i), elem(i+1))
+	}
+	return t
+}
+
+// PartialKTree returns a random connected partial k-tree on n vertices: a
+// k-tree built by attaching each new vertex to a random existing k-clique,
+// with each non-backbone edge kept with probability keepEdge. Its treewidth
+// is at most k by construction. The second return value is a tree
+// decomposition witnessing width ≤ k (the planted decomposition), so
+// benchmarks can skip the heuristic.
+func PartialKTree(n, k int, keepEdge float64, r *rand.Rand) (*treedec.Graph, *treedec.Decomposition) {
+	if n < k+1 {
+		n = k + 1
+	}
+	g := treedec.NewGraph(n)
+	// Seed clique.
+	var cliques [][]int
+	seed := make([]int, k+1)
+	for i := range seed {
+		seed[i] = i
+	}
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	// Bags of the planted decomposition; bag 0 is the seed clique.
+	bags := [][]int{append([]int(nil), seed...)}
+	parent := []int{-1}
+	// All k-subsets of the seed clique are attachable.
+	subsets := kSubsets(seed, k)
+	for _, s := range subsets {
+		cliques = append(cliques, s)
+	}
+	cliqueBag := make([]int, len(cliques)) // bag index covering each clique
+	for v := k + 1; v < n; v++ {
+		ci := r.Intn(len(cliques))
+		base := cliques[ci]
+		for _, u := range base {
+			if r.Float64() < keepEdge {
+				g.AddEdge(v, u)
+			}
+		}
+		// Planted bag: {v} ∪ base, child of the bag covering base.
+		bag := append([]int{v}, base...)
+		bags = append(bags, bag)
+		parent = append(parent, cliqueBag[ci])
+		newBagIdx := len(bags) - 1
+		// New attachable cliques: v with every (k-1)-subset of base.
+		for _, s := range kSubsets(base, k-1) {
+			cliques = append(cliques, append([]int{v}, s...))
+			cliqueBag = append(cliqueBag, newBagIdx)
+		}
+	}
+	d := &treedec.Decomposition{Bags: sortBags(bags), Parent: parent}
+	return g, d
+}
+
+func kSubsets(set []int, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < len(set); i++ {
+			rec(i+1, append(cur, set[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func sortBags(bags [][]int) [][]int {
+	for _, b := range bags {
+		for i := 1; i < len(b); i++ {
+			for j := i; j > 0 && b[j] < b[j-1]; j-- {
+				b[j], b[j-1] = b[j-1], b[j]
+			}
+		}
+	}
+	return bags
+}
+
+// RSTOverGraph plants the intro's hard query's relations over a graph:
+// R(v) and T(v) on every vertex, S(u,v) on every edge, all with probability
+// drawn uniformly from [lo, hi]. The instance's treewidth is the graph's.
+func RSTOverGraph(g *treedec.Graph, lo, hi float64, r *rand.Rand) *pdb.TID {
+	t := pdb.NewTID()
+	draw := func() float64 { return lo + (hi-lo)*r.Float64() }
+	for v := 0; v < g.N(); v++ {
+		t.AddFact(draw(), "R", elem(v))
+		t.AddFact(draw(), "T", elem(v))
+	}
+	for _, e := range g.Edges() {
+		t.AddFact(draw(), "S", elem(e[0]), elem(e[1]))
+	}
+	return t
+}
+
+// TIDFromGraph builds a TID of E facts from the edges of a graph, with a
+// probability drawn uniformly from [lo, hi] per fact.
+func TIDFromGraph(g *treedec.Graph, lo, hi float64, r *rand.Rand) *pdb.TID {
+	t := pdb.NewTID()
+	for _, e := range g.Edges() {
+		t.AddFact(lo+(hi-lo)*r.Float64(), "E", elem(e[0]), elem(e[1]))
+	}
+	return t
+}
+
+// CorrelatedPC builds a pc-instance over a chain where consecutive facts
+// share events (blocks of blockSize facts controlled by one event, plus a
+// per-fact private event) — bounded-joint-width correlation for E2.
+func CorrelatedPC(n, blockSize int, r *rand.Rand) (*pdb.CInstance, logic.Prob) {
+	c := pdb.NewCInstance()
+	p := logic.Prob{}
+	for i := 0; i < n; i++ {
+		block := logic.Event(fmt.Sprintf("blk%d", i/blockSize))
+		private := logic.Event(fmt.Sprintf("pv%d", i))
+		p[block] = 0.5 + r.Float64()/2
+		p[private] = r.Float64()
+		ann := logic.And(logic.Var(block), logic.Var(private))
+		c.AddFact(ann, "E", elem(i), elem(i+1))
+	}
+	return c, p
+}
+
+// LocalDoc builds a PrXML document with ~n nodes using only local
+// distribution nodes (ind/mux): the E3 workload. Shape: a spine of depth
+// ~n/fanout with ind/mux children.
+func LocalDoc(n, fanout int, r *rand.Rand) *prxml.Document {
+	labels := []string{"item", "name", "value", "tag"}
+	var build func(budget int) *prxml.Node
+	build = func(budget int) *prxml.Node {
+		label := labels[r.Intn(len(labels))]
+		if budget <= 1 {
+			return prxml.NewTag(label)
+		}
+		k := 1 + r.Intn(fanout)
+		var children []*prxml.Node
+		for i := 0; i < k; i++ {
+			children = append(children, build((budget-1)/k))
+		}
+		switch r.Intn(3) {
+		case 0:
+			probs := make([]float64, len(children))
+			for i := range probs {
+				probs[i] = 0.3 + 0.7*r.Float64()
+			}
+			return prxml.NewTag(label, prxml.NewInd(probs, children...))
+		case 1:
+			probs := make([]float64, len(children))
+			rest := 1.0
+			for i := range probs {
+				probs[i] = rest / float64(len(probs)+1)
+				rest -= probs[i]
+			}
+			return prxml.NewTag(label, prxml.NewMux(probs, children...))
+		default:
+			return prxml.NewTag(label, children...)
+		}
+	}
+	return prxml.NewDocument(prxml.NewTag("root", build(n-1)), nil)
+}
+
+// ScopedEventDoc builds a PrXML document of `sections` independent
+// sections, each owning a pool of `scope` section-local events used by two
+// sibling cie groups of `scope` leaves each: every pool event occurs in
+// both groups, so it is live exactly across the section subtree and the
+// document's maximal scope equals `scope` (while the size grows only
+// linearly in sections·scope). Leaf conditions are two-literal conjunctions
+// so that match probabilities stay away from 0 and 1. The E4 workload:
+// sweep `scope` to watch the exponential-in-scope cost.
+func ScopedEventDoc(sections, scope int, r *rand.Rand) *prxml.Document {
+	prob := logic.Prob{}
+	var secs []*prxml.Node
+	for s := 0; s < sections; s++ {
+		pool := make([]logic.Event, scope)
+		for i := range pool {
+			pool[i] = logic.Event(fmt.Sprintf("s%de%d", s, i))
+			prob[pool[i]] = 0.2 + 0.3*r.Float64()
+		}
+		group := func(negate bool) *prxml.Node {
+			var leaves []*prxml.Node
+			var conds [][]logic.Literal
+			for j := 0; j < scope; j++ {
+				leaves = append(leaves, prxml.NewTag("entry", prxml.NewTag("payload")))
+				cond := []logic.Literal{{Event: pool[j]}}
+				if scope > 1 {
+					cond = append(cond, logic.Literal{Event: pool[(j+1)%scope], Negated: negate})
+				}
+				conds = append(conds, cond)
+			}
+			return prxml.NewCie(conds, leaves...)
+		}
+		secs = append(secs, prxml.NewTag("section", group(false), group(true)))
+	}
+	return prxml.NewDocument(prxml.NewTag("root", secs...), prob)
+}
+
+// WikidataDoc builds a Wikidata-like document: entities with attribute
+// subtrees, per-contributor trust events shared across the facts each
+// contributor added (the Figure 1 pattern at scale).
+func WikidataDoc(entities, attrsPerEntity, contributors int, r *rand.Rand) *prxml.Document {
+	prob := logic.Prob{}
+	for u := 0; u < contributors; u++ {
+		prob[logic.Event(fmt.Sprintf("user%d", u))] = 0.5 + 0.5*r.Float64()
+	}
+	attrs := []string{"occupation", "birthplace", "name", "award", "spouse"}
+	var ents []*prxml.Node
+	for e := 0; e < entities; e++ {
+		var children []*prxml.Node
+		for a := 0; a < attrsPerEntity; a++ {
+			attr := attrs[r.Intn(len(attrs))]
+			value := prxml.NewTag(fmt.Sprintf("val%d", r.Intn(50)))
+			// Each attribute was contributed by one contributor, or is
+			// intrinsically uncertain (ind).
+			if r.Intn(2) == 0 {
+				u := logic.Event(fmt.Sprintf("user%d", r.Intn(contributors)))
+				children = append(children, prxml.NewTag(attr,
+					prxml.NewCie([][]logic.Literal{{{Event: u}}}, value)))
+			} else {
+				children = append(children, prxml.NewTag(attr,
+					prxml.NewInd([]float64{0.3 + 0.7*r.Float64()}, value)))
+			}
+		}
+		ents = append(ents, prxml.NewTag(fmt.Sprintf("Q%d", e), children...))
+	}
+	return prxml.NewDocument(prxml.NewTag("wikidata", ents...), prob)
+}
+
+// InterleavedLogs builds the LPO of k merged logs (parallel union of
+// chains), each of the given length: the log-merge workload of E6/E7.
+func InterleavedLogs(k, length int) *porder.LPO {
+	out := porder.NewLPO()
+	for m := 0; m < k; m++ {
+		prev := -1
+		for i := 0; i < length; i++ {
+			id := out.Add(porder.Tuple{fmt.Sprintf("m%d", m), fmt.Sprintf("evt%d", i)})
+			if prev >= 0 {
+				out.Order(prev, id)
+			}
+			prev = id
+		}
+	}
+	return out
+}
+
+// RandomDAGPoset builds an n-element LPO whose order is a random DAG: each
+// pair (i, j) with i < j is ordered with probability p.
+func RandomDAGPoset(n int, p float64, labels int, r *rand.Rand) *porder.LPO {
+	out := porder.NewLPO()
+	for i := 0; i < n; i++ {
+		out.Add(porder.Tuple{fmt.Sprintf("lab%d", r.Intn(labels))})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				out.Order(i, j)
+			}
+		}
+	}
+	return out
+}
+
+// RandomSP builds a random series-parallel LPO with n elements.
+func RandomSP(n int, r *rand.Rand) *porder.SP {
+	if n <= 1 {
+		return porder.Elem(porder.Tuple{fmt.Sprintf("e%d", r.Intn(1000))})
+	}
+	k := 2 + r.Intn(2)
+	if k > n {
+		k = n
+	}
+	var parts []*porder.SP
+	left := n
+	for i := 0; i < k; i++ {
+		size := left / (k - i)
+		if size < 1 {
+			size = 1
+		}
+		parts = append(parts, RandomSP(size, r))
+		left -= size
+	}
+	if r.Intn(2) == 0 {
+		return porder.Series(parts...)
+	}
+	return porder.Parallel(parts...)
+}

@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rel"
+	"repro/internal/treedec"
+)
+
+func TestRSTChainShape(t *testing.T) {
+	tid := RSTChain(10, 0.5)
+	if tid.NumFacts() != 30 {
+		t.Errorf("facts = %d, want 30", tid.NumFacts())
+	}
+	if w := tid.Treewidth(); w != 1 {
+		t.Errorf("treewidth = %d, want 1", w)
+	}
+	if !rel.HardQuery().Holds(tid.Inst) {
+		t.Error("hard query must hold on the full instance")
+	}
+}
+
+func TestRSTBipartiteHighTreewidth(t *testing.T) {
+	tid := RSTBipartite(5, 5, 0.5)
+	if w := tid.Treewidth(); w < 4 {
+		t.Errorf("bipartite treewidth = %d, want >= 4", w)
+	}
+}
+
+func TestPropertyPartialKTreePlantedDecompositionValid(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(3)
+		n := k + 2 + r.Intn(30)
+		g, d := PartialKTree(n, k, 0.3+0.7*r.Float64(), r)
+		if err := d.Validate(g); err != nil {
+			t.Logf("seed %d: invalid planted decomposition: %v", seed, err)
+			return false
+		}
+		if d.Width() > k {
+			t.Logf("seed %d: planted width %d > k=%d", seed, d.Width(), k)
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartialKTreeTreewidthBound(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g, _ := PartialKTree(60, 2, 1.0, r)
+	if w := treedec.Treewidth(g); w > 2 {
+		t.Errorf("heuristic width = %d on a 2-tree", w)
+	}
+}
+
+func TestCorrelatedPC(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c, p := CorrelatedPC(12, 3, r)
+	if c.NumFacts() != 12 {
+		t.Errorf("facts = %d", c.NumFacts())
+	}
+	// 4 block events + 12 private ones.
+	if len(c.Events()) != 16 {
+		t.Errorf("events = %d, want 16", len(c.Events()))
+	}
+	for _, e := range c.Events() {
+		if _, ok := p[e]; !ok {
+			t.Errorf("event %s has no probability", e)
+		}
+	}
+}
+
+func TestLocalDocValid(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	doc := LocalDoc(200, 3, r)
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() < 50 {
+		t.Errorf("doc suspiciously small: %d nodes", doc.Size())
+	}
+	if doc.MaxScope() != 0 {
+		t.Errorf("local doc must have scope 0, got %d", doc.MaxScope())
+	}
+}
+
+func TestScopedEventDocScopeBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, scope := range []int{1, 2, 4} {
+		doc := ScopedEventDoc(6, scope, r)
+		if err := doc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := doc.MaxScope(); got > scope {
+			t.Errorf("max scope = %d, want <= %d", got, scope)
+		}
+	}
+}
+
+func TestWikidataDocValid(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	doc := WikidataDoc(20, 4, 5, r)
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Trust events are shared across entities, so scopes can exceed 0 but
+	// stay bounded by the contributor count.
+	if got := doc.MaxScope(); got > 5 {
+		t.Errorf("max scope = %d, want <= contributors", got)
+	}
+}
+
+func TestInterleavedLogs(t *testing.T) {
+	l := InterleavedLogs(3, 4)
+	if l.N() != 12 {
+		t.Errorf("N = %d", l.N())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Within a log: ordered; across logs: not.
+	if !l.Less(0, 3) {
+		t.Error("within-log order missing")
+	}
+	if l.Comparable(0, 4) {
+		t.Error("cross-log order must be absent")
+	}
+}
+
+func TestRandomDAGPosetAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		l := RandomDAGPoset(10, r.Float64(), 3, r)
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomSPSize(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 20, 100} {
+		sp := RandomSP(n, r)
+		if sp.Size() != n {
+			t.Errorf("size = %d, want %d", sp.Size(), n)
+		}
+		if sp.CountLinearExtensions().Sign() <= 0 {
+			t.Error("count must be positive")
+		}
+	}
+}
+
+func TestEdgeChain(t *testing.T) {
+	tid := EdgeChain(5, 0.9)
+	if tid.NumFacts() != 5 {
+		t.Errorf("facts = %d", tid.NumFacts())
+	}
+	if w := tid.Treewidth(); w != 1 {
+		t.Errorf("treewidth = %d", w)
+	}
+}
+
+func TestTIDFromGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	g, _ := PartialKTree(20, 2, 1, r)
+	tid := TIDFromGraph(g, 0.4, 0.9, r)
+	if tid.NumFacts() != g.NumEdges() {
+		t.Errorf("facts = %d, edges = %d", tid.NumFacts(), g.NumEdges())
+	}
+	for _, p := range tid.Probs {
+		if p < 0.4 || p > 0.9 {
+			t.Errorf("probability %v outside [0.4, 0.9]", p)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package logic implements Boolean events, valuations, and propositional
+// formulas over events. It is the annotation language of c-instances and
+// pc-instances (Imielinski–Lipski c-tables with independent event
+// probabilities), and the substrate for every exhaustive "possible worlds"
+// baseline in this repository.
+//
+// The probability computations in this package (Shannon expansion, model
+// enumeration) are intentionally exponential: they are the baselines that the
+// structurally tractable algorithms of internal/core and internal/circuit are
+// measured against.
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event names a Boolean random variable. Events are the atoms of annotation
+// formulas: a valuation of the events picks out one possible world.
+type Event string
+
+// Valuation assigns a truth value to each event. Events absent from the map
+// are treated as false by Valuation.Get; use Has to distinguish.
+type Valuation map[Event]bool
+
+// Get reports the value of e under v, defaulting to false.
+func (v Valuation) Get(e Event) bool { return v[e] }
+
+// Has reports whether v assigns a value to e.
+func (v Valuation) Has(e Event) bool { _, ok := v[e]; return ok }
+
+// Clone returns an independent copy of v.
+func (v Valuation) Clone() Valuation {
+	w := make(Valuation, len(v))
+	for e, b := range v {
+		w[e] = b
+	}
+	return w
+}
+
+// With returns a copy of v with e set to b.
+func (v Valuation) With(e Event, b bool) Valuation {
+	w := v.Clone()
+	w[e] = b
+	return w
+}
+
+// String renders the valuation deterministically, e.g. "{a=1 b=0}".
+func (v Valuation) String() string {
+	events := make([]string, 0, len(v))
+	for e := range v {
+		events = append(events, string(e))
+	}
+	sort.Strings(events)
+	s := "{"
+	for i, e := range events {
+		if i > 0 {
+			s += " "
+		}
+		val := 0
+		if v[Event(e)] {
+			val = 1
+		}
+		s += fmt.Sprintf("%s=%d", e, val)
+	}
+	return s + "}"
+}
+
+// Prob assigns an independent marginal probability to each event. It is the
+// probabilistic layer that turns a c-instance into a pc-instance.
+type Prob map[Event]float64
+
+// P returns the probability of e, defaulting to 0.5 for unknown events so
+// that possibility questions ("is P > 0?") remain meaningful on events the
+// caller did not parameterize.
+func (p Prob) P(e Event) float64 {
+	if pr, ok := p[e]; ok {
+		return pr
+	}
+	return 0.5
+}
+
+// Validate returns an error if any probability lies outside [0, 1].
+func (p Prob) Validate() error {
+	for e, pr := range p {
+		if pr < 0 || pr > 1 {
+			return fmt.Errorf("logic: probability of event %q is %v, outside [0,1]", e, pr)
+		}
+	}
+	return nil
+}
+
+// ProbOfValuation returns the probability of drawing exactly the valuation v
+// for the listed events under the independent distribution p.
+func (p Prob) ProbOfValuation(events []Event, v Valuation) float64 {
+	res := 1.0
+	for _, e := range events {
+		if v.Get(e) {
+			res *= p.P(e)
+		} else {
+			res *= 1 - p.P(e)
+		}
+	}
+	return res
+}
+
+// SortEvents sorts a slice of events in place and returns it, for
+// deterministic iteration orders throughout the repository.
+func SortEvents(events []Event) []Event {
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	return events
+}
+
+// EnumerateValuations calls fn with every valuation of the given events,
+// in a deterministic order (events sorted, counting in binary). It is the
+// 2^n possible-worlds loop used by every exhaustive baseline. fn may keep
+// the valuation only for the duration of the call.
+func EnumerateValuations(events []Event, fn func(Valuation)) {
+	events = SortEvents(append([]Event(nil), events...))
+	n := len(events)
+	if n > 62 {
+		panic(fmt.Sprintf("logic: refusing to enumerate 2^%d valuations", n))
+	}
+	v := make(Valuation, n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for i, e := range events {
+			v[e] = mask&(1<<uint(i)) != 0
+		}
+		fn(v)
+	}
+}

@@ -1,0 +1,281 @@
+package logic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsSimplify(t *testing.T) {
+	a, b := Var("a"), Var("b")
+	cases := []struct {
+		name string
+		got  Formula
+		want Formula
+	}{
+		{"and-true", And(a, True), a},
+		{"and-false", And(a, False, b), False},
+		{"or-false", Or(a, False), a},
+		{"or-true", Or(a, True, b), True},
+		{"empty-and", And(), True},
+		{"empty-or", Or(), False},
+		{"double-neg", Not(Not(a)), a},
+		{"not-true", Not(True), False},
+		{"not-false", Not(False), True},
+	}
+	for _, c := range cases {
+		if !Equivalent(c.got, c.want) {
+			t.Errorf("%s: %s not equivalent to %s", c.name, String(c.got), String(c.want))
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	a, b, c := Var("a"), Var("b"), Var("c")
+	f := Or(And(a, b), And(Not(a), c))
+	tests := []struct {
+		v    Valuation
+		want bool
+	}{
+		{Valuation{"a": true, "b": true, "c": false}, true},
+		{Valuation{"a": true, "b": false, "c": true}, false},
+		{Valuation{"a": false, "b": false, "c": true}, true},
+		{Valuation{"a": false, "b": true, "c": false}, false},
+	}
+	for _, tc := range tests {
+		if got := f.Eval(tc.v); got != tc.want {
+			t.Errorf("Eval(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestVarsSortedAndDeduplicated(t *testing.T) {
+	f := And(Var("z"), Or(Var("a"), Var("z")), Not(Var("m")))
+	vars := Vars(f)
+	want := []Event{"a", "m", "z"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	f := Or(And(Var("a"), Not(Var("b"))), Var("c"))
+	if got := String(f); got != "a & !b | c" {
+		t.Errorf("String = %q", got)
+	}
+	g := And(Or(Var("a"), Var("b")), Var("c"))
+	if got := String(g); got != "(a | b) & c" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	a, b := Var("a"), Var("b")
+	f := Or(And(a, b), Not(a))
+	if g := Restrict(f, "a", true); !Equivalent(g, b) {
+		t.Errorf("Restrict(f, a, true) = %s, want b", String(g))
+	}
+	if g := Restrict(f, "a", false); !Equivalent(g, True) {
+		t.Errorf("Restrict(f, a, false) = %s, want true", String(g))
+	}
+}
+
+func TestProbabilityKnownValues(t *testing.T) {
+	a, b := Var("a"), Var("b")
+	p := Prob{"a": 0.3, "b": 0.5}
+	cases := []struct {
+		f    Formula
+		want float64
+	}{
+		{a, 0.3},
+		{Not(a), 0.7},
+		{And(a, b), 0.15},
+		{Or(a, b), 0.3 + 0.5 - 0.15},
+		{Xor(a, b), 0.3*0.5 + 0.7*0.5},
+		{True, 1},
+		{False, 0},
+	}
+	for _, c := range cases {
+		if got := Probability(c.f, p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P(%s) = %v, want %v", String(c.f), got, c.want)
+		}
+	}
+}
+
+func TestHardQueryLineageProbability(t *testing.T) {
+	// Lineage of the intro's query R(x),S(x,y),T(y) on a 2x2 TID with all
+	// probabilities 1/2: facts r1,r2,s11,s12,s21,s22,t1,t2.
+	lin := Or(
+		And(Var("r1"), Var("s11"), Var("t1")),
+		And(Var("r1"), Var("s12"), Var("t2")),
+		And(Var("r2"), Var("s21"), Var("t1")),
+		And(Var("r2"), Var("s22"), Var("t2")),
+	)
+	p := Prob{}
+	for _, e := range Vars(lin) {
+		p[e] = 0.5
+	}
+	want := float64(CountModels(lin)) / math.Pow(2, float64(len(Vars(lin))))
+	if got := Probability(lin, p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P = %v, want %v (by model counting)", got, want)
+	}
+}
+
+// randomFormula builds a random formula over nVars events with the given
+// node budget, for property-based tests.
+func randomFormula(r *rand.Rand, nVars, budget int) Formula {
+	if budget <= 1 {
+		switch r.Intn(6) {
+		case 0:
+			return True
+		case 1:
+			return False
+		default:
+			return Var(Event(string(rune('a' + r.Intn(nVars)))))
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Not(randomFormula(r, nVars, budget-1))
+	case 1:
+		return And(randomFormula(r, nVars, budget/2), randomFormula(r, nVars, budget/2))
+	default:
+		return Or(randomFormula(r, nVars, budget/2), randomFormula(r, nVars, budget/2))
+	}
+}
+
+func randomValuation(r *rand.Rand, nVars int) Valuation {
+	v := Valuation{}
+	for i := 0; i < nVars; i++ {
+		v[Event(string(rune('a'+i)))] = r.Intn(2) == 0
+	}
+	return v
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 4, 8)
+		g := randomFormula(r, 4, 8)
+		return Equivalent(Not(And(f, g)), Or(Not(f), Not(g))) &&
+			Equivalent(Not(Or(f, g)), And(Not(f), Not(g)))
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRestrictConsistentWithEval(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 4, 10)
+		v := randomValuation(r, 4)
+		g := RestrictAll(f, v)
+		value, isConst := IsConst(g)
+		return isConst && value == f.Eval(v)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyShannonMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 4, 10)
+		p := Prob{}
+		vars := Vars(f)
+		for _, e := range vars {
+			p[e] = r.Float64()
+		}
+		// Enumerate all valuations and sum their probabilities.
+		want := 0.0
+		EnumerateValuations(vars, func(v Valuation) {
+			if f.Eval(v) {
+				want += p.ProbOfValuation(vars, v)
+			}
+		})
+		got := Probability(f, p)
+		return math.Abs(got-want) < 1e-9
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyProbabilityInUnitInterval(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 5, 12)
+		p := Prob{}
+		for _, e := range Vars(f) {
+			p[e] = r.Float64()
+		}
+		pr := Probability(f, p)
+		return pr >= -1e-12 && pr <= 1+1e-12
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatisfiableTautology(t *testing.T) {
+	a := Var("a")
+	if !Satisfiable(a) || Satisfiable(And(a, Not(a))) {
+		t.Error("Satisfiable misbehaves")
+	}
+	if !Tautology(Or(a, Not(a))) || Tautology(a) {
+		t.Error("Tautology misbehaves")
+	}
+}
+
+func TestEnumerateValuationsCountsWorlds(t *testing.T) {
+	n := 0
+	EnumerateValuations([]Event{"a", "b", "c"}, func(Valuation) { n++ })
+	if n != 8 {
+		t.Errorf("enumerated %d valuations, want 8", n)
+	}
+}
+
+func TestConjunctionOfLiterals(t *testing.T) {
+	f := Conjunction([]Literal{{Event: "pods"}, {Event: "stoc", Negated: true}})
+	if !f.Eval(Valuation{"pods": true, "stoc": false}) {
+		t.Error("conjunction should hold")
+	}
+	if f.Eval(Valuation{"pods": true, "stoc": true}) {
+		t.Error("conjunction should fail")
+	}
+	if got := String(f); got != "pods & !stoc" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestProbValidate(t *testing.T) {
+	if err := (Prob{"a": 0.5}).Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := (Prob{"a": 1.5}).Validate(); err == nil {
+		t.Error("expected error for probability > 1")
+	}
+}
+
+func TestValuationHelpers(t *testing.T) {
+	v := Valuation{"a": true}
+	w := v.With("b", false)
+	if !w.Get("a") || w.Get("b") || !w.Has("b") || v.Has("b") {
+		t.Error("With/Has/Get misbehave")
+	}
+	if got := w.String(); got != "{a=1 b=0}" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,37 @@
+package logic
+
+// Visitor folds over the structure of a formula. It lets other packages
+// (e.g. internal/circuit) translate formulas without logic exposing its node
+// types.
+type Visitor interface {
+	Const(value bool) interface{}
+	Var(e Event) interface{}
+	Not(sub interface{}) interface{}
+	And(subs []interface{}) interface{}
+	Or(subs []interface{}) interface{}
+}
+
+// Visit folds v over f bottom-up and returns the result for the root.
+func Visit(f Formula, v Visitor) interface{} {
+	switch g := f.(type) {
+	case constFormula:
+		return v.Const(bool(g))
+	case varFormula:
+		return v.Var(Event(g))
+	case notFormula:
+		return v.Not(Visit(g.f, v))
+	case andFormula:
+		subs := make([]interface{}, len(g.fs))
+		for i, h := range g.fs {
+			subs[i] = Visit(h, v)
+		}
+		return v.And(subs)
+	case orFormula:
+		subs := make([]interface{}, len(g.fs))
+		for i, h := range g.fs {
+			subs[i] = Visit(h, v)
+		}
+		return v.Or(subs)
+	}
+	panic("logic: unknown formula type")
+}

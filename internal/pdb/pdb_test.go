@@ -1,0 +1,228 @@
+package pdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/rel"
+)
+
+func TestTIDWorldsAndProbability(t *testing.T) {
+	tid := NewTID()
+	tid.AddFact(0.5, "R", "a")
+	tid.AddFact(0.5, "S", "a", "b")
+	tid.AddFact(0.5, "T", "b")
+	// q holds iff all three facts present: P = 1/8.
+	q := rel.HardQuery()
+	if got := tid.QueryProbabilityEnumeration(q); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("P(q) = %v, want 0.125", got)
+	}
+	worlds := 0
+	tid.EnumerateWorlds(func(*rel.Instance, float64) { worlds++ })
+	if worlds != 8 {
+		t.Errorf("worlds = %d, want 8", worlds)
+	}
+}
+
+func TestTIDWorldProbabilitiesSumToOne(t *testing.T) {
+	tid := NewTID()
+	tid.AddFact(0.3, "R", "a")
+	tid.AddFact(0.9, "R", "b")
+	tid.AddFact(0.5, "S", "a", "b")
+	total := 0.0
+	tid.EnumerateWorlds(func(_ *rel.Instance, p float64) { total += p })
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v", total)
+	}
+}
+
+func TestTIDDeterministicFactAlwaysPresent(t *testing.T) {
+	tid := NewTID()
+	tid.AddFact(1.0, "R", "a")
+	tid.AddFact(0.0, "R", "b")
+	tid.EnumerateWorlds(func(w *rel.Instance, p float64) {
+		if !w.Has(rel.NewFact("R", "a")) {
+			t.Error("certain fact missing from a positive-probability world")
+		}
+		if w.Has(rel.NewFact("R", "b")) {
+			t.Error("impossible fact present in a positive-probability world")
+		}
+	})
+}
+
+func TestCInstanceTable1(t *testing.T) {
+	// The paper's Table 1: flight bookings annotated over events pods, stoc.
+	pods := logic.Var("pods")
+	stoc := logic.Var("stoc")
+	c := NewCInstance()
+	c.AddFact(pods, "Trip", "CDG", "MEL")
+	c.AddFact(logic.And(pods, logic.Not(stoc)), "Trip", "MEL", "CDG")
+	c.AddFact(logic.And(pods, stoc), "Trip", "MEL", "PDX")
+	c.AddFact(logic.And(logic.Not(pods), stoc), "Trip", "CDG", "PDX")
+	c.AddFact(stoc, "Trip", "PDX", "CDG")
+
+	// World pods=1, stoc=0: exactly CDG->MEL and MEL->CDG.
+	w := c.World(logic.Valuation{"pods": true, "stoc": false})
+	if w.NumFacts() != 2 || !w.Has(rel.NewFact("Trip", "CDG", "MEL")) || !w.Has(rel.NewFact("Trip", "MEL", "CDG")) {
+		t.Errorf("world(pods,!stoc) = %v", w.Facts())
+	}
+	// World pods=1, stoc=1: CDG->MEL, MEL->PDX, PDX->CDG.
+	w = c.World(logic.Valuation{"pods": true, "stoc": true})
+	if w.NumFacts() != 3 || !w.Has(rel.NewFact("Trip", "MEL", "PDX")) {
+		t.Errorf("world(pods,stoc) = %v", w.Facts())
+	}
+	// Query: some trip leaves CDG. Possible (pods world) but not certain
+	// (pods=0, stoc=0 world is empty).
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("CDG"), rel.V("x")))
+	if !c.PossibleEnumeration(q) {
+		t.Error("query should be possible")
+	}
+	if c.CertainEnumeration(q) {
+		t.Error("query should not be certain")
+	}
+	// Probability with P(pods)=0.8, P(stoc)=0.4: q holds iff pods or
+	// (!pods & stoc) — i.e. pods | stoc: P = 1 - 0.2*0.6 = 0.88.
+	p := logic.Prob{"pods": 0.8, "stoc": 0.4}
+	if got := c.QueryProbabilityEnumeration(q, p); math.Abs(got-0.88) > 1e-12 {
+		t.Errorf("P(q) = %v, want 0.88", got)
+	}
+}
+
+func TestCInstanceReAddDisjoins(t *testing.T) {
+	c := NewCInstance()
+	c.AddFact(logic.Var("a"), "R", "x")
+	c.AddFact(logic.Var("b"), "R", "x")
+	if c.NumFacts() != 1 {
+		t.Fatalf("NumFacts = %d, want 1", c.NumFacts())
+	}
+	if !c.Ann[0].Eval(logic.Valuation{"b": true}) {
+		t.Error("annotation should be a | b")
+	}
+}
+
+func TestLineageEnumeration(t *testing.T) {
+	c := NewCInstance()
+	c.AddFact(logic.Var("e1"), "R", "a")
+	c.AddFact(logic.Var("e2"), "S", "a", "b")
+	c.AddFact(logic.Var("e3"), "T", "b")
+	lin := c.LineageEnumeration(rel.HardQuery())
+	want := logic.And(logic.Var("e1"), logic.Var("e2"), logic.Var("e3"))
+	if !logic.Equivalent(lin, want) {
+		t.Errorf("lineage = %s, want %s", logic.String(lin), logic.String(want))
+	}
+}
+
+func TestTIDToCInstanceRoundTrip(t *testing.T) {
+	tid := NewTID()
+	tid.AddFact(0.25, "R", "a")
+	tid.AddFact(0.75, "S", "a", "b")
+	c, p := tid.ToCInstance()
+	q := rel.NewCQ(rel.NewAtom("R", rel.V("x")), rel.NewAtom("S", rel.V("x"), rel.V("y")))
+	got := c.QueryProbabilityEnumeration(q, p)
+	want := tid.QueryProbabilityEnumeration(q)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("c-instance P = %v, TID P = %v", got, want)
+	}
+}
+
+func TestPCCFromTIDAgrees(t *testing.T) {
+	tid := NewTID()
+	tid.AddFact(0.5, "R", "a")
+	tid.AddFact(0.4, "S", "a", "b")
+	tid.AddFact(0.9, "T", "b")
+	pcc := FromTID(tid)
+	q := rel.HardQuery()
+	got := pcc.QueryProbabilityEnumeration(q)
+	want := tid.QueryProbabilityEnumeration(q)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("pcc P = %v, TID P = %v", got, want)
+	}
+}
+
+func TestPCCFromPCAgrees(t *testing.T) {
+	c := NewCInstance()
+	c.AddFact(logic.And(logic.Var("x"), logic.Var("y")), "R", "a")
+	c.AddFact(logic.Or(logic.Var("x"), logic.Not(logic.Var("y"))), "S", "a", "b")
+	p := logic.Prob{"x": 0.3, "y": 0.6}
+	pcc := FromPC(c, p)
+	q := rel.NewCQ(rel.NewAtom("R", rel.V("v")), rel.NewAtom("S", rel.V("v"), rel.V("w")))
+	got := pcc.QueryProbabilityEnumeration(q)
+	want := c.QueryProbabilityEnumeration(q, p)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("pcc P = %v, pc P = %v", got, want)
+	}
+}
+
+func TestJointGraphWidth(t *testing.T) {
+	// A chain TID has joint width bounded by a small constant: each fact
+	// adds a var gate linked to a chain edge.
+	tid := NewTID()
+	for i := 0; i < 8; i++ {
+		tid.AddFact(0.5, "E", fmtInt(i), fmtInt(i+1))
+	}
+	pcc := FromTID(tid)
+	w := pcc.JointWidth()
+	if w > 3 {
+		t.Errorf("joint width of chain pcc = %d, want small", w)
+	}
+	g, _, _ := pcc.JointGraph()
+	if g.N() != 9+pcc.Circ.NumGates() {
+		t.Errorf("joint graph has %d vertices", g.N())
+	}
+}
+
+func fmtInt(i int) string { return string(rune('a' + i)) }
+
+func TestPropertyTIDSamplingConvergesToWorldDistribution(t *testing.T) {
+	// Sampled query frequency approaches the enumerated probability.
+	tid := NewTID()
+	tid.AddFact(0.5, "R", "a")
+	tid.AddFact(0.7, "S", "a", "b")
+	tid.AddFact(0.2, "T", "b")
+	q := rel.HardQuery()
+	want := tid.QueryProbabilityEnumeration(q)
+	r := rand.New(rand.NewSource(42))
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if q.Holds(tid.Sample(r)) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("sampled %v, exact %v", got, want)
+	}
+}
+
+func TestPropertyCInstanceWorldsMatchAnnotations(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCInstance()
+		events := []logic.Event{"a", "b", "c"}
+		for i := 0; i < 5; i++ {
+			e := events[r.Intn(len(events))]
+			var f logic.Formula = logic.Var(e)
+			if r.Intn(2) == 0 {
+				f = logic.Not(f)
+			}
+			c.AddFact(f, "R", string(rune('p'+i)))
+		}
+		ok := true
+		c.EnumerateWorlds(func(v logic.Valuation, w *rel.Instance) {
+			for i := 0; i < c.NumFacts(); i++ {
+				if w.Has(c.Inst.Fact(i)) != c.Ann[i].Eval(v) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package porder
+
+// Positive relational algebra on labeled partial orders with bag semantics,
+// following "Querying order-incomplete data" [6]. Each operator returns a
+// new LPO whose possible worlds are the intended combinations of the
+// operands' worlds; where several orderings of the result are reasonable,
+// two operator variants capture the spectrum (parallel vs concatenating
+// union, direct-product vs lexicographic product), formalizing the possible
+// behaviours of SQL implementations on ordered data.
+
+// Select keeps the elements whose label satisfies pred, with the induced
+// order.
+func Select(l *LPO, pred func(Tuple) bool) *LPO {
+	out := NewLPO()
+	keep := map[int]int{}
+	for i := 0; i < l.N(); i++ {
+		if pred(l.Label(i)) {
+			keep[i] = out.Add(l.Label(i))
+		}
+	}
+	for a, na := range keep {
+		for b, nb := range keep {
+			if a != b && l.Less(a, b) {
+				out.Order(na, nb)
+			}
+		}
+	}
+	return out
+}
+
+// Project replaces every label by proj(label), keeping order and
+// multiplicity (bag semantics: duplicates are not merged).
+func Project(l *LPO, proj func(Tuple) Tuple) *LPO {
+	out := NewLPO()
+	for i := 0; i < l.N(); i++ {
+		out.Add(proj(l.Label(i)))
+	}
+	for a := 0; a < l.N(); a++ {
+		for b := 0; b < l.N(); b++ {
+			if a != b && l.Less(a, b) {
+				out.Order(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// Columns returns a projection function keeping the given column indices.
+func Columns(cols ...int) func(Tuple) Tuple {
+	return func(t Tuple) Tuple {
+		out := make(Tuple, len(cols))
+		for i, c := range cols {
+			out[i] = t[c]
+		}
+		return out
+	}
+}
+
+// UnionParallel is the order-agnostic union: the disjoint union of the
+// operands with no constraints between them. Its possible worlds are all
+// interleavings of the operands' worlds.
+func UnionParallel(a, b *LPO) *LPO {
+	out := a.Clone()
+	offset := out.N()
+	for i := 0; i < b.N(); i++ {
+		out.Add(b.Label(i))
+	}
+	for _, e := range b.edges {
+		out.Order(e[0]+offset, e[1]+offset)
+	}
+	return out
+}
+
+// UnionConcat is the concatenating union: every element of a precedes every
+// element of b, as in UNION ALL implementations that keep input order.
+func UnionConcat(a, b *LPO) *LPO {
+	out := UnionParallel(a, b)
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < b.N(); j++ {
+			out.Order(i, a.N()+j)
+		}
+	}
+	return out
+}
+
+// ProductDirect is the cartesian product under the direct (pointwise) order:
+// (a1,b1) < (a2,b2) iff a1 ≤ a2 and b1 ≤ b2 with at least one strict. It
+// commits to as little order as is forced by both operands.
+func ProductDirect(a, b *LPO) *LPO {
+	out := NewLPO()
+	id := func(i, j int) int { return i*b.N() + j }
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < b.N(); j++ {
+			out.Add(append(append(Tuple{}, a.Label(i)...), b.Label(j)...))
+		}
+	}
+	for i1 := 0; i1 < a.N(); i1++ {
+		for j1 := 0; j1 < b.N(); j1++ {
+			for i2 := 0; i2 < a.N(); i2++ {
+				for j2 := 0; j2 < b.N(); j2++ {
+					if i1 == i2 && j1 == j2 {
+						continue
+					}
+					aLE := i1 == i2 || a.Less(i1, i2)
+					bLE := j1 == j2 || b.Less(j1, j2)
+					if aLE && bLE {
+						out.Order(id(i1, j1), id(i2, j2))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ProductLex is the cartesian product under the lexicographic order driven
+// by the left operand: (a1,b1) < (a2,b2) iff a1 < a2, or a1 = a2 and
+// b1 < b2 — the nested-loop evaluation order.
+func ProductLex(a, b *LPO) *LPO {
+	out := NewLPO()
+	id := func(i, j int) int { return i*b.N() + j }
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < b.N(); j++ {
+			out.Add(append(append(Tuple{}, a.Label(i)...), b.Label(j)...))
+		}
+	}
+	for i1 := 0; i1 < a.N(); i1++ {
+		for j1 := 0; j1 < b.N(); j1++ {
+			for i2 := 0; i2 < a.N(); i2++ {
+				for j2 := 0; j2 < b.N(); j2++ {
+					if i1 == i2 && j1 == j2 {
+						continue
+					}
+					if a.Less(i1, i2) || (i1 == i2 && b.Less(j1, j2)) {
+						out.Order(id(i1, j1), id(i2, j2))
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package porder
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// CountLinearExtensions counts the linear extensions of the LPO by the
+// downset dynamic program: the count from a remaining-element set S is the
+// sum over the minimal elements of S of the count without that element.
+// Memoized on the remaining set, so the cost is bounded by the number of
+// order ideals — exponential in general (the problem is #P-complete) but
+// often far smaller in practice. Limited to 62 elements by the bitmask; use
+// the series-parallel counter for large structured LPOs.
+func (l *LPO) CountLinearExtensions() (*big.Int, error) {
+	if err := l.close(); err != nil {
+		return nil, err
+	}
+	n := l.N()
+	if n > 62 {
+		return nil, fmt.Errorf("porder: %d elements exceed the downset DP's 62-element bitmask", n)
+	}
+	// predMask[i] = strict predecessors of i as a bitmask.
+	predMask := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if l.closure[i].get(j) {
+				predMask[i] |= 1 << uint(j)
+			}
+		}
+	}
+	memo := map[uint64]*big.Int{}
+	var count func(remaining uint64) *big.Int
+	count = func(remaining uint64) *big.Int {
+		if remaining == 0 {
+			return big.NewInt(1)
+		}
+		if v, ok := memo[remaining]; ok {
+			return v
+		}
+		total := new(big.Int)
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if remaining&bit == 0 {
+				continue
+			}
+			// i is minimal among remaining iff no remaining predecessor.
+			if predMask[i]&remaining != 0 {
+				continue
+			}
+			total.Add(total, count(remaining&^bit))
+		}
+		memo[remaining] = total
+		return total
+	}
+	full := uint64(0)
+	if n > 0 {
+		full = (1 << uint(n)) - 1
+	}
+	return count(full), nil
+}
+
+// EnumerateLinearExtensions calls fn with every linear extension, as a
+// permutation of element indices. Factorial blowup: for tests and tiny
+// inputs only.
+func (l *LPO) EnumerateLinearExtensions(fn func(perm []int)) error {
+	if err := l.close(); err != nil {
+		return err
+	}
+	n := l.N()
+	used := make([]bool, n)
+	perm := make([]int, 0, n)
+	var rec func()
+	rec = func() {
+		if len(perm) == n {
+			fn(perm)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && l.closure[i].get(j) {
+					ok = false // an unplaced predecessor remains
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			rec()
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return nil
+}
+
+// IsLinearExtension reports whether the permutation of element indices
+// respects the order (polynomial).
+func (l *LPO) IsLinearExtension(perm []int) bool {
+	if len(perm) != l.N() {
+		return false
+	}
+	pos := make([]int, l.N())
+	seen := make([]bool, l.N())
+	for p, e := range perm {
+		if e < 0 || e >= l.N() || seen[e] {
+			return false
+		}
+		seen[e] = true
+		pos[e] = p
+	}
+	for a := 0; a < l.N(); a++ {
+		for b := 0; b < l.N(); b++ {
+			if l.Less(a, b) && pos[a] >= pos[b] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PossibleWorlds returns the distinct label sequences of the LPO's linear
+// extensions, as slices of tuples. Exponential; tests and tiny inputs only.
+func (l *LPO) PossibleWorlds() ([][]Tuple, error) {
+	seen := map[string]bool{}
+	var out [][]Tuple
+	err := l.EnumerateLinearExtensions(func(perm []int) {
+		var key string
+		world := make([]Tuple, len(perm))
+		for i, e := range perm {
+			world[i] = l.labels[e]
+			key += l.labels[e].Key() + ";"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, world)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IsPossibleWorld reports whether the label sequence is a possible world of
+// the LPO: whether some linear extension produces exactly these labels in
+// this order. With duplicate labels this is a matching problem, NP-hard in
+// general (as the paper notes); this implementation backtracks, with two
+// polynomial fast paths: totally unordered LPOs (multiset comparison) and
+// sequences over distinct labels (greedy check).
+func (l *LPO) IsPossibleWorld(seq []Tuple) (bool, error) {
+	if err := l.close(); err != nil {
+		return false, err
+	}
+	if len(seq) != l.N() {
+		return false, nil
+	}
+	// Fast path: antichain — any permutation works, compare multisets.
+	if l.IsAntichain() {
+		return sameMultiset(l.labels, seq), nil
+	}
+	// Fast path: all labels distinct — the required element at each rank
+	// is forced, check it is minimal among the remaining ones.
+	if labelsDistinct(l.labels) {
+		byKey := map[string]int{}
+		for i, lab := range l.labels {
+			byKey[lab.Key()] = i
+		}
+		placed := make([]bool, l.N())
+		for _, lab := range seq {
+			e, ok := byKey[lab.Key()]
+			if !ok || placed[e] {
+				return false, nil
+			}
+			for j := 0; j < l.N(); j++ {
+				if !placed[j] && l.closure[e].get(j) {
+					return false, nil
+				}
+			}
+			placed[e] = true
+		}
+		return true, nil
+	}
+	// General case: backtracking over label-compatible minimal elements.
+	used := make([]bool, l.N())
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(seq) {
+			return true
+		}
+		for e := 0; e < l.N(); e++ {
+			if used[e] || !l.labels[e].Equal(seq[k]) {
+				continue
+			}
+			minimal := true
+			for j := 0; j < l.N(); j++ {
+				if !used[j] && l.closure[e].get(j) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			used[e] = true
+			if rec(k + 1) {
+				return true
+			}
+			used[e] = false
+		}
+		return false
+	}
+	return rec(0), nil
+}
+
+func labelsDistinct(labels []Tuple) bool {
+	seen := map[string]bool{}
+	for _, lab := range labels {
+		k := lab.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+func sameMultiset(a []Tuple, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := map[string]int{}
+	for _, t := range a {
+		counts[t.Key()]++
+	}
+	for _, t := range b {
+		counts[t.Key()]--
+		if counts[t.Key()] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Factorial returns n! as a big integer (the linear extension count of an
+// n-element antichain).
+func Factorial(n int) *big.Int {
+	out := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		out.Mul(out, big.NewInt(int64(i)))
+	}
+	return out
+}

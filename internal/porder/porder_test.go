@@ -1,0 +1,378 @@
+package porder
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tup(vals ...string) Tuple { return Tuple(vals) }
+
+func TestChainAntichainBasics(t *testing.T) {
+	c := Chain(tup("a"), tup("b"), tup("c"))
+	if !c.IsChain() || c.IsAntichain() {
+		t.Error("chain misclassified")
+	}
+	if !c.Less(0, 2) || c.Less(2, 0) {
+		t.Error("transitive closure broken")
+	}
+	a := Antichain(tup("a"), tup("b"), tup("c"))
+	if a.IsChain() || !a.IsAntichain() {
+		t.Error("antichain misclassified")
+	}
+	if got := len(a.Minimal()); got != 3 {
+		t.Errorf("antichain minimal = %d", got)
+	}
+	if got := len(c.Minimal()); got != 1 {
+		t.Errorf("chain minimal = %d", got)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	l := NewLPO()
+	l.Add(tup("a"))
+	l.Add(tup("b"))
+	l.Order(0, 1)
+	l.Order(1, 0)
+	if err := l.Validate(); err == nil {
+		t.Error("expected cycle error")
+	}
+}
+
+func TestCountLinearExtensionsKnownValues(t *testing.T) {
+	cases := []struct {
+		l    *LPO
+		want int64
+	}{
+		{Chain(tup("a"), tup("b"), tup("c"), tup("d")), 1},
+		{Antichain(tup("a"), tup("b"), tup("c"), tup("d")), 24},
+		{NewLPO(), 1},
+	}
+	// V-shape: a < c, b < c has 2 extensions.
+	v := NewLPO()
+	v.Add(tup("a"))
+	v.Add(tup("b"))
+	v.Add(tup("c"))
+	v.Order(0, 2)
+	v.Order(1, 2)
+	cases = append(cases, struct {
+		l    *LPO
+		want int64
+	}{v, 2})
+	for i, tc := range cases {
+		got, err := tc.l.CountLinearExtensions()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("case %d: count = %s, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func randomPoset(r *rand.Rand, n int, p float64) *LPO {
+	l := NewLPO()
+	labels := []Tuple{tup("x"), tup("y"), tup("z")}
+	for i := 0; i < n; i++ {
+		l.Add(labels[r.Intn(len(labels))])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				l.Order(i, j) // i < j in index order: always acyclic
+			}
+		}
+	}
+	return l
+}
+
+func TestPropertyCountMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomPoset(r, 1+r.Intn(6), r.Float64())
+		want := 0
+		if err := l.EnumerateLinearExtensions(func([]int) { want++ }); err != nil {
+			return false
+		}
+		got, err := l.CountLinearExtensions()
+		if err != nil {
+			return false
+		}
+		return got.Cmp(big.NewInt(int64(want))) == 0
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEnumeratedExtensionsAreValid(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomPoset(r, 1+r.Intn(6), r.Float64())
+		ok := true
+		_ = l.EnumerateLinearExtensions(func(perm []int) {
+			if !l.IsLinearExtension(perm) {
+				ok = false
+			}
+		})
+		return ok
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPCountsMatchDownsetDP(t *testing.T) {
+	// Random series-parallel structures, cross-checked.
+	r := rand.New(rand.NewSource(11))
+	var build func(budget int) *SP
+	build = func(budget int) *SP {
+		if budget <= 1 {
+			return Elem(tup("e"))
+		}
+		k := 2 + r.Intn(2)
+		var parts []*SP
+		for i := 0; i < k; i++ {
+			parts = append(parts, build(budget/k))
+		}
+		if r.Intn(2) == 0 {
+			return Series(parts...)
+		}
+		return Parallel(parts...)
+	}
+	for trial := 0; trial < 40; trial++ {
+		sp := build(2 + r.Intn(8))
+		want, err := sp.ToLPO().CountLinearExtensions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sp.CountLinearExtensions()
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: SP %s, downset %s", trial, got, want)
+		}
+	}
+}
+
+func TestSPKnownValues(t *testing.T) {
+	// Two parallel chains of lengths 3 and 2: C(5,3) = 10 shuffles.
+	sp := Parallel(
+		SPChain(tup("a1"), tup("a2"), tup("a3")),
+		SPChain(tup("b1"), tup("b2")),
+	)
+	if got := sp.CountLinearExtensions(); got.Cmp(big.NewInt(10)) != 0 {
+		t.Errorf("count = %s, want 10", got)
+	}
+	if got := SPAntichain(tup("a"), tup("b"), tup("c")).CountLinearExtensions(); got.Cmp(big.NewInt(6)) != 0 {
+		t.Errorf("antichain count = %s, want 6", got)
+	}
+	if got := SPChain(tup("a"), tup("b"), tup("c")).CountLinearExtensions(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("chain count = %s, want 1", got)
+	}
+}
+
+func TestSPLargePolynomial(t *testing.T) {
+	// 1000 parallel 2-chains: the count is astronomically large but the SP
+	// recursion computes it instantly; the downset DP could never.
+	parts := make([]*SP, 1000)
+	for i := range parts {
+		parts[i] = SPChain(tup("x"), tup("y"))
+	}
+	sp := Parallel(parts...)
+	got := sp.CountLinearExtensions()
+	if got.BitLen() < 1000 {
+		t.Errorf("count suspiciously small: %d bits", got.BitLen())
+	}
+}
+
+func TestIsPossibleWorld(t *testing.T) {
+	// a < b with c unordered, duplicate labels.
+	l := NewLPO()
+	l.Add(tup("x")) // 0
+	l.Add(tup("y")) // 1
+	l.Add(tup("x")) // 2 duplicate label, unordered
+	l.Order(0, 1)   // x(0) < y
+	cases := []struct {
+		seq  []Tuple
+		want bool
+	}{
+		{[]Tuple{tup("x"), tup("y"), tup("x")}, true},
+		{[]Tuple{tup("x"), tup("x"), tup("y")}, true},
+		{[]Tuple{tup("y"), tup("x"), tup("x")}, false}, // y before both x's violates x(0) < y
+		{[]Tuple{tup("x"), tup("y")}, false},           // wrong length
+		{[]Tuple{tup("x"), tup("y"), tup("z")}, false}, // wrong labels
+	}
+	for i, tc := range cases {
+		got, err := l.IsPossibleWorld(tc.seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestPropertyPossibleWorldMembershipMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomPoset(r, 1+r.Intn(5), r.Float64())
+		worlds, err := l.PossibleWorlds()
+		if err != nil {
+			return false
+		}
+		// Every enumerated world is a member.
+		for _, w := range worlds {
+			ok, err := l.IsPossibleWorld(w)
+			if err != nil || !ok {
+				t.Logf("seed %d: enumerated world rejected", seed)
+				return false
+			}
+		}
+		// A random shuffle of the labels is a member iff it appears in the
+		// enumeration.
+		labels := make([]Tuple, l.N())
+		for i := range labels {
+			labels[i] = l.Label(i)
+		}
+		r.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+		inEnum := false
+		for _, w := range worlds {
+			same := true
+			for i := range w {
+				if !w[i].Equal(labels[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				inEnum = true
+				break
+			}
+		}
+		got, err := l.IsPossibleWorld(labels)
+		return err == nil && got == inEnum
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	l := Chain(tup("a", "1"), tup("b", "2"), tup("a", "3"))
+	sel := Select(l, func(t Tuple) bool { return t[0] == "a" })
+	if sel.N() != 2 || !sel.IsChain() {
+		t.Errorf("selection of a chain must stay a chain: %s", sel)
+	}
+	proj := Project(l, Columns(0))
+	if proj.N() != 3 {
+		t.Errorf("projection must keep duplicates (bag semantics): %d", proj.N())
+	}
+	if !proj.Label(0).Equal(tup("a")) || !proj.Label(2).Equal(tup("a")) {
+		t.Errorf("projection labels wrong")
+	}
+	if !proj.IsChain() {
+		t.Error("projection must preserve order")
+	}
+}
+
+func TestUnionVariants(t *testing.T) {
+	a := Chain(tup("a1"), tup("a2"))
+	b := Chain(tup("b1"), tup("b2"))
+	par := UnionParallel(a, b)
+	cat := UnionConcat(a, b)
+	// Parallel union of two 2-chains: C(4,2) = 6 worlds.
+	worldsPar, err := par.PossibleWorlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worldsPar) != 6 {
+		t.Errorf("parallel union worlds = %d, want 6", len(worldsPar))
+	}
+	// Concatenating union: exactly one world a1 a2 b1 b2.
+	worldsCat, err := cat.PossibleWorlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worldsCat) != 1 {
+		t.Fatalf("concat union worlds = %d, want 1", len(worldsCat))
+	}
+	want := []Tuple{tup("a1"), tup("a2"), tup("b1"), tup("b2")}
+	for i := range want {
+		if !worldsCat[0][i].Equal(want[i]) {
+			t.Errorf("concat world = %v", worldsCat[0])
+			break
+		}
+	}
+}
+
+func TestProductVariants(t *testing.T) {
+	a := Chain(tup("a1"), tup("a2"))
+	b := Chain(tup("b1"), tup("b2"))
+	lex := ProductLex(a, b)
+	if !lex.IsChain() {
+		t.Error("lexicographic product of chains must be a chain")
+	}
+	worlds, err := lex.PossibleWorlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 1 {
+		t.Fatalf("lex product worlds = %d, want 1", len(worlds))
+	}
+	first := worlds[0][0]
+	if !first.Equal(tup("a1", "b1")) {
+		t.Errorf("lex product starts with %v", first)
+	}
+	direct := ProductDirect(a, b)
+	if direct.IsChain() {
+		t.Error("direct product of chains is not total ((a1,b2) vs (a2,b1))")
+	}
+	// Direct product of 2-chains is the 2x2 grid poset: 2 extensions.
+	count, err := direct.CountLinearExtensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("direct product count = %s, want 2", count)
+	}
+}
+
+func TestLogMergeScenario(t *testing.T) {
+	// Merging two machine logs with no global timestamps (the paper's
+	// fetchmail/dmesg example): parallel union, then select errors.
+	log1 := Chain(tup("m1", "boot"), tup("m1", "error"), tup("m1", "halt"))
+	log2 := Chain(tup("m2", "boot"), tup("m2", "error"))
+	merged := UnionParallel(log1, log2)
+	count, err := merged.CountLinearExtensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Cmp(big.NewInt(10)) != 0 { // C(5,3)
+		t.Errorf("merge count = %s, want 10", count)
+	}
+	errs := Select(merged, func(t Tuple) bool { return t[1] == "error" })
+	if errs.N() != 2 || errs.IsChain() {
+		t.Errorf("errors from different machines must stay unordered: %s", errs)
+	}
+	// The two errors can appear in either order.
+	worlds, err := errs.PossibleWorlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 2 {
+		t.Errorf("error order worlds = %d, want 2", len(worlds))
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	if Factorial(5).Cmp(big.NewInt(120)) != 0 {
+		t.Error("5! != 120")
+	}
+	if Factorial(0).Cmp(big.NewInt(1)) != 0 {
+		t.Error("0! != 1")
+	}
+}

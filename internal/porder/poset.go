@@ -1,0 +1,240 @@
+// Package porder implements order uncertainty (Section 3): labeled partial
+// orders (LPOs) as a representation system for relations whose order is only
+// partially known, with
+//
+//   - possible-worlds semantics: the worlds of an LPO are the label
+//     sequences of its linear extensions;
+//   - a bag semantics for the positive relational algebra (selection,
+//     projection, two unions, two products) following "Querying
+//     order-incomplete data" [Amarilli–Ba–Deutch–Senellart];
+//   - counting of linear extensions: a downset (order-ideal) dynamic
+//     program, exponential in general (the problem is #P-complete,
+//     Brightwell–Winkler), and a polynomial-time counter for
+//     series-parallel LPOs — a structurally tractable class;
+//   - possible-world membership: NP-hard for duplicate labels in general,
+//     solved by backtracking with polynomial special cases (distinct
+//     labels, unordered and totally ordered LPOs).
+package porder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is the label of an LPO element: a relational tuple.
+type Tuple []string
+
+// Key renders the tuple canonically.
+func (t Tuple) Key() string { return strings.Join(t, ",") }
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LPO is a labeled partial order: elements 0..n-1 carrying tuples, with a
+// strict partial order given by edges (closed transitively on demand).
+type LPO struct {
+	labels  []Tuple
+	edges   [][2]int
+	closure []bitset // closure[i] = strict predecessors of i; nil when stale
+}
+
+// NewLPO returns an empty LPO.
+func NewLPO() *LPO { return &LPO{} }
+
+// Add appends an element with the given label and returns its index.
+func (l *LPO) Add(label Tuple) int {
+	l.labels = append(l.labels, append(Tuple(nil), label...))
+	l.closure = nil
+	return len(l.labels) - 1
+}
+
+// Order records a < b. Panics on out-of-range; cycles are detected lazily by
+// Validate/close.
+func (l *LPO) Order(a, b int) {
+	if a < 0 || b < 0 || a >= len(l.labels) || b >= len(l.labels) {
+		panic(fmt.Sprintf("porder: order (%d,%d) out of range", a, b))
+	}
+	l.edges = append(l.edges, [2]int{a, b})
+	l.closure = nil
+}
+
+// N returns the number of elements.
+func (l *LPO) N() int { return len(l.labels) }
+
+// Label returns the tuple of element i.
+func (l *LPO) Label(i int) Tuple { return l.labels[i] }
+
+// close computes the transitive closure, returning an error on cycles.
+func (l *LPO) close() error {
+	if l.closure != nil {
+		return nil
+	}
+	n := len(l.labels)
+	succ := make([][]int, n)
+	indeg := make([]int, n)
+	for _, e := range l.edges {
+		succ[e[0]] = append(succ[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	// Kahn topological order.
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	closure := make([]bitset, n)
+	for i := range closure {
+		closure[i] = newBitset(n)
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, w := range succ[v] {
+			closure[w].or(closure[v])
+			closure[w].set(v)
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("porder: order relation contains a cycle")
+	}
+	l.closure = closure
+	return nil
+}
+
+// Validate checks that the order is acyclic.
+func (l *LPO) Validate() error { return l.close() }
+
+// Less reports whether a < b in the strict partial order.
+func (l *LPO) Less(a, b int) bool {
+	if err := l.close(); err != nil {
+		panic(err)
+	}
+	return l.closure[b].get(a)
+}
+
+// Comparable reports whether a and b are ordered either way.
+func (l *LPO) Comparable(a, b int) bool { return l.Less(a, b) || l.Less(b, a) }
+
+// IsChain reports whether the order is total.
+func (l *LPO) IsChain() bool {
+	for i := 0; i < l.N(); i++ {
+		for j := i + 1; j < l.N(); j++ {
+			if !l.Comparable(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsAntichain reports whether no two elements are comparable.
+func (l *LPO) IsAntichain() bool {
+	for i := 0; i < l.N(); i++ {
+		for j := i + 1; j < l.N(); j++ {
+			if l.Comparable(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Minimal returns the sorted minimal elements.
+func (l *LPO) Minimal() []int {
+	if err := l.close(); err != nil {
+		panic(err)
+	}
+	var out []int
+	for i := 0; i < l.N(); i++ {
+		if l.closure[i].empty() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (l *LPO) Clone() *LPO {
+	out := NewLPO()
+	for _, lab := range l.labels {
+		out.Add(lab)
+	}
+	out.edges = append([][2]int(nil), l.edges...)
+	return out
+}
+
+// Chain builds a totally ordered LPO from the given labels, in order.
+func Chain(labels ...Tuple) *LPO {
+	l := NewLPO()
+	for i, lab := range labels {
+		l.Add(lab)
+		if i > 0 {
+			l.Order(i-1, i)
+		}
+	}
+	return l
+}
+
+// Antichain builds a completely unordered LPO.
+func Antichain(labels ...Tuple) *LPO {
+	l := NewLPO()
+	for _, lab := range labels {
+		l.Add(lab)
+	}
+	return l
+}
+
+// String renders the LPO deterministically: labels and cover constraints.
+func (l *LPO) String() string {
+	var parts []string
+	for i, lab := range l.labels {
+		parts = append(parts, fmt.Sprintf("%d=%s", i, lab.Key()))
+	}
+	var es []string
+	for _, e := range l.edges {
+		es = append(es, fmt.Sprintf("%d<%d", e[0], e[1]))
+	}
+	sort.Strings(es)
+	return strings.Join(parts, " ") + " | " + strings.Join(es, " ")
+}
+
+// bitset is a fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) or(c bitset) {
+	for i := range b {
+		b[i] |= c[i]
+	}
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package porder
+
+import "math/big"
+
+// SP is a series-parallel labeled partial order, represented by its
+// construction tree: single elements combined by series composition (all of
+// P before all of Q) and parallel composition (no constraints between P and
+// Q). Series-parallel LPOs are a structurally tractable class for order
+// uncertainty: their linear extensions are countable in polynomial time by
+// the product/binomial recursion below, in contrast with the #P-hardness of
+// the general problem — the Section 3 analogue of bounded treewidth.
+type SP struct {
+	kind     spKind
+	label    Tuple
+	children []*SP
+	size     int
+}
+
+type spKind int
+
+const (
+	spElem spKind = iota
+	spSeries
+	spParallel
+)
+
+// Elem returns a single-element series-parallel LPO.
+func Elem(label Tuple) *SP {
+	return &SP{kind: spElem, label: append(Tuple(nil), label...), size: 1}
+}
+
+// Series composes ps left to right: every element of ps[i] precedes every
+// element of ps[i+1].
+func Series(ps ...*SP) *SP {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	n := 0
+	for _, p := range ps {
+		n += p.size
+	}
+	return &SP{kind: spSeries, children: ps, size: n}
+}
+
+// Parallel composes ps with no cross constraints.
+func Parallel(ps ...*SP) *SP {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	n := 0
+	for _, p := range ps {
+		n += p.size
+	}
+	return &SP{kind: spParallel, children: ps, size: n}
+}
+
+// SPChain builds a totally ordered series-parallel LPO.
+func SPChain(labels ...Tuple) *SP {
+	ps := make([]*SP, len(labels))
+	for i, lab := range labels {
+		ps[i] = Elem(lab)
+	}
+	return Series(ps...)
+}
+
+// SPAntichain builds a completely unordered series-parallel LPO.
+func SPAntichain(labels ...Tuple) *SP {
+	ps := make([]*SP, len(labels))
+	for i, lab := range labels {
+		ps[i] = Elem(lab)
+	}
+	return Parallel(ps...)
+}
+
+// Size returns the number of elements.
+func (p *SP) Size() int { return p.size }
+
+// CountLinearExtensions counts linear extensions in polynomial time:
+//
+//	e(x)              = 1
+//	e(series(P, Q))   = e(P) · e(Q)
+//	e(parallel(P, Q)) = e(P) · e(Q) · C(|P|+|Q|, |P|)
+//
+// (series fixes the relative order; parallel shuffles independently).
+func (p *SP) CountLinearExtensions() *big.Int {
+	switch p.kind {
+	case spElem:
+		return big.NewInt(1)
+	case spSeries:
+		out := big.NewInt(1)
+		for _, c := range p.children {
+			out.Mul(out, c.CountLinearExtensions())
+		}
+		return out
+	default: // parallel
+		out := big.NewInt(1)
+		placed := 0
+		for _, c := range p.children {
+			out.Mul(out, c.CountLinearExtensions())
+			out.Mul(out, binomial(placed+c.size, c.size))
+			placed += c.size
+		}
+		return out
+	}
+}
+
+func binomial(n, k int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// ToLPO materializes the series-parallel structure as a general LPO (with
+// the full set of series constraints), for cross-checking against the
+// downset DP and for running the relational algebra on it.
+func (p *SP) ToLPO() *LPO {
+	l := NewLPO()
+	var build func(q *SP) (elems []int)
+	build = func(q *SP) []int {
+		switch q.kind {
+		case spElem:
+			return []int{l.Add(q.label)}
+		case spSeries:
+			var all []int
+			var prev []int
+			for _, c := range q.children {
+				cur := build(c)
+				for _, a := range prev {
+					for _, b := range cur {
+						l.Order(a, b)
+					}
+				}
+				all = append(all, cur...)
+				prev = cur
+			}
+			return all
+		default:
+			var all []int
+			for _, c := range q.children {
+				all = append(all, build(c)...)
+			}
+			return all
+		}
+	}
+	build(p)
+	return l
+}

@@ -1,0 +1,409 @@
+// Package prxml implements probabilistic XML (Section 2.1): unranked
+// labelled trees with distribution nodes in the PrXML families of Kimelfeld
+// and Senellart.
+//
+// Supported distribution nodes:
+//
+//   - ind: each child is kept independently with its own probability
+//     (local uncertainty).
+//   - mux: at most one child is kept, with probabilities summing to ≤ 1
+//     (local, mutually exclusive choices).
+//   - det: all children are kept (deterministic grouping).
+//   - cie: each child is kept iff a conjunction of independent event
+//     literals holds (global uncertainty: events are shared across the
+//     document and induce correlations).
+//
+// In a possible world, distribution nodes are removed and surviving children
+// are re-attached to their nearest tag ancestor.
+//
+// Query evaluation (tree-pattern probability) is implemented three ways:
+// exhaustive enumeration of worlds (baseline), the linear-time bottom-up
+// match-set DP for local models [Cohen–Kimelfeld–Sagiv], and the scope-based
+// algorithm for event models whose scopes are bounded — the tractable class
+// identified by the paper.
+package prxml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Kind classifies PrXML nodes.
+type Kind int
+
+const (
+	// Tag is an ordinary XML element carrying a label.
+	Tag Kind = iota
+	// Ind keeps each child independently with probability Probs[i].
+	Ind
+	// Mux keeps at most one child, child i with probability Probs[i].
+	Mux
+	// Det keeps all children.
+	Det
+	// Cie keeps child i iff the conjunction of literals Conds[i] holds.
+	Cie
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Tag:
+		return "tag"
+	case Ind:
+		return "ind"
+	case Mux:
+		return "mux"
+	case Det:
+		return "det"
+	case Cie:
+		return "cie"
+	}
+	return "unknown"
+}
+
+// Node is a PrXML tree node. Build trees with the constructors below.
+type Node struct {
+	Kind     Kind
+	Label    string // Tag only
+	Children []*Node
+	Probs    []float64         // Ind, Mux: per-child probabilities
+	Conds    [][]logic.Literal // Cie: per-child event conjunctions
+}
+
+// NewTag returns a tag node.
+func NewTag(label string, children ...*Node) *Node {
+	return &Node{Kind: Tag, Label: label, Children: children}
+}
+
+// NewInd returns an ind node; probs[i] is the keep-probability of child i.
+func NewInd(probs []float64, children ...*Node) *Node {
+	if len(probs) != len(children) {
+		panic("prxml: ind needs one probability per child")
+	}
+	return &Node{Kind: Ind, Children: children, Probs: probs}
+}
+
+// NewMux returns a mux node; probs must sum to at most 1, the remainder
+// being the probability that no child is kept.
+func NewMux(probs []float64, children ...*Node) *Node {
+	if len(probs) != len(children) {
+		panic("prxml: mux needs one probability per child")
+	}
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	if total > 1+1e-9 {
+		panic(fmt.Sprintf("prxml: mux probabilities sum to %v > 1", total))
+	}
+	return &Node{Kind: Mux, Children: children, Probs: probs}
+}
+
+// NewDet returns a det node.
+func NewDet(children ...*Node) *Node {
+	return &Node{Kind: Det, Children: children}
+}
+
+// NewCie returns a cie node; conds[i] is the conjunction of event literals
+// under which child i is kept.
+func NewCie(conds [][]logic.Literal, children ...*Node) *Node {
+	if len(conds) != len(children) {
+		panic("prxml: cie needs one condition per child")
+	}
+	return &Node{Kind: Cie, Children: children, Conds: conds}
+}
+
+// Document is a PrXML document: a tree rooted at a tag node, together with
+// the probabilities of the global events used by cie nodes.
+type Document struct {
+	Root      *Node
+	EventProb logic.Prob
+}
+
+// NewDocument wraps a root tag node.
+func NewDocument(root *Node, eventProb logic.Prob) *Document {
+	if root.Kind != Tag {
+		panic("prxml: document root must be a tag node")
+	}
+	if eventProb == nil {
+		eventProb = logic.Prob{}
+	}
+	return &Document{Root: root, EventProb: eventProb}
+}
+
+// Validate checks structural sanity: probability ranges, matching arities,
+// and that every cie event has a probability.
+func (d *Document) Validate() error {
+	if err := d.EventProb.Validate(); err != nil {
+		return err
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		switch n.Kind {
+		case Ind, Mux:
+			if len(n.Probs) != len(n.Children) {
+				return fmt.Errorf("prxml: %s node has %d probs for %d children", n.Kind, len(n.Probs), len(n.Children))
+			}
+			total := 0.0
+			for _, p := range n.Probs {
+				if p < 0 || p > 1 {
+					return fmt.Errorf("prxml: probability %v outside [0,1]", p)
+				}
+				total += p
+			}
+			if n.Kind == Mux && total > 1+1e-9 {
+				return fmt.Errorf("prxml: mux probabilities sum to %v", total)
+			}
+		case Cie:
+			if len(n.Conds) != len(n.Children) {
+				return fmt.Errorf("prxml: cie node has %d conds for %d children", len(n.Conds), len(n.Children))
+			}
+			for _, cond := range n.Conds {
+				for _, lit := range cond {
+					if _, ok := d.EventProb[lit.Event]; !ok {
+						return fmt.Errorf("prxml: event %q has no probability", lit.Event)
+					}
+				}
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(d.Root)
+}
+
+// Events returns the sorted global events used by cie nodes.
+func (d *Document) Events() []logic.Event {
+	set := map[logic.Event]struct{}{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Kind == Cie {
+			for _, cond := range n.Conds {
+				for _, lit := range cond {
+					set[lit.Event] = struct{}{}
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	events := make([]logic.Event, 0, len(set))
+	for e := range set {
+		events = append(events, e)
+	}
+	return logic.SortEvents(events)
+}
+
+// Size returns the number of nodes in the document.
+func (d *Document) Size() int {
+	count := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		count++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	return count
+}
+
+// XNode is a node of a certain (non-probabilistic) XML tree: a possible
+// world of a document.
+type XNode struct {
+	Label    string
+	Children []*XNode
+}
+
+// NewXNode builds a certain tree node.
+func NewXNode(label string, children ...*XNode) *XNode {
+	return &XNode{Label: label, Children: children}
+}
+
+// String renders the tree as nested s-expressions, e.g. "(a (b) (c))".
+func (x *XNode) String() string {
+	var sb strings.Builder
+	var walk func(n *XNode)
+	walk = func(n *XNode) {
+		sb.WriteByte('(')
+		sb.WriteString(n.Label)
+		for _, c := range n.Children {
+			sb.WriteByte(' ')
+			walk(c)
+		}
+		sb.WriteByte(')')
+	}
+	walk(x)
+	return sb.String()
+}
+
+// Count returns the number of nodes in the certain tree.
+func (x *XNode) Count() int {
+	n := 1
+	for _, c := range x.Children {
+		n += c.Count()
+	}
+	return n
+}
+
+// World materializes the possible world of the document determined by the
+// event valuation v (for cie nodes) and the local choice oracle, a function
+// returning for each ind child whether it is kept and for each mux node
+// which child (or -1). Used by enumeration and sampling.
+type choiceOracle interface {
+	keepInd(n *Node, child int) bool
+	pickMux(n *Node) int
+}
+
+// materialize builds the world tree under the given oracle and valuation.
+func (d *Document) materialize(v logic.Valuation, oracle choiceOracle) *XNode {
+	var build func(n *Node) []*XNode
+	build = func(n *Node) []*XNode {
+		switch n.Kind {
+		case Tag:
+			x := &XNode{Label: n.Label}
+			for _, c := range n.Children {
+				x.Children = append(x.Children, build(c)...)
+			}
+			return []*XNode{x}
+		case Det:
+			var out []*XNode
+			for _, c := range n.Children {
+				out = append(out, build(c)...)
+			}
+			return out
+		case Ind:
+			var out []*XNode
+			for i, c := range n.Children {
+				if oracle.keepInd(n, i) {
+					out = append(out, build(c)...)
+				}
+			}
+			return out
+		case Mux:
+			pick := oracle.pickMux(n)
+			if pick < 0 {
+				return nil
+			}
+			return build(n.Children[pick])
+		case Cie:
+			var out []*XNode
+			for i, c := range n.Children {
+				if logic.Conjunction(n.Conds[i]).Eval(v) {
+					out = append(out, build(c)...)
+				}
+			}
+			return out
+		}
+		return nil
+	}
+	return build(d.Root)[0]
+}
+
+// EnumerateWorlds calls fn with every possible world of the document and its
+// probability. Exponential in the number of choices: the baseline arm.
+func (d *Document) EnumerateWorlds(fn func(world *XNode, p float64)) {
+	// Collect the local choice sites in a fixed order.
+	var indSites []*Node
+	var muxSites []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.Kind {
+		case Ind:
+			indSites = append(indSites, n)
+		case Mux:
+			muxSites = append(muxSites, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+
+	events := d.Events()
+	// Recursive enumeration over event valuations, then ind masks, then mux
+	// picks.
+	var enumChoices func(v logic.Valuation, pv float64, site int, oracle *tableOracle)
+	enumChoices = func(v logic.Valuation, pv float64, site int, oracle *tableOracle) {
+		if pv == 0 {
+			return
+		}
+		if site < len(indSites) {
+			n := indSites[site]
+			var rec func(child int, p float64)
+			rec = func(child int, p float64) {
+				if child == len(n.Children) {
+					enumChoices(v, pv*p, site+1, oracle)
+					return
+				}
+				oracle.ind[n][child] = true
+				rec(child+1, p*n.Probs[child])
+				oracle.ind[n][child] = false
+				rec(child+1, p*(1-n.Probs[child]))
+			}
+			rec(0, 1)
+			return
+		}
+		muxSite := site - len(indSites)
+		if muxSite < len(muxSites) {
+			n := muxSites[muxSite]
+			rest := 1.0
+			for i, p := range n.Probs {
+				oracle.mux[n] = i
+				rest -= p
+				enumChoices(v, pv*p, site+1, oracle)
+			}
+			oracle.mux[n] = -1
+			if rest > 1e-12 {
+				enumChoices(v, pv*rest, site+1, oracle)
+			}
+			return
+		}
+		fn(d.materialize(v, oracle), pv)
+	}
+
+	logic.EnumerateValuations(events, func(v logic.Valuation) {
+		pv := d.EventProb.ProbOfValuation(events, v)
+		oracle := newTableOracle(indSites, muxSites)
+		enumChoices(v.Clone(), pv, 0, oracle)
+	})
+}
+
+type tableOracle struct {
+	ind map[*Node][]bool
+	mux map[*Node]int
+}
+
+func newTableOracle(indSites, muxSites []*Node) *tableOracle {
+	o := &tableOracle{ind: map[*Node][]bool{}, mux: map[*Node]int{}}
+	for _, n := range indSites {
+		o.ind[n] = make([]bool, len(n.Children))
+	}
+	for _, n := range muxSites {
+		o.mux[n] = -1
+	}
+	return o
+}
+
+func (o *tableOracle) keepInd(n *Node, child int) bool { return o.ind[n][child] }
+func (o *tableOracle) pickMux(n *Node) int             { return o.mux[n] }
+
+// sortLiterals orders a conjunction canonically (for printing and tests).
+func sortLiterals(lits []logic.Literal) []logic.Literal {
+	out := append([]logic.Literal(nil), lits...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Event != out[j].Event {
+			return out[i].Event < out[j].Event
+		}
+		return !out[i].Negated && out[j].Negated
+	})
+	return out
+}

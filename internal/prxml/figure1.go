@@ -1,0 +1,34 @@
+package prxml
+
+import "repro/internal/logic"
+
+// EJane is the global trust event of Figure 1: "we fully trust user Jane".
+const EJane = logic.Event("eJane")
+
+// Figure1 builds the exact PrXML document of the paper's Figure 1: the
+// Wikidata entry Q298423 (Chelsea Manning) with
+//
+//   - an ind node keeping the "occupation → musician" subtree with
+//     probability 0.4, independently of everything else;
+//   - "place of birth → Crescent" and "surname → Manning" both conditioned,
+//     through cie nodes, on the single event eJane (probability 0.9): either
+//     Jane is trustworthy and both facts are present, or both are absent;
+//   - "given name" a mux choice between Bradley (0.4) and Chelsea (0.6).
+func Figure1() *Document {
+	jane := []logic.Literal{{Event: EJane}}
+	root := NewTag("Q298423",
+		NewInd([]float64{0.4},
+			NewTag("occupation", NewTag("musician")),
+		),
+		NewTag("place_of_birth",
+			NewCie([][]logic.Literal{jane}, NewTag("Crescent")),
+		),
+		NewTag("surname",
+			NewCie([][]logic.Literal{jane}, NewTag("Manning")),
+		),
+		NewTag("given_name",
+			NewMux([]float64{0.4, 0.6}, NewTag("Bradley"), NewTag("Chelsea")),
+		),
+	)
+	return NewDocument(root, logic.Prob{EJane: 0.9})
+}

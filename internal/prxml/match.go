@@ -1,0 +1,196 @@
+package prxml
+
+import "strings"
+
+// Pattern is a Boolean tree-pattern query: a tree of label tests connected
+// by child or descendant edges. The pattern matches a document tree when
+// some node of the tree matches the pattern root (descendant-or-self
+// semantics at the top, as in //-rooted XPath).
+type Pattern struct {
+	Label string // element label; "" is a wildcard
+	Edges []PatternEdge
+}
+
+// PatternEdge connects a pattern node to a sub-pattern.
+type PatternEdge struct {
+	Child      *Pattern
+	Descendant bool // true: descendant edge (//); false: child edge (/)
+}
+
+// NewPattern builds a pattern node with child edges to the given
+// sub-patterns.
+func NewPattern(label string, children ...*Pattern) *Pattern {
+	p := &Pattern{Label: label}
+	for _, c := range children {
+		p.Edges = append(p.Edges, PatternEdge{Child: c})
+	}
+	return p
+}
+
+// WithDescendant appends a descendant edge and returns the pattern for
+// chaining.
+func (p *Pattern) WithDescendant(c *Pattern) *Pattern {
+	p.Edges = append(p.Edges, PatternEdge{Child: c, Descendant: true})
+	return p
+}
+
+// WithChild appends a child edge and returns the pattern for chaining.
+func (p *Pattern) WithChild(c *Pattern) *Pattern {
+	p.Edges = append(p.Edges, PatternEdge{Child: c})
+	return p
+}
+
+// String renders the pattern in an XPath-like syntax, e.g.
+// "a[/b][//c]".
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	label := p.Label
+	if label == "" {
+		label = "*"
+	}
+	sb.WriteString(label)
+	for _, e := range p.Edges {
+		sb.WriteByte('[')
+		if e.Descendant {
+			sb.WriteString("//")
+		} else {
+			sb.WriteString("/")
+		}
+		sb.WriteString(e.Child.String())
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// nodes returns the pattern nodes in a fixed order (preorder); index 0 is
+// the root. Match sets are bitmasks over this order.
+func (p *Pattern) nodes() []*Pattern {
+	var out []*Pattern
+	var walk func(q *Pattern)
+	walk = func(q *Pattern) {
+		out = append(out, q)
+		for _, e := range q.Edges {
+			walk(e.Child)
+		}
+	}
+	walk(p)
+	return out
+}
+
+// Matches reports whether the pattern matches the certain tree (at any
+// node). Reference implementation by direct recursion; the probabilistic
+// evaluators are tested against it.
+func (p *Pattern) Matches(x *XNode) bool {
+	return matchBelow(p, x)
+}
+
+// matchAt reports whether pattern q matches exactly at node x.
+func matchAt(q *Pattern, x *XNode) bool {
+	if q.Label != "" && q.Label != x.Label {
+		return false
+	}
+	for _, e := range q.Edges {
+		ok := false
+		for _, c := range x.Children {
+			if e.Descendant {
+				if matchBelow(e.Child, c) {
+					ok = true
+					break
+				}
+			} else if matchAt(e.Child, c) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// matchBelow reports whether q matches at x or at some descendant of x.
+func matchBelow(q *Pattern, x *XNode) bool {
+	if matchAt(q, x) {
+		return true
+	}
+	for _, c := range x.Children {
+		if matchBelow(q, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchSets is the deterministic bottom-up automaton state of a certain
+// tree node: at[i] is set when pattern node i matches exactly at the node,
+// below[i] when it matches at or below it. This lattice of match sets is the
+// deterministic tree automaton that the probabilistic evaluators run.
+type matchSets struct {
+	at    uint32
+	below uint32
+}
+
+// patternIndex precomputes, for each pattern node, its label and the bit
+// masks of its child- and descendant-subgoals.
+type patternIndex struct {
+	nodes []*Pattern
+	// childReq[i] and descReq[i] list the pattern indices that must match
+	// at (resp. below) some child of a tree node for pattern i to match.
+	childReq [][]int
+	descReq  [][]int
+}
+
+func indexPattern(p *Pattern) *patternIndex {
+	nodes := p.nodes()
+	if len(nodes) > 30 {
+		panic("prxml: pattern too large for bitmask match sets")
+	}
+	idxOf := map[*Pattern]int{}
+	for i, q := range nodes {
+		idxOf[q] = i
+	}
+	pi := &patternIndex{nodes: nodes, childReq: make([][]int, len(nodes)), descReq: make([][]int, len(nodes))}
+	for i, q := range nodes {
+		for _, e := range q.Edges {
+			j := idxOf[e.Child]
+			if e.Descendant {
+				pi.descReq[i] = append(pi.descReq[i], j)
+			} else {
+				pi.childReq[i] = append(pi.childReq[i], j)
+			}
+		}
+	}
+	return pi
+}
+
+// evalAt computes the match bits of a tag node with the given label, given
+// the union over its (materialized) children of their "at" bits (unionAt)
+// and "below" bits (unionBelow).
+func (pi *patternIndex) evalAt(label string, unionAt, unionBelow uint32) matchSets {
+	var at uint32
+	for i, q := range pi.nodes {
+		if q.Label != "" && q.Label != label {
+			continue
+		}
+		ok := true
+		for _, j := range pi.childReq[i] {
+			if unionAt&(1<<uint(j)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, j := range pi.descReq[i] {
+				if unionBelow&(1<<uint(j)) == 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			at |= 1 << uint(i)
+		}
+	}
+	return matchSets{at: at, below: at | unionBelow}
+}

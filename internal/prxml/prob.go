@@ -1,0 +1,292 @@
+package prxml
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// MatchProbability computes the exact probability that the tree pattern
+// matches the document, by the bottom-up match-set dynamic program.
+//
+// For local models (ind/mux/det only) every conditioning table has a single
+// entry and the run is linear in the document for a fixed pattern — the
+// tractability result of Cohen–Kimelfeld–Sagiv. For event models (cie), each
+// node carries a table over the valuations of the events *live* at the node
+// (its scope, in the paper's terms: events that occur both inside and
+// outside the node's subtree, and must therefore be remembered). The run is
+// exponential only in the maximal scope size — the paper's sufficient
+// condition for tractability — and returns an error when a table would
+// exceed 2^maxScopeTable entries rather than silently blowing up.
+func (d *Document) MatchProbability(p *Pattern) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	pi := indexPattern(p)
+	scopes := d.Scopes()
+	ev := &evaluator{doc: d, pi: pi, scopes: scopes}
+	table, err := ev.eval(d.Root)
+	if err != nil {
+		return 0, err
+	}
+	// The root has an empty scope: exactly one valuation remains.
+	dist, ok := table[0]
+	if !ok {
+		return 0, fmt.Errorf("prxml: internal error: missing root table entry")
+	}
+	total := 0.0
+	match := 0.0
+	for key, pr := range dist {
+		total += pr
+		below := uint32(key)
+		if below&1 != 0 { // pattern root (index 0) matched at or below
+			match += pr
+		}
+	}
+	if total < 0.999999 || total > 1.000001 {
+		return 0, fmt.Errorf("prxml: probability mass %v drifted from 1", total)
+	}
+	if match < 0 {
+		match = 0
+	}
+	if match > 1 {
+		match = 1
+	}
+	return match, nil
+}
+
+// maxScopeTable bounds the conditioning tables: nodes whose relevant event
+// set exceeds this trigger an error (the instance is outside the tractable
+// bounded-scope class).
+const maxScopeTable = 24
+
+// stateKey packs (unionAt, unionBelow) match masks.
+func stateKey(at, below uint32) uint64 { return uint64(at)<<32 | uint64(below) }
+
+type dist map[uint64]float64
+
+// convolve composes the contributions of two independent sibling groups:
+// probabilities multiply and match masks union.
+func convolve(a, b dist) dist {
+	if len(a) == 1 {
+		if _, ok := a[0]; ok {
+			return b
+		}
+	}
+	out := make(dist, len(a)*len(b))
+	for ka, pa := range a {
+		for kb, pb := range b {
+			out[ka|kb] += pa * pb
+		}
+	}
+	return out
+}
+
+// mix returns p·a + (1-p)·δ₀.
+func mix(a dist, p float64) dist {
+	out := make(dist, len(a)+1)
+	for k, pa := range a {
+		out[k] += p * pa
+	}
+	out[0] += 1 - p
+	return out
+}
+
+type evaluator struct {
+	doc    *Document
+	pi     *patternIndex
+	scopes *ScopeInfo
+}
+
+// condTable maps a valuation of the node's live events (bits in sorted
+// live-list order) to the conditional distribution of the node's match-mask
+// contribution.
+type condTable map[uint32]dist
+
+// eval returns the node's conditional contribution table over its live
+// events.
+func (ev *evaluator) eval(n *Node) (condTable, error) {
+	children := make([]condTable, len(n.Children))
+	for i, c := range n.Children {
+		t, err := ev.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = t
+	}
+	live := ev.scopes.Live[n]
+	// Relevant events: the children's live events plus this node's own cie
+	// condition events.
+	relevantSet := map[logic.Event]struct{}{}
+	for _, c := range n.Children {
+		for _, e := range ev.scopes.Live[c] {
+			relevantSet[e] = struct{}{}
+		}
+	}
+	if n.Kind == Cie {
+		for _, cond := range n.Conds {
+			for _, lit := range cond {
+				relevantSet[lit.Event] = struct{}{}
+			}
+		}
+	}
+	relevant := make([]logic.Event, 0, len(relevantSet))
+	for e := range relevantSet {
+		relevant = append(relevant, e)
+	}
+	logic.SortEvents(relevant)
+	if len(relevant) > maxScopeTable {
+		return nil, fmt.Errorf("prxml: node requires conditioning on %d events (> %d): scopes are not bounded enough for exact evaluation", len(relevant), maxScopeTable)
+	}
+	relPos := map[logic.Event]int{}
+	for i, e := range relevant {
+		relPos[e] = i
+	}
+	// Projections of relevant valuations onto each child's live list.
+	childBits := make([][]int, len(n.Children))
+	for i, c := range n.Children {
+		for _, e := range ev.scopes.Live[c] {
+			childBits[i] = append(childBits[i], relPos[e])
+		}
+	}
+	livePos := make([]int, len(live))
+	for i, e := range live {
+		livePos[i] = relPos[e]
+	}
+	marginal := make([]int, 0) // positions of events summed out here
+	liveSet := map[logic.Event]struct{}{}
+	for _, e := range live {
+		liveSet[e] = struct{}{}
+	}
+	for i, e := range relevant {
+		if _, keep := liveSet[e]; !keep {
+			marginal = append(marginal, i)
+		}
+	}
+
+	out := condTable{}
+	nVal := uint32(1) << uint(len(relevant))
+	for w := uint32(0); w < nVal; w++ {
+		contribution, err := ev.combine(n, children, childBits, relevant, w)
+		if err != nil {
+			return nil, err
+		}
+		// Weight by the marginalized events' probabilities and project the
+		// valuation onto the live list.
+		weight := 1.0
+		for _, pos := range marginal {
+			pe := ev.doc.EventProb.P(relevant[pos])
+			if w&(1<<uint(pos)) != 0 {
+				weight *= pe
+			} else {
+				weight *= 1 - pe
+			}
+		}
+		if weight == 0 {
+			continue
+		}
+		var u uint32
+		for i, pos := range livePos {
+			if w&(1<<uint(pos)) != 0 {
+				u |= 1 << uint(i)
+			}
+		}
+		acc, ok := out[u]
+		if !ok {
+			acc = dist{}
+			out[u] = acc
+		}
+		for k, pr := range contribution {
+			acc[k] += weight * pr
+		}
+	}
+	return out, nil
+}
+
+// combine computes the node's contribution distribution under a fixed
+// valuation w of the relevant events.
+func (ev *evaluator) combine(n *Node, children []condTable, childBits [][]int, relevant []logic.Event, w uint32) (dist, error) {
+	project := func(i int) uint32 {
+		var u uint32
+		for bit, pos := range childBits[i] {
+			if w&(1<<uint(pos)) != 0 {
+				u |= 1 << uint(bit)
+			}
+		}
+		return u
+	}
+	childDist := func(i int) dist { return children[i][project(i)] }
+
+	switch n.Kind {
+	case Mux:
+		out := dist{}
+		rest := 1.0
+		for i := range n.Children {
+			rest -= n.Probs[i]
+			for k, pr := range childDist(i) {
+				out[k] += n.Probs[i] * pr
+			}
+		}
+		if rest > 1e-12 {
+			out[0] += rest
+		}
+		return out, nil
+	case Tag, Det, Ind, Cie:
+		acc := dist{0: 1}
+		for i := range n.Children {
+			dc := childDist(i)
+			switch n.Kind {
+			case Ind:
+				dc = mix(dc, n.Probs[i])
+			case Cie:
+				holds := true
+				for _, lit := range n.Conds[i] {
+					pos := indexOfEvent(relevant, lit.Event)
+					value := w&(1<<uint(pos)) != 0
+					if value == lit.Negated {
+						holds = false
+						break
+					}
+				}
+				if !holds {
+					continue // child dropped under this valuation
+				}
+			}
+			acc = convolve(acc, dc)
+		}
+		if n.Kind != Tag {
+			return acc, nil
+		}
+		// Apply the tag node's own match computation.
+		out := make(dist, len(acc))
+		for k, pr := range acc {
+			uA := uint32(k >> 32)
+			uB := uint32(k)
+			s := ev.pi.evalAt(n.Label, uA, uB)
+			out[stateKey(s.at, s.below)] += pr
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("prxml: unknown node kind %v", n.Kind)
+}
+
+func indexOfEvent(events []logic.Event, e logic.Event) int {
+	for i, x := range events {
+		if x == e {
+			return i
+		}
+	}
+	panic("prxml: event not in relevant list")
+}
+
+// MatchProbabilityEnumeration computes the match probability by enumerating
+// every possible world: the exponential baseline.
+func (d *Document) MatchProbabilityEnumeration(p *Pattern) float64 {
+	total := 0.0
+	d.EnumerateWorlds(func(w *XNode, pr float64) {
+		if p.Matches(w) {
+			total += pr
+		}
+	})
+	return total
+}

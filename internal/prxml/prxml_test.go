@@ -1,0 +1,416 @@
+package prxml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/rel"
+)
+
+func TestCertainTreeMatching(t *testing.T) {
+	// (a (b (c)) (d))
+	tree := NewXNode("a", NewXNode("b", NewXNode("c")), NewXNode("d"))
+	cases := []struct {
+		p    *Pattern
+		want bool
+	}{
+		{NewPattern("a"), true},
+		{NewPattern("a", NewPattern("b"), NewPattern("d")), true},
+		{NewPattern("a", NewPattern("c")), false},               // c is not a child of a
+		{NewPattern("a").WithDescendant(NewPattern("c")), true}, // but a descendant
+		{NewPattern("b", NewPattern("c")), true},                // matches below the root
+		{NewPattern("", NewPattern("c")), true},                 // wildcard
+		{NewPattern("z"), false},
+		{NewPattern("a", NewPattern("b", NewPattern("d"))), false},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Matches(tree); got != tc.want {
+			t.Errorf("%s on %s = %v, want %v", tc.p, tree, got, tc.want)
+		}
+	}
+}
+
+func TestLocalModelSimpleInd(t *testing.T) {
+	// Root with one ind child kept with probability 0.3.
+	doc := NewDocument(NewTag("r", NewInd([]float64{0.3}, NewTag("x"))), nil)
+	p := NewPattern("r", NewPattern("x"))
+	got, err := doc.MatchProbability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("P = %v, want 0.3", got)
+	}
+}
+
+func TestLocalModelMux(t *testing.T) {
+	doc := NewDocument(NewTag("r",
+		NewMux([]float64{0.2, 0.5}, NewTag("x"), NewTag("y")),
+	), nil)
+	for _, tc := range []struct {
+		label string
+		want  float64
+	}{{"x", 0.2}, {"y", 0.5}, {"z", 0}} {
+		got, err := doc.MatchProbability(NewPattern("r", NewPattern(tc.label)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P(%s) = %v, want %v", tc.label, got, tc.want)
+		}
+	}
+	// Both children never coexist.
+	got, err := doc.MatchProbability(NewPattern("r", NewPattern("x"), NewPattern("y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("P(x and y) = %v, want 0 (mutually exclusive)", got)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	doc := Figure1()
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    *Pattern
+		want float64
+	}{
+		// The ind node keeps the occupation subtree with probability 0.4.
+		{NewPattern("occupation", NewPattern("musician")), 0.4},
+		// Given name choices.
+		{NewPattern("given_name", NewPattern("Bradley")), 0.4},
+		{NewPattern("given_name", NewPattern("Chelsea")), 0.6},
+		// Jane's facts are correlated: both present iff eJane (0.9).
+		{NewPattern("place_of_birth", NewPattern("Crescent")), 0.9},
+		{NewPattern("surname", NewPattern("Manning")), 0.9},
+		{
+			NewPattern("Q298423",
+				NewPattern("place_of_birth", NewPattern("Crescent")),
+				NewPattern("surname", NewPattern("Manning"))), 0.9,
+		},
+		// The skeleton is certain.
+		{NewPattern("Q298423", NewPattern("given_name")), 1},
+	}
+	for _, tc := range cases {
+		got, err := doc.MatchProbability(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.p, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P(%s) = %v, want %v", tc.p, got, tc.want)
+		}
+		// Cross-check against full enumeration.
+		if enum := doc.MatchProbabilityEnumeration(tc.p); math.Abs(got-enum) > 1e-12 {
+			t.Errorf("P(%s): DP %v, enumeration %v", tc.p, got, enum)
+		}
+	}
+}
+
+func TestFigure1Scopes(t *testing.T) {
+	doc := Figure1()
+	info := doc.Scopes()
+	// eJane is used by two cie nodes in different subtrees; it is live on
+	// the paths between them but nowhere above their LCA (the root).
+	if info.Max != 1 {
+		t.Errorf("max scope = %d, want 1", info.Max)
+	}
+	if len(info.Live[doc.Root]) != 0 {
+		t.Errorf("root live set = %v, want empty", info.Live[doc.Root])
+	}
+}
+
+// randomLocalDoc builds a random ind/mux/det document.
+func randomLocalDoc(r *rand.Rand, budget int) *Node {
+	labels := []string{"a", "b", "c"}
+	if budget <= 1 {
+		return NewTag(labels[r.Intn(len(labels))])
+	}
+	nChildren := 1 + r.Intn(3)
+	var children []*Node
+	rest := (budget - 1) / nChildren
+	for i := 0; i < nChildren; i++ {
+		children = append(children, randomLocalDoc(r, rest))
+	}
+	switch r.Intn(4) {
+	case 0:
+		probs := make([]float64, len(children))
+		for i := range probs {
+			probs[i] = r.Float64()
+		}
+		return NewTag(labels[r.Intn(len(labels))], NewInd(probs, children...))
+	case 1:
+		probs := make([]float64, len(children))
+		total := 1.0
+		for i := range probs {
+			probs[i] = total * r.Float64() / float64(len(probs))
+			total -= probs[i]
+		}
+		return NewTag(labels[r.Intn(len(labels))], NewMux(probs, children...))
+	case 2:
+		return NewTag(labels[r.Intn(len(labels))], NewDet(children...))
+	default:
+		return NewTag(labels[r.Intn(len(labels))], children...)
+	}
+}
+
+func randomPattern(r *rand.Rand, budget int) *Pattern {
+	labels := []string{"a", "b", "c", ""}
+	p := NewPattern(labels[r.Intn(len(labels))])
+	if budget <= 1 {
+		return p
+	}
+	n := r.Intn(3)
+	for i := 0; i < n; i++ {
+		c := randomPattern(r, budget/2)
+		if r.Intn(2) == 0 {
+			p.WithDescendant(c)
+		} else {
+			p.WithChild(c)
+		}
+	}
+	return p
+}
+
+func TestPropertyLocalDPMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := NewDocument(randomLocalDoc(r, 6), nil)
+		p := randomPattern(r, 4)
+		got, err := doc.MatchProbability(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := doc.MatchProbabilityEnumeration(p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Logf("seed %d: DP %v, enum %v for %s", seed, got, want, p)
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// randomEventDoc builds a random document with cie nodes over a small event
+// pool (so scopes stay small but events are reused across subtrees).
+func randomEventDoc(r *rand.Rand, budget int, events []logic.Event) *Node {
+	labels := []string{"a", "b", "c"}
+	if budget <= 1 {
+		return NewTag(labels[r.Intn(len(labels))])
+	}
+	nChildren := 1 + r.Intn(2)
+	var children []*Node
+	for i := 0; i < nChildren; i++ {
+		children = append(children, randomEventDoc(r, (budget-1)/nChildren, events))
+	}
+	if r.Intn(2) == 0 {
+		conds := make([][]logic.Literal, len(children))
+		for i := range conds {
+			lit := logic.Literal{Event: events[r.Intn(len(events))], Negated: r.Intn(2) == 0}
+			conds[i] = []logic.Literal{lit}
+			if r.Intn(3) == 0 {
+				conds[i] = append(conds[i], logic.Literal{Event: events[r.Intn(len(events))]})
+			}
+		}
+		return NewTag(labels[r.Intn(len(labels))], NewCie(conds, children...))
+	}
+	return NewTag(labels[r.Intn(len(labels))], children...)
+}
+
+func TestPropertyEventDPMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	events := []logic.Event{"e1", "e2", "e3"}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prob := logic.Prob{}
+		for _, e := range events {
+			prob[e] = r.Float64()
+		}
+		doc := NewDocument(randomEventDoc(r, 7, events), prob)
+		p := randomPattern(r, 4)
+		got, err := doc.MatchProbability(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := doc.MatchProbabilityEnumeration(p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Logf("seed %d: DP %v, enum %v for %s on %d-node doc", seed, got, want, p, doc.Size())
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeFigure1MatchesRelationalEngine(t *testing.T) {
+	doc := Figure1()
+	enc := doc.Encode()
+	// Tree pattern given_name/Chelsea as a CQ over the encoding.
+	q := rel.NewCQ(
+		rel.NewAtom("node", rel.V("p"), rel.C("given_name")),
+		rel.NewAtom("child", rel.V("p"), rel.V("c")),
+		rel.NewAtom("node", rel.V("c"), rel.C("Chelsea")),
+	)
+	res, err := core.ProbabilityPC(enc.C, enc.P, q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := doc.MatchProbability(NewPattern("given_name", NewPattern("Chelsea")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Probability-want) > 1e-9 {
+		t.Errorf("relational engine %v, PrXML DP %v", res.Probability, want)
+	}
+	// Correlated facts through the encoding.
+	q2 := rel.NewCQ(
+		rel.NewAtom("node", rel.V("p"), rel.C("place_of_birth")),
+		rel.NewAtom("child", rel.V("p"), rel.V("c")),
+		rel.NewAtom("node", rel.V("c"), rel.C("Crescent")),
+		rel.NewAtom("node", rel.V("q"), rel.C("surname")),
+		rel.NewAtom("child", rel.V("q"), rel.V("d")),
+		rel.NewAtom("node", rel.V("d"), rel.C("Manning")),
+	)
+	res2, err := core.ProbabilityPC(enc.C, enc.P, q2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Probability-0.9) > 1e-9 {
+		t.Errorf("P(both Jane facts) = %v, want 0.9", res2.Probability)
+	}
+}
+
+func TestPropertyEncodeWorldsMatchDocumentWorlds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	events := []logic.Event{"e1", "e2"}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prob := logic.Prob{}
+		for _, e := range events {
+			prob[e] = 0.25 + r.Float64()/2
+		}
+		doc := NewDocument(randomEventDoc(r, 5, events), prob)
+		p := randomPattern(r, 3)
+		// Probability via the document.
+		want, err := doc.MatchProbability(p)
+		if err != nil {
+			return false
+		}
+		// Probability via the encoding: count matches of the pattern as a
+		// CQ. Only works for child-only single-chain patterns, so restrict.
+		if len(p.Edges) != 0 {
+			return true // skip non-trivial structures; covered elsewhere
+		}
+		q := rel.NewCQ(rel.NewAtom("node", rel.V("x"), rel.C(p.Label)))
+		if p.Label == "" {
+			q = rel.NewCQ(rel.NewAtom("node", rel.V("x"), rel.V("l")))
+		}
+		enc := doc.Encode()
+		got := enc.C.QueryProbabilityEnumeration(q, enc.P)
+		if math.Abs(got-want) > 1e-9 {
+			t.Logf("seed %d: encoding %v, document %v", seed, got, want)
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScopesBoundedVsUnbounded(t *testing.T) {
+	// A comb where every tooth uses the same event has that event live
+	// along the whole spine... except it is the only event, so scope 1.
+	// Using k distinct events that all cross the root's children gives
+	// scope k at the crossing node.
+	events := []logic.Event{"x1", "x2", "x3"}
+	prob := logic.Prob{"x1": 0.5, "x2": 0.5, "x3": 0.5}
+	mkLeaf := func(e logic.Event) *Node {
+		return NewTag("l", NewCie([][]logic.Literal{{{Event: e}}}, NewTag("v")))
+	}
+	left := NewTag("L", mkLeaf(events[0]), mkLeaf(events[1]), mkLeaf(events[2]))
+	right := NewTag("R", mkLeaf(events[0]), mkLeaf(events[1]), mkLeaf(events[2]))
+	doc := NewDocument(NewTag("root", left, right), prob)
+	info := doc.Scopes()
+	// All three events occur on both sides, so they are live at L and R.
+	if got := len(info.Live[left]); got != 3 {
+		t.Errorf("live at L = %d, want 3", got)
+	}
+	if info.Max != 3 {
+		t.Errorf("max scope = %d, want 3", info.Max)
+	}
+	// Probability still exact.
+	got, err := doc.MatchProbability(NewPattern("l", NewPattern("v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := doc.MatchProbabilityEnumeration(NewPattern("l", NewPattern("v")))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("DP %v, enum %v", got, want)
+	}
+}
+
+func TestDeepChainLinearScale(t *testing.T) {
+	// A deep chain of ind nodes: enumeration has 2^80 worlds, the DP is
+	// linear. P(leaf reachable) = 0.99^80.
+	leaf := NewTag("leaf")
+	cur := leaf
+	for i := 0; i < 80; i++ {
+		cur = NewTag("mid", NewInd([]float64{0.99}, cur))
+	}
+	doc := NewDocument(NewTag("root", cur), nil)
+	got, err := doc.MatchProbability(NewPattern("leaf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.99, 80)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("P = %v, want %v", got, want)
+	}
+}
+
+func TestValidateRejectsBadDocuments(t *testing.T) {
+	// cie event without probability.
+	doc := NewDocument(NewTag("r",
+		NewCie([][]logic.Literal{{{Event: "ghost"}}}, NewTag("x")),
+	), nil)
+	if err := doc.Validate(); err == nil {
+		t.Error("expected error for unknown event")
+	}
+	// Negative probability smuggled in after construction.
+	bad := NewTag("r", NewInd([]float64{0.5}, NewTag("x")))
+	bad.Children[0].Probs[0] = -0.5
+	if err := NewDocument(bad, nil).Validate(); err == nil {
+		t.Error("expected error for negative probability")
+	}
+}
+
+func TestEnumerateWorldsTotalsOne(t *testing.T) {
+	doc := Figure1()
+	total := 0.0
+	worlds := 0
+	doc.EnumerateWorlds(func(_ *XNode, p float64) {
+		total += p
+		worlds++
+	})
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("world mass = %v", total)
+	}
+	// 2 (eJane) x 2 (ind) x 2 (mux, no-child case impossible: 0.4+0.6=1).
+	if worlds != 8 {
+		t.Errorf("worlds = %d, want 8", worlds)
+	}
+}

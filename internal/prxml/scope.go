@@ -1,0 +1,78 @@
+package prxml
+
+import (
+	"repro/internal/logic"
+)
+
+// ScopeInfo records, for each node, the events that are live at it: events
+// occurring both inside the node's subtree and outside of it. This is the
+// paper's notion of scope — "the set of nodes where the value of this event
+// must be remembered when trying to evaluate a query on the tree". Bounded
+// live sets are the sufficient condition for tractable query evaluation on
+// PrXML documents with events (Section 2.1; [7]).
+type ScopeInfo struct {
+	// Live maps each node to its sorted live event list.
+	Live map[*Node][]logic.Event
+	// Max is the largest live set size over all nodes.
+	Max int
+}
+
+// Scopes computes the live events of every node in one bottom-up pass over
+// occurrence counts followed by a comparison against the global counts.
+func (d *Document) Scopes() *ScopeInfo {
+	total := map[logic.Event]int{}
+	var count func(n *Node)
+	count = func(n *Node) {
+		if n.Kind == Cie {
+			for _, cond := range n.Conds {
+				for _, lit := range cond {
+					total[lit.Event]++
+				}
+			}
+		}
+		for _, c := range n.Children {
+			count(c)
+		}
+	}
+	count(d.Root)
+
+	info := &ScopeInfo{Live: map[*Node][]logic.Event{}}
+	// below returns the occurrence counts within n's subtree and fills in
+	// the live sets.
+	var below func(n *Node) map[logic.Event]int
+	below = func(n *Node) map[logic.Event]int {
+		counts := map[logic.Event]int{}
+		if n.Kind == Cie {
+			for _, cond := range n.Conds {
+				for _, lit := range cond {
+					counts[lit.Event]++
+				}
+			}
+		}
+		for _, c := range n.Children {
+			for e, k := range below(c) {
+				counts[e] += k
+			}
+		}
+		var live []logic.Event
+		for e, k := range counts {
+			if k < total[e] {
+				live = append(live, e)
+			}
+		}
+		logic.SortEvents(live)
+		info.Live[n] = live
+		if len(live) > info.Max {
+			info.Max = len(live)
+		}
+		return counts
+	}
+	below(d.Root)
+	return info
+}
+
+// MaxScope returns the largest live set size: the structural parameter of
+// the bounded-scope tractability condition.
+func (d *Document) MaxScope() int {
+	return d.Scopes().Max
+}

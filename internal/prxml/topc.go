@@ -1,0 +1,104 @@
+package prxml
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+)
+
+// Relational encoding of a document, connecting probabilistic XML to the
+// relational formalisms of Section 2.2: every PrXML document rewrites to a
+// pc-instance (and hence to a bounded-treewidth pcc-instance when the
+// document's scopes are bounded), whose possible worlds are the document's
+// worlds.
+//
+// Facts:
+//
+//	node(id, label)   — tag node id exists and carries label
+//	child(pid, id)    — tag node id is a child of tag node pid in the world
+//
+// Both facts are annotated with the full presence condition of the node:
+// the conjunction of the distribution choices on the path from the root.
+// Local ind/mux choices become fresh independent events (mux via the usual
+// prefix encoding); cie conditions contribute their global event literals.
+type Encoded struct {
+	C *pdb.CInstance
+	P logic.Prob
+	// RootID is the identifier of the document root's node fact.
+	RootID string
+}
+
+// Encode translates the document.
+func (d *Document) Encode() *Encoded {
+	enc := &Encoded{C: pdb.NewCInstance(), P: logic.Prob{}}
+	for e, pr := range d.EventProb {
+		enc.P[e] = pr
+	}
+	nextID := 0
+	freshID := func() string {
+		nextID++
+		return fmt.Sprintf("n%d", nextID-1)
+	}
+	nextEvent := 0
+	freshEvent := func(pr float64) logic.Event {
+		e := logic.Event(fmt.Sprintf("c%d", nextEvent))
+		nextEvent++
+		enc.P[e] = pr
+		return e
+	}
+
+	// walk visits n with the given presence condition and nearest tag
+	// ancestor id ("" for the root).
+	var walk func(n *Node, cond logic.Formula, parentTag string)
+	walk = func(n *Node, cond logic.Formula, parentTag string) {
+		switch n.Kind {
+		case Tag:
+			id := freshID()
+			enc.C.AddFact(cond, "node", id, n.Label)
+			if parentTag == "" {
+				enc.RootID = id
+			} else {
+				enc.C.AddFact(cond, "child", parentTag, id)
+			}
+			for _, c := range n.Children {
+				walk(c, cond, id)
+			}
+		case Det:
+			for _, c := range n.Children {
+				walk(c, cond, parentTag)
+			}
+		case Ind:
+			for i, c := range n.Children {
+				e := freshEvent(n.Probs[i])
+				walk(c, logic.And(cond, logic.Var(e)), parentTag)
+			}
+		case Mux:
+			// Prefix encoding: child i is chosen iff its own coin comes up
+			// after every earlier coin failed; coin i has the conditional
+			// probability p_i / (1 - p_1 - ... - p_{i-1}).
+			remaining := 1.0
+			var prefix []logic.Formula
+			for i, c := range n.Children {
+				var coinProb float64
+				if remaining > 1e-12 {
+					coinProb = n.Probs[i] / remaining
+				}
+				if coinProb > 1 {
+					coinProb = 1
+				}
+				e := freshEvent(coinProb)
+				parts := append(append([]logic.Formula{cond}, prefix...), logic.Var(e))
+				walk(c, logic.And(parts...), parentTag)
+				prefix = append(prefix, logic.Not(logic.Var(e)))
+				remaining -= n.Probs[i]
+			}
+		case Cie:
+			for i, c := range n.Children {
+				walk(c, logic.And(cond, logic.Conjunction(n.Conds[i])), parentTag)
+			}
+		}
+	}
+	walk(d.Root, logic.True, "")
+	return enc
+}

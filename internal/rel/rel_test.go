@@ -1,0 +1,177 @@
+package rel
+
+import (
+	"testing"
+)
+
+func TestInstanceBasics(t *testing.T) {
+	in := NewInstance()
+	i1 := in.AddFact("R", "a")
+	i2 := in.AddFact("S", "a", "b")
+	if dup := in.AddFact("R", "a"); dup != i1 {
+		t.Error("Add must deduplicate")
+	}
+	if in.NumFacts() != 2 {
+		t.Errorf("NumFacts = %d", in.NumFacts())
+	}
+	if !in.Has(NewFact("S", "a", "b")) || in.Has(NewFact("S", "b", "a")) {
+		t.Error("Has misbehaves")
+	}
+	if in.IndexOf(NewFact("S", "a", "b")) != i2 {
+		t.Error("IndexOf misbehaves")
+	}
+	dom := in.Domain()
+	if len(dom) != 2 || dom[0] != "a" || dom[1] != "b" {
+		t.Errorf("Domain = %v", dom)
+	}
+	rels := in.Relations()
+	if len(rels) != 2 || rels[0] != "R" || rels[1] != "S" {
+		t.Errorf("Relations = %v", rels)
+	}
+}
+
+func TestGaifmanGraphAndTreewidth(t *testing.T) {
+	// Chain: S(a0,a1), S(a1,a2), ... -> path graph, treewidth 1.
+	in := NewInstance()
+	names := []string{"a0", "a1", "a2", "a3", "a4"}
+	for i := 0; i+1 < len(names); i++ {
+		in.AddFact("S", names[i], names[i+1])
+	}
+	if w := in.Treewidth(); w != 1 {
+		t.Errorf("chain treewidth = %d, want 1", w)
+	}
+	// Triangle via a ternary fact: clique of size 3, treewidth 2.
+	in2 := NewInstance()
+	in2.AddFact("T3", "x", "y", "z")
+	if w := in2.Treewidth(); w != 2 {
+		t.Errorf("ternary-fact treewidth = %d, want 2", w)
+	}
+	di := in.IndexDomain()
+	g := in.GaifmanGraph(di)
+	if g.NumEdges() != 4 {
+		t.Errorf("chain Gaifman edges = %d, want 4", g.NumEdges())
+	}
+	scopes := in.FactScopes(di)
+	if len(scopes) != in.NumFacts() {
+		t.Fatalf("FactScopes length mismatch")
+	}
+	for i, s := range scopes {
+		if len(s) != 2 {
+			t.Errorf("scope %d = %v, want 2 vertices", i, s)
+		}
+	}
+}
+
+func TestFactScopeDeduplicatesRepeatedArgs(t *testing.T) {
+	in := NewInstance()
+	in.AddFact("E", "a", "a")
+	scopes := in.FactScopes(in.IndexDomain())
+	if len(scopes[0]) != 1 {
+		t.Errorf("scope = %v, want single vertex", scopes[0])
+	}
+}
+
+func TestCQHolds(t *testing.T) {
+	in := NewInstance()
+	in.AddFact("R", "a")
+	in.AddFact("S", "a", "b")
+	in.AddFact("T", "b")
+	q := HardQuery()
+	if !q.Holds(in) {
+		t.Error("hard query should hold")
+	}
+	// Remove the witness: T(b) replaced by T(c).
+	in2 := NewInstance()
+	in2.AddFact("R", "a")
+	in2.AddFact("S", "a", "b")
+	in2.AddFact("T", "c")
+	if q.Holds(in2) {
+		t.Error("hard query should not hold without T(b)")
+	}
+}
+
+func TestCQConstantsAndRepeatedVars(t *testing.T) {
+	in := NewInstance()
+	in.AddFact("E", "a", "b")
+	in.AddFact("E", "b", "b")
+	// Self-loop query ∃x E(x,x).
+	loop := NewCQ(NewAtom("E", V("x"), V("x")))
+	if !loop.Holds(in) {
+		t.Error("self-loop query should hold via E(b,b)")
+	}
+	// Constant query E(a, ?y).
+	constQ := NewCQ(NewAtom("E", C("a"), V("y")))
+	if !constQ.Holds(in) {
+		t.Error("constant query should hold")
+	}
+	missing := NewCQ(NewAtom("E", C("c"), V("y")))
+	if missing.Holds(in) {
+		t.Error("query with absent constant should fail")
+	}
+}
+
+func TestCQMatches(t *testing.T) {
+	in := NewInstance()
+	in.AddFact("R", "a")
+	in.AddFact("R", "b")
+	in.AddFact("S", "a", "c")
+	in.AddFact("S", "b", "c")
+	q := NewCQ(NewAtom("R", V("x")), NewAtom("S", V("x"), V("y")))
+	ms := q.Matches(in)
+	if len(ms) != 2 {
+		t.Fatalf("Matches = %v, want 2", ms)
+	}
+	for _, m := range ms {
+		if m["y"] != "c" {
+			t.Errorf("binding %v should map y to c", m)
+		}
+	}
+}
+
+func TestMatchingFactSets(t *testing.T) {
+	in := NewInstance()
+	r := in.AddFact("R", "a")
+	s := in.AddFact("S", "a", "b")
+	tt := in.AddFact("T", "b")
+	in.AddFact("T", "zzz") // not part of any match
+	sets := HardQuery().MatchingFactSets(in)
+	if len(sets) != 1 {
+		t.Fatalf("MatchingFactSets = %v, want exactly 1 set", sets)
+	}
+	want := []int{r, s, tt}
+	if len(sets[0]) != 3 {
+		t.Fatalf("set = %v, want %v", sets[0], want)
+	}
+	for i := range want {
+		if sets[0][i] != want[i] {
+			t.Fatalf("set = %v, want %v", sets[0], want)
+		}
+	}
+}
+
+func TestCQVarsAndString(t *testing.T) {
+	q := HardQuery()
+	vars := q.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if got := q.String(); got != "R(?x) & S(?x,?y) & T(?y)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEmptyQueryHolds(t *testing.T) {
+	if !NewCQ().Holds(NewInstance()) {
+		t.Error("empty conjunction must hold on any instance")
+	}
+}
+
+func TestInstanceCloneIndependent(t *testing.T) {
+	in := NewInstance()
+	in.AddFact("R", "a")
+	cp := in.Clone()
+	cp.AddFact("R", "b")
+	if in.NumFacts() != 1 || cp.NumFacts() != 2 {
+		t.Error("Clone must be independent")
+	}
+}

@@ -1,0 +1,358 @@
+// Package rules implements reasoning under rules (Section 2.3): a Datalog
+// engine over certain instances, and a probabilistic chase over uncertain
+// (pc-)instances for soft rules.
+//
+// A soft rule applies *per grounding*: each way of matching its body fires
+// an independent coin with the rule's probability, matching the paper's
+// desired semantics ("the rule applies, on average, in 80% of cases") and
+// departing from models where a rule is globally true or false. Derived
+// facts carry annotations built from the annotations of their premises and
+// the firing coins, so query probability on the chased instance follows the
+// possible-worlds semantics of internal/pdb and the tractable evaluation of
+// internal/core.
+//
+// Rules may be existential (head variables absent from the body denote
+// fresh nulls, Datalog±-style); the chase is truncated at a configurable
+// depth, the paper's suggested handling of non-terminating chases.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+// Rule is a (possibly probabilistic, possibly existential) rule
+// Head :- Body with application probability Prob (1 = hard rule).
+type Rule struct {
+	Head rel.Atom
+	Body []rel.Atom
+	Prob float64
+}
+
+// NewRule builds a hard rule.
+func NewRule(head rel.Atom, body ...rel.Atom) Rule {
+	return Rule{Head: head, Body: body, Prob: 1}
+}
+
+// NewSoftRule builds a probabilistic rule: each grounding of the body fires
+// independently with probability p.
+func NewSoftRule(p float64, head rel.Atom, body ...rel.Atom) Rule {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("rules: probability %v outside [0,1]", p))
+	}
+	return Rule{Head: head, Body: body, Prob: p}
+}
+
+// ExistentialVars returns the head variables that do not occur in the body:
+// the null-inventing positions.
+func (r Rule) ExistentialVars() []string {
+	bodyVars := map[string]bool{}
+	for _, a := range r.Body {
+		for _, t := range a.Terms {
+			if t.IsVar {
+				bodyVars[t.Name] = true
+			}
+		}
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range r.Head.Terms {
+		if t.IsVar && !bodyVars[t.Name] && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// Guarded reports whether some body atom contains every body variable (the
+// guardedness condition under which the paper hopes to preserve
+// treewidth-based tractability).
+func (r Rule) Guarded() bool {
+	vars := map[string]bool{}
+	for _, a := range r.Body {
+		for _, t := range a.Terms {
+			if t.IsVar {
+				vars[t.Name] = true
+			}
+		}
+	}
+	for _, a := range r.Body {
+		covered := map[string]bool{}
+		for _, t := range a.Terms {
+			if t.IsVar {
+				covered[t.Name] = true
+			}
+		}
+		if len(covered) == len(vars) {
+			all := true
+			for v := range vars {
+				if !covered[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+	}
+	return len(vars) == 0
+}
+
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	s := r.Head.String() + " :- " + strings.Join(parts, ", ")
+	if r.Prob < 1 {
+		s += fmt.Sprintf(" [p=%v]", r.Prob)
+	}
+	return s
+}
+
+// Program is a set of rules.
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram builds a program.
+func NewProgram(rules ...Rule) *Program {
+	return &Program{Rules: rules}
+}
+
+// Fixpoint computes the least fixpoint of the hard (non-existential,
+// Prob = 1) rules on a certain instance: plain Datalog evaluation by
+// iterated rule application with deduplication. Existential or soft rules
+// cause an error; use Chase for those.
+func (p *Program) Fixpoint(in *rel.Instance) (*rel.Instance, error) {
+	for _, r := range p.Rules {
+		if r.Prob < 1 {
+			return nil, fmt.Errorf("rules: Fixpoint cannot handle soft rule %s", r)
+		}
+		if len(r.ExistentialVars()) > 0 {
+			return nil, fmt.Errorf("rules: Fixpoint cannot handle existential rule %s", r)
+		}
+	}
+	out := in.Clone()
+	for {
+		added := false
+		for _, r := range p.Rules {
+			q := rel.NewCQ(r.Body...)
+			for _, binding := range q.Matches(out) {
+				f, err := groundHead(r.Head, binding, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !out.Has(f) {
+					out.Add(f)
+					added = true
+				}
+			}
+		}
+		if !added {
+			return out, nil
+		}
+	}
+}
+
+func groundHead(head rel.Atom, binding map[string]string, nulls map[string]string) (rel.Fact, error) {
+	args := make([]string, len(head.Terms))
+	for i, t := range head.Terms {
+		if !t.IsVar {
+			args[i] = t.Name
+			continue
+		}
+		if v, ok := binding[t.Name]; ok {
+			args[i] = v
+			continue
+		}
+		if v, ok := nulls[t.Name]; ok {
+			args[i] = v
+			continue
+		}
+		return rel.Fact{}, fmt.Errorf("rules: unbound head variable %s", t.Name)
+	}
+	return rel.NewFact(head.Rel, args...), nil
+}
+
+// ChaseOptions configures the probabilistic chase.
+type ChaseOptions struct {
+	// MaxRounds bounds the number of propagation rounds. Each round applies
+	// every rule to every grounding over the facts known so far, and also
+	// re-propagates annotations so that cyclic derivations converge to the
+	// least fixpoint (a world's derived facts stabilize after at most
+	// #facts rounds). 0 means: iterate until nothing changes syntactically
+	// up to a safety cap.
+	MaxRounds int
+}
+
+// ChaseResult is the outcome of a probabilistic chase.
+type ChaseResult struct {
+	// C is the chased pc-instance: base facts plus derived facts, each
+	// annotated with the conditions under which it holds.
+	C *pdb.CInstance
+	// P extends the base probabilities with the firing coins.
+	P logic.Prob
+	// Rounds is the number of propagation rounds executed.
+	Rounds int
+	// Derived lists the indices (in C) of non-base facts.
+	Derived []int
+	// Nulls counts the fresh labelled nulls invented.
+	Nulls int
+}
+
+// Chase runs the probabilistic chase of the program over a pc-instance.
+//
+// Every grounding of a soft rule receives a fresh independent coin with the
+// rule's probability; the derived fact's annotation is the disjunction over
+// its derivations of (conjunction of premise annotations ∧ coin). Rounds
+// re-propagate annotations until the least fixpoint (or MaxRounds).
+// Existential heads invent one labelled null per grounding (skolem
+// semantics), so the chase explores new elements but remains finite under
+// the round bound.
+func (p *Program) Chase(base *pdb.CInstance, baseProb logic.Prob, opts ChaseOptions) (*ChaseResult, error) {
+	res := &ChaseResult{C: pdb.NewCInstance(), P: logic.Prob{}}
+	for e, pr := range baseProb {
+		res.P[e] = pr
+	}
+	nBase := base.NumFacts()
+	for i := 0; i < nBase; i++ {
+		res.C.Add(base.Inst.Fact(i), base.Ann[i])
+	}
+	// Coins and nulls are keyed by (rule, grounding) so that the same
+	// grounding reuses the same coin and null across rounds.
+	coins := map[string]logic.Event{}
+	nulls := map[string]string{}
+	coinFor := func(key string, prob float64) logic.Event {
+		if e, ok := coins[key]; ok {
+			return e
+		}
+		e := logic.Event(fmt.Sprintf("r%d", len(coins)))
+		coins[key] = e
+		res.P[e] = prob
+		return e
+	}
+	nullFor := func(key string) string {
+		if v, ok := nulls[key]; ok {
+			return v
+		}
+		v := fmt.Sprintf("_null%d", len(nulls))
+		nulls[key] = v
+		return v
+	}
+
+	maxRounds := opts.MaxRounds
+	capRounds := maxRounds
+	if capRounds == 0 {
+		capRounds = 2*nBase + 2*len(p.Rules)*8 + 8 // safety cap for auto mode
+	}
+	for round := 0; round < capRounds; round++ {
+		changed := false
+		// Snapshot annotations so a round is a simultaneous application of
+		// the immediate-consequence operator.
+		snapshot := make([]logic.Formula, res.C.NumFacts())
+		copy(snapshot, res.C.Ann)
+		snapInst := res.C.Inst.Clone()
+		annOf := func(f rel.Fact) logic.Formula {
+			if i := snapInst.IndexOf(f); i >= 0 {
+				return snapshot[i]
+			}
+			return logic.False
+		}
+		for ri, r := range p.Rules {
+			q := rel.NewCQ(r.Body...)
+			for _, binding := range q.Matches(snapInst) {
+				gkey := groundingKey(ri, r, binding)
+				// Premise annotation.
+				conj := []logic.Formula{}
+				okAll := true
+				for _, atom := range r.Body {
+					args := make([]string, len(atom.Terms))
+					for i, t := range atom.Terms {
+						if t.IsVar {
+							args[i] = binding[t.Name]
+						} else {
+							args[i] = t.Name
+						}
+					}
+					ann := annOf(rel.NewFact(atom.Rel, args...))
+					if value, isConst := logic.IsConst(ann); isConst && !value {
+						okAll = false
+						break
+					}
+					conj = append(conj, ann)
+				}
+				if !okAll {
+					continue
+				}
+				if r.Prob < 1 {
+					conj = append(conj, logic.Var(coinFor(gkey, r.Prob)))
+				}
+				derivation := logic.And(conj...)
+				// Ground the head, inventing nulls for existential vars.
+				nullBinding := map[string]string{}
+				for _, v := range r.ExistentialVars() {
+					nullBinding[v] = nullFor(gkey + "/" + v)
+				}
+				f, err := groundHead(r.Head, binding, nullBinding)
+				if err != nil {
+					return nil, err
+				}
+				prev := res.C.Inst.IndexOf(f)
+				if prev < 0 {
+					idx := res.C.Add(f, derivation)
+					res.Derived = append(res.Derived, idx)
+					changed = true
+					continue
+				}
+				// Merge the derivation, skipping it if it adds nothing. The
+				// semantic check is exponential in the annotation's events,
+				// so fall back to a syntactic check on large annotations
+				// (sound: it may only run extra rounds, never miss one).
+				merged := logic.Or(res.C.Ann[prev], derivation)
+				if len(logic.Vars(merged)) <= 16 {
+					if !logic.Equivalent(merged, res.C.Ann[prev]) {
+						res.C.Ann[prev] = merged
+						changed = true
+					}
+				} else if logic.String(merged) != logic.String(res.C.Ann[prev]) {
+					res.C.Ann[prev] = merged
+					changed = true
+				}
+			}
+		}
+		res.Rounds = round + 1
+		if !changed {
+			break
+		}
+		if maxRounds > 0 && res.Rounds >= maxRounds {
+			break
+		}
+	}
+	res.Nulls = len(nulls)
+	return res, nil
+}
+
+func groundingKey(ri int, r Rule, binding map[string]string) string {
+	vars := make([]string, 0, len(binding))
+	for v := range binding {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", ri)
+	for _, v := range vars {
+		sb.WriteByte('|')
+		sb.WriteString(v)
+		sb.WriteByte('=')
+		sb.WriteString(binding[v])
+	}
+	return sb.String()
+}

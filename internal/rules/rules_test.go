@@ -1,0 +1,244 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+func TestFixpointTransitiveClosure(t *testing.T) {
+	in := rel.NewInstance()
+	in.AddFact("E", "a", "b")
+	in.AddFact("E", "b", "c")
+	in.AddFact("E", "c", "d")
+	prog := NewProgram(
+		NewRule(rel.NewAtom("T", rel.V("x"), rel.V("y")), rel.NewAtom("E", rel.V("x"), rel.V("y"))),
+		NewRule(rel.NewAtom("T", rel.V("x"), rel.V("z")),
+			rel.NewAtom("T", rel.V("x"), rel.V("y")), rel.NewAtom("E", rel.V("y"), rel.V("z"))),
+	)
+	out, err := prog.Fixpoint(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "d"}} {
+		if !out.Has(rel.NewFact("T", want[0], want[1])) {
+			t.Errorf("missing T(%s,%s)", want[0], want[1])
+		}
+	}
+	if out.Has(rel.NewFact("T", "b", "a")) {
+		t.Error("unexpected backward edge")
+	}
+	if got := len(out.FactsOf("T")); got != 6 {
+		t.Errorf("|T| = %d, want 6", got)
+	}
+}
+
+func TestFixpointRejectsSoftAndExistential(t *testing.T) {
+	soft := NewProgram(NewSoftRule(0.5, rel.NewAtom("B", rel.V("x")), rel.NewAtom("A", rel.V("x"))))
+	if _, err := soft.Fixpoint(rel.NewInstance()); err == nil {
+		t.Error("expected error for soft rule")
+	}
+	exist := NewProgram(NewRule(rel.NewAtom("B", rel.V("x"), rel.V("y")), rel.NewAtom("A", rel.V("x"))))
+	if _, err := exist.Fixpoint(rel.NewInstance()); err == nil {
+		t.Error("expected error for existential rule")
+	}
+}
+
+func TestExistentialVarsAndGuardedness(t *testing.T) {
+	r := NewRule(rel.NewAtom("Coauth", rel.V("s"), rel.V("a"), rel.V("p")),
+		rel.NewAtom("Advises", rel.V("a"), rel.V("s")))
+	ev := r.ExistentialVars()
+	if len(ev) != 1 || ev[0] != "p" {
+		t.Errorf("ExistentialVars = %v", ev)
+	}
+	if !r.Guarded() {
+		t.Error("single-body-atom rule must be guarded")
+	}
+	unguarded := NewRule(rel.NewAtom("Q", rel.V("x"), rel.V("z")),
+		rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("R", rel.V("y"), rel.V("z")))
+	if unguarded.Guarded() {
+		t.Error("two-atom rule with no covering atom must not be guarded")
+	}
+}
+
+func TestChaseSoftRuleSimple(t *testing.T) {
+	// A(a) certain; soft rule B(x) :- A(x) with p = 0.7.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.True, "A", "a")
+	prog := NewProgram(NewSoftRule(0.7, rel.NewAtom("B", rel.V("x")), rel.NewAtom("A", rel.V("x"))))
+	res, err := prog.Chase(base, logic.Prob{}, ChaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.C.Inst.IndexOf(rel.NewFact("B", "a"))
+	if i < 0 {
+		t.Fatal("B(a) not derived")
+	}
+	got := logic.Probability(res.C.Ann[i], res.P)
+	if math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("P(B(a)) = %v, want 0.7", got)
+	}
+}
+
+func TestChaseTwoIndependentDerivations(t *testing.T) {
+	// B(a) derivable from two independent soft groundings: P = 1-(1-p)^2.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.True, "A", "a", "1")
+	base.AddFact(logic.True, "A", "a", "2")
+	prog := NewProgram(NewSoftRule(0.5, rel.NewAtom("B", rel.V("x")), rel.NewAtom("A", rel.V("x"), rel.V("y"))))
+	res, err := prog.Chase(base, logic.Prob{}, ChaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.C.Inst.IndexOf(rel.NewFact("B", "a"))
+	if i < 0 {
+		t.Fatal("B(a) not derived")
+	}
+	got := logic.Probability(res.C.Ann[i], res.P)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P(B(a)) = %v, want 0.75", got)
+	}
+}
+
+func TestChaseUncertainPremise(t *testing.T) {
+	// A(a) with probability 0.6; hard rule B(x) :- A(x): P(B(a)) = 0.6.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.Var("e"), "A", "a")
+	prog := NewProgram(NewRule(rel.NewAtom("B", rel.V("x")), rel.NewAtom("A", rel.V("x"))))
+	res, err := prog.Chase(base, logic.Prob{"e": 0.6}, ChaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.C.Inst.IndexOf(rel.NewFact("B", "a"))
+	got := logic.Probability(res.C.Ann[i], res.P)
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("P(B(a)) = %v, want 0.6", got)
+	}
+}
+
+func TestChaseChainedSoftRules(t *testing.T) {
+	// A -> B (0.8), B -> C (0.5): P(C) = 0.4.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.True, "A", "a")
+	prog := NewProgram(
+		NewSoftRule(0.8, rel.NewAtom("B", rel.V("x")), rel.NewAtom("A", rel.V("x"))),
+		NewSoftRule(0.5, rel.NewAtom("C", rel.V("x")), rel.NewAtom("B", rel.V("x"))),
+	)
+	res, err := prog.Chase(base, logic.Prob{}, ChaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.C.Inst.IndexOf(rel.NewFact("C", "a"))
+	if i < 0 {
+		t.Fatal("C(a) not derived")
+	}
+	got := logic.Probability(res.C.Ann[i], res.P)
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("P(C(a)) = %v, want 0.4", got)
+	}
+}
+
+func TestChaseCyclicRulesConverge(t *testing.T) {
+	// Symmetric reachability with uncertain base edges: R(x,y) :- E(x,y);
+	// R(x,y) :- R(y,x). Cyclic but convergent.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.Var("e1"), "E", "a", "b")
+	prog := NewProgram(
+		NewRule(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("E", rel.V("x"), rel.V("y"))),
+		NewRule(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("R", rel.V("y"), rel.V("x"))),
+	)
+	res, err := prog.Chase(base, logic.Prob{"e1": 0.3}, ChaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []rel.Fact{rel.NewFact("R", "a", "b"), rel.NewFact("R", "b", "a")} {
+		i := res.C.Inst.IndexOf(f)
+		if i < 0 {
+			t.Fatalf("%s not derived", f)
+		}
+		got := logic.Probability(res.C.Ann[i], res.P)
+		if math.Abs(got-0.3) > 1e-12 {
+			t.Errorf("P(%s) = %v, want 0.3", f, got)
+		}
+	}
+}
+
+func TestChaseExistentialInventsNulls(t *testing.T) {
+	// Every student has some (probably unknown) coauthored paper with
+	// their advisor: Coauth(s, a, p) :- Advises(a, s), p existential.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.True, "Advises", "alice", "bob")
+	base.AddFact(logic.True, "Advises", "carol", "dan")
+	prog := NewProgram(NewSoftRule(0.9,
+		rel.NewAtom("Coauth", rel.V("s"), rel.V("a"), rel.V("p")),
+		rel.NewAtom("Advises", rel.V("a"), rel.V("s"))))
+	res, err := prog.Chase(base, logic.Prob{}, ChaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nulls != 2 {
+		t.Errorf("nulls = %d, want 2 (one per grounding)", res.Nulls)
+	}
+	found := 0
+	for _, i := range res.Derived {
+		f := res.C.Inst.Fact(i)
+		if f.Rel == "Coauth" && strings.HasPrefix(f.Args[2], "_null") {
+			found++
+			got := logic.Probability(res.C.Ann[i], res.P)
+			if math.Abs(got-0.9) > 1e-12 {
+				t.Errorf("P(%s) = %v, want 0.9", f, got)
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d Coauth facts with nulls, want 2", found)
+	}
+}
+
+func TestChaseTransitiveClosureProbability(t *testing.T) {
+	// Uncertain edges a->b->c, transitive closure as hard rules; check
+	// P(T(a,c)) = P(e1)·P(e2) via both the annotation and ground truth.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.Var("e1"), "E", "a", "b")
+	base.AddFact(logic.Var("e2"), "E", "b", "c")
+	prob := logic.Prob{"e1": 0.8, "e2": 0.5}
+	prog := NewProgram(
+		NewRule(rel.NewAtom("T", rel.V("x"), rel.V("y")), rel.NewAtom("E", rel.V("x"), rel.V("y"))),
+		NewRule(rel.NewAtom("T", rel.V("x"), rel.V("z")),
+			rel.NewAtom("T", rel.V("x"), rel.V("y")), rel.NewAtom("T", rel.V("y"), rel.V("z"))),
+	)
+	res, err := prog.Chase(base, prob, ChaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.C.Inst.IndexOf(rel.NewFact("T", "a", "c"))
+	if i < 0 {
+		t.Fatal("T(a,c) not derived")
+	}
+	got := logic.Probability(res.C.Ann[i], res.P)
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("P(T(a,c)) = %v, want 0.4", got)
+	}
+}
+
+func TestChaseMaxRoundsTruncates(t *testing.T) {
+	// Growing chain via existential rule: N(x) gives N(y) for a fresh y.
+	// Unbounded chase; the round bound truncates it.
+	base := pdb.NewCInstance()
+	base.AddFact(logic.True, "N", "a")
+	prog := NewProgram(NewSoftRule(0.5, rel.NewAtom("N", rel.V("y")), rel.NewAtom("N", rel.V("x"))))
+	res, err := prog.Chase(base, logic.Prob{}, ChaseOptions{MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Rounds)
+	}
+	if res.Nulls == 0 || res.Nulls > 10 {
+		t.Errorf("nulls = %d, want a small positive number", res.Nulls)
+	}
+}

@@ -1,0 +1,76 @@
+// Package sampling implements Monte Carlo estimation of query probability —
+// the approximate method that the paper's exact structural algorithms are
+// positioned against ("makes it necessary in practice to approximate query
+// results via sampling"). Used as the accuracy baseline of experiment E10
+// and as the fallback the paper envisions for high-treewidth cores.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+// Estimate is a Monte Carlo estimate with a confidence interval.
+type Estimate struct {
+	P       float64 // point estimate (hit fraction)
+	Samples int
+	// Radius is the half-width of the two-sided Hoeffding confidence
+	// interval at the requested confidence level.
+	Radius float64
+}
+
+// Interval returns the clamped confidence interval [lo, hi].
+func (e Estimate) Interval() (lo, hi float64) {
+	lo = math.Max(0, e.P-e.Radius)
+	hi = math.Min(1, e.P+e.Radius)
+	return lo, hi
+}
+
+func (e Estimate) String() string {
+	lo, hi := e.Interval()
+	return fmt.Sprintf("%.4f ± %.4f [%.4f, %.4f] (n=%d)", e.P, e.Radius, lo, hi, e.Samples)
+}
+
+// hoeffdingRadius returns r such that P(|est - p| >= r) <= 1 - confidence.
+func hoeffdingRadius(n int, confidence float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	delta := 1 - confidence
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+}
+
+// QueryTID estimates P(q) on a TID instance from n sampled worlds.
+func QueryTID(t *pdb.TID, q rel.CQ, n int, confidence float64, r *rand.Rand) Estimate {
+	hits := 0
+	for i := 0; i < n; i++ {
+		if q.Holds(t.Sample(r)) {
+			hits++
+		}
+	}
+	return Estimate{P: float64(hits) / float64(n), Samples: n, Radius: hoeffdingRadius(n, confidence)}
+}
+
+// QueryPC estimates P(q) on a pc-instance from n sampled worlds.
+func QueryPC(c *pdb.CInstance, p logic.Prob, q rel.CQ, n int, confidence float64, r *rand.Rand) Estimate {
+	hits := 0
+	for i := 0; i < n; i++ {
+		if q.Holds(c.Sample(r, p)) {
+			hits++
+		}
+	}
+	return Estimate{P: float64(hits) / float64(n), Samples: n, Radius: hoeffdingRadius(n, confidence)}
+}
+
+// SamplesForRadius returns the number of samples Hoeffding requires for the
+// given interval half-width and confidence — the cost sampling pays where
+// the exact algorithms answer in one pass.
+func SamplesForRadius(radius, confidence float64) int {
+	delta := 1 - confidence
+	return int(math.Ceil(math.Log(2/delta) / (2 * radius * radius)))
+}

@@ -1,0 +1,77 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+func TestQueryTIDConverges(t *testing.T) {
+	tid := pdb.NewTID()
+	tid.AddFact(0.5, "R", "a")
+	tid.AddFact(0.7, "S", "a", "b")
+	tid.AddFact(0.4, "T", "b")
+	q := rel.HardQuery()
+	exact := tid.QueryProbabilityEnumeration(q)
+	r := rand.New(rand.NewSource(99))
+	est := QueryTID(tid, q, 20000, 0.99, r)
+	if math.Abs(est.P-exact) > est.Radius {
+		t.Errorf("estimate %s misses exact %v", est, exact)
+	}
+	lo, hi := est.Interval()
+	if lo > exact || hi < exact {
+		t.Errorf("interval [%v, %v] misses exact %v", lo, hi, exact)
+	}
+}
+
+func TestQueryPCConverges(t *testing.T) {
+	c := pdb.NewCInstance()
+	c.AddFact(logic.Var("e"), "R", "a")
+	c.AddFact(logic.Not(logic.Var("e")), "R", "b")
+	p := logic.Prob{"e": 0.3}
+	q := rel.NewCQ(rel.NewAtom("R", rel.C("a")))
+	r := rand.New(rand.NewSource(7))
+	est := QueryPC(c, p, q, 20000, 0.99, r)
+	if math.Abs(est.P-0.3) > est.Radius {
+		t.Errorf("estimate %s misses 0.3", est)
+	}
+}
+
+func TestRadiusShrinksWithSamples(t *testing.T) {
+	small := hoeffdingRadius(100, 0.95)
+	large := hoeffdingRadius(10000, 0.95)
+	if large >= small {
+		t.Errorf("radius did not shrink: %v vs %v", small, large)
+	}
+	// The 1/sqrt(n) law: 100x samples -> 10x tighter.
+	if math.Abs(small/large-10) > 1e-9 {
+		t.Errorf("radius ratio = %v, want 10", small/large)
+	}
+}
+
+func TestSamplesForRadiusInverse(t *testing.T) {
+	n := SamplesForRadius(0.01, 0.95)
+	r := hoeffdingRadius(n, 0.95)
+	if r > 0.01 {
+		t.Errorf("n = %d gives radius %v > 0.01", n, r)
+	}
+	// One fewer sample should not suffice (up to ceiling slack).
+	if prev := hoeffdingRadius(n-10, 0.95); prev <= 0.0099 {
+		t.Errorf("SamplesForRadius overshoots badly: %v", prev)
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	tid := pdb.NewTID()
+	tid.AddFact(0.5, "R", "a")
+	q := rel.NewCQ(rel.NewAtom("R", rel.V("x")))
+	a := QueryTID(tid, q, 1000, 0.95, rand.New(rand.NewSource(1)))
+	b := QueryTID(tid, q, 1000, 0.95, rand.New(rand.NewSource(1)))
+	if a.P != b.P {
+		t.Error("same seed must give the same estimate")
+	}
+}

@@ -1,0 +1,197 @@
+// Package treedec implements undirected graphs and tree decompositions.
+//
+// Tree decompositions are the structural restriction at the heart of the
+// paper: Theorem 1 and Theorem 2 apply to instances (and annotation circuits)
+// whose Gaifman graph has bounded treewidth. The package provides elimination
+// based heuristics (min-degree, min-fill) that are exact on chordal graphs
+// and near-optimal on the partial k-trees used in the experiments, plus nice
+// decompositions, which the dynamic programming of internal/core consumes.
+package treedec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a finite undirected graph over vertices 0..n-1. The zero value is
+// an empty graph; use NewGraph or AddVertex to grow it.
+type Graph struct {
+	adj []map[int]struct{}
+}
+
+// NewGraph returns a graph with n isolated vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddVertex adds a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, make(map[int]struct{}))
+	return len(g.adj) - 1
+}
+
+// AddEdge adds the undirected edge {u, v}. Self-loops are ignored, parallel
+// edges are collapsed. Panics if a vertex is out of range.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		panic(fmt.Sprintf("treedec: edge {%d,%d} out of range (n=%d)", u, v, len(g.adj)))
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+// AddClique adds all edges between the given vertices. Used to make the
+// scopes of facts (and of circuit gates) into cliques, so that every fact is
+// covered by a single bag of any valid decomposition.
+func (g *Graph) AddClique(vs []int) {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			g.AddEdge(vs[i], vs[j])
+		}
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbours of v.
+func (g *Graph) Neighbors(v int) []int {
+	ns := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		ns = append(ns, u)
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// Edges returns all edges {u, v} with u < v, sorted.
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u < v {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	m := 0
+	for u := range g.adj {
+		m += len(g.adj[u])
+	}
+	return m / 2
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := NewGraph(g.N())
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			h.adj[u][v] = struct{}{}
+		}
+	}
+	return h
+}
+
+// Components returns the connected components of g as sorted vertex lists.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Path returns a path graph on n vertices (treewidth 1).
+func Path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns a cycle on n vertices (treewidth 2 for n >= 3).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Complete returns the complete graph on n vertices (treewidth n-1).
+func Complete(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Grid returns the r x c grid graph (treewidth min(r, c)).
+func Grid(r, c int) *Graph {
+	g := NewGraph(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			if j+1 < c {
+				g.AddEdge(v, v+1)
+			}
+			if i+1 < r {
+				g.AddEdge(v, v+c)
+			}
+		}
+	}
+	return g
+}
