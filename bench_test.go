@@ -47,6 +47,33 @@ func BenchmarkE1TIDScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkE1TIDScalingPrepared measures the amortized path of the
+// Prepare/Evaluate split on the E1 instances: the plan is compiled once and
+// only (*Plan).Probability runs per iteration, as in a server answering
+// repeated probability requests for the same query and structure.
+func BenchmarkE1TIDScalingPrepared(b *testing.B) {
+	q := rel.HardQuery()
+	for _, n := range []int{50, 200, 800} {
+		tid := gen.RSTChain(n, 0.5)
+		b.Run(fmt.Sprintf("evaluate/n=%d", n), func(b *testing.B) {
+			pl, p, err := core.PrepareTID(tid, q, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pl.Probability(p); err != nil { // warm the transition tables
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Probability(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE2WidthSweep measures Theorem 2: cost vs planted width on
 // partial k-tree TIDs of fixed size, plus correlated pc-instances.
 func BenchmarkE2WidthSweep(b *testing.B) {
@@ -134,6 +161,38 @@ func BenchmarkE5HardQuery(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.ProbabilityTID(tid, q, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5HardQueryPrepared measures the prepare-once/evaluate-many
+// variant of E5: the #P-hard query on the chain and bipartite instances
+// with all structural work hoisted into Prepare.
+func BenchmarkE5HardQueryPrepared(b *testing.B) {
+	q := rel.HardQuery()
+	cases := []struct {
+		name string
+		tid  *pdb.TID
+	}{
+		{"evaluate/chain200", gen.RSTChain(200, 0.5)},
+		{"evaluate/bipartite5", gen.RSTBipartite(5, 5, 0.5)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			pl, p, err := core.PrepareTID(tc.tid, q, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pl.Probability(p); err != nil { // warm the transition tables
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Probability(p); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -64,7 +64,8 @@ func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseco
 // linearly, while world enumeration is exponential in the fact count.
 func e1() {
 	fmt.Println("E1  Theorem 1: P(∃xy R(x)S(x,y)T(y)) on treewidth-1 TID chains")
-	fmt.Println("    n(chain)  facts  engine_ms  P(q)        ms/fact")
+	fmt.Println("    one-shot vs prepared plan (Prepare once, evaluate per request):")
+	fmt.Println("    n(chain)  facts  oneshot_ms  eval_ms    P(q)        ms/fact")
 	q := rel.HardQuery()
 	for _, n := range []int{50, 100, 200, 400, 800, 1600, 3200} {
 		tid := gen.RSTChain(n, 0.5)
@@ -75,7 +76,21 @@ func e1() {
 			fmt.Println("    error:", err)
 			return
 		}
-		fmt.Printf("    %-9d %-6d %-10s %.9f %.5f\n", n, tid.NumFacts(), ms(d), res.Probability,
+		pl, p, err := core.PrepareTID(tid, q, core.Options{})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		if _, err := pl.Probability(p); err != nil { // warm the transition tables
+			fmt.Println("    error:", err)
+			return
+		}
+		de := timed(func() { _, err = pl.Probability(p) })
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		fmt.Printf("    %-9d %-6d %-11s %-10s %.9f %.5f\n", n, tid.NumFacts(), ms(d), ms(de), res.Probability,
 			float64(d.Microseconds())/1000/float64(tid.NumFacts()))
 	}
 	fmt.Println("    agreement vs exhaustive enumeration (exponential baseline):")

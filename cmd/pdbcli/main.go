@@ -54,28 +54,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	switch *mode {
+	case "prob", "possible", "certain", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "pdbcli: unknown -mode %q (want prob|possible|certain|all)\n", *mode)
+		os.Exit(2)
+	}
 	fmt.Printf("instance: %d facts, %d events\n", c.NumFacts(), len(c.Events()))
 	fmt.Printf("query: %s\n", q)
 
+	// One compiled plan answers every mode: the structural work (domain
+	// indexing, decomposition, automaton tables) runs once.
+	pl, err := core.PrepareCQ(c, q, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := pl.Result(p)
+	if err != nil {
+		fatal(err)
+	}
 	if *mode == "prob" || *mode == "all" {
-		res, err := core.ProbabilityPC(c, p, q, core.Options{})
-		if err != nil {
-			fatal(err)
-		}
 		fmt.Printf("probability: %.9f (joint width %d)\n", res.Probability, res.Width)
 	}
 	if *mode == "possible" || *mode == "all" {
-		res, err := core.ProbabilityPC(c, p, q, core.Options{})
-		if err != nil {
-			fatal(err)
-		}
 		fmt.Printf("possible: %v\n", res.Probability > 1e-15)
 	}
 	if *mode == "certain" || *mode == "all" {
-		res, err := core.ProbabilityPC(c, p, q, core.Options{})
-		if err != nil {
-			fatal(err)
-		}
 		fmt.Printf("certain: %v\n", res.Probability > 1-1e-12)
 	}
 }

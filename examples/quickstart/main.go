@@ -70,5 +70,23 @@ func main() {
 	}
 	stats := lin.Lineage.Stat()
 	fmt.Printf("lineage circuit: %d gates (%d and, %d or, %d var)\n", stats.Gates, stats.Ands, stats.Ors, stats.Vars)
-	fmt.Printf("d-DNNF probability pass: %.6f\n", lin.Lineage.DDNNFProbability(lin.Root, p))
+	fmt.Printf("d-DNNF probability pass: %.6f\n\n", lin.Lineage.DDNNFProbability(lin.Root, p))
+
+	// The Prepare/Evaluate split: compile the plan once (decomposition,
+	// fact homing, automaton tables), then answer repeated probability
+	// requests — here a what-if sweep over the S(a,b) link's reliability —
+	// with only the cheap numeric pass per request.
+	plan, probs, err := core.PrepareTID(tid, q, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("prepared plan, sweeping P(S(a,b)):")
+	for _, ps := range []float64{0.1, 0.5, 0.9} {
+		probs["f1"] = ps // fact 1 is S(a,b); its event is f1
+		pr, err := plan.Probability(probs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P(S(a,b))=%.1f  ->  P(q)=%.6f\n", ps, pr)
+	}
 }

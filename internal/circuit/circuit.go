@@ -15,6 +15,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/logic"
 )
@@ -345,42 +346,45 @@ func (c *Circuit) Stat() Stats {
 }
 
 // String renders gate g as a nested expression (for debugging and tests;
-// exponential on shared structure).
+// exponential on shared structure). The whole expression is written into a
+// single strings.Builder, so rendering is linear in the output size rather
+// than quadratic in it.
 func (c *Circuit) String(g Gate) string {
+	var sb strings.Builder
+	c.writeGate(&sb, g)
+	return sb.String()
+}
+
+func (c *Circuit) writeGate(sb *strings.Builder, g Gate) {
 	n := c.nodes[g]
 	switch n.kind {
 	case KindConst:
 		if n.value {
-			return "true"
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
 		}
-		return "false"
 	case KindVar:
-		return string(n.event)
+		sb.WriteString(string(n.event))
 	case KindNot:
-		return "!" + c.String(n.inputs[0])
+		sb.WriteByte('!')
+		c.writeGate(sb, n.inputs[0])
 	case KindAnd, KindOr:
 		op := " & "
 		if n.kind == KindOr {
 			op = " | "
 		}
-		parts := make([]string, len(n.inputs))
+		sb.WriteByte('(')
 		for i, in := range n.inputs {
-			parts[i] = c.String(in)
+			if i > 0 {
+				sb.WriteString(op)
+			}
+			c.writeGate(sb, in)
 		}
-		return "(" + joinStrings(parts, op) + ")"
+		sb.WriteByte(')')
+	default:
+		sb.WriteByte('?')
 	}
-	return "?"
-}
-
-func joinStrings(parts []string, sep string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += sep
-		}
-		out += p
-	}
-	return out
 }
 
 // ReachableFrom returns the sorted gates reachable from root (including it).

@@ -3,6 +3,7 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/logic"
 	"repro/internal/treedec"
@@ -150,22 +151,44 @@ func (c *Circuit) gateSemantics(n node, mask int) bool {
 // sumProduct runs exact sum-product message passing over the tree
 // decomposition d, whose bags range over vertices 0..n-1, and returns the
 // total partition sum with every factor included exactly once.
+//
+// Position lookups use stamped slices instead of one map per bag, the tree
+// is walked by an explicit-stack post-order instead of recursion, and
+// membership tests binary-search sorted bag copies, so the pass allocates
+// O(nodes) small slices rather than O(nodes) hash maps.
 func sumProduct(d *treedec.Decomposition, n int, factors []factor) (float64, error) {
 	nb := d.NumNodes()
-	// Index bags: position of each vertex within each bag.
-	bagPos := make([]map[int]int, nb)
+	// pos[v] is the position of v in the bag being inspected, valid when
+	// stamp[v] equals the current stamp value (one distinct value per bag, so
+	// the arrays are never cleared).
+	pos := make([]int, n)
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	sorted := make([][]int, nb) // sorted bag copies for membership tests
 	for i, b := range d.Bags {
-		m := make(map[int]int, len(b))
-		for j, v := range b {
-			m[v] = j
-		}
-		bagPos[i] = m
 		if len(b) > 30 {
 			return 0, fmt.Errorf("circuit: bag of size %d too large for bitmask enumeration", len(b))
 		}
+		sb := append([]int(nil), b...)
+		sort.Ints(sb)
+		sorted[i] = sb
 	}
-	// Assign each factor to one bag containing its scope. To find it fast,
-	// keep the bags containing each vertex.
+	inBag := func(bi, v int) bool {
+		sb := sorted[bi]
+		j := sort.SearchInts(sb, v)
+		return j < len(sb) && sb[j] == v
+	}
+	fillPositions := func(bi int) {
+		for j, v := range d.Bags[bi] {
+			pos[v] = j
+			stamp[v] = bi
+		}
+	}
+
+	// Assign each factor to one bag containing its scope, scanning only the
+	// bags of the factor's first scope vertex.
 	bagsOf := make([][]int, n)
 	for i, b := range d.Bags {
 		for _, v := range b {
@@ -175,11 +198,10 @@ func sumProduct(d *treedec.Decomposition, n int, factors []factor) (float64, err
 	factorsAt := make([][]int, nb)
 	for fi, f := range factors {
 		home := -1
-		// Search the bags of the first scope vertex.
 		for _, bi := range bagsOf[f.scope[0]] {
 			ok := true
 			for _, v := range f.scope[1:] {
-				if _, in := bagPos[bi][v]; !in {
+				if !inBag(bi, v) {
 					ok = false
 					break
 				}
@@ -200,66 +222,76 @@ func sumProduct(d *treedec.Decomposition, n int, factors []factor) (float64, err
 	children := d.Children()
 	roots := d.Roots()
 
+	// Iterative post-order over the forest.
+	order := make([]int, 0, nb)
+	stack := make([]int, 0, nb)
+	for _, r := range roots {
+		stack = append(stack, r)
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, t)
+			stack = append(stack, children[t]...)
+		}
+	}
+	// Reversing a preorder with children pushed in order gives a valid
+	// post-order (children always precede their parent).
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
 	// messages[t] is the message from t to its parent: a table over the
 	// separator (bag(t) ∩ bag(parent)), indexed by bitmask in separator
 	// order.
 	messages := make([][]float64, nb)
-	separators := make([][]int, nb) // separator vertex lists in bag-of-parent terms
+	separators := make([][]int, nb)
 
-	var process func(t int) error
-	process = func(t int) error {
-		for _, ch := range children[t] {
-			if err := process(ch); err != nil {
-				return err
-			}
-		}
+	type proj struct {
+		values []float64
+		bits   []int
+	}
+	var projs, fprojs []proj // reused across nodes
+	var sepBits []int
+
+	for _, t := range order {
 		bag := d.Bags[t]
-		size := len(bag)
-		nAssign := 1 << uint(size)
+		nAssign := 1 << uint(len(bag))
+		fillPositions(t)
 
-		// Precompute per-child separator projections: for an assignment
-		// mask over this bag, the child message index.
-		type childProj struct {
-			msg  []float64
-			bits []int // for each separator position, the bit index in this bag
-		}
-		var projs []childProj
+		// Per-child separator projections: for an assignment mask over this
+		// bag, the child message index.
+		projs = projs[:0]
 		for _, ch := range children[t] {
 			sep := separators[ch]
 			bits := make([]int, len(sep))
 			for i, v := range sep {
-				pos, ok := bagPos[t][v]
-				if !ok {
-					return fmt.Errorf("circuit: separator vertex %d missing from parent bag", v)
+				if stamp[v] != t {
+					return 0, fmt.Errorf("circuit: separator vertex %d missing from parent bag", v)
 				}
-				bits[i] = pos
+				bits[i] = pos[v]
 			}
-			projs = append(projs, childProj{msg: messages[ch], bits: bits})
+			projs = append(projs, proj{values: messages[ch], bits: bits})
 		}
 		// Factor projections for factors homed at t.
-		type factorProj struct {
-			values []float64
-			bits   []int
-		}
-		var fprojs []factorProj
+		fprojs = fprojs[:0]
 		for _, fi := range factorsAt[t] {
 			f := factors[fi]
 			bits := make([]int, len(f.scope))
 			for i, v := range f.scope {
-				bits[i] = bagPos[t][v]
+				bits[i] = pos[v]
 			}
-			fprojs = append(fprojs, factorProj{values: f.values, bits: bits})
+			fprojs = append(fprojs, proj{values: f.values, bits: bits})
 		}
 
 		// Separator with the parent.
 		parent := d.Parent[t]
 		var sep []int
-		var sepBits []int
+		sepBits = sepBits[:0]
 		if parent >= 0 {
 			for _, v := range bag {
-				if _, ok := bagPos[parent][v]; ok {
+				if inBag(parent, v) {
 					sep = append(sep, v)
-					sepBits = append(sepBits, bagPos[t][v])
+					sepBits = append(sepBits, pos[v])
 				}
 			}
 		}
@@ -287,7 +319,7 @@ func sumProduct(d *treedec.Decomposition, n int, factors []factor) (float64, err
 							idx |= 1 << uint(i)
 						}
 					}
-					w *= cp.msg[idx]
+					w *= cp.values[idx]
 					if w == 0 {
 						break
 					}
@@ -306,14 +338,10 @@ func sumProduct(d *treedec.Decomposition, n int, factors []factor) (float64, err
 		}
 		messages[t] = out
 		separators[t] = sep
-		return nil
 	}
 
 	total := 1.0
 	for _, r := range roots {
-		if err := process(r); err != nil {
-			return 0, err
-		}
 		// Root message is over the empty separator: a single number.
 		total *= messages[r][0]
 	}

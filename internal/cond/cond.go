@@ -113,7 +113,16 @@ func (cd *Conditioned) ProbabilityEnumeration(q rel.CQ) (float64, error) {
 	return num / den, nil
 }
 
-// Probability computes the posterior P(q | constraint) through the
+// PosteriorPlan is a compiled posterior query: the numerator and
+// denominator plans of P(q | constraint) = P(q ∧ obs) / P(obs), prepared
+// once and evaluable under any event probability map. Like core.Plan it is
+// not safe for concurrent use.
+type PosteriorPlan struct {
+	num *core.Plan
+	den *core.Plan
+}
+
+// PreparePosterior compiles the posterior P(q | constraint) through the
 // tractable engine of internal/core: the constraint is materialized as an
 // observation fact obs(w) on a fresh element, so that
 // P(q | φ) = P(q ∧ obs) / P(obs), both evaluated by the Theorem 2
@@ -121,26 +130,51 @@ func (cd *Conditioned) ProbabilityEnumeration(q rel.CQ) (float64, error) {
 // events, so conditioning on observations that span the whole instance can
 // raise the joint width — the structural price of conditioning the paper
 // asks about.
-func (cd *Conditioned) Probability(q rel.CQ, opts core.Options) (float64, error) {
+func (cd *Conditioned) PreparePosterior(q rel.CQ, opts core.Options) (*PosteriorPlan, error) {
 	withObs := pdb.NewCInstance()
 	for i := 0; i < cd.C.NumFacts(); i++ {
 		withObs.Add(cd.C.Inst.Fact(i), cd.C.Ann[i])
 	}
 	withObs.AddFact(cd.Constraint, "obs__", "w")
 	obsAtom := rel.NewAtom("obs__", rel.C("w"))
-	den, err := core.ProbabilityPC(withObs, cd.P, rel.NewCQ(obsAtom), opts)
+	den, err := core.PrepareCQ(withObs, rel.NewCQ(obsAtom), opts)
 	if err != nil {
-		return 0, err
-	}
-	if den.Probability == 0 {
-		return 0, fmt.Errorf("cond: conditioning on a zero-probability observation")
+		return nil, err
 	}
 	qAndObs := rel.NewCQ(append(append([]rel.Atom{}, q.Atoms...), obsAtom)...)
-	num, err := core.ProbabilityPC(withObs, cd.P, qAndObs, opts)
+	num, err := core.PrepareCQ(withObs, qAndObs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PosteriorPlan{num: num, den: den}, nil
+}
+
+// Probability evaluates the posterior under the event probabilities p.
+func (pp *PosteriorPlan) Probability(p logic.Prob) (float64, error) {
+	den, err := pp.den.Probability(p)
 	if err != nil {
 		return 0, err
 	}
-	return num.Probability / den.Probability, nil
+	if den == 0 {
+		return 0, fmt.Errorf("cond: conditioning on a zero-probability observation")
+	}
+	num, err := pp.num.Probability(p)
+	if err != nil {
+		return 0, err
+	}
+	return num / den, nil
+}
+
+// Probability computes the posterior P(q | constraint) through the
+// tractable engine: the one-shot form of PreparePosterior. Callers that ask
+// repeatedly (greedy question ranking, crowd loops) should prepare once and
+// evaluate per request.
+func (cd *Conditioned) Probability(q rel.CQ, opts core.Options) (float64, error) {
+	pp, err := cd.PreparePosterior(q, opts)
+	if err != nil {
+		return 0, err
+	}
+	return pp.Probability(cd.P)
 }
 
 func dedupEvents(events []logic.Event) []logic.Event {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"strconv"
 	"strings"
 
@@ -29,6 +30,8 @@ type CQQuery struct {
 	// joined caches Join results by the concatenated pair key, for the
 	// same reason.
 	joined map[string]joinResult
+	// pruneBuf is PruneSet's reusable decoded-state scratch.
+	pruneBuf []cqState
 }
 
 type joinResult struct {
@@ -141,9 +144,17 @@ func (c *CQQuery) decodeSlow(key string) cqState {
 	}
 	s := cqState{assign: make([]int, len(c.vars)), mask: uint32(mask)}
 	if len(c.vars) > 0 {
-		parts := strings.Split(key[:hash], ",")
-		for i, p := range parts {
-			v, err := strconv.Atoi(p)
+		part := key[:hash]
+		for i := 0; i < len(s.assign); i++ {
+			end := strings.IndexByte(part, ',')
+			tok := part
+			if end >= 0 {
+				tok = part[:end]
+				part = part[end+1:]
+			} else {
+				part = ""
+			}
+			v, err := strconv.Atoi(tok)
 			if err != nil {
 				panic("core: bad cq state key: " + key)
 			}
@@ -248,6 +259,14 @@ func (c *CQQuery) Join(ka, kb string) (string, bool) {
 	return merged, ok
 }
 
+// JoinDirect is Join without the internal memo. Compiled plans
+// (internal/core Plan) cache join results per interned state pair
+// themselves, so each pair reaches the query at most once and the memo's
+// key concatenation and map insert are pure overhead on that path.
+func (c *CQQuery) JoinDirect(ka, kb string) (string, bool) {
+	return c.joinSlow(ka, kb)
+}
+
 func (c *CQQuery) joinSlow(ka, kb string) (string, bool) {
 	if ka == cqDone || kb == cqDone {
 		return cqDone, true
@@ -328,15 +347,12 @@ func (c *CQQuery) Accept(key string) bool {
 //     masks are kept (a subset mask is dominated: any continuation that
 //     accepts from it also accepts from the dominating state, and
 //     domination is preserved by every transition).
+//
+// The pairwise domination check works on decoded states held in a reusable
+// scratch buffer, so a call allocates only the pruned output slice.
 func (c *CQQuery) PruneSet(set []string) []string {
 	full := c.fullMask()
-	// Group masks by assignment.
-	type group struct {
-		masks []uint32
-		keys  []string
-	}
-	groups := map[string]*group{}
-	var orderedAssign []string
+	states := c.pruneBuf[:0]
 	for _, key := range set {
 		if key == cqDone {
 			return []string{cqDone}
@@ -345,33 +361,29 @@ func (c *CQQuery) PruneSet(set []string) []string {
 		if s.mask == full {
 			return []string{cqDone}
 		}
-		hash := strings.IndexByte(key, '#')
-		ak := key[:hash]
-		g, ok := groups[ak]
-		if !ok {
-			g = &group{}
-			groups[ak] = g
-			orderedAssign = append(orderedAssign, ak)
-		}
-		g.masks = append(g.masks, s.mask)
-		g.keys = append(g.keys, key)
+		states = append(states, s)
 	}
+	c.pruneBuf = states
 	out := make([]string, 0, len(set))
-	for _, ak := range orderedAssign {
-		g := groups[ak]
-		for i, m := range g.masks {
-			dominated := false
-			for j, m2 := range g.masks {
-				if i != j && m&m2 == m && (m != m2 || j < i) {
-					dominated = true
-					break
-				}
+	for i, si := range states {
+		dominated := false
+		for j, sj := range states {
+			if i == j || si.mask&sj.mask != si.mask {
+				continue
 			}
-			if !dominated {
-				out = append(out, g.keys[i])
+			if si.mask == sj.mask && j > i {
+				continue
 			}
+			if slices.Equal(si.assign, sj.assign) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, set[i])
 		}
 	}
 	sortStrings(out)
 	return out
 }
+

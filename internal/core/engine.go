@@ -1,10 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/pdb"
@@ -15,8 +11,8 @@ import (
 // Options configures the engine.
 type Options struct {
 	// Heuristic selects the decomposition heuristic when no decomposition
-	// is supplied. MinFill (default) gives tighter widths; MinDegree is
-	// faster on large inputs.
+	// is supplied. MinDegree (default) is fast on large inputs; MinFill
+	// usually gives tighter widths.
 	Heuristic treedec.Heuristic
 	// Joint optionally supplies a precomputed tree decomposition of the
 	// joint instance+event graph (see JointEventGraph). Generators that
@@ -75,361 +71,41 @@ func JointEventGraph(c *pdb.CInstance, di *rel.DomainIndex) (g *treedec.Graph, e
 	return g, events, eventVertex
 }
 
-// engine carries the immutable run context.
-type engine struct {
-	q       Query
-	c       *pdb.CInstance
-	p       logic.Prob
-	di      *rel.DomainIndex
-	nDom    int
-	events  []logic.Event // events indexed by vertex id - nDom
-	nice    *treedec.Nice
-	factsAt [][]int // facts homed at each nice node
-	annVars [][]logic.Event
-
-	emit *circuit.Circuit
-}
-
-// entry is one determinized table row: a set of automaton states together
-// with a valuation of the in-bag events, carrying the probability mass of
-// the already-forgotten events below, and optionally a lineage gate.
-type entry struct {
-	set  []string
-	bits uint64 // valuation of in-bag events, in bagEvents order
-	prob float64
-	gate circuit.Gate
-}
-
-// table maps composite keys to entries.
-type table struct {
-	rows map[string]*entry
-}
-
-func newTable() *table { return &table{rows: map[string]*entry{}} }
-
-func rowKey(set []string, bits uint64) string {
-	return strings.Join(set, ";") + "|" + fmt.Sprintf("%x", bits)
-}
-
-func (t *table) put(e *entry, emit *circuit.Circuit) {
-	k := rowKey(e.set, e.bits)
-	if prev, ok := t.rows[k]; ok {
-		prev.prob += e.prob
-		if emit != nil {
-			prev.gate = emit.Or(prev.gate, e.gate)
-		}
-		return
-	}
-	t.rows[k] = e
-}
-
 // EvaluatePC runs the determinized automaton q over the pc-instance (c, p)
 // and returns the exact query probability (Theorem 2; Theorem 1 via the TID
 // translation). Linear in the instance for a fixed query and joint width;
 // exponential in the query size and in the joint width.
+//
+// EvaluatePC is the one-shot form of the Prepare/Evaluate split: it compiles
+// a Plan and evaluates it once. Callers issuing repeated probability
+// requests against the same structure should Prepare once and call
+// (*Plan).Probability per request instead.
 func EvaluatePC(c *pdb.CInstance, p logic.Prob, q Query, opts Options) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	di := c.Inst.IndexDomain()
-	joint, events, _ := JointEventGraph(c, di)
-	d := opts.Joint
-	if d == nil {
-		d = treedec.Decompose(joint, opts.Heuristic)
-	} else if err := d.Validate(joint); err != nil {
-		return nil, fmt.Errorf("core: supplied joint decomposition invalid: %w", err)
-	}
-	nice := treedec.MakeNice(d)
-	// Event valuations are tracked in a 64-bit mask per table row.
-	for _, nd := range nice.Nodes {
-		evs := 0
-		for _, v := range nd.Bag {
-			if v >= len(di.Names) {
-				evs++
-			}
-		}
-		if evs > 60 {
-			return nil, fmt.Errorf("core: a bag holds %d events; the joint width is too large for exact evaluation", evs)
-		}
-	}
-
-	eng := &engine{
-		q:      q,
-		c:      c,
-		p:      p,
-		di:     di,
-		nDom:   len(di.Names),
-		events: events,
-		nice:   nice,
-	}
-	if opts.EmitLineage {
-		eng.emit = circuit.New()
-	}
-	// Home every fact at a nice node covering its args and events.
-	eventVertex := make(map[logic.Event]int, len(events))
-	for i, e := range events {
-		eventVertex[e] = eng.nDom + i
-	}
-	scopes := c.Inst.FactScopes(di)
-	fullScopes := make([][]int, len(scopes))
-	eng.annVars = make([][]logic.Event, c.NumFacts())
-	for fi, scope := range scopes {
-		vars := logic.Vars(c.Ann[fi])
-		eng.annVars[fi] = vars
-		full := append([]int(nil), scope...)
-		for _, e := range vars {
-			full = append(full, eventVertex[e])
-		}
-		fullScopes[fi] = full
-	}
-	assign, err := nice.AssignScopes(fullScopes)
-	if err != nil {
-		return nil, fmt.Errorf("core: cannot home facts in decomposition: %w", err)
-	}
-	eng.factsAt = make([][]int, nice.NumNodes())
-	for fi, node := range assign {
-		eng.factsAt[node] = append(eng.factsAt[node], fi)
-	}
-
-	res, err := eng.run()
+	pl, err := Prepare(c, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.Width = d.Width()
-	res.NiceNodes = nice.NumNodes()
-	return res, nil
-}
-
-// bagEvents returns the sorted event vertex ids present in a bag.
-func (e *engine) bagEvents(bag []int) []int {
-	var evs []int
-	for _, v := range bag {
-		if v >= e.nDom {
-			evs = append(evs, v)
-		}
-	}
-	return evs
-}
-
-func (e *engine) run() (*Result, error) {
-	tables := make([]*table, e.nice.NumNodes())
-	for _, t := range e.nice.PostOrder() {
-		nd := e.nice.Nodes[t]
-		var tab *table
-		switch nd.Kind {
-		case treedec.NiceLeaf:
-			tab = newTable()
-			set := detStep(e.q, e.q.Start(), func(s string) []string { return []string{s} })
-			row := &entry{set: set, prob: 1}
-			if e.emit != nil {
-				row.gate = e.emit.Const(true)
-			}
-			tab.put(row, e.emit)
-		case treedec.NiceIntroduce:
-			child := tables[nd.Children[0]]
-			tables[nd.Children[0]] = nil
-			if nd.Vertex < e.nDom {
-				tab = e.introduceDomain(child, nd.Vertex)
-			} else {
-				tab = e.introduceEvent(child, nd.Vertex, e.nice.Nodes[nd.Children[0]].Bag)
-			}
-		case treedec.NiceForget:
-			child := tables[nd.Children[0]]
-			tables[nd.Children[0]] = nil
-			if nd.Vertex < e.nDom {
-				tab = e.forgetDomain(child, nd.Vertex)
-			} else {
-				tab = e.forgetEvent(child, nd.Vertex, e.nice.Nodes[nd.Children[0]].Bag)
-			}
-		case treedec.NiceJoin:
-			left := tables[nd.Children[0]]
-			right := tables[nd.Children[1]]
-			tables[nd.Children[0]] = nil
-			tables[nd.Children[1]] = nil
-			tab = e.join(left, right)
-		}
-		// Apply the facts homed here.
-		for _, fi := range e.factsAt[t] {
-			tab = e.applyFact(tab, fi, nd.Bag)
-		}
-		tables[t] = tab
-	}
-
-	root := tables[e.nice.Root]
-	res := &Result{}
-	var acceptGates []circuit.Gate
-	for _, row := range root.rows {
-		res.TotalMass += row.prob
-		if acceptsAny(row.set, e.q) {
-			res.Probability += row.prob
-			if e.emit != nil {
-				acceptGates = append(acceptGates, row.gate)
-			}
-		}
-	}
-	if res.TotalMass < 0.999999 || res.TotalMass > 1.000001 {
-		return nil, fmt.Errorf("core: probability mass %v drifted from 1", res.TotalMass)
-	}
-	if e.emit != nil {
-		res.Lineage = e.emit
-		res.Root = e.emit.Or(acceptGates...)
-	}
-	// Clamp floating noise.
-	if res.Probability < 0 {
-		res.Probability = 0
-	}
-	if res.Probability > 1 {
-		res.Probability = 1
-	}
-	return res, nil
-}
-
-func (e *engine) introduceDomain(child *table, v int) *table {
-	out := newTable()
-	for _, row := range child.rows {
-		set := detStep(e.q, row.set, func(s string) []string { return e.q.Introduce(s, v) })
-		out.put(&entry{set: set, bits: row.bits, prob: row.prob, gate: row.gate}, e.emit)
-	}
-	return out
-}
-
-func (e *engine) forgetDomain(child *table, v int) *table {
-	out := newTable()
-	for _, row := range child.rows {
-		set := detStep(e.q, row.set, func(s string) []string { return e.q.Forget(s, v) })
-		out.put(&entry{set: set, bits: row.bits, prob: row.prob, gate: row.gate}, e.emit)
-	}
-	return out
-}
-
-// introduceEvent splits every row on the value of the new event. The
-// Bernoulli weight is applied later, at the event's unique forget node, so
-// no mass is double-counted across join branches.
-func (e *engine) introduceEvent(child *table, v int, childBag []int) *table {
-	pos := eventPosition(e.bagEvents(childBag), v, true)
-	out := newTable()
-	for _, row := range child.rows {
-		b0 := insertBit(row.bits, pos, false)
-		b1 := insertBit(row.bits, pos, true)
-		out.put(&entry{set: row.set, bits: b0, prob: row.prob, gate: row.gate}, e.emit)
-		out.put(&entry{set: append([]string(nil), row.set...), bits: b1, prob: row.prob, gate: row.gate}, e.emit)
-	}
-	return out
-}
-
-// forgetEvent applies the event's Bernoulli weight to each row according to
-// its recorded value, conjoins the matching literal onto the lineage, and
-// marginalizes the bit out of the key (rows differing only in it merge by
-// summing — a deterministic OR in the emitted circuit).
-func (e *engine) forgetEvent(child *table, v int, childBag []int) *table {
-	pos := eventPosition(e.bagEvents(childBag), v, false)
-	ev := e.events[v-e.nDom]
-	pe := e.p.P(ev)
-	out := newTable()
-	for _, row := range child.rows {
-		value := row.bits&(1<<uint(pos)) != 0
-		w := pe
-		if !value {
-			w = 1 - pe
-		}
-		ne := &entry{set: row.set, bits: removeBit(row.bits, pos), prob: row.prob * w}
-		if e.emit != nil {
-			lit := e.emit.Var(ev)
-			if !value {
-				lit = e.emit.Not(lit)
-			}
-			ne.gate = e.emit.And(row.gate, lit)
-		}
-		out.put(ne, e.emit)
-	}
-	return out
-}
-
-func (e *engine) join(left, right *table) *table {
-	out := newTable()
-	for _, la := range left.rows {
-		for _, rb := range right.rows {
-			if la.bits != rb.bits {
-				continue // in-bag events are shared: values must agree
-			}
-			set := detJoin(la.set, rb.set, e.q)
-			ne := &entry{set: set, bits: la.bits, prob: la.prob * rb.prob}
-			if e.emit != nil {
-				ne.gate = e.emit.And(la.gate, rb.gate)
-			}
-			out.put(ne, e.emit)
-		}
-	}
-	return out
-}
-
-// applyFact resolves the fact's annotation under each row's event valuation
-// (all annotation events are in the bag by the homing invariant) and, when
-// present, closes the state set under the fact's transitions.
-func (e *engine) applyFact(tab *table, fi int, bag []int) *table {
-	evs := e.bagEvents(bag)
-	evIndex := make(map[logic.Event]int, len(evs))
-	for i, v := range evs {
-		evIndex[e.events[v-e.nDom]] = i
-	}
-	ann := e.c.Ann[fi]
-	out := newTable()
-	val := logic.Valuation{}
-	for _, row := range tab.rows {
-		for ev := range val {
-			delete(val, ev)
-		}
-		for _, ev := range e.annVars[fi] {
-			val[ev] = row.bits&(1<<uint(evIndex[ev])) != 0
-		}
-		ne := &entry{set: row.set, bits: row.bits, prob: row.prob, gate: row.gate}
-		if ann.Eval(val) {
-			ne.set = detFact(row.set, e.q, fi)
-		}
-		out.put(ne, e.emit)
-	}
-	return out
-}
-
-// eventPosition locates the bit position of event vertex v in the bag event
-// list; when inserting, it returns the position the bit will occupy.
-func eventPosition(bagEvs []int, v int, inserting bool) int {
-	i := sort.SearchInts(bagEvs, v)
-	if !inserting && (i >= len(bagEvs) || bagEvs[i] != v) {
-		panic("core: event vertex not in bag")
-	}
-	return i
-}
-
-func insertBit(bits uint64, pos int, value bool) uint64 {
-	low := bits & ((1 << uint(pos)) - 1)
-	high := bits >> uint(pos)
-	out := low | high<<uint(pos+1)
-	if value {
-		out |= 1 << uint(pos)
-	}
-	return out
-}
-
-func removeBit(bits uint64, pos int) uint64 {
-	low := bits & ((1 << uint(pos)) - 1)
-	high := bits >> uint(pos+1)
-	return low | high<<uint(pos)
+	return pl.Result(p)
 }
 
 // ProbabilityTID evaluates q on a TID instance by the Theorem 1 algorithm:
 // translate to a pc-instance (one fresh event per fact, a pendant vertex in
 // the joint graph) and run the determinized automaton.
 func ProbabilityTID(t *pdb.TID, q rel.CQ, opts Options) (*Result, error) {
-	c, p := t.ToCInstance()
-	cq := NewCQQuery(q, c.Inst, c.Inst.IndexDomain())
-	return EvaluatePC(c, p, cq, opts)
+	pl, p, err := PrepareTID(t, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Result(p)
 }
 
 // ProbabilityPC evaluates the conjunctive query q on a pc-instance.
 func ProbabilityPC(c *pdb.CInstance, p logic.Prob, q rel.CQ, opts Options) (*Result, error) {
-	cq := NewCQQuery(q, c.Inst, c.Inst.IndexDomain())
-	return EvaluatePC(c, p, cq, opts)
+	pl, err := PrepareCQ(c, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Result(p)
 }
 
 // RunOnWorld replays the determinized automaton over a single certain world

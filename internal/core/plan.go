@@ -1,0 +1,712 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+	"repro/internal/treedec"
+)
+
+// Plan is a compiled query plan: the Prepare/Evaluate split of the Theorem
+// 1/2 engine. Prepare hoists every probability-independent stage out of the
+// per-call path — domain indexing, the joint instance+event graph, its tree
+// decomposition, the nice decomposition, fact homing, compiled annotation
+// evaluators and the determinized automaton's state-set transition tables —
+// so that (*Plan).Probability and (*Plan).Result only run the numeric
+// dynamic program: row tables keyed by interned state-set ids and event
+// bitmasks, with no string keys and no per-row allocations.
+//
+// Transition tables are filled lazily on first use and shared by every
+// subsequent evaluation (and by repeated rows within one evaluation), which
+// is why even the first call through a Plan is much faster than the
+// pre-split engine. A Plan reuses internal scratch buffers and is therefore
+// NOT safe for concurrent use; Prepare a plan per goroutine instead.
+type Plan struct {
+	q           Query
+	emitLineage bool
+
+	events []logic.Event
+	nDom   int
+	width  int
+	nodes  []planNode
+	post   []int
+	root   int
+
+	startSet int32
+
+	states stateInterner
+	sets   setInterner
+	accept []bool // accept[setID]: does the set contain an accepting state?
+
+	// Determinized transition caches, filled lazily; hits are the common
+	// case. All hot-path keys are integers: the query's string states are
+	// touched only on the first encounter of a state, state pair, or set.
+	setTrans   map[setTransKey]int32 // (op, operand, set) -> successor set
+	joinCache  map[uint64]int32      // (left set, right set) -> joined set
+	stepCache  map[stepKey][]int32   // (op, operand, state) -> successor states
+	pairCache  map[uint64]int32      // (state, state) -> merged state, -1 dead
+	pruneCache map[int32]int32       // unpruned set -> pruned set
+
+	// Scratch reused across evaluations.
+	peBuf    []float64
+	strBuf   []string
+	idBuf    []int32
+	freeTabs []map[rowKey]rowVal
+	tables   []map[rowKey]rowVal
+}
+
+// planNode is the compiled form of one nice-decomposition node.
+type planNode struct {
+	kind     treedec.NiceKind
+	vertex   int  // introduced/forgotten vertex, -1 otherwise
+	child0   int  // first child, -1 if none
+	child1   int  // second child, -1 if none
+	isEvent  bool // the vertex is an event vertex
+	pos      int  // bit position of the event within the child bag's events
+	eventIdx int  // index into events for forget-event nodes
+	facts    []planFact
+}
+
+// planFact is a fact homed at a node, with its annotation compiled against
+// the bag's event bit layout: the annotation evaluates directly over a row's
+// bits word.
+type planFact struct {
+	fi int
+	cf *logic.CompiledFormula
+}
+
+// rowKey is one determinized table row key: an interned automaton state set
+// and the valuation of the in-bag events.
+type rowKey struct {
+	set  int32
+	bits uint64
+}
+
+// rowVal carries the probability mass of a row and, when lineage emission is
+// on, its gate.
+type rowVal struct {
+	prob float64
+	gate circuit.Gate
+}
+
+// Transition operations, the op field of setTransKey and stepKey.
+const (
+	opIntroduce uint8 = iota
+	opForget
+	opFact
+)
+
+// setTransKey addresses a cached determinized set transition: the interned
+// state set plus the vertex (introduce/forget) or fact index (fact
+// application).
+type setTransKey struct {
+	op  uint8
+	arg int32
+	set int32
+}
+
+// stepKey addresses a cached single-state transition.
+type stepKey struct {
+	op    uint8
+	arg   int32
+	state int32
+}
+
+// stateInterner assigns dense int32 ids to automaton state strings.
+type stateInterner struct {
+	ids  map[string]int32
+	strs []string
+}
+
+func (si *stateInterner) id(s string) int32 {
+	if id, ok := si.ids[s]; ok {
+		return id
+	}
+	id := int32(len(si.strs))
+	si.strs = append(si.strs, s)
+	si.ids[s] = id
+	return id
+}
+
+// setInterner assigns dense int32 ids to sets of state ids. The key is the
+// little-endian byte image of the sorted member ids, looked up without
+// allocating via the map[string] index-expression optimization.
+type setInterner struct {
+	ids     map[string]int32
+	members [][]int32
+	buf     []byte
+	idBuf   []int32
+}
+
+// Prepare compiles a query plan for the pc-instance structure c and the
+// query automaton q. Everything that does not depend on the event
+// probabilities is computed here; the returned plan answers repeated
+// probability requests via (*Plan).Probability or (*Plan).Result.
+//
+// Options are honoured as in EvaluatePC: a supplied joint decomposition is
+// validated and used, the heuristic picks the decomposition otherwise, and
+// EmitLineage makes (*Plan).Result build the d-DNNF lineage on every call.
+func Prepare(c *pdb.CInstance, q Query, opts Options) (*Plan, error) {
+	di := c.Inst.IndexDomain()
+	joint, events, eventVertex := JointEventGraph(c, di)
+	d := opts.Joint
+	if d == nil {
+		d = treedec.Decompose(joint, opts.Heuristic)
+	} else if err := d.Validate(joint); err != nil {
+		return nil, fmt.Errorf("core: supplied joint decomposition invalid: %w", err)
+	}
+	nice := treedec.MakeNice(d)
+	nDom := len(di.Names)
+
+	// Event valuations are tracked in a 64-bit mask per table row.
+	for _, nd := range nice.Nodes {
+		evs := 0
+		for _, v := range nd.Bag {
+			if v >= nDom {
+				evs++
+			}
+		}
+		if evs > 60 {
+			return nil, fmt.Errorf("core: a bag holds %d events; the joint width is too large for exact evaluation", evs)
+		}
+	}
+
+	pl := &Plan{
+		q:           q,
+		emitLineage: opts.EmitLineage,
+		events:      events,
+		nDom:        nDom,
+		width:       d.Width(),
+		post:        nice.PostOrder(),
+		root:        nice.Root,
+		states:      stateInterner{ids: map[string]int32{}},
+		sets:        setInterner{ids: map[string]int32{}},
+		setTrans:    map[setTransKey]int32{},
+		joinCache:   map[uint64]int32{},
+		stepCache:   map[stepKey][]int32{},
+		pairCache:   map[uint64]int32{},
+		pruneCache:  map[int32]int32{},
+	}
+
+	// Home every fact at a nice node covering its args and events.
+	scopes := c.Inst.FactScopes(di)
+	fullScopes := make([][]int, len(scopes))
+	annVars := make([][]logic.Event, c.NumFacts())
+	for fi, scope := range scopes {
+		vars := logic.Vars(c.Ann[fi])
+		annVars[fi] = vars
+		full := append([]int(nil), scope...)
+		for _, e := range vars {
+			full = append(full, eventVertex[e])
+		}
+		fullScopes[fi] = full
+	}
+	assign, err := nice.AssignScopes(fullScopes)
+	if err != nil {
+		return nil, fmt.Errorf("core: cannot home facts in decomposition: %w", err)
+	}
+
+	// Compile the nodes: event bit positions, homed facts with annotation
+	// evaluators over the bag's event bit layout.
+	pl.nodes = make([]planNode, nice.NumNodes())
+	for t := range nice.Nodes {
+		nd := &nice.Nodes[t]
+		pn := planNode{kind: nd.Kind, vertex: nd.Vertex, child0: -1, child1: -1, eventIdx: -1}
+		if len(nd.Children) > 0 {
+			pn.child0 = nd.Children[0]
+		}
+		if len(nd.Children) > 1 {
+			pn.child1 = nd.Children[1]
+		}
+		switch nd.Kind {
+		case treedec.NiceIntroduce, treedec.NiceForget:
+			if nd.Vertex >= nDom {
+				pn.isEvent = true
+				childEvs := bagEventVertices(nice.Nodes[nd.Children[0]].Bag, nDom)
+				pn.pos = eventPosition(childEvs, nd.Vertex, nd.Kind == treedec.NiceIntroduce)
+				if nd.Kind == treedec.NiceForget {
+					pn.eventIdx = nd.Vertex - nDom
+				}
+			}
+		}
+		pl.nodes[t] = pn
+	}
+	for fi, t := range assign {
+		bagEvs := bagEventVertices(nice.Nodes[t].Bag, nDom)
+		varBit := make(map[logic.Event]int, len(annVars[fi]))
+		for _, e := range annVars[fi] {
+			// All annotation events are in the bag by the homing invariant.
+			varBit[e] = eventPosition(bagEvs, eventVertex[e], false)
+		}
+		pl.nodes[t].facts = append(pl.nodes[t].facts, planFact{
+			fi: fi,
+			cf: logic.CompileMask(c.Ann[fi], varBit),
+		})
+	}
+
+	pl.startSet = pl.internStrings(detStep(q, q.Start(), func(s string) []string { return []string{s} }))
+	return pl, nil
+}
+
+// PrepareCQ compiles a plan for a Boolean conjunctive query on the
+// pc-instance structure c.
+func PrepareCQ(c *pdb.CInstance, q rel.CQ, opts Options) (*Plan, error) {
+	return Prepare(c, NewCQQuery(q, c.Inst, c.Inst.IndexDomain()), opts)
+}
+
+// PrepareTID compiles a plan for a conjunctive query on a TID instance via
+// the Theorem 1 translation, returning the plan together with the event
+// probability map of the translation (pass it to Probability, or substitute
+// any other map over the same events).
+func PrepareTID(t *pdb.TID, q rel.CQ, opts Options) (*Plan, logic.Prob, error) {
+	c, p := t.ToCInstance()
+	pl, err := PrepareCQ(c, q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, p, nil
+}
+
+// Width returns the width of the joint decomposition the plan was compiled
+// against.
+func (pl *Plan) Width() int { return pl.width }
+
+// NumNiceNodes returns the size of the compiled nice decomposition.
+func (pl *Plan) NumNiceNodes() int { return len(pl.nodes) }
+
+// Probability evaluates the plan under the event probabilities p and
+// returns the exact query probability. Only the numeric dynamic program
+// runs; all structural work was done by Prepare.
+func (pl *Plan) Probability(p logic.Prob) (float64, error) {
+	res, err := pl.eval(p, false)
+	if err != nil {
+		return 0, err
+	}
+	return res.Probability, nil
+}
+
+// Result evaluates the plan under the event probabilities p and returns the
+// full Result, including the d-DNNF lineage when the plan was prepared with
+// EmitLineage.
+func (pl *Plan) Result(p logic.Prob) (*Result, error) {
+	return pl.eval(p, pl.emitLineage)
+}
+
+// --- interning and cached transitions ---
+
+// internStrings interns a deduplicated state-string set (as produced by
+// detStep or a SetPruner) and returns its set id. Sets are canonicalized by
+// sorting their interned state ids, so any permutation of the same strings
+// interns to the same id.
+func (pl *Plan) internStrings(states []string) int32 {
+	ids := pl.sets.idBuf[:0]
+	for _, s := range states {
+		ids = append(ids, pl.states.id(s))
+	}
+	pl.sets.idBuf = ids
+	sortInt32(ids)
+	return pl.internIDs(ids)
+}
+
+// internIDs interns a sorted, deduplicated state-id set directly.
+func (pl *Plan) internIDs(ids []int32) int32 {
+	buf := pl.sets.buf[:0]
+	for _, id := range ids {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	pl.sets.buf = buf
+	if id, ok := pl.sets.ids[string(buf)]; ok {
+		return id
+	}
+	id := int32(len(pl.sets.members))
+	pl.sets.members = append(pl.sets.members, append([]int32(nil), ids...))
+	pl.sets.ids[string(buf)] = id
+	acc := false
+	for _, sid := range ids {
+		if pl.q.Accept(pl.states.strs[sid]) {
+			acc = true
+			break
+		}
+	}
+	pl.accept = append(pl.accept, acc)
+	return id
+}
+
+// setStrings materializes a set's member state strings into the given
+// scratch buffer.
+func (pl *Plan) setStrings(set int32, buf []string) []string {
+	out := buf[:0]
+	for _, id := range pl.sets.members[set] {
+		out = append(out, pl.states.strs[id])
+	}
+	return out
+}
+
+// pruned applies the query's SetPruner (if any) to an interned set, caching
+// the result so each distinct set is pruned at most once.
+func (pl *Plan) pruned(raw int32) int32 {
+	if _, isPruner := pl.q.(SetPruner); !isPruner {
+		return raw
+	}
+	if r, ok := pl.pruneCache[raw]; ok {
+		return r
+	}
+	pl.strBuf = pl.setStrings(raw, pl.strBuf)
+	r := pl.internStrings(prune(pl.q, pl.strBuf))
+	pl.pruneCache[raw] = r
+	return r
+}
+
+// stepStates returns the successor state ids of a single state under the
+// given operation, computing them from the string-level Query interface on
+// first use only. Fact steps include the implicit identity transition.
+func (pl *Plan) stepStates(op uint8, arg int, state int32) []int32 {
+	k := stepKey{op: op, arg: int32(arg), state: state}
+	if succs, ok := pl.stepCache[k]; ok {
+		return succs
+	}
+	st := pl.states.strs[state]
+	var out []string
+	switch op {
+	case opIntroduce:
+		out = pl.q.Introduce(st, arg)
+	case opForget:
+		out = pl.q.Forget(st, arg)
+	case opFact:
+		out = append(pl.q.FactTransitions(st, arg), st)
+	}
+	succs := make([]int32, 0, len(out))
+	for _, s := range out {
+		succs = append(succs, pl.states.id(s))
+	}
+	pl.stepCache[k] = succs
+	return succs
+}
+
+// stepSet is the subset construction over interned sets: the successor of a
+// set is the pruned union of its members' successors. Results are cached per
+// (operation, operand, set).
+func (pl *Plan) stepSet(op uint8, arg int, set int32) int32 {
+	k := setTransKey{op: op, arg: int32(arg), set: set}
+	if r, ok := pl.setTrans[k]; ok {
+		return r
+	}
+	ids := pl.idBuf[:0]
+	for _, sid := range pl.sets.members[set] {
+		ids = append(ids, pl.stepStates(op, arg, sid)...)
+	}
+	pl.idBuf = ids
+	r := pl.pruned(pl.internIDs(sortDedupInt32(ids)))
+	pl.setTrans[k] = r
+	return r
+}
+
+func (pl *Plan) introduceSet(set int32, v int) int32 { return pl.stepSet(opIntroduce, v, set) }
+func (pl *Plan) forgetSet(set int32, v int) int32    { return pl.stepSet(opForget, v, set) }
+func (pl *Plan) factSet(set int32, fi int) int32     { return pl.stepSet(opFact, fi, set) }
+
+// directJoiner is an optional Query extension: a Join entry point without
+// internal memoization, for engines (like Plan) that already cache join
+// results per state pair and would only churn the query's own memo.
+type directJoiner interface {
+	JoinDirect(a, b string) (merged string, ok bool)
+}
+
+// joinSets merges two interned sets across a join node: every pair of
+// member states is merged through the query's Join, with a per-pair cache
+// so each state pair is merged through the string interface at most once.
+func (pl *Plan) joinSets(a, b int32) int32 {
+	k := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if r, ok := pl.joinCache[k]; ok {
+		return r
+	}
+	join := pl.q.Join
+	if dj, ok := pl.q.(directJoiner); ok {
+		join = dj.JoinDirect
+	}
+	ids := pl.idBuf[:0]
+	for _, ia := range pl.sets.members[a] {
+		for _, ib := range pl.sets.members[b] {
+			pk := uint64(uint32(ia))<<32 | uint64(uint32(ib))
+			m, ok := pl.pairCache[pk]
+			if !ok {
+				if merged, okJoin := join(pl.states.strs[ia], pl.states.strs[ib]); okJoin {
+					m = pl.states.id(merged)
+				} else {
+					m = -1
+				}
+				pl.pairCache[pk] = m
+			}
+			if m >= 0 {
+				ids = append(ids, m)
+			}
+		}
+	}
+	pl.idBuf = ids
+	r := pl.pruned(pl.internIDs(sortDedupInt32(ids)))
+	pl.joinCache[k] = r
+	return r
+}
+
+// --- table management ---
+
+func (pl *Plan) allocTable(hint int) map[rowKey]rowVal {
+	if n := len(pl.freeTabs); n > 0 {
+		tab := pl.freeTabs[n-1]
+		pl.freeTabs = pl.freeTabs[:n-1]
+		clear(tab)
+		return tab
+	}
+	return make(map[rowKey]rowVal, hint)
+}
+
+func (pl *Plan) releaseTable(tab map[rowKey]rowVal) {
+	pl.freeTabs = append(pl.freeTabs, tab)
+}
+
+// put merges a row into tab: equal keys sum their mass (a deterministic OR
+// on the emitted lineage).
+func put(tab map[rowKey]rowVal, k rowKey, v rowVal, emit *circuit.Circuit) {
+	if prev, ok := tab[k]; ok {
+		prev.prob += v.prob
+		if emit != nil {
+			prev.gate = emit.Or(prev.gate, v.gate)
+		}
+		tab[k] = prev
+		return
+	}
+	tab[k] = v
+}
+
+// --- evaluation ---
+
+func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var emit *circuit.Circuit
+	if emitLineage {
+		emit = circuit.New()
+	}
+
+	// Per-event Bernoulli weights, resolved once per evaluation.
+	if cap(pl.peBuf) < len(pl.events) {
+		pl.peBuf = make([]float64, len(pl.events))
+	}
+	pe := pl.peBuf[:len(pl.events)]
+	for i, e := range pl.events {
+		pe[i] = p.P(e)
+	}
+
+	if pl.tables == nil {
+		pl.tables = make([]map[rowKey]rowVal, len(pl.nodes))
+	}
+	tables := pl.tables
+
+	for _, t := range pl.post {
+		nd := &pl.nodes[t]
+		var tab map[rowKey]rowVal
+		switch nd.kind {
+		case treedec.NiceLeaf:
+			tab = pl.allocTable(1)
+			v := rowVal{prob: 1}
+			if emit != nil {
+				v.gate = emit.Const(true)
+			}
+			tab[rowKey{set: pl.startSet}] = v
+
+		case treedec.NiceIntroduce:
+			child := tables[nd.child0]
+			tables[nd.child0] = nil
+			tab = pl.allocTable(2 * len(child))
+			if nd.isEvent {
+				// Split every row on the value of the new event; the
+				// Bernoulli weight is applied at the event's forget node.
+				pos := nd.pos
+				for k, v := range child {
+					put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}, v, emit)
+					put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}, v, emit)
+				}
+			} else {
+				for k, v := range child {
+					put(tab, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}, v, emit)
+				}
+			}
+			pl.releaseTable(child)
+
+		case treedec.NiceForget:
+			child := tables[nd.child0]
+			tables[nd.child0] = nil
+			tab = pl.allocTable(len(child))
+			if nd.isEvent {
+				// Apply the event's Bernoulli weight according to the row's
+				// recorded value, conjoin the literal onto the lineage, and
+				// marginalize the bit out of the key.
+				pos := nd.pos
+				w1 := pe[nd.eventIdx]
+				w0 := 1 - w1
+				var lit0, lit1 circuit.Gate
+				if emit != nil {
+					lit1 = emit.Var(pl.events[nd.eventIdx])
+					lit0 = emit.Not(lit1)
+				}
+				for k, v := range child {
+					nv := rowVal{prob: v.prob}
+					if k.bits&(1<<uint(pos)) != 0 {
+						nv.prob *= w1
+						if emit != nil {
+							nv.gate = emit.And(v.gate, lit1)
+						}
+					} else {
+						nv.prob *= w0
+						if emit != nil {
+							nv.gate = emit.And(v.gate, lit0)
+						}
+					}
+					put(tab, rowKey{set: k.set, bits: removeBit(k.bits, pos)}, nv, emit)
+				}
+			} else {
+				for k, v := range child {
+					put(tab, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}, v, emit)
+				}
+			}
+			pl.releaseTable(child)
+
+		case treedec.NiceJoin:
+			left := tables[nd.child0]
+			right := tables[nd.child1]
+			tables[nd.child0] = nil
+			tables[nd.child1] = nil
+			tab = pl.allocTable(len(left))
+			for lk, lv := range left {
+				for rk, rv := range right {
+					if lk.bits != rk.bits {
+						continue // in-bag events are shared: values must agree
+					}
+					nv := rowVal{prob: lv.prob * rv.prob}
+					if emit != nil {
+						nv.gate = emit.And(lv.gate, rv.gate)
+					}
+					put(tab, rowKey{set: pl.joinSets(lk.set, rk.set), bits: lk.bits}, nv, emit)
+				}
+			}
+			pl.releaseTable(left)
+			pl.releaseTable(right)
+		}
+
+		// Apply the facts homed here: resolve each annotation under the
+		// row's event valuation and close the state set under the fact's
+		// transitions when it holds.
+		for i := range nd.facts {
+			pf := &nd.facts[i]
+			in := tab
+			out := pl.allocTable(len(in))
+			for k, v := range in {
+				nk := k
+				if pf.cf.Eval(k.bits) {
+					nk.set = pl.factSet(k.set, pf.fi)
+				}
+				put(out, nk, v, emit)
+			}
+			pl.releaseTable(in)
+			tab = out
+		}
+		tables[t] = tab
+	}
+
+	root := tables[pl.root]
+	tables[pl.root] = nil
+	res := &Result{Width: pl.width, NiceNodes: len(pl.nodes)}
+	var acceptGates []circuit.Gate
+	for k, v := range root {
+		res.TotalMass += v.prob
+		if pl.accept[k.set] {
+			res.Probability += v.prob
+			if emit != nil {
+				acceptGates = append(acceptGates, v.gate)
+			}
+		}
+	}
+	pl.releaseTable(root)
+	if res.TotalMass < 0.999999 || res.TotalMass > 1.000001 {
+		return nil, fmt.Errorf("core: probability mass %v drifted from 1", res.TotalMass)
+	}
+	if emit != nil {
+		sortGates(acceptGates)
+		res.Lineage = emit
+		res.Root = emit.Or(acceptGates...)
+	}
+	// Clamp floating noise.
+	if res.Probability < 0 {
+		res.Probability = 0
+	}
+	if res.Probability > 1 {
+		res.Probability = 1
+	}
+	return res, nil
+}
+
+// --- bit and position helpers ---
+
+// bagEventVertices returns the sorted event vertex ids present in a bag.
+func bagEventVertices(bag []int, nDom int) []int {
+	var evs []int
+	for _, v := range bag {
+		if v >= nDom {
+			evs = append(evs, v)
+		}
+	}
+	return evs
+}
+
+// eventPosition locates the bit position of event vertex v in the bag event
+// list; when inserting, it returns the position the bit will occupy.
+func eventPosition(bagEvs []int, v int, inserting bool) int {
+	i := sort.SearchInts(bagEvs, v)
+	if !inserting && (i >= len(bagEvs) || bagEvs[i] != v) {
+		panic("core: event vertex not in bag")
+	}
+	return i
+}
+
+func insertBit(bits uint64, pos int, value bool) uint64 {
+	low := bits & ((1 << uint(pos)) - 1)
+	high := bits >> uint(pos)
+	out := low | high<<uint(pos+1)
+	if value {
+		out |= 1 << uint(pos)
+	}
+	return out
+}
+
+func removeBit(bits uint64, pos int) uint64 {
+	low := bits & ((1 << uint(pos)) - 1)
+	high := bits >> uint(pos+1)
+	return low | high<<uint(pos)
+}
+
+// sortInt32 sorts small id slices in place; insertion sort beats the
+// allocation and indirection of sort.Slice at these sizes.
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// sortDedupInt32 sorts xs and removes duplicates in place.
+func sortDedupInt32(xs []int32) []int32 {
+	sortInt32(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

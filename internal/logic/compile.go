@@ -1,0 +1,133 @@
+package logic
+
+import "fmt"
+
+// CompiledFormula is a formula compiled for repeated, allocation-free
+// evaluation under bitmask valuations: every variable of the formula is
+// mapped, at compile time, to a bit position of a uint64 mask, and Eval
+// walks a flat postfix program instead of the formula tree.
+//
+// This is the per-fact annotation evaluator of the compiled query plans in
+// internal/core: the engine resolves each fact's annotation once per table
+// row, and the Valuation map that the tree-walking Formula.Eval needs was
+// the dominant allocation of the inner loop.
+//
+// A CompiledFormula reuses an internal evaluation stack and is therefore
+// not safe for concurrent use.
+type CompiledFormula struct {
+	ops   []compiledOp
+	stack []bool
+}
+
+type compiledOp struct {
+	kind uint8
+	arg  int32 // bit index for opVar; operand count for opAnd/opOr
+}
+
+const (
+	opConstFalse uint8 = iota
+	opConstTrue
+	opVar
+	opNot
+	opAnd
+	opOr
+)
+
+// CompileMask compiles f for evaluation under bitmask valuations. varBit
+// maps every event occurring in f to the index (0..63) of the bit that
+// carries its value in the mask passed to Eval. Compilation panics if an
+// event of f is missing from varBit or its bit index is out of range; both
+// indicate a caller bug.
+func CompileMask(f Formula, varBit map[Event]int) *CompiledFormula {
+	cf := &CompiledFormula{}
+	cf.compile(f, varBit)
+	// Pre-size the stack to the program's maximum depth so Eval never grows it.
+	depth, max := 0, 0
+	for _, op := range cf.ops {
+		switch op.kind {
+		case opConstFalse, opConstTrue, opVar:
+			depth++
+		case opAnd, opOr:
+			depth -= int(op.arg) - 1
+		}
+		if depth > max {
+			max = depth
+		}
+	}
+	cf.stack = make([]bool, 0, max)
+	return cf
+}
+
+func (cf *CompiledFormula) compile(f Formula, varBit map[Event]int) {
+	switch g := f.(type) {
+	case constFormula:
+		if bool(g) {
+			cf.ops = append(cf.ops, compiledOp{kind: opConstTrue})
+		} else {
+			cf.ops = append(cf.ops, compiledOp{kind: opConstFalse})
+		}
+	case varFormula:
+		bit, ok := varBit[Event(g)]
+		if !ok || bit < 0 || bit > 63 {
+			panic(fmt.Sprintf("logic: CompileMask has no bit for event %q", Event(g)))
+		}
+		cf.ops = append(cf.ops, compiledOp{kind: opVar, arg: int32(bit)})
+	case notFormula:
+		cf.compile(g.f, varBit)
+		cf.ops = append(cf.ops, compiledOp{kind: opNot})
+	case andFormula:
+		for _, sub := range g.fs {
+			cf.compile(sub, varBit)
+		}
+		cf.ops = append(cf.ops, compiledOp{kind: opAnd, arg: int32(len(g.fs))})
+	case orFormula:
+		for _, sub := range g.fs {
+			cf.compile(sub, varBit)
+		}
+		cf.ops = append(cf.ops, compiledOp{kind: opOr, arg: int32(len(g.fs))})
+	default:
+		panic("logic: CompileMask on unknown formula type")
+	}
+}
+
+// Eval evaluates the compiled formula under the valuation encoded in mask:
+// the variable compiled to bit i is true iff bit i of mask is set.
+func (cf *CompiledFormula) Eval(mask uint64) bool {
+	st := cf.stack[:0]
+	for _, op := range cf.ops {
+		switch op.kind {
+		case opConstFalse:
+			st = append(st, false)
+		case opConstTrue:
+			st = append(st, true)
+		case opVar:
+			st = append(st, mask&(1<<uint(op.arg)) != 0)
+		case opNot:
+			st[len(st)-1] = !st[len(st)-1]
+		case opAnd:
+			n := int(op.arg)
+			v := true
+			for _, b := range st[len(st)-n:] {
+				if !b {
+					v = false
+					break
+				}
+			}
+			st = st[:len(st)-n]
+			st = append(st, v)
+		case opOr:
+			n := int(op.arg)
+			v := false
+			for _, b := range st[len(st)-n:] {
+				if b {
+					v = true
+					break
+				}
+			}
+			st = st[:len(st)-n]
+			st = append(st, v)
+		}
+	}
+	cf.stack = st[:0]
+	return st[0]
+}

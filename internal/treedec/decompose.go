@@ -16,6 +16,11 @@ import (
 type Decomposition struct {
 	Bags   [][]int // Bags[i] is the sorted bag of tree node i
 	Parent []int   // Parent[i] is the parent node, -1 for a root
+
+	// occ caches the vertex→bags index built by index(); occN is the bag
+	// count at build time, used to invalidate the cache when bags are added.
+	occ  [][]int
+	occN int
 }
 
 // NumNodes returns the number of tree nodes.
@@ -83,9 +88,10 @@ func (d *Decomposition) Validate(g *Graph) error {
 			return fmt.Errorf("treedec: vertex %d not covered by any bag", v)
 		}
 	}
-	// (2) edge coverage.
+	// (2) edge coverage, through the shared vertex→bags index.
+	occ := vertexOccurrences(d.Bags, nil)
 	for _, e := range g.Edges() {
-		if d.findBagWith(e[0], e[1]) < 0 {
+		if findInOccurrences(d.Bags, occ, e[0], e[1]) < 0 {
 			return fmt.Errorf("treedec: edge {%d,%d} not covered by any bag", e[0], e[1])
 		}
 	}
@@ -151,37 +157,95 @@ func (d *Decomposition) checkConnectivity(n int) error {
 	return nil
 }
 
-// findBagWith returns a node whose bag contains both u and v, or -1.
-func (d *Decomposition) findBagWith(u, v int) int {
-	for i, b := range d.Bags {
-		hasU, hasV := false, false
-		for _, x := range b {
-			if x == u {
-				hasU = true
-			}
-			if x == v {
-				hasV = true
+// vertexOccurrences builds the vertex→bags index shared by BagContaining,
+// Validate and Nice.AssignScopes: occ[v] lists the nodes whose bag contains
+// vertex v, in the given node order (nil means 0..len(bags)-1). The index is
+// sized by the largest vertex seen; vertices beyond it simply have no
+// occurrences.
+func vertexOccurrences(bags [][]int, order []int) [][]int {
+	max := -1
+	for _, b := range bags {
+		for _, v := range b {
+			if v > max {
+				max = v
 			}
 		}
-		if hasU && hasV {
+	}
+	occ := make([][]int, max+1)
+	if order == nil {
+		for i, b := range bags {
+			for _, v := range b {
+				occ[v] = append(occ[v], i)
+			}
+		}
+		return occ
+	}
+	for _, i := range order {
+		for _, v := range bags[i] {
+			occ[v] = append(occ[v], i)
+		}
+	}
+	return occ
+}
+
+// occurrencesOf returns occ[v], or nil when v is outside the index.
+func occurrencesOf(occ [][]int, v int) []int {
+	if v < 0 || v >= len(occ) {
+		return nil
+	}
+	return occ[v]
+}
+
+// findInOccurrences returns a node whose bag contains both u and v, or -1,
+// scanning only the bags of u.
+func findInOccurrences(bags [][]int, occ [][]int, u, v int) int {
+	for _, i := range occurrencesOf(occ, u) {
+		if contains(bags[i], v) {
 			return i
 		}
 	}
 	return -1
 }
 
+// findBagWith returns a node whose bag contains both u and v, or -1.
+func (d *Decomposition) findBagWith(u, v int) int {
+	return findInOccurrences(d.Bags, d.index(), u, v)
+}
+
+// index returns the cached vertex→bags index, rebuilding it when the number
+// of bags has changed since it was built. Bags must not be mutated in place
+// after the first indexed query (BagContaining, Validate); building a fresh
+// Decomposition value is always safe.
+func (d *Decomposition) index() [][]int {
+	if d.occ == nil || d.occN != len(d.Bags) {
+		d.occ = vertexOccurrences(d.Bags, nil)
+		d.occN = len(d.Bags)
+	}
+	return d.occ
+}
+
 // BagContaining returns a node whose bag contains all the given vertices, or
 // -1 if none does. Any clique of the graph is contained in some bag of a
 // valid decomposition, so this succeeds for fact scopes and gate scopes.
+// Only the occurrence list of the rarest vertex is scanned.
 func (d *Decomposition) BagContaining(vs []int) int {
-	for i, b := range d.Bags {
-		set := make(map[int]bool, len(b))
-		for _, x := range b {
-			set[x] = true
+	if len(vs) == 0 {
+		if len(d.Bags) == 0 {
+			return -1
 		}
+		return 0
+	}
+	occ := d.index()
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if len(occurrencesOf(occ, v)) < len(occurrencesOf(occ, best)) {
+			best = v
+		}
+	}
+	for _, i := range occurrencesOf(occ, best) {
 		all := true
 		for _, v := range vs {
-			if !set[v] {
+			if !contains(d.Bags[i], v) {
 				all = false
 				break
 			}
@@ -219,24 +283,93 @@ func EliminationOrder(g *Graph, h Heuristic) []int {
 	if h == MinDegree {
 		return minDegreeOrder(g)
 	}
+	return minFillOrder(g)
+}
+
+// minFillOrder implements the min-fill heuristic with incremental score
+// maintenance: instead of recomputing the fill-in of every live vertex at
+// every step (O(n) fillIn scans per elimination), scores are kept in a heap
+// and recomputed only for the vertices whose fill-in can actually have
+// changed. Eliminating v changes the fill-in of
+//
+//   - every neighbour of v (its neighbourhood loses v and gains the new
+//     clique edges), and
+//   - every common neighbour of the endpoints of a newly added fill edge
+//     {u,w} (the pair u,w inside its neighbourhood is no longer missing).
+//
+// No other vertex's neighbourhood or induced edges change, so this dirty set
+// is exact and the produced order is identical to a full greedy rescan
+// (argmin by score, ties to the lowest vertex index).
+func minFillOrder(g *Graph) []int {
 	n := g.N()
 	work := g.Clone()
 	eliminated := make([]bool, n)
+	score := make([]int, n)
+	h := make(degreeHeap, 0, n)
+	for v := 0; v < n; v++ {
+		score[v] = fillIn(work, v)
+		h = append(h, degreeEntry{deg: score[v], vertex: v})
+	}
+	heap.Init(&h)
 	order := make([]int, 0, n)
+	marked := make([]bool, n)
+	var dirty []int
+	var added [][2]int
 	for len(order) < n {
-		best, bestScore := -1, 0
-		for v := 0; v < n; v++ {
-			if eliminated[v] {
-				continue
-			}
-			score := fillIn(work, v)
-			if best < 0 || score < bestScore {
-				best, bestScore = v, score
+		e := heap.Pop(&h).(degreeEntry)
+		v := e.vertex
+		if eliminated[v] {
+			continue
+		}
+		if e.deg != score[v] {
+			heap.Push(&h, degreeEntry{deg: score[v], vertex: v}) // stale entry
+			continue
+		}
+		order = append(order, v)
+		eliminated[v] = true
+		ns := work.Neighbors(v)
+		dirty = dirty[:0]
+		mark := func(u int) {
+			if !marked[u] && !eliminated[u] {
+				marked[u] = true
+				dirty = append(dirty, u)
 			}
 		}
-		order = append(order, best)
-		eliminateVertex(work, best)
-		eliminated[best] = true
+		// Turn the neighbourhood into a clique, remembering the fill edges.
+		added = added[:0]
+		for i := 0; i < len(ns); i++ {
+			for j := i + 1; j < len(ns); j++ {
+				if !work.HasEdge(ns[i], ns[j]) {
+					added = append(added, [2]int{ns[i], ns[j]})
+				}
+			}
+		}
+		for _, uw := range added {
+			work.AddEdge(uw[0], uw[1])
+		}
+		// Detach v.
+		for _, u := range ns {
+			delete(work.adj[u], v)
+			mark(u)
+		}
+		work.adj[v] = make(map[int]struct{})
+		// Common neighbours of each new edge lose one missing pair.
+		for _, uw := range added {
+			u, w := uw[0], uw[1]
+			if len(work.adj[w]) < len(work.adj[u]) {
+				u, w = w, u
+			}
+			for x := range work.adj[u] {
+				if work.HasEdge(x, w) {
+					mark(x)
+				}
+			}
+		}
+		for _, u := range dirty {
+			marked[u] = false
+			score[u] = fillIn(work, u)
+			heap.Push(&h, degreeEntry{deg: score[u], vertex: u})
+		}
 	}
 	return order
 }

@@ -237,13 +237,13 @@ func (n *Nice) PostOrder() []int {
 func (n *Nice) AssignScopes(scopes [][]int) ([]int, error) {
 	order := n.PostOrder()
 	// The nodes containing each vertex, in post-order, so each scope only
-	// inspects the occurrence list of its rarest vertex.
-	occ := map[int][]int{} // vertex -> nodes, in post-order
-	for _, t := range order {
-		for _, v := range n.Nodes[t].Bag {
-			occ[v] = append(occ[v], t)
-		}
+	// inspects the occurrence list of its rarest vertex. The index is built
+	// by the same helper that backs Decomposition.BagContaining.
+	bags := make([][]int, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		bags[i] = nd.Bag
 	}
+	occ := vertexOccurrences(bags, order)
 	assign := make([]int, len(scopes))
 	for si, scope := range scopes {
 		assign[si] = -1
@@ -260,11 +260,11 @@ func (n *Nice) AssignScopes(scopes [][]int) ([]int, error) {
 		// Rarest vertex first.
 		best := scope[0]
 		for _, v := range scope[1:] {
-			if len(occ[v]) < len(occ[best]) {
+			if len(occurrencesOf(occ, v)) < len(occurrencesOf(occ, best)) {
 				best = v
 			}
 		}
-		for _, t := range occ[best] {
+		for _, t := range occurrencesOf(occ, best) {
 			if containsAll(n.Nodes[t].Bag, scope) {
 				assign[si] = t
 				break

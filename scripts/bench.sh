@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and records a machine-readable baseline in
+# BENCH_BASELINE.json so future performance PRs have a trajectory to compare
+# against.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCH  benchmark regexp passed to -bench   (default: .)
+#   COUNT  repetitions passed to -count        (default: 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_BASELINE.json}"
+bench="${BENCH:-.}"
+count="${COUNT:-3}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchmem -count "$count" | tee "$raw"
+
+# Average the repetitions per benchmark and emit a JSON object keyed by
+# benchmark name (GOMAXPROCS suffix stripped).
+awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; bytes[name] += $5; allocs[name] += $7; runs[name]++
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"host\": \"%s\",\n  \"benchmarks\": {\n", host
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f, \"runs\": %d}%s\n", \
+            name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], runs[name], \
+            (i < n-1 ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"
