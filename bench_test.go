@@ -7,6 +7,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/cond"
@@ -70,6 +71,89 @@ func BenchmarkE1TIDScalingPrepared(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// sweepMaps builds b probability maps over the plan events of tid, varying
+// every event away from its base value — the parameter-sweep workload of the
+// batched and parallel benchmarks.
+func sweepMaps(tid *pdb.TID, b int) []logic.Prob {
+	out := make([]logic.Prob, b)
+	for i := range out {
+		m := make(logic.Prob, tid.NumFacts())
+		for f := 0; f < tid.NumFacts(); f++ {
+			m[tid.EventOf(f)] = 0.1 + 0.8*float64((i+f)%16)/15
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// BenchmarkE1Batched measures the multi-lane batch path on E1 n=800: one
+// ProbabilityBatch call with B lanes per iteration. The per-assignment
+// metric is what a parameter sweep pays per parameter setting; compare
+// lanes=1 against lanes=64 for the amortization of the row DP.
+func BenchmarkE1Batched(b *testing.B) {
+	q := rel.HardQuery()
+	tid := gen.RSTChain(800, 0.5)
+	pl, _, err := core.PrepareTID(tid, q, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	for _, lanes := range []int{1, 16, 64} {
+		ps := sweepMaps(tid, lanes)
+		b.Run(fmt.Sprintf("lanes=%d/n=800", lanes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.ProbabilityBatch(ps); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/assign")
+		})
+	}
+}
+
+// BenchmarkE1Parallel measures concurrent serving of one shared frozen plan
+// on E1 n=800: b.N independent evaluations split over g goroutines. ns/op is
+// wall-clock per evaluation, so ideal scaling divides it by g.
+func BenchmarkE1Parallel(b *testing.B) {
+	q := rel.HardQuery()
+	tid := gen.RSTChain(800, 0.5)
+	pl, p, err := core.PrepareTID(tid, q, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d/n=800", g), func(b *testing.B) {
+			b.SetParallelism(1) // we manage the fan-out ourselves
+			var wg sync.WaitGroup
+			share := b.N / g
+			b.ResetTimer()
+			for w := 0; w < g; w++ {
+				n := share
+				if w == g-1 {
+					n = b.N - share*(g-1)
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := pl.Probability(p); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
 		})
 	}
 }

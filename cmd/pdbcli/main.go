@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pdbcli -i instance.pdb -q 'R(?x) & S(?x,?y) & T(?y)' [-mode prob|possible|certain|all]
+//	       [-batch 'e1=0.1,0.5,0.9'] [-parallel N]
 //
 // Instance format, one declaration per line ('#' starts a comment):
 //
@@ -12,6 +13,13 @@
 //	cfact e1 & !e2 S a b  # c-instance fact with a formula annotation
 //
 // fact and cfact lines may be mixed; plain facts get private events.
+//
+// -batch sweeps one event's probability over the listed values and answers
+// every sweep point against the same compiled plan, through the multi-lane
+// batched dynamic program ((*core.Plan).ProbabilityBatch: the row DP runs
+// once, carrying one weight lane per value). With -parallel N the sweep is
+// instead served as N-way concurrent single evaluations of the shared
+// frozen plan (core.Serve), the worker-pool path a query server would use.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -32,6 +41,8 @@ func main() {
 	inPath := flag.String("i", "", "instance file (default: stdin)")
 	queryStr := flag.String("q", "", "conjunctive query, e.g. 'R(?x) & S(?x,?y)'")
 	mode := flag.String("mode", "all", "prob | possible | certain | all")
+	batchSpec := flag.String("batch", "", "sweep one event's probability, e.g. 'e1=0.1,0.5,0.9' (one batched multi-lane evaluation)")
+	parallel := flag.Int("parallel", 0, "serve the -batch sweep over N worker goroutines instead of the lane path (0: batched)")
 	flag.Parse()
 	if *queryStr == "" {
 		fmt.Fprintln(os.Stderr, "pdbcli: -q is required")
@@ -60,6 +71,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdbcli: unknown -mode %q (want prob|possible|certain|all)\n", *mode)
 		os.Exit(2)
 	}
+	// Validate the sweep flags before paying for plan compilation and the
+	// main evaluation.
+	if *parallel > 0 && *batchSpec == "" {
+		fmt.Fprintln(os.Stderr, "pdbcli: -parallel needs a -batch sweep to serve")
+		os.Exit(2)
+	}
+	var sweepEvent logic.Event
+	var sweepVals []float64
+	if *batchSpec != "" {
+		sweepEvent, sweepVals, err = ParseSweep(*batchSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if _, declared := p[sweepEvent]; !declared && !slices.Contains(c.Events(), sweepEvent) {
+			fatal(fmt.Errorf("-batch event %q is not an event of the instance", sweepEvent))
+		}
+	}
 	fmt.Printf("instance: %d facts, %d events\n", c.NumFacts(), len(c.Events()))
 	fmt.Printf("query: %s\n", q)
 
@@ -82,6 +110,77 @@ func main() {
 	if *mode == "certain" || *mode == "all" {
 		fmt.Printf("certain: %v\n", res.Probability > 1-1e-12)
 	}
+
+	if *batchSpec != "" {
+		probs, err := RunSweep(pl, p, sweepEvent, sweepVals, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		how := "multi-lane batch"
+		if *parallel > 0 {
+			how = fmt.Sprintf("%d parallel workers", *parallel)
+		}
+		fmt.Printf("sweep over P(%s) (%s):\n", sweepEvent, how)
+		for i, v := range sweepVals {
+			fmt.Printf("  P(%s)=%.6g  ->  P(q)=%.9f\n", sweepEvent, v, probs[i])
+		}
+	}
+}
+
+// ParseSweep parses a -batch spec "event=v1,v2,..." into the event and its
+// probability values.
+func ParseSweep(spec string) (logic.Event, []float64, error) {
+	name, list, ok := strings.Cut(spec, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("-batch wants 'event=v1,v2,...', got %q", spec)
+	}
+	var vals []float64
+	for _, tok := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("-batch value %q: %v", tok, err)
+		}
+		if v < 0 || v > 1 {
+			return "", nil, fmt.Errorf("-batch value %v outside [0,1]", v)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return "", nil, fmt.Errorf("-batch lists no values")
+	}
+	return logic.Event(name), vals, nil
+}
+
+// RunSweep evaluates the plan with the probability of event swept over vals,
+// all other events as in base. parallel <= 0 answers every sweep point in
+// one multi-lane batched evaluation; parallel > 0 fans the points as
+// independent requests over that many workers sharing the frozen plan.
+func RunSweep(pl *core.Plan, base logic.Prob, event logic.Event, vals []float64, parallel int) ([]float64, error) {
+	ps := make([]logic.Prob, len(vals))
+	for i, v := range vals {
+		m := make(logic.Prob, len(base)+1)
+		for e, pr := range base {
+			m[e] = pr
+		}
+		m[event] = v
+		ps[i] = m
+	}
+	if parallel <= 0 {
+		return pl.ProbabilityBatch(ps)
+	}
+	reqs := make([]core.Request, len(ps))
+	for i, p := range ps {
+		reqs[i] = core.Request{Plan: pl, P: p}
+	}
+	out := make([]float64, len(ps))
+	for i, resp := range core.Serve(reqs, parallel) {
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		out[i] = resp.Probability
+	}
+	return out, nil
 }
 
 func fatal(err error) {

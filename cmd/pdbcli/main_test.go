@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/logic"
 )
 
@@ -110,6 +111,68 @@ func TestParseInstanceErrors(t *testing.T) {
 		_, _, err := ParseInstance(bufio.NewScanner(strings.NewReader(bad)))
 		if err == nil {
 			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	event, vals, err := ParseSweep("e1=0.1, 0.5,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if event != "e1" || len(vals) != 3 || vals[1] != 0.5 {
+		t.Errorf("parsed %q / %v", event, vals)
+	}
+	for _, bad := range []string{"", "e1", "=0.1", "e1=", "e1=x", "e1=1.5"} {
+		if _, _, err := ParseSweep(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+// TestRunSweepBatchedAndParallelAgree runs the same sweep through the
+// multi-lane batch path and the worker-pool path; both must agree with
+// per-point serial evaluation.
+func TestRunSweepBatchedAndParallelAgree(t *testing.T) {
+	input := `
+event e1 0.5
+cfact e1 R a
+fact 0.8 S a b
+fact 0.6 T b
+`
+	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.PrepareCQ(c, q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{0, 0.25, 0.5, 1}
+	batched, err := RunSweep(pl, p, "e1", vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := RunSweep(pl, p, "e1", vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		pv := logic.Prob{}
+		for e, pr := range p {
+			pv[e] = pr
+		}
+		pv["e1"] = v
+		want, err := pl.Probability(pv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(batched[i]-want) > 1e-12 || math.Abs(served[i]-want) > 1e-12 {
+			t.Errorf("P(e1)=%v: batch %v, served %v, serial %v", v, batched[i], served[i], want)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/rel"
 	"repro/internal/sampling"
@@ -75,18 +76,30 @@ func main() {
 	// The Prepare/Evaluate split: compile the plan once (decomposition,
 	// fact homing, automaton tables), then answer repeated probability
 	// requests — here a what-if sweep over the S(a,b) link's reliability —
-	// with only the cheap numeric pass per request.
+	// with only the cheap numeric pass. The sweep runs as ONE multi-lane
+	// batched evaluation: the row dynamic program executes once and carries
+	// a weight lane per sweep value (see also core.Serve for fanning
+	// independent requests over a worker pool against the same frozen plan).
 	plan, probs, err := core.PrepareTID(tid, q, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("prepared plan, sweeping P(S(a,b)):")
-	for _, ps := range []float64{0.1, 0.5, 0.9} {
-		probs["f1"] = ps // fact 1 is S(a,b); its event is f1
-		pr, err := plan.Probability(probs)
-		if err != nil {
-			log.Fatal(err)
+	sweep := []float64{0.1, 0.5, 0.9}
+	lanes := make([]logic.Prob, len(sweep))
+	for i, ps := range sweep {
+		m := logic.Prob{}
+		for e, pr := range probs {
+			m[e] = pr
 		}
-		fmt.Printf("  P(S(a,b))=%.1f  ->  P(q)=%.6f\n", ps, pr)
+		m["f1"] = ps // fact 1 is S(a,b); its event is f1
+		lanes[i] = m
+	}
+	fmt.Println("prepared plan, sweeping P(S(a,b)) in one batched evaluation:")
+	swept, err := plan.ProbabilityBatch(lanes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, ps := range sweep {
+		fmt.Printf("  P(S(a,b))=%.1f  ->  P(q)=%.6f\n", ps, swept[i])
 	}
 }

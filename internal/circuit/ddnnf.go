@@ -47,3 +47,65 @@ func (c *Circuit) DDNNFProbability(root Gate, p logic.Prob) float64 {
 	}
 	return v
 }
+
+// DDNNFProbabilityBatch evaluates the probability of root under B = len(ps)
+// probability maps in one bottom-up pass, carrying a lane vector per gate:
+// the multi-lane counterpart of DDNNFProbability, matching the batched
+// dynamic program of internal/core. Sharing the single circuit traversal
+// across all B assignments makes lineage-based parameter sweeps pay the
+// gate-graph walk once instead of per assignment.
+func (c *Circuit) DDNNFProbabilityBatch(root Gate, ps []logic.Prob) []float64 {
+	B := len(ps)
+	if B == 0 {
+		return nil
+	}
+	vals := make([]float64, len(c.nodes)*B)
+	for i, n := range c.nodes {
+		lane := vals[i*B : i*B+B]
+		switch n.kind {
+		case KindConst:
+			if n.value {
+				for l := range lane {
+					lane[l] = 1
+				}
+			}
+		case KindVar:
+			for l, p := range ps {
+				lane[l] = p.P(n.event)
+			}
+		case KindNot:
+			in := vals[int(n.inputs[0])*B : int(n.inputs[0])*B+B]
+			for l := range lane {
+				lane[l] = 1 - in[l]
+			}
+		case KindAnd:
+			for l := range lane {
+				lane[l] = 1
+			}
+			for _, in := range n.inputs {
+				iv := vals[int(in)*B : int(in)*B+B]
+				for l := range lane {
+					lane[l] *= iv[l]
+				}
+			}
+		case KindOr:
+			for _, in := range n.inputs {
+				iv := vals[int(in)*B : int(in)*B+B]
+				for l := range lane {
+					lane[l] += iv[l]
+				}
+			}
+		}
+	}
+	out := make([]float64, B)
+	copy(out, vals[int(root)*B:int(root)*B+B])
+	for l, v := range out {
+		if v < 0 {
+			out[l] = 0
+		}
+		if v > 1 {
+			out[l] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// buildDDNNF constructs a small circuit that is deterministic and
+// decomposable by construction: Shannon-expand over a, with b and c confined
+// to separate branches of each conjunction.
+//
+//	(a ∧ b) ∨ (¬a ∧ c)  — probability  P(a)P(b) + (1-P(a))P(c)
+func buildDDNNF() (*Circuit, Gate) {
+	c := New()
+	a := c.Var("a")
+	root := c.Or(
+		c.And(a, c.Var("b")),
+		c.And(c.Not(a), c.Var("c")),
+	)
+	return c, root
+}
+
+func TestDDNNFProbabilityBatchMatchesSerial(t *testing.T) {
+	c, root := buildDDNNF()
+	r := rand.New(rand.NewSource(41))
+	for _, lanes := range []int{1, 3, 16} {
+		ps := make([]logic.Prob, lanes)
+		for i := range ps {
+			ps[i] = logic.Prob{"a": r.Float64(), "b": r.Float64(), "c": r.Float64()}
+		}
+		got := c.DDNNFProbabilityBatch(root, ps)
+		if len(got) != lanes {
+			t.Fatalf("%d lanes in, %d out", lanes, len(got))
+		}
+		for i, p := range ps {
+			want := c.DDNNFProbability(root, p)
+			if math.Abs(got[i]-want) > 1e-15 {
+				t.Errorf("lane %d: batch %v, serial %v", i, got[i], want)
+			}
+			exact := p.P("a")*p.P("b") + (1-p.P("a"))*p.P("c")
+			if math.Abs(got[i]-exact) > 1e-12 {
+				t.Errorf("lane %d: batch %v, closed form %v", i, got[i], exact)
+			}
+		}
+	}
+	if out := c.DDNNFProbabilityBatch(root, nil); out != nil {
+		t.Errorf("empty batch returned %v", out)
+	}
+}

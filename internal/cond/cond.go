@@ -116,10 +116,20 @@ func (cd *Conditioned) ProbabilityEnumeration(q rel.CQ) (float64, error) {
 // PosteriorPlan is a compiled posterior query: the numerator and
 // denominator plans of P(q | constraint) = P(q ∧ obs) / P(obs), prepared
 // once and evaluable under any event probability map. Like core.Plan it is
-// not safe for concurrent use.
+// single-goroutine until Freeze, after which concurrent Probability and
+// ProbabilityBatch calls are safe.
 type PosteriorPlan struct {
 	num *core.Plan
 	den *core.Plan
+}
+
+// Freeze seals both underlying plans for concurrent use (see
+// core.(*Plan).Freeze).
+func (pp *PosteriorPlan) Freeze() error {
+	if err := pp.num.Freeze(); err != nil {
+		return err
+	}
+	return pp.den.Freeze()
 }
 
 // PreparePosterior compiles the posterior P(q | constraint) through the
@@ -163,6 +173,36 @@ func (pp *PosteriorPlan) Probability(p logic.Prob) (float64, error) {
 		return 0, err
 	}
 	return num / den, nil
+}
+
+// ProbabilityBatch evaluates the posterior under every probability map of ps
+// in one pass per plan: the numerator and denominator dynamic programs each
+// run once, carrying one weight lane per assignment (see
+// core.(*Plan).ProbabilityBatch). This is the fast path for posterior
+// sweeps — ranking observations across many parameter settings, or
+// sensitivity analysis on a conditioned instance.
+//
+// A lane whose parameters give the observation zero probability has an
+// undefined posterior and comes back as NaN (where the serial Probability
+// call errors); the other lanes of the sweep are unaffected.
+func (pp *PosteriorPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
+	dens, err := pp.den.ProbabilityBatch(ps)
+	if err != nil {
+		return nil, err
+	}
+	nums, err := pp.num.ProbabilityBatch(ps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ps))
+	for i, den := range dens {
+		if den == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = nums[i] / den
+	}
+	return out, nil
 }
 
 // Probability computes the posterior P(q | constraint) through the

@@ -137,6 +137,82 @@ func TestTractablePosteriorMatchesEnumeration(t *testing.T) {
 	}
 }
 
+// TestPosteriorPlanBatchSweep checks the batched posterior sweep: a frozen
+// PosteriorPlan evaluated under many probability maps at once must agree
+// with per-map serial evaluation and with the enumeration oracle.
+func TestPosteriorPlanBatchSweep(t *testing.T) {
+	c, p := table1()
+	cd, err := NewConditioned(c, p).ObserveFact(rel.NewFact("Trip", "PDX", "CDG"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.V("x"), rel.C("PDX")))
+	pp, err := cd.PreparePosterior(q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	var ps []logic.Prob
+	for _, pods := range []float64{0.1, 0.5, 0.7, 0.95} {
+		ps = append(ps, logic.Prob{"pods": pods, "stoc": 0.4})
+	}
+	got, err := pp.ProbabilityBatch(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pi := range ps {
+		serial, err := pp.Probability(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[i]-serial) > 1e-12 {
+			t.Errorf("lane %d: batch %v, serial %v", i, got[i], serial)
+		}
+		want, err := (&Conditioned{C: cd.C, P: pi, Constraint: cd.Constraint}).ProbabilityEnumeration(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Errorf("lane %d: batch %v, enumeration %v", i, got[i], want)
+		}
+	}
+}
+
+// TestPosteriorPlanBatchZeroProbabilityLane: a lane that drives the
+// observation to probability zero comes back NaN without poisoning the
+// other lanes of the sweep.
+func TestPosteriorPlanBatchZeroProbabilityLane(t *testing.T) {
+	c, p := table1()
+	// Observing Trip(MEL,PDX) requires pods ∧ stoc: pods=0 zeroes it out.
+	cd, err := NewConditioned(c, p).ObserveFact(rel.NewFact("Trip", "MEL", "PDX"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("PDX"), rel.C("CDG")))
+	pp, err := cd.PreparePosterior(q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pp.ProbabilityBatch([]logic.Prob{
+		{"pods": 0.7, "stoc": 0.4},
+		{"pods": 0, "stoc": 0.4}, // zero-probability observation
+		{"pods": 0.2, "stoc": 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[1]) {
+		t.Errorf("degenerate lane = %v, want NaN", got[1])
+	}
+	for _, i := range []int{0, 2} {
+		if math.IsNaN(got[i]) || math.Abs(got[i]-1) > 1e-9 {
+			t.Errorf("lane %d = %v, want 1 (observation entails the return trip)", i, got[i])
+		}
+	}
+}
+
 func TestRankQuestionsPrefersDecisiveEvent(t *testing.T) {
 	// Query depends only on event a; b is irrelevant noise.
 	c := pdb.NewCInstance()

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/treedec"
+)
+
+// batchTable is the multi-lane form of a row table: rows are indexed by the
+// same structural keys as the serial DP, but each row carries one weight per
+// lane (per probability assignment), stored contiguously in vals with lane
+// stride B. Keeping the lanes flat lets the inner loops run as straight-line
+// float adds and multiplies over adjacent memory.
+type batchTable struct {
+	idx  map[rowKey]int32
+	vals []float64
+}
+
+// slot returns the lane vector of row k, creating a zeroed one if absent.
+// The returned slice is invalidated by the next slot call that inserts
+// (vals may be reallocated), so callers use it immediately.
+func (bt *batchTable) slot(k rowKey, lanes int) []float64 {
+	if i, ok := bt.idx[k]; ok {
+		off := int(i) * lanes
+		return bt.vals[off : off+lanes]
+	}
+	bt.idx[k] = int32(len(bt.idx))
+	off := len(bt.vals)
+	for j := 0; j < lanes; j++ {
+		bt.vals = append(bt.vals, 0)
+	}
+	return bt.vals[off : off+lanes]
+}
+
+func (bt *batchTable) lanesOf(i int32, lanes int) []float64 {
+	off := int(i) * lanes
+	return bt.vals[off : off+lanes]
+}
+
+func (st *evalState) allocBatch(hint int) *batchTable {
+	if n := len(st.freeBatch); n > 0 {
+		bt := st.freeBatch[n-1]
+		st.freeBatch = st.freeBatch[:n-1]
+		clear(bt.idx)
+		bt.vals = bt.vals[:0]
+		return bt
+	}
+	return &batchTable{idx: make(map[rowKey]int32, hint)}
+}
+
+func (st *evalState) releaseBatch(bt *batchTable) {
+	st.freeBatch = append(st.freeBatch, bt)
+}
+
+func addLanes(dst, src []float64) {
+	for l, v := range src {
+		dst[l] += v
+	}
+}
+
+// ProbabilityBatch evaluates the plan under B = len(ps) event probability
+// maps in one pass and returns the B exact query probabilities, out[i]
+// matching what Probability(ps[i]) returns (up to float summation order).
+//
+// The dynamic program's row structure — table keys, transitions, set
+// interning, map traffic — depends only on the compiled plan, never on the
+// probabilities, so the batch path runs it once and carries a weight lane
+// per assignment through every row. The per-assignment cost of a parameter
+// sweep therefore collapses to a handful of float operations per row.
+//
+// Safe for concurrent calls once the plan is frozen (see Freeze).
+func (pl *Plan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
+	B := len(ps)
+	if B == 0 {
+		return nil, nil
+	}
+	for i, p := range ps {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: lane %d: %w", i, err)
+		}
+	}
+
+	st := pl.getState()
+	defer pl.putState(st)
+
+	// Lane-major Bernoulli weights: pe[e*B+lane] is P(event e) in lane.
+	need := len(pl.events) * B
+	if cap(st.peBuf) < need {
+		st.peBuf = make([]float64, need)
+	}
+	pe := st.peBuf[:need]
+	for i, e := range pl.events {
+		for l, p := range ps {
+			pe[i*B+l] = p.P(e)
+		}
+	}
+
+	if st.btables == nil {
+		st.btables = make([]*batchTable, len(pl.nodes))
+	}
+	tables := st.btables
+
+	for _, t := range pl.post {
+		nd := &pl.nodes[t]
+		var tab *batchTable
+		switch nd.kind {
+		case treedec.NiceLeaf:
+			tab = st.allocBatch(1)
+			start := tab.slot(rowKey{set: pl.startSet}, B)
+			for l := range start {
+				start[l] = 1
+			}
+
+		case treedec.NiceIntroduce:
+			child := tables[nd.child0]
+			tables[nd.child0] = nil
+			tab = st.allocBatch(2 * len(child.idx))
+			if nd.isEvent {
+				pos := nd.pos
+				for k, i := range child.idx {
+					v := child.lanesOf(i, B)
+					addLanes(tab.slot(rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}, B), v)
+					addLanes(tab.slot(rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}, B), v)
+				}
+			} else {
+				for k, i := range child.idx {
+					addLanes(tab.slot(rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}, B), child.lanesOf(i, B))
+				}
+			}
+			st.releaseBatch(child)
+
+		case treedec.NiceForget:
+			child := tables[nd.child0]
+			tables[nd.child0] = nil
+			tab = st.allocBatch(len(child.idx))
+			if nd.isEvent {
+				pos := nd.pos
+				w := pe[nd.eventIdx*B : nd.eventIdx*B+B]
+				for k, i := range child.idx {
+					v := child.lanesOf(i, B)
+					dst := tab.slot(rowKey{set: k.set, bits: removeBit(k.bits, pos)}, B)
+					if k.bits&(1<<uint(pos)) != 0 {
+						for l := range dst {
+							dst[l] += v[l] * w[l]
+						}
+					} else {
+						for l := range dst {
+							dst[l] += v[l] * (1 - w[l])
+						}
+					}
+				}
+			} else {
+				for k, i := range child.idx {
+					addLanes(tab.slot(rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}, B), child.lanesOf(i, B))
+				}
+			}
+			st.releaseBatch(child)
+
+		case treedec.NiceJoin:
+			left := tables[nd.child0]
+			right := tables[nd.child1]
+			tables[nd.child0] = nil
+			tables[nd.child1] = nil
+			tab = st.allocBatch(len(left.idx))
+			for lk, li := range left.idx {
+				lv := left.lanesOf(li, B)
+				for rk, ri := range right.idx {
+					if lk.bits != rk.bits {
+						continue // in-bag events are shared: values must agree
+					}
+					rv := right.lanesOf(ri, B)
+					dst := tab.slot(rowKey{set: pl.joinSets(lk.set, rk.set), bits: lk.bits}, B)
+					for l := range dst {
+						dst[l] += lv[l] * rv[l]
+					}
+				}
+			}
+			st.releaseBatch(left)
+			st.releaseBatch(right)
+		}
+
+		for i := range nd.facts {
+			pf := &nd.facts[i]
+			in := tab
+			out := st.allocBatch(len(in.idx))
+			for k, ix := range in.idx {
+				nk := k
+				if pf.cf.Eval(k.bits) {
+					nk.set = pl.factSet(k.set, pf.fi)
+				}
+				addLanes(out.slot(nk, B), in.lanesOf(ix, B))
+			}
+			st.releaseBatch(in)
+			tab = out
+		}
+		tables[t] = tab
+	}
+
+	root := tables[pl.root]
+	tables[pl.root] = nil
+	out := make([]float64, B)
+	totals := make([]float64, B)
+	for k, i := range root.idx {
+		v := root.lanesOf(i, B)
+		addLanes(totals, v)
+		if pl.accept[k.set] {
+			addLanes(out, v)
+		}
+	}
+	st.releaseBatch(root)
+	for l, total := range totals {
+		if total < 0.999999 || total > 1.000001 {
+			return nil, fmt.Errorf("core: lane %d: probability mass %v drifted from 1", l, total)
+		}
+		// Clamp floating noise.
+		if out[l] < 0 {
+			out[l] = 0
+		}
+		if out[l] > 1 {
+			out[l] = 1
+		}
+	}
+	return out, nil
+}

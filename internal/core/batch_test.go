@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/rel"
+)
+
+// randomProbMaps draws B independent probability maps over the events of p.
+func randomProbMaps(r *rand.Rand, p logic.Prob, b int) []logic.Prob {
+	out := make([]logic.Prob, b)
+	for i := range out {
+		m := make(logic.Prob, len(p))
+		for e := range p {
+			m[e] = r.Float64()
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// TestProbabilityBatchMatchesSerialAndEnumeration is the batch property
+// test: every lane of ProbabilityBatch must agree with a serial
+// (*Plan).Probability call under the same map (tight tolerance; only float
+// summation order differs) and with the possible-worlds enumeration oracle.
+func TestProbabilityBatchMatchesSerialAndEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	queries := []rel.CQ{
+		rel.HardQuery(),
+		rel.NewCQ(rel.NewAtom("R", rel.V("x"))),
+		rel.NewCQ(rel.NewAtom("S", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y"), rel.V("z"))),
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tid := randomTID(r, 1+r.Intn(8))
+		q := queries[r.Intn(len(queries))]
+		pl, p, err := PrepareTID(tid, q, Options{})
+		if err != nil {
+			t.Logf("seed %d: prepare: %v", seed, err)
+			return false
+		}
+		ps := append([]logic.Prob{p}, randomProbMaps(r, p, 1+r.Intn(7))...)
+		got, err := pl.ProbabilityBatch(ps)
+		if err != nil {
+			t.Logf("seed %d: batch: %v", seed, err)
+			return false
+		}
+		if len(got) != len(ps) {
+			t.Logf("seed %d: %d lanes in, %d out", seed, len(ps), len(got))
+			return false
+		}
+		for i, p := range ps {
+			serial, err := pl.Probability(p)
+			if err != nil {
+				t.Logf("seed %d: serial lane %d: %v", seed, i, err)
+				return false
+			}
+			if math.Abs(got[i]-serial) > 1e-12 {
+				t.Logf("seed %d lane %d: batch %v, serial %v", seed, i, got[i], serial)
+				return false
+			}
+			c, _ := tid.ToCInstance()
+			if want := c.QueryProbabilityEnumeration(q, p); math.Abs(got[i]-want) > 1e-9 {
+				t.Logf("seed %d lane %d: batch %v, enumeration %v", seed, i, got[i], want)
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProbabilityBatchCorrelatedPC exercises the batch path on pc-instances
+// with shared events across annotations.
+func TestProbabilityBatchCorrelatedPC(t *testing.T) {
+	q := rel.NewCQ(
+		rel.NewAtom("E", rel.V("x"), rel.V("y")),
+		rel.NewAtom("E", rel.V("y"), rel.V("z")),
+	)
+	r := rand.New(rand.NewSource(17))
+	c, p := gen.CorrelatedPC(8, 3, r)
+	pl, err := PrepareCQ(c, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := append([]logic.Prob{p}, randomProbMaps(r, p, 5)...)
+	got, err := pl.ProbabilityBatch(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if want := c.QueryProbabilityEnumeration(q, p); math.Abs(got[i]-want) > 1e-9 {
+			t.Errorf("lane %d: batch %v, enumeration %v", i, got[i], want)
+		}
+	}
+}
+
+// TestProbabilityBatchEmpty checks the degenerate lane counts.
+func TestProbabilityBatchEmpty(t *testing.T) {
+	pl, p, err := PrepareTID(gen.RSTChain(4, 0.5), rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := pl.ProbabilityBatch(nil); err != nil || out != nil {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+	one, err := pl.ProbabilityBatch([]logic.Prob{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := pl.Probability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one[0]-serial) > 1e-12 {
+		t.Errorf("1-lane batch %v, serial %v", one[0], serial)
+	}
+}
+
+// TestProbabilityBatchRejectsInvalidLane checks per-lane validation.
+func TestProbabilityBatchRejectsInvalidLane(t *testing.T) {
+	pl, p, err := PrepareTID(gen.RSTChain(3, 0.5), rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := logic.Prob{}
+	for e := range p {
+		bad[e] = 1.5
+	}
+	if _, err := pl.ProbabilityBatch([]logic.Prob{p, bad}); err == nil {
+		t.Error("invalid lane accepted")
+	}
+}
+
+// TestServeMixedPlans fans requests over mixed plans and probability maps
+// through the worker pool and checks every response against a serial run.
+func TestServeMixedPlans(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	q1 := rel.HardQuery()
+	q2 := rel.NewCQ(rel.NewAtom("S", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y"), rel.V("z")))
+	pl1, p1, err := PrepareTID(gen.RSTChain(20, 0.5), q1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, p2, err := PrepareTID(gen.RSTChain(15, 0.4), q2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			reqs = append(reqs, Request{Plan: pl1, P: randomProbMaps(r, p1, 1)[0]})
+		} else {
+			reqs = append(reqs, Request{Plan: pl2, P: randomProbMaps(r, p2, 1)[0]})
+		}
+	}
+	reqs = append(reqs, Request{Plan: nil, P: p1})
+	for _, workers := range []int{0, 1, 4, 8} {
+		resp := Serve(reqs, workers)
+		if len(resp) != len(reqs) {
+			t.Fatalf("workers=%d: %d responses for %d requests", workers, len(resp), len(reqs))
+		}
+		for i, rq := range reqs {
+			if rq.Plan == nil {
+				if resp[i].Err == nil {
+					t.Errorf("workers=%d: nil-plan request %d did not error", workers, i)
+				}
+				continue
+			}
+			if resp[i].Err != nil {
+				t.Fatalf("workers=%d request %d: %v", workers, i, resp[i].Err)
+			}
+			want, err := rq.Plan.Probability(rq.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(resp[i].Probability-want) > 1e-12 {
+				t.Errorf("workers=%d request %d: served %v, serial %v", workers, i, resp[i].Probability, want)
+			}
+		}
+	}
+	if !pl1.Frozen() || !pl2.Frozen() {
+		t.Error("Serve must freeze every distinct plan")
+	}
+}

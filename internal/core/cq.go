@@ -386,4 +386,3 @@ func (c *CQQuery) PruneSet(set []string) []string {
 	sortStrings(out)
 	return out
 }
-

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
@@ -23,8 +24,16 @@ import (
 // Transition tables are filled lazily on first use and shared by every
 // subsequent evaluation (and by repeated rows within one evaluation), which
 // is why even the first call through a Plan is much faster than the
-// pre-split engine. A Plan reuses internal scratch buffers and is therefore
-// NOT safe for concurrent use; Prepare a plan per goroutine instead.
+// pre-split engine.
+//
+// # Concurrency
+//
+// All per-evaluation state (row tables, weight buffers) lives in pooled
+// evaluation states, so the only mutable shared state is the lazily-filled
+// determinized-transition caches. (*Plan).Freeze eagerly completes and seals
+// them: a frozen plan is immutable and safe for any number of concurrent
+// Probability / ProbabilityBatch / Result calls (see also Serve). An
+// unfrozen plan must be confined to one goroutine at a time, as before.
 type Plan struct {
 	q           Query
 	emitLineage bool
@@ -45,19 +54,50 @@ type Plan struct {
 	// Determinized transition caches, filled lazily; hits are the common
 	// case. All hot-path keys are integers: the query's string states are
 	// touched only on the first encounter of a state, state pair, or set.
+	// After Freeze the caches are complete for every row the DP can reach
+	// and are never written again.
 	setTrans   map[setTransKey]int32 // (op, operand, set) -> successor set
 	joinCache  map[uint64]int32      // (left set, right set) -> joined set
 	stepCache  map[stepKey][]int32   // (op, operand, state) -> successor states
 	pairCache  map[uint64]int32      // (state, state) -> merged state, -1 dead
 	pruneCache map[int32]int32       // unpruned set -> pruned set
 
-	// Scratch reused across evaluations.
+	// frozen marks the transition caches as complete and sealed; set by
+	// Freeze before the plan is shared across goroutines.
+	frozen bool
+
+	// Structural scratch, touched only on cache misses (never once frozen).
+	strBuf []string
+	idBuf  []int32
+
+	// evalPool recycles per-evaluation state (weight buffers, row tables);
+	// each Probability/ProbabilityBatch/Result call checks one out, so
+	// concurrent evaluations never share scratch.
+	evalPool sync.Pool
+}
+
+// evalState is the per-evaluation mutable state of a Plan: everything the
+// dynamic program writes to. It is pooled per plan, so steady-state serial
+// evaluation reuses one state with no allocation, while concurrent
+// evaluations each get their own.
+type evalState struct {
 	peBuf    []float64
-	strBuf   []string
-	idBuf    []int32
 	freeTabs []map[rowKey]rowVal
 	tables   []map[rowKey]rowVal
+
+	// Multi-lane counterparts used by ProbabilityBatch.
+	freeBatch []*batchTable
+	btables   []*batchTable
 }
+
+func (pl *Plan) getState() *evalState {
+	if st, ok := pl.evalPool.Get().(*evalState); ok {
+		return st
+	}
+	return &evalState{}
+}
+
+func (pl *Plan) putState(st *evalState) { pl.evalPool.Put(st) }
 
 // planNode is the compiled form of one nice-decomposition node.
 type planNode struct {
@@ -280,7 +320,8 @@ func (pl *Plan) NumNiceNodes() int { return len(pl.nodes) }
 
 // Probability evaluates the plan under the event probabilities p and
 // returns the exact query probability. Only the numeric dynamic program
-// runs; all structural work was done by Prepare.
+// runs; all structural work was done by Prepare. Safe for concurrent calls
+// once the plan is frozen (see Freeze).
 func (pl *Plan) Probability(p logic.Prob) (float64, error) {
 	res, err := pl.eval(p, false)
 	if err != nil {
@@ -292,9 +333,41 @@ func (pl *Plan) Probability(p logic.Prob) (float64, error) {
 // Result evaluates the plan under the event probabilities p and returns the
 // full Result, including the d-DNNF lineage when the plan was prepared with
 // EmitLineage.
+//
+// The returned Result — in particular its lineage circuit — is owned by the
+// caller: every call builds a fresh circuit, and later evaluations on the
+// same plan (under any probability map) never mutate a previously returned
+// Result. Safe for concurrent calls once the plan is frozen (see Freeze).
 func (pl *Plan) Result(p logic.Prob) (*Result, error) {
 	return pl.eval(p, pl.emitLineage)
 }
+
+// Freeze eagerly completes the plan's lazily-filled determinized-transition
+// caches and seals them, making the plan immutable and therefore safe for
+// concurrent Probability / ProbabilityBatch / Result calls from any number
+// of goroutines.
+//
+// The row keys of the dynamic program depend only on the compiled structure,
+// never on the event probabilities, so one structural pass visits every
+// transition any future evaluation can need; after Freeze the caches are
+// read-only. Freeze is idempotent but must itself be called from a single
+// goroutine, before the plan is shared.
+func (pl *Plan) Freeze() error {
+	if pl.frozen {
+		return nil
+	}
+	// A full evaluation under the default-0.5 weights touches exactly the
+	// introduce/forget/fact/join transitions reachable from the query.
+	if _, err := pl.eval(logic.Prob{}, false); err != nil {
+		return fmt.Errorf("core: freeze pass failed: %w", err)
+	}
+	pl.frozen = true
+	return nil
+}
+
+// Frozen reports whether the plan's transition caches have been sealed for
+// concurrent use.
+func (pl *Plan) Frozen() bool { return pl.frozen }
 
 // --- interning and cached transitions ---
 
@@ -355,6 +428,7 @@ func (pl *Plan) pruned(raw int32) int32 {
 	if r, ok := pl.pruneCache[raw]; ok {
 		return r
 	}
+	pl.missUnlessUnfrozen()
 	pl.strBuf = pl.setStrings(raw, pl.strBuf)
 	r := pl.internStrings(prune(pl.q, pl.strBuf))
 	pl.pruneCache[raw] = r
@@ -369,6 +443,7 @@ func (pl *Plan) stepStates(op uint8, arg int, state int32) []int32 {
 	if succs, ok := pl.stepCache[k]; ok {
 		return succs
 	}
+	pl.missUnlessUnfrozen()
 	st := pl.states.strs[state]
 	var out []string
 	switch op {
@@ -395,6 +470,7 @@ func (pl *Plan) stepSet(op uint8, arg int, set int32) int32 {
 	if r, ok := pl.setTrans[k]; ok {
 		return r
 	}
+	pl.missUnlessUnfrozen()
 	ids := pl.idBuf[:0]
 	for _, sid := range pl.sets.members[set] {
 		ids = append(ids, pl.stepStates(op, arg, sid)...)
@@ -424,6 +500,7 @@ func (pl *Plan) joinSets(a, b int32) int32 {
 	if r, ok := pl.joinCache[k]; ok {
 		return r
 	}
+	pl.missUnlessUnfrozen()
 	join := pl.q.Join
 	if dj, ok := pl.q.(directJoiner); ok {
 		join = dj.JoinDirect
@@ -452,20 +529,30 @@ func (pl *Plan) joinSets(a, b int32) int32 {
 	return r
 }
 
+// missUnlessUnfrozen asserts that a transition-cache miss is legal: misses
+// cannot occur on a frozen plan (the freeze pass visited every reachable
+// transition), so hitting one means the plan was mutated or an internal
+// invariant broke — panic rather than race on the sealed caches.
+func (pl *Plan) missUnlessUnfrozen() {
+	if pl.frozen {
+		panic("core: transition cache miss on a frozen Plan (internal invariant violated)")
+	}
+}
+
 // --- table management ---
 
-func (pl *Plan) allocTable(hint int) map[rowKey]rowVal {
-	if n := len(pl.freeTabs); n > 0 {
-		tab := pl.freeTabs[n-1]
-		pl.freeTabs = pl.freeTabs[:n-1]
+func (st *evalState) allocTable(hint int) map[rowKey]rowVal {
+	if n := len(st.freeTabs); n > 0 {
+		tab := st.freeTabs[n-1]
+		st.freeTabs = st.freeTabs[:n-1]
 		clear(tab)
 		return tab
 	}
 	return make(map[rowKey]rowVal, hint)
 }
 
-func (pl *Plan) releaseTable(tab map[rowKey]rowVal) {
-	pl.freeTabs = append(pl.freeTabs, tab)
+func (st *evalState) releaseTable(tab map[rowKey]rowVal) {
+	st.freeTabs = append(st.freeTabs, tab)
 }
 
 // put merges a row into tab: equal keys sum their mass (a deterministic OR
@@ -493,26 +580,29 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 		emit = circuit.New()
 	}
 
+	st := pl.getState()
+	defer pl.putState(st)
+
 	// Per-event Bernoulli weights, resolved once per evaluation.
-	if cap(pl.peBuf) < len(pl.events) {
-		pl.peBuf = make([]float64, len(pl.events))
+	if cap(st.peBuf) < len(pl.events) {
+		st.peBuf = make([]float64, len(pl.events))
 	}
-	pe := pl.peBuf[:len(pl.events)]
+	pe := st.peBuf[:len(pl.events)]
 	for i, e := range pl.events {
 		pe[i] = p.P(e)
 	}
 
-	if pl.tables == nil {
-		pl.tables = make([]map[rowKey]rowVal, len(pl.nodes))
+	if st.tables == nil {
+		st.tables = make([]map[rowKey]rowVal, len(pl.nodes))
 	}
-	tables := pl.tables
+	tables := st.tables
 
 	for _, t := range pl.post {
 		nd := &pl.nodes[t]
 		var tab map[rowKey]rowVal
 		switch nd.kind {
 		case treedec.NiceLeaf:
-			tab = pl.allocTable(1)
+			tab = st.allocTable(1)
 			v := rowVal{prob: 1}
 			if emit != nil {
 				v.gate = emit.Const(true)
@@ -522,7 +612,7 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 		case treedec.NiceIntroduce:
 			child := tables[nd.child0]
 			tables[nd.child0] = nil
-			tab = pl.allocTable(2 * len(child))
+			tab = st.allocTable(2 * len(child))
 			if nd.isEvent {
 				// Split every row on the value of the new event; the
 				// Bernoulli weight is applied at the event's forget node.
@@ -536,12 +626,12 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 					put(tab, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}, v, emit)
 				}
 			}
-			pl.releaseTable(child)
+			st.releaseTable(child)
 
 		case treedec.NiceForget:
 			child := tables[nd.child0]
 			tables[nd.child0] = nil
-			tab = pl.allocTable(len(child))
+			tab = st.allocTable(len(child))
 			if nd.isEvent {
 				// Apply the event's Bernoulli weight according to the row's
 				// recorded value, conjoin the literal onto the lineage, and
@@ -574,14 +664,14 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 					put(tab, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}, v, emit)
 				}
 			}
-			pl.releaseTable(child)
+			st.releaseTable(child)
 
 		case treedec.NiceJoin:
 			left := tables[nd.child0]
 			right := tables[nd.child1]
 			tables[nd.child0] = nil
 			tables[nd.child1] = nil
-			tab = pl.allocTable(len(left))
+			tab = st.allocTable(len(left))
 			for lk, lv := range left {
 				for rk, rv := range right {
 					if lk.bits != rk.bits {
@@ -594,8 +684,8 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 					put(tab, rowKey{set: pl.joinSets(lk.set, rk.set), bits: lk.bits}, nv, emit)
 				}
 			}
-			pl.releaseTable(left)
-			pl.releaseTable(right)
+			st.releaseTable(left)
+			st.releaseTable(right)
 		}
 
 		// Apply the facts homed here: resolve each annotation under the
@@ -604,7 +694,7 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 		for i := range nd.facts {
 			pf := &nd.facts[i]
 			in := tab
-			out := pl.allocTable(len(in))
+			out := st.allocTable(len(in))
 			for k, v := range in {
 				nk := k
 				if pf.cf.Eval(k.bits) {
@@ -612,7 +702,7 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 				}
 				put(out, nk, v, emit)
 			}
-			pl.releaseTable(in)
+			st.releaseTable(in)
 			tab = out
 		}
 		tables[t] = tab
@@ -631,7 +721,7 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 			}
 		}
 	}
-	pl.releaseTable(root)
+	st.releaseTable(root)
 	if res.TotalMass < 0.999999 || res.TotalMass > 1.000001 {
 		return nil, fmt.Errorf("core: probability mass %v drifted from 1", res.TotalMass)
 	}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/rel"
+)
+
+// TestPlanConcurrentMixedEvaluations hammers one frozen Plan from 8
+// goroutines with interleaved Probability and ProbabilityBatch calls and
+// checks every answer against serial references. Run under -race (CI does)
+// this is the proof that a frozen plan's transition caches, interners and
+// pooled evaluation states are safe for parallel readers.
+func TestPlanConcurrentMixedEvaluations(t *testing.T) {
+	tid := gen.RSTChain(40, 0.5)
+	q := rel.HardQuery()
+	pl, p, err := PrepareTID(tid, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial references, computed before the plan is shared.
+	r := rand.New(rand.NewSource(31))
+	maps := append([]logic.Prob{p}, randomProbMaps(r, p, 3)...)
+	want := make([]float64, len(maps))
+	for i, m := range maps {
+		if want[i], err = pl.Probability(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			check := func(got, want float64) bool {
+				// Row tables are hash maps, so only the float summation
+				// order — the last ulp — may differ between runs.
+				return math.Abs(got-want) <= 1e-12
+			}
+			for it := 0; it < iters; it++ {
+				if (g+it)%2 == 0 {
+					i := (g + it) % len(maps)
+					got, err := pl.Probability(maps[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !check(got, want[i]) {
+						t.Errorf("goroutine %d: serial %v, want %v", g, got, want[i])
+						return
+					}
+				} else {
+					got, err := pl.ProbabilityBatch(maps)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := range maps {
+						if !check(got[i], want[i]) {
+							t.Errorf("goroutine %d lane %d: batch %v, want %v", g, i, got[i], want[i])
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestFreezeIsIdempotent freezes twice and keeps evaluating.
+func TestFreezeIsIdempotent(t *testing.T) {
+	pl, p, err := PrepareTID(gen.RSTChain(6, 0.5), rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := pl.Probability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Frozen() {
+		t.Fatal("plan frozen before Freeze")
+	}
+	if err := pl.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Frozen() {
+		t.Fatal("plan not frozen after Freeze")
+	}
+	after, err := pl.Probability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-after) > 1e-12 {
+		t.Errorf("freeze changed the answer: %v vs %v", before, after)
+	}
+}

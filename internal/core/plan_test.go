@@ -170,6 +170,53 @@ func TestPlanLineageAcrossEvaluations(t *testing.T) {
 	}
 }
 
+// TestPlanResultLineageOwnedByCaller checks the documented ownership
+// contract of (*Plan).Result: the returned lineage circuit belongs to the
+// caller and is unaffected by any later evaluation of the same plan.
+func TestPlanResultLineageOwnedByCaller(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	tid := randomTID(r, 6)
+	q := rel.HardQuery()
+	c, p1 := tid.ToCInstance()
+	pl, err := PrepareCQ(c, q, Options{EmitLineage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := pl.Result(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGates := first.Lineage.Stat().Gates
+	want := first.Lineage.DDNNFProbability(first.Root, p1)
+	if math.Abs(want-first.Probability) > 1e-9 {
+		t.Fatalf("d-DNNF pass %v vs engine %v", want, first.Probability)
+	}
+	// Keep evaluating the plan under other maps, batched and serial.
+	for i := 0; i < 5; i++ {
+		p2 := logic.Prob{}
+		for e := range p1 {
+			p2[e] = r.Float64()
+		}
+		second, err := pl.Result(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Lineage == first.Lineage {
+			t.Fatal("Result returned a shared lineage circuit")
+		}
+		if _, err := pl.ProbabilityBatch([]logic.Prob{p1, p2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first circuit must be byte-for-byte untouched.
+	if got := first.Lineage.Stat().Gates; got != wantGates {
+		t.Errorf("first lineage grew from %d to %d gates", wantGates, got)
+	}
+	if got := first.Lineage.DDNNFProbability(first.Root, p1); got != want {
+		t.Errorf("first lineage now evaluates to %v, was %v", got, want)
+	}
+}
+
 // TestPlanReachQuery checks the plan path with a non-CQ automaton
 // (s-t connectivity) against a fresh one-shot run.
 func TestPlanReachQuery(t *testing.T) {

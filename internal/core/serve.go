@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logic"
+)
+
+// Request names one independent evaluation for Serve: a compiled plan and
+// the event probability map to evaluate it under. Requests may mix plans
+// freely — many requests sharing one plan (a parameter sweep), or each
+// carrying its own (mixed queries).
+type Request struct {
+	Plan *Plan
+	P    logic.Prob
+}
+
+// Response is the outcome of one Request.
+type Response struct {
+	Probability float64
+	Err         error
+}
+
+// Serve evaluates the requests concurrently over a worker pool and returns
+// one Response per request, in request order. workers <= 0 uses
+// runtime.GOMAXPROCS(0).
+//
+// Every distinct plan is frozen (Freeze) before the fan-out, so a single
+// compiled plan can be shared by any number of concurrent requests; the
+// per-request work is only the numeric dynamic program. Requests whose plan
+// fails to freeze (or is nil) get the error in their Response rather than
+// failing the whole batch.
+func Serve(reqs []Request, workers int) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+
+	// Freeze each distinct plan once, serially, before sharing it.
+	freezeErr := map[*Plan]error{}
+	for _, r := range reqs {
+		if r.Plan == nil {
+			continue
+		}
+		if _, seen := freezeErr[r.Plan]; !seen {
+			freezeErr[r.Plan] = r.Plan.Freeze()
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				req := reqs[i]
+				if req.Plan == nil {
+					out[i].Err = fmt.Errorf("core: request %d has a nil plan", i)
+					continue
+				}
+				if err := freezeErr[req.Plan]; err != nil {
+					out[i].Err = err
+					continue
+				}
+				out[i].Probability, out[i].Err = req.Plan.Probability(req.P)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

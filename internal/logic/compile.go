@@ -12,11 +12,13 @@ import "fmt"
 // row, and the Valuation map that the tree-walking Formula.Eval needs was
 // the dominant allocation of the inner loop.
 //
-// A CompiledFormula reuses an internal evaluation stack and is therefore
-// not safe for concurrent use.
+// A CompiledFormula is immutable after CompileMask and safe for concurrent
+// use: Eval keeps its evaluation stack in a local buffer, so the compiled
+// annotation evaluators of a frozen core.Plan can be shared by parallel
+// evaluations.
 type CompiledFormula struct {
-	ops   []compiledOp
-	stack []bool
+	ops      []compiledOp
+	maxDepth int
 }
 
 type compiledOp struct {
@@ -41,7 +43,8 @@ const (
 func CompileMask(f Formula, varBit map[Event]int) *CompiledFormula {
 	cf := &CompiledFormula{}
 	cf.compile(f, varBit)
-	// Pre-size the stack to the program's maximum depth so Eval never grows it.
+	// Record the program's maximum stack depth so Eval can pick a local
+	// buffer that never grows.
 	depth, max := 0, 0
 	for _, op := range cf.ops {
 		switch op.kind {
@@ -54,7 +57,7 @@ func CompileMask(f Formula, varBit map[Event]int) *CompiledFormula {
 			max = depth
 		}
 	}
-	cf.stack = make([]bool, 0, max)
+	cf.maxDepth = max
 	return cf
 }
 
@@ -90,10 +93,19 @@ func (cf *CompiledFormula) compile(f Formula, varBit map[Event]int) {
 	}
 }
 
+// evalStackBuf is the stack-allocated evaluation buffer of Eval; annotation
+// formulas deeper than this (vanishingly rare) fall back to a heap slice.
+const evalStackBuf = 32
+
 // Eval evaluates the compiled formula under the valuation encoded in mask:
-// the variable compiled to bit i is true iff bit i of mask is set.
+// the variable compiled to bit i is true iff bit i of mask is set. Eval does
+// not mutate the CompiledFormula and may be called concurrently.
 func (cf *CompiledFormula) Eval(mask uint64) bool {
-	st := cf.stack[:0]
+	var buf [evalStackBuf]bool
+	st := buf[:0]
+	if cf.maxDepth > evalStackBuf {
+		st = make([]bool, 0, cf.maxDepth)
+	}
 	for _, op := range cf.ops {
 		switch op.kind {
 		case opConstFalse:
@@ -128,6 +140,5 @@ func (cf *CompiledFormula) Eval(mask uint64) bool {
 			st = append(st, v)
 		}
 	}
-	cf.stack = st[:0]
 	return st[0]
 }

@@ -77,13 +77,20 @@ func (t *TID) EventProb() logic.Prob {
 // World materializes the world in which exactly the facts with present[i]
 // true are kept.
 func (t *TID) World(present []bool) *rel.Instance {
-	in := rel.NewInstance()
+	return t.WorldInto(present, rel.NewInstance())
+}
+
+// WorldInto materializes the world selected by present into the given
+// instance, which is Reset first and returned. Reusing one instance across
+// draws is the allocation-free path for samplers.
+func (t *TID) WorldInto(present []bool, into *rel.Instance) *rel.Instance {
+	into.Reset()
 	for i := 0; i < t.NumFacts(); i++ {
 		if present[i] {
-			in.Add(t.Inst.Fact(i))
+			into.AddFrom(t.Inst, i)
 		}
 	}
-	return in
+	return into
 }
 
 // EnumerateWorlds calls fn with every possible world and its probability.
@@ -184,13 +191,19 @@ func (c *CInstance) Events() []logic.Event {
 
 // World returns the possible world selected by the valuation v.
 func (c *CInstance) World(v logic.Valuation) *rel.Instance {
-	in := rel.NewInstance()
+	return c.WorldInto(v, rel.NewInstance())
+}
+
+// WorldInto materializes the world selected by v into the given instance,
+// which is Reset first and returned. The reuse path for samplers.
+func (c *CInstance) WorldInto(v logic.Valuation, into *rel.Instance) *rel.Instance {
+	into.Reset()
 	for i := 0; i < c.NumFacts(); i++ {
 		if c.Ann[i].Eval(v) {
-			in.Add(c.Inst.Fact(i))
+			into.AddFrom(c.Inst, i)
 		}
 	}
-	return in
+	return into
 }
 
 // EnumerateWorlds calls fn with every event valuation and its world.

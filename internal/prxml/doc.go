@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/logic"
 )
@@ -117,9 +118,60 @@ func NewCie(conds [][]logic.Literal, children ...*Node) *Node {
 
 // Document is a PrXML document: a tree rooted at a tag node, together with
 // the probabilities of the global events used by cie nodes.
+//
+// MatchProbability caches its structural compilation (the document's scope
+// analysis and the per-pattern match-set index) on the document — a mini
+// Prepare/Evaluate split: repeated calls with updated probabilities
+// (EventProb values, ind/mux Probs) skip recompilation. Structural edits to
+// the tree or to cie conditions must be followed by ResetCache. The caches
+// are mutex-guarded, so concurrent MatchProbability calls on one shared
+// (structurally unchanging) document remain safe.
 type Document struct {
 	Root      *Node
 	EventProb logic.Prob
+
+	cacheMu      sync.Mutex
+	scopeCache   *ScopeInfo
+	patternCache map[string]*patternIndex // keyed by Pattern.cacheKey()
+}
+
+// maxCachedPatterns bounds the per-pattern compilation cache: a long-lived
+// document queried with ever-fresh ad-hoc patterns must not accumulate (and
+// pin) every pattern it has ever seen. Recompiling after a wholesale drop is
+// cheap relative to one evaluation.
+const maxCachedPatterns = 64
+
+// prepared returns the document's scope analysis and the compiled match-set
+// index of p, computing each on first use. Both depend only on the tree
+// structure and the pattern, never on probabilities. The pattern cache is
+// keyed by the canonical rendering, so structurally equal patterns rebuilt
+// per call still hit.
+func (d *Document) prepared(p *Pattern) (*ScopeInfo, *patternIndex) {
+	key := p.cacheKey()
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	if d.scopeCache == nil {
+		d.scopeCache = d.Scopes()
+	}
+	pi, ok := d.patternCache[key]
+	if !ok {
+		if d.patternCache == nil || len(d.patternCache) >= maxCachedPatterns {
+			d.patternCache = map[string]*patternIndex{}
+		}
+		pi = indexPattern(p)
+		d.patternCache[key] = pi
+	}
+	return d.scopeCache, pi
+}
+
+// ResetCache drops the compiled scope and pattern caches. Call it after
+// editing the tree structure, cie conditions, or a cached pattern;
+// probability updates alone never require it.
+func (d *Document) ResetCache() {
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	d.scopeCache = nil
+	d.patternCache = nil
 }
 
 // NewDocument wraps a root tag node.

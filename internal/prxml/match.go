@@ -62,6 +62,32 @@ func (p *Pattern) String() string {
 	return sb.String()
 }
 
+// cacheKey renders the pattern canonically for the document's compilation
+// cache. Unlike String it keeps wildcard labels distinct from a literal "*"
+// label, so structurally different patterns never share a key.
+func (p *Pattern) cacheKey() string {
+	var sb strings.Builder
+	var walk func(q *Pattern)
+	walk = func(q *Pattern) {
+		if q.Label == "" {
+			sb.WriteByte(0)
+		} else {
+			sb.WriteString(q.Label)
+		}
+		for _, e := range q.Edges {
+			if e.Descendant {
+				sb.WriteString("[//")
+			} else {
+				sb.WriteString("[/")
+			}
+			walk(e.Child)
+			sb.WriteByte(']')
+		}
+	}
+	walk(p)
+	return sb.String()
+}
+
 // nodes returns the pattern nodes in a fixed order (preorder); index 0 is
 // the root. Match sets are bitmasks over this order.
 func (p *Pattern) nodes() []*Pattern {

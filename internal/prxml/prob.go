@@ -22,8 +22,7 @@ func (d *Document) MatchProbability(p *Pattern) (float64, error) {
 	if err := d.Validate(); err != nil {
 		return 0, err
 	}
-	pi := indexPattern(p)
-	scopes := d.Scopes()
+	scopes, pi := d.prepared(p)
 	ev := &evaluator{doc: d, pi: pi, scopes: scopes}
 	table, err := ev.eval(d.Root)
 	if err != nil {

@@ -3,6 +3,7 @@ package prxml
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -44,6 +45,121 @@ func TestLocalModelSimpleInd(t *testing.T) {
 	}
 	if math.Abs(got-0.3) > 1e-12 {
 		t.Errorf("P = %v, want 0.3", got)
+	}
+}
+
+// TestMatchProbabilityCachedAcrossProbabilityUpdates checks the mini
+// Prepare/Evaluate split: repeated MatchProbability calls on one document
+// reuse the compiled scope/pattern caches, and updated event or keep
+// probabilities still give exact (enumeration-checked) answers.
+func TestMatchProbabilityCachedAcrossProbabilityUpdates(t *testing.T) {
+	e := logic.Event("e")
+	ind := NewInd([]float64{0.3}, NewTag("x"))
+	doc := NewDocument(NewTag("r",
+		NewCie([][]logic.Literal{{{Event: e}}}, NewTag("y")),
+		ind,
+	), logic.Prob{e: 0.4})
+	p := NewPattern("r", NewPattern("x"), NewPattern("y"))
+	for trial, setup := range []func(){
+		func() {},
+		func() { doc.EventProb[e] = 0.9 }, // update an event probability
+		func() { ind.Probs[0] = 0.8 },     // update a local keep probability
+	} {
+		setup()
+		got, err := doc.MatchProbability(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := doc.MatchProbabilityEnumeration(p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("trial %d: DP %v, enumeration %v", trial, got, want)
+		}
+		if doc.scopeCache == nil || doc.patternCache[p.cacheKey()] == nil {
+			t.Errorf("trial %d: compilation was not cached", trial)
+		}
+	}
+	// A structurally equal pattern rebuilt from scratch hits the same entry.
+	rebuilt := NewPattern("r", NewPattern("x"), NewPattern("y"))
+	if _, err := doc.MatchProbability(rebuilt); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.patternCache) != 1 {
+		t.Errorf("rebuilt equal pattern missed the cache: %d entries", len(doc.patternCache))
+	}
+	// A structural edit plus ResetCache recompiles and stays exact.
+	doc.Root.Children = doc.Root.Children[:1] // drop the ind subtree
+	doc.ResetCache()
+	if doc.scopeCache != nil || doc.patternCache != nil {
+		t.Fatal("ResetCache left caches in place")
+	}
+	got, err := doc.MatchProbability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("pattern still matches after its subtree was removed: %v", got)
+	}
+}
+
+// TestMatchProbabilityConcurrentCallsSafe checks that the compilation
+// caches keep concurrent MatchProbability calls on one shared document safe
+// (they were safe before the caches existed, when everything was built
+// per call).
+func TestMatchProbabilityConcurrentCallsSafe(t *testing.T) {
+	e := logic.Event("e")
+	doc := NewDocument(NewTag("r",
+		NewCie([][]logic.Literal{{{Event: e}}}, NewTag("y")),
+		NewInd([]float64{0.3}, NewTag("x")),
+	), logic.Prob{e: 0.4})
+	patterns := []*Pattern{
+		NewPattern("r", NewPattern("x")),
+		NewPattern("r", NewPattern("y")),
+		NewPattern("r").WithDescendant(NewPattern("x")),
+	}
+	want := make([]float64, len(patterns))
+	for i, p := range patterns {
+		var err error
+		if want[i], err = doc.MatchProbability(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				i := (g + it) % len(patterns)
+				got, err := doc.MatchProbability(patterns[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Abs(got-want[i]) > 1e-12 {
+					t.Errorf("pattern %d: %v, want %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPatternCacheBounded queries one document with more distinct patterns
+// than the cache bound: the cache must stay bounded and the answers exact.
+func TestPatternCacheBounded(t *testing.T) {
+	doc := NewDocument(NewTag("r", NewInd([]float64{0.3}, NewTag("x"))), nil)
+	for i := 0; i < 3*maxCachedPatterns; i++ {
+		got, err := doc.MatchProbability(NewPattern("r", NewPattern("x")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-0.3) > 1e-12 {
+			t.Fatalf("iteration %d: P = %v, want 0.3", i, got)
+		}
+	}
+	if n := len(doc.patternCache); n > maxCachedPatterns {
+		t.Errorf("pattern cache grew to %d entries (bound %d)", n, maxCachedPatterns)
 	}
 }
 

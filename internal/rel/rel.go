@@ -48,6 +48,7 @@ func (f Fact) Equal(g Fact) bool {
 // is an empty instance ready for use.
 type Instance struct {
 	facts []Fact
+	keys  []string       // keys[i] = facts[i].Key(), cached at insertion
 	index map[string]int // fact key -> position in facts
 	byRel map[string][]int
 }
@@ -66,13 +67,24 @@ func (in *Instance) ensureInit() {
 
 // Add inserts the fact if not already present and returns its index.
 func (in *Instance) Add(f Fact) int {
+	return in.addKeyed(f, f.Key())
+}
+
+// AddFrom inserts fact i of src, reusing src's cached canonical key so the
+// key string is not re-rendered — the world-materialization hot path of the
+// samplers, where every kept fact comes from the candidate instance.
+func (in *Instance) AddFrom(src *Instance, i int) int {
+	return in.addKeyed(src.facts[i], src.keys[i])
+}
+
+func (in *Instance) addKeyed(f Fact, key string) int {
 	in.ensureInit()
-	key := f.Key()
 	if i, ok := in.index[key]; ok {
 		return i
 	}
 	i := len(in.facts)
 	in.facts = append(in.facts, f)
+	in.keys = append(in.keys, key)
 	in.index[key] = i
 	in.byRel[f.Rel] = append(in.byRel[f.Rel], i)
 	return i
@@ -81,6 +93,20 @@ func (in *Instance) Add(f Fact) int {
 // AddFact is a convenience wrapper: Add(NewFact(rel, args...)).
 func (in *Instance) AddFact(rel string, args ...string) int {
 	return in.Add(NewFact(rel, args...))
+}
+
+// Reset empties the instance while retaining its allocated capacity (the
+// fact slice, the index map, and the per-relation index slices), so tight
+// loops — e.g. Monte Carlo samplers materializing one world per draw — can
+// reuse a single instance instead of allocating one per iteration.
+func (in *Instance) Reset() {
+	in.ensureInit()
+	in.facts = in.facts[:0]
+	in.keys = in.keys[:0]
+	clear(in.index)
+	for r, ids := range in.byRel {
+		in.byRel[r] = ids[:0]
+	}
 }
 
 // Has reports whether the instance contains the fact.
@@ -118,8 +144,10 @@ func (in *Instance) FactsOf(rel string) []int {
 func (in *Instance) Relations() []string {
 	in.ensureInit()
 	rels := make([]string, 0, len(in.byRel))
-	for r := range in.byRel {
-		rels = append(rels, r)
+	for r, ids := range in.byRel {
+		if len(ids) > 0 { // Reset keeps emptied per-relation entries around
+			rels = append(rels, r)
+		}
 	}
 	sort.Strings(rels)
 	return rels
@@ -314,11 +342,15 @@ func (q CQ) String() string {
 // Holds reports whether the Boolean query q is satisfied by the instance,
 // i.e. whether a homomorphism from q's atoms into the facts exists. Simple
 // backtracking join; exponential in the query, polynomial in the data.
+// Newly bound variables are tracked on a shared trail rather than per-fact
+// slices, so a Holds call allocates only the binding map and the trail —
+// this is the per-sample hot path of internal/sampling.
 func (q CQ) Holds(in *Instance) bool {
-	return q.matchFrom(in, 0, map[string]string{})
+	trail := make([]string, 0, 2*len(q.Atoms))
+	return q.matchFrom(in, 0, make(map[string]string, 2*len(q.Atoms)), &trail)
 }
 
-func (q CQ) matchFrom(in *Instance, ai int, binding map[string]string) bool {
+func (q CQ) matchFrom(in *Instance, ai int, binding map[string]string, trail *[]string) bool {
 	if ai == len(q.Atoms) {
 		return true
 	}
@@ -328,7 +360,7 @@ func (q CQ) matchFrom(in *Instance, ai int, binding map[string]string) bool {
 		if len(f.Args) != len(atom.Terms) {
 			continue
 		}
-		newVars := make([]string, 0, len(atom.Terms))
+		mark := len(*trail)
 		ok := true
 		for i, t := range atom.Terms {
 			arg := f.Args[i]
@@ -347,17 +379,15 @@ func (q CQ) matchFrom(in *Instance, ai int, binding map[string]string) bool {
 				continue
 			}
 			binding[t.Name] = arg
-			newVars = append(newVars, t.Name)
+			*trail = append(*trail, t.Name)
 		}
-		if ok && q.matchFrom(in, ai+1, binding) {
-			for _, v := range newVars {
-				delete(binding, v)
-			}
+		if ok && q.matchFrom(in, ai+1, binding, trail) {
 			return true
 		}
-		for _, v := range newVars {
+		for _, v := range (*trail)[mark:] {
 			delete(binding, v)
 		}
+		*trail = (*trail)[:mark]
 	}
 	return false
 }

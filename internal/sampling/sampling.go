@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/rel"
@@ -45,26 +46,106 @@ func hoeffdingRadius(n int, confidence float64) float64 {
 	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
 }
 
-// QueryTID estimates P(q) on a TID instance from n sampled worlds.
+// QueryTID estimates P(q) on a TID instance from n sampled worlds. One
+// presence mask and one world instance are reused across all draws, so the
+// per-sample cost is the query match, not allocation.
 func QueryTID(t *pdb.TID, q rel.CQ, n int, confidence float64, r *rand.Rand) Estimate {
 	hits := 0
+	present := make([]bool, t.NumFacts())
+	world := rel.NewInstance()
 	for i := 0; i < n; i++ {
-		if q.Holds(t.Sample(r)) {
+		for j := range present {
+			present[j] = r.Float64() < t.Probs[j]
+		}
+		if q.Holds(t.WorldInto(present, world)) {
 			hits++
 		}
 	}
 	return Estimate{P: float64(hits) / float64(n), Samples: n, Radius: hoeffdingRadius(n, confidence)}
 }
 
-// QueryPC estimates P(q) on a pc-instance from n sampled worlds.
+// QueryPC estimates P(q) on a pc-instance from n sampled worlds. The event
+// list, the valuation map and the world instance are hoisted out of the
+// sampling loop and reused across all draws.
 func QueryPC(c *pdb.CInstance, p logic.Prob, q rel.CQ, n int, confidence float64, r *rand.Rand) Estimate {
 	hits := 0
+	events := c.Events()
+	v := make(logic.Valuation, len(events))
+	world := rel.NewInstance()
 	for i := 0; i < n; i++ {
-		if q.Holds(c.Sample(r, p)) {
+		for _, e := range events {
+			v[e] = r.Float64() < p.P(e)
+		}
+		if q.Holds(c.WorldInto(v, world)) {
 			hits++
 		}
 	}
 	return Estimate{P: float64(hits) / float64(n), Samples: n, Radius: hoeffdingRadius(n, confidence)}
+}
+
+// planLanes is the batch width of the plan-based samplers: how many sampled
+// worlds one multi-lane DP pass decides.
+const planLanes = 64
+
+// queryPlan decides n sampled worlds through a prepared plan: each draw
+// fixes every event to 0 or 1, and batches of planLanes draws are decided by
+// one multi-lane pass of (*core.Plan).ProbabilityBatch, whose lanes then
+// hold the exact 0/1 indicator of the query on each world. The lane maps are
+// allocated once and rewritten in place between batches.
+func queryPlan(pl *core.Plan, events []logic.Event, drawP func(logic.Event) float64, n int, confidence float64, r *rand.Rand) (Estimate, error) {
+	lanes := make([]logic.Prob, planLanes)
+	for i := range lanes {
+		lanes[i] = make(logic.Prob, len(events))
+	}
+	hits := 0
+	for done := 0; done < n; {
+		batch := planLanes
+		if n-done < batch {
+			batch = n - done
+		}
+		for l := 0; l < batch; l++ {
+			for _, e := range events {
+				if r.Float64() < drawP(e) {
+					lanes[l][e] = 1
+				} else {
+					lanes[l][e] = 0
+				}
+			}
+		}
+		out, err := pl.ProbabilityBatch(lanes[:batch])
+		if err != nil {
+			return Estimate{}, err
+		}
+		for _, ind := range out {
+			if ind > 0.5 {
+				hits++
+			}
+		}
+		done += batch
+	}
+	return Estimate{P: float64(hits) / float64(n), Samples: n, Radius: hoeffdingRadius(n, confidence)}, nil
+}
+
+// QueryTIDPlan estimates P(q) on a TID instance from n sampled worlds,
+// deciding every world through the prepared plan pl (as returned by
+// core.PrepareTID for the same instance and query) instead of re-matching
+// the query per sample: the query is decided once at Prepare time, and each
+// batch of draws costs one multi-lane DP pass.
+func QueryTIDPlan(t *pdb.TID, pl *core.Plan, n int, confidence float64, r *rand.Rand) (Estimate, error) {
+	events := make([]logic.Event, t.NumFacts())
+	probs := make(logic.Prob, t.NumFacts())
+	for i := range events {
+		events[i] = t.EventOf(i)
+		probs[events[i]] = t.Probs[i]
+	}
+	return queryPlan(pl, events, probs.P, n, confidence, r)
+}
+
+// QueryPCPlan estimates P(q) on a pc-instance from n sampled worlds decided
+// through the prepared plan pl (as returned by core.PrepareCQ for the same
+// instance and query).
+func QueryPCPlan(c *pdb.CInstance, p logic.Prob, pl *core.Plan, n int, confidence float64, r *rand.Rand) (Estimate, error) {
+	return queryPlan(pl, c.Events(), p.P, n, confidence, r)
 }
 
 // SamplesForRadius returns the number of samples Hoeffding requires for the

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/rel"
@@ -62,6 +63,51 @@ func TestSamplesForRadiusInverse(t *testing.T) {
 	// One fewer sample should not suffice (up to ceiling slack).
 	if prev := hoeffdingRadius(n-10, 0.95); prev <= 0.0099 {
 		t.Errorf("SamplesForRadius overshoots badly: %v", prev)
+	}
+}
+
+// TestQueryTIDPlanConverges decides sampled worlds through a prepared plan
+// (0/1 lanes of the batched DP) and must converge like the direct sampler.
+func TestQueryTIDPlanConverges(t *testing.T) {
+	tid := pdb.NewTID()
+	tid.AddFact(0.5, "R", "a")
+	tid.AddFact(0.7, "S", "a", "b")
+	tid.AddFact(0.4, "T", "b")
+	q := rel.HardQuery()
+	exact := tid.QueryProbabilityEnumeration(q)
+	pl, _, err := core.PrepareTID(tid, q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven n exercises the final partial batch.
+	est, err := QueryTIDPlan(tid, pl, 5000+17, 0.99, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P-exact) > est.Radius {
+		t.Errorf("estimate %s misses exact %v", est, exact)
+	}
+}
+
+// TestQueryPCPlanConverges does the same on a pc-instance with correlated
+// annotations, where the plan decides worlds the CQ matcher would get from
+// shared events.
+func TestQueryPCPlanConverges(t *testing.T) {
+	c := pdb.NewCInstance()
+	c.AddFact(logic.Var("e"), "R", "a")
+	c.AddFact(logic.Not(logic.Var("e")), "R", "b")
+	p := logic.Prob{"e": 0.3}
+	q := rel.NewCQ(rel.NewAtom("R", rel.C("a")))
+	pl, err := core.PrepareCQ(c, q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := QueryPCPlan(c, p, pl, 20000, 0.99, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P-0.3) > est.Radius {
+		t.Errorf("estimate %s misses 0.3", est)
 	}
 }
 

@@ -21,20 +21,31 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$bench" -benchmem -count "$count" | tee "$raw"
 
 # Average the repetitions per benchmark and emit a JSON object keyed by
-# benchmark name (GOMAXPROCS suffix stripped).
+# benchmark name (GOMAXPROCS suffix stripped). Metrics are located by their
+# unit label rather than by column, so benchmarks that report extra metrics
+# (e.g. the ns/assign of the multi-lane batch benchmarks) parse correctly.
 awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns[name] += $3; bytes[name] += $5; allocs[name] += $7; runs[name]++
+    for (f = 3; f <= NF; f++) {
+        if ($f == "ns/op")          ns[name] += $(f-1)
+        else if ($f == "B/op")      bytes[name] += $(f-1)
+        else if ($f == "allocs/op") allocs[name] += $(f-1)
+        else if ($f == "ns/assign") assign[name] += $(f-1)
+    }
+    runs[name]++
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
 END {
     printf "{\n  \"host\": \"%s\",\n  \"benchmarks\": {\n", host
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f, \"runs\": %d}%s\n", \
-            name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], runs[name], \
+        extra = ""
+        if (name in assign)
+            extra = sprintf(", \"ns_per_assign\": %.1f", assign[name]/runs[name])
+        printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f%s, \"runs\": %d}%s\n", \
+            name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], extra, runs[name], \
             (i < n-1 ? "," : "")
     }
     printf "  }\n}\n"
