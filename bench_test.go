@@ -13,6 +13,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/incr"
 	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/porder"
@@ -156,6 +157,71 @@ func BenchmarkE1Parallel(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// BenchmarkE1Update measures incremental maintenance on E1 n=800: a
+// single-tuple SetProb plus the refreshed probability through a live
+// materialized view (internal/incr), against re-Prepare + evaluate as the
+// baseline a snapshot engine would pay. The ns/update metric lands in
+// BENCH_BASELINE.json as ns_per_update.
+func BenchmarkE1Update(b *testing.B) {
+	q := rel.HardQuery()
+	tid := gen.RSTChain(800, 0.5)
+	b.Run("incremental/n=800", func(b *testing.B) {
+		s, err := incr.NewStore(tid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := s.RegisterView(q, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.SetProb((i*37)%s.Len(), 0.3+0.4*float64(i%2)); err != nil {
+				b.Fatal(err)
+			}
+			_ = v.Probability()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/update")
+	})
+	b.Run("reprepare/n=800", func(b *testing.B) {
+		work := gen.RSTChain(800, 0.5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work.Probs[(i*37)%work.NumFacts()] = 0.3 + 0.4*float64(i%2)
+			pl, p, err := core.PrepareTID(work, q, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pl.Probability(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/update")
+	})
+	// The amortized batch path: 64 staged SetProbs, one commit.
+	b.Run("batch64/n=800", func(b *testing.B) {
+		s, err := incr.NewStore(tid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RegisterView(q, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		us := make([]incr.Update, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range us {
+				us[j] = incr.Update{Op: incr.OpSet, ID: (i + j*37) % s.Len(), P: 0.3 + 0.4*float64(j%2)}
+			}
+			if err := s.ApplyBatch(us); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(us)), "ns/update")
+	})
 }
 
 // BenchmarkE2WidthSweep measures Theorem 2: cost vs planted width on

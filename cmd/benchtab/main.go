@@ -19,6 +19,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/incr"
 	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/porder"
@@ -50,6 +51,7 @@ func main() {
 	run("E8", e8)
 	run("E9", e9)
 	run("E10", e10)
+	run("E11", e11)
 }
 
 func timed(fn func()) time.Duration {
@@ -554,4 +556,117 @@ func e10() {
 	}
 	fmt.Printf("    samples needed for ±0.001 at 99%%: %d (the exact engine needs one pass)\n",
 		sampling.SamplesForRadius(0.001, 0.99))
+}
+
+// e11 — incremental maintenance: a live materialized view absorbs updates at
+// dirty-spine cost, against re-Prepare + evaluate as the baseline. Depth is
+// printed because it bounds the spine a single update recomputes.
+func e11() {
+	fmt.Println("E11 Incremental maintenance: live views under updates (incr.Store on E1 chains)")
+	fmt.Println("    single-tuple SetProb vs re-Prepare+evaluate:")
+	fmt.Println("    n(chain)  facts  depth  nodes  update_us  reprep_ms  speedup")
+	q := rel.HardQuery()
+	for _, n := range []int{100, 400, 800} {
+		tid := gen.RSTChain(n, 0.5)
+		s, err := incr.NewStore(tid)
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		v, err := s.RegisterView(q, core.Options{})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		const rounds = 50
+		d := timed(func() {
+			for i := 0; i < rounds; i++ {
+				if err = s.SetProb((i*37)%s.Len(), 0.3+0.4*float64(i%2)); err != nil {
+					return
+				}
+				_ = v.Probability()
+			}
+		})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		perUpdate := float64(d.Microseconds()) / rounds
+		dRe := timed(func() {
+			tid.Probs[0] = 0.3
+			pl, p, errP := core.PrepareTID(tid, q, core.Options{})
+			if errP != nil {
+				err = errP
+				return
+			}
+			_, err = pl.Probability(p)
+		})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		sh := v.Shape()
+		reprepMs := float64(dRe.Microseconds()) / 1000
+		fmt.Printf("    %-9d %-6d %-6d %-6d %-10.1f %-10.2f %.0fx\n",
+			n, s.Len(), sh.Depth, sh.Nodes, perUpdate, reprepMs, reprepMs*1000/perUpdate)
+	}
+
+	fmt.Println("    inserts, deletes and batches on the n=400 chain:")
+	tid := gen.RSTChain(400, 0.5)
+	s, err := incr.NewStore(tid)
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	v, err := s.RegisterView(q, core.Options{})
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	base := s.Len() // pre-insert fact count: batch targets only these ids
+	const inserts = 40
+	dIns := timed(func() {
+		for i := 0; i < inserts && err == nil; i++ {
+			// A second parallel S edge: absorbed in place by attach.
+			_, err = s.Insert(rel.NewFact("S", fmt.Sprintf("v%d", 10*i+1), fmt.Sprintf("v%d", 10*i)), 0.3)
+		}
+	})
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	dDel := timed(func() {
+		for i := 0; i < inserts && err == nil; i++ {
+			err = s.Delete(s.Len() - 1 - i) // tombstone the freshly inserted facts
+		}
+	})
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	batch := make([]incr.Update, 64)
+	for i := range batch {
+		batch[i] = incr.Update{Op: incr.OpSet, ID: (i * 17) % base, P: 0.6}
+	}
+	dBatch := timed(func() { err = s.ApplyBatch(batch) })
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	st := s.Stats()
+	fmt.Printf("    path              us/update  detail\n")
+	fmt.Printf("    insert (attach)   %-10.1f %d absorbed in place, %d rebuilds\n",
+		float64(dIns.Microseconds())/inserts, st.Attached, st.Rebuilds)
+	fmt.Printf("    delete (tombstone) %-9.1f %d tombstones pending compaction\n",
+		float64(dDel.Microseconds())/inserts, st.Tombstones)
+	fmt.Printf("    batch 64 sets     %-10.1f one commit, shared spines\n",
+		float64(dBatch.Microseconds())/float64(len(batch)))
+
+	// Exact-agreement check against a full re-Prepare on the mutated store.
+	want, err := s.Oracle(q)
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	fmt.Printf("    agreement vs full re-Prepare oracle: |Δ| = %.1e\n", math.Abs(v.Probability()-want))
 }

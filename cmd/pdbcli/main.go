@@ -4,7 +4,8 @@
 // Usage:
 //
 //	pdbcli -i instance.pdb -q 'R(?x) & S(?x,?y) & T(?y)' [-mode prob|possible|certain|all]
-//	       [-batch 'e1=0.1,0.5,0.9'] [-parallel N]
+//	       [-batch 'e1=0.1,0.5,0.9'] [-parallel N] [-stats]
+//	       [-updates script.up]
 //
 // Instance format, one declaration per line ('#' starts a comment):
 //
@@ -20,6 +21,16 @@
 // once, carrying one weight lane per value). With -parallel N the sweep is
 // instead served as N-way concurrent single evaluations of the shared
 // frozen plan (core.Serve), the worker-pool path a query server would use.
+//
+// -stats prints the shape of the decomposition the plan runs on (width,
+// nice nodes, depth, max bag); depth bounds the cost of live updates.
+//
+// -updates FILE switches to live-update mode: the instance (which must be
+// tuple-independent) is loaded into an incr.Store serving the query from a
+// live materialized view, and the update script in FILE — set/insert/delete/
+// begin/commit/prob/stats commands, see RunUpdates — is replayed against it,
+// printing the refreshed probability after every commit. FILE may be "-" to
+// read commands from stdin, e.g. interactively.
 package main
 
 import (
@@ -43,6 +54,8 @@ func main() {
 	mode := flag.String("mode", "all", "prob | possible | certain | all")
 	batchSpec := flag.String("batch", "", "sweep one event's probability, e.g. 'e1=0.1,0.5,0.9' (one batched multi-lane evaluation)")
 	parallel := flag.Int("parallel", 0, "serve the -batch sweep over N worker goroutines instead of the lane path (0: batched)")
+	stats := flag.Bool("stats", false, "print the decomposition shape (width, nice nodes, depth, max bag)")
+	updates := flag.String("updates", "", "live-update mode: replay the update script in this file ('-' for stdin) against a live view")
 	flag.Parse()
 	if *queryStr == "" {
 		fmt.Fprintln(os.Stderr, "pdbcli: -q is required")
@@ -65,6 +78,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Live-update mode: load the instance into a store, serve the query from
+	// a live materialized view, replay the script.
+	if *updates != "" {
+		tid, err := TIDFromInstance(c, p)
+		if err != nil {
+			fatal(err)
+		}
+		script := os.Stdin
+		if *updates != "-" {
+			f, err := os.Open(*updates)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			script = f
+		} else if *inPath == "" {
+			fatal(fmt.Errorf("-updates - needs -i: stdin cannot carry both the instance and the script"))
+		}
+		if err := RunUpdates(tid, q, script, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	switch *mode {
 	case "prob", "possible", "certain", "all":
 	default:
@@ -100,6 +138,10 @@ func main() {
 	res, err := pl.Result(p)
 	if err != nil {
 		fatal(err)
+	}
+	if *stats {
+		sh := pl.Shape()
+		fmt.Printf("decomposition: width %d, %d nice nodes, depth %d, max bag %d\n", sh.Width, sh.Nodes, sh.Depth, sh.MaxBag)
 	}
 	if *mode == "prob" || *mode == "all" {
 		fmt.Printf("probability: %.9f (joint width %d)\n", res.Probability, res.Width)

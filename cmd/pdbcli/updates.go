@@ -1,0 +1,170 @@
+package main
+
+// The live-update mode of pdbcli: -updates replays a script of mutations
+// (or serves an interactive REPL from stdin) against an incr.Store, printing
+// the refreshed query probability after every commit. The query is answered
+// from a live materialized view, so a probability tweak costs one dirty
+// spine, not a re-Prepare.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+// TIDFromInstance converts a parsed instance into a tuple-independent one:
+// every fact must be annotated by its own single positive event. Instances
+// with shared or complex annotations are rejected — the live-update store
+// maintains tuple-level probabilities, so correlated facts have no
+// well-defined per-tuple weight to update.
+func TIDFromInstance(c *pdb.CInstance, p logic.Prob) (*pdb.TID, error) {
+	t := pdb.NewTID()
+	seen := map[logic.Event]int{}
+	for i := 0; i < c.NumFacts(); i++ {
+		f := c.Inst.Fact(i)
+		vars := logic.Vars(c.Ann[i])
+		if len(vars) != 1 || !logic.Equivalent(c.Ann[i], logic.Var(vars[0])) {
+			return nil, fmt.Errorf("fact %s has annotation %s: the update mode needs a tuple-independent instance (plain 'fact' lines, or one positive event per cfact)", f, logic.String(c.Ann[i]))
+		}
+		if prev, dup := seen[vars[0]]; dup {
+			return nil, fmt.Errorf("facts %s and %s share event %s: the update mode needs independent tuples", c.Inst.Fact(prev), f, vars[0])
+		}
+		seen[vars[0]] = i
+		if _, err := t.TryAdd(f, p.P(vars[0])); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// RunUpdates executes the update script from r against a fresh store over
+// tid, serving q from a live view, and writes the refreshed probability
+// after every commit to w. Supported commands, one per line ('#' comments):
+//
+//	set ID P             overwrite the probability of fact ID
+//	insert P REL ARGS..  add (or revive) a fact
+//	delete ID            tombstone fact ID
+//	begin ... commit     group the enclosed updates into one batched commit
+//	prob                 print the current probability
+//	stats                print store counters and the decomposition shape
+//
+// Fact ids are the load order of the instance file, counted from 0; inserts
+// print the id they were assigned.
+func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer) error {
+	s, err := incr.NewStore(tid)
+	if err != nil {
+		return err
+	}
+	v, err := s.RegisterView(q, core.Options{})
+	if err != nil {
+		return err
+	}
+	cancel := s.Subscribe(func(c incr.Commit) {
+		fmt.Fprintf(w, "#%d P(q) = %.9f\n", c.Seq, c.Probabilities[0])
+	})
+	defer cancel()
+	fmt.Fprintf(w, "live view ready: %d facts, P(q) = %.9f\n", s.Len(), v.Probability())
+
+	var batch []incr.Update
+	inBatch := false
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		fail := func(err error) error { return fmt.Errorf("updates line %d: %v", line, err) }
+		switch fields[0] {
+		case "set":
+			if len(fields) != 3 {
+				return fail(fmt.Errorf("set ID P"))
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			p, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return fail(fmt.Errorf("set wants an integer id and a probability"))
+			}
+			if inBatch {
+				batch = append(batch, incr.Update{Op: incr.OpSet, ID: id, P: p})
+			} else if err := s.SetProb(id, p); err != nil {
+				return fail(err)
+			}
+		case "insert":
+			if len(fields) < 3 {
+				return fail(fmt.Errorf("insert P REL ARGS..."))
+			}
+			p, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return fail(err)
+			}
+			f := rel.NewFact(fields[2], fields[3:]...)
+			if inBatch {
+				batch = append(batch, incr.Update{Op: incr.OpInsert, Fact: f, P: p})
+			} else {
+				id, err := s.Insert(f, p)
+				if err != nil {
+					return fail(err)
+				}
+				fmt.Fprintf(w, "inserted %s as id %d\n", f, id)
+			}
+		case "delete":
+			if len(fields) != 2 {
+				return fail(fmt.Errorf("delete ID"))
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fail(err)
+			}
+			if inBatch {
+				batch = append(batch, incr.Update{Op: incr.OpDelete, ID: id})
+			} else if err := s.Delete(id); err != nil {
+				return fail(err)
+			}
+		case "begin":
+			if inBatch {
+				return fail(fmt.Errorf("nested begin"))
+			}
+			inBatch = true
+			batch = batch[:0]
+		case "commit":
+			if !inBatch {
+				return fail(fmt.Errorf("commit outside begin"))
+			}
+			inBatch = false
+			if err := s.ApplyBatch(batch); err != nil {
+				return fail(err)
+			}
+			for _, u := range batch {
+				if u.Op == incr.OpInsert {
+					fmt.Fprintf(w, "inserted %s as id %d\n", u.Fact, s.IDOf(u.Fact))
+				}
+			}
+			fmt.Fprintf(w, "batch of %d updates committed\n", len(batch))
+		case "prob":
+			fmt.Fprintf(w, "P(q) = %.9f\n", v.Probability())
+		case "stats":
+			st := s.Stats()
+			sh := v.Shape()
+			fmt.Fprintf(w, "store: %d commits, %d updates (%d set, %d insert, %d delete), %d attached in place, %d rebuilds, %d tombstones, %d tables recomputed\n",
+				st.Commits, st.Updates, st.SetProbs, st.Inserts, st.Deletes, st.Attached, st.Rebuilds, st.Tombstones, st.NodesRecomputed)
+			fmt.Fprintf(w, "view: width %d, %d nice nodes, depth %d, max bag %d\n", sh.Width, sh.Nodes, sh.Depth, sh.MaxBag)
+		default:
+			return fail(fmt.Errorf("unknown command %q (set|insert|delete|begin|commit|prob|stats)", fields[0]))
+		}
+	}
+	if inBatch {
+		return fmt.Errorf("updates: unterminated begin block")
+	}
+	return sc.Err()
+}

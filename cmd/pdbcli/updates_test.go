@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestTIDFromInstance(t *testing.T) {
+	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(`
+fact 0.9 R a
+event e1 0.5
+cfact e1 S a b
+`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := TIDFromInstance(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid.NumFacts() != 2 || tid.Prob(0) != 0.9 || tid.Prob(1) != 0.5 {
+		t.Fatalf("tid = %d facts, probs %v", tid.NumFacts(), tid.Probs)
+	}
+
+	// Correlated annotations are rejected: no per-tuple weight to maintain.
+	for _, bad := range []string{
+		"event e1 0.5\ncfact !e1 R b",               // negated annotation
+		"event e1 0.5\ncfact e1 R a\ncfact e1 R b", // shared event
+	} {
+		c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(bad)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := TIDFromInstance(c, p); err == nil {
+			t.Errorf("accepted correlated instance %q", bad)
+		}
+	}
+
+	// Bad probabilities surface as errors, not panics.
+	c2, p2, err := ParseInstance(bufio.NewScanner(strings.NewReader("fact 1.5 R a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TIDFromInstance(c2, p2); err == nil {
+		t.Error("accepted probability 1.5")
+	}
+}
+
+func TestRunUpdatesReplay(t *testing.T) {
+	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(`
+fact 0.9 R a
+fact 0.5 S a b
+fact 0.8 T b
+`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := TIDFromInstance(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := `
+# raise the S link, then grow and shrink the instance
+set 1 0.9
+insert 0.7 S a c
+insert 0.4 T c
+begin
+set 0 0.5
+delete 2
+commit
+prob
+stats
+`
+	var out strings.Builder
+	if err := RunUpdates(tid, q, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"live view ready: 3 facts, P(q) = 0.360000000",
+		"#1 P(q) = 0.648000000",
+		"inserted T(c) as id 4",
+		"#4 P(q) = 0.140000000",
+		"batch of 2 updates committed",
+		"view: width",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Script errors carry the line number and stop the replay.
+	var out2 strings.Builder
+	err = RunUpdates(tid, q, strings.NewReader("set 99 0.5\n"), &out2)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("bad id error = %v", err)
+	}
+	if err := RunUpdates(tid, q, strings.NewReader("begin\nset 0 0.5\n"), &out2); err == nil {
+		t.Error("unterminated begin accepted")
+	}
+}

@@ -96,7 +96,7 @@ func (pl *Plan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 		}
 	}
 
-	if st.btables == nil {
+	if len(st.btables) < len(pl.nodes) {
 		st.btables = make([]*batchTable, len(pl.nodes))
 	}
 	tables := st.btables

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"slices"
 	"strconv"
 	"strings"
@@ -16,11 +17,12 @@ import (
 // depends only on the query and the bag size, never on the instance, which
 // is what makes the evaluation linear in the data (Theorem 1).
 type CQQuery struct {
-	Q     rel.CQ
-	vars  []string
-	atoms []rel.Atom
-	inst  *rel.Instance
-	di    *rel.DomainIndex
+	Q      rel.CQ
+	vars   []string
+	varIdx map[string]int
+	atoms  []rel.Atom
+	inst   *rel.Instance
+	di     *rel.DomainIndex
 	// factAtoms[fi] lists the atoms whose relation and constants are
 	// compatible with fact fi, with the variable positions to check.
 	factAtoms [][]factAtomMatch
@@ -67,13 +69,32 @@ func NewCQQuery(q rel.CQ, inst *rel.Instance, di *rel.DomainIndex) *CQQuery {
 		decoded: map[string]cqState{},
 		joined:  map[string]joinResult{},
 	}
-	varIdx := make(map[string]int, len(c.vars))
+	c.varIdx = make(map[string]int, len(c.vars))
 	for i, v := range c.vars {
-		varIdx[v] = i
+		c.varIdx[v] = i
 	}
-	c.factAtoms = make([][]factAtomMatch, inst.NumFacts())
-	for fi := 0; fi < inst.NumFacts(); fi++ {
-		f := inst.Fact(fi)
+	c.factAtoms = make([][]factAtomMatch, 0, inst.NumFacts())
+	if err := c.ExtendFacts(inst.NumFacts()); err != nil {
+		// The instance was indexed by di at compile time, so every constant
+		// resolves; a failure here is a caller bug.
+		panic("core: " + err.Error())
+	}
+	return c
+}
+
+// ExtendFacts implements FactExtender: it compiles the atom matches of every
+// fact appended to the instance since the query was built (or last extended),
+// so live stores can insert facts without recompiling the query. An appended
+// fact whose constants are missing from the compiled domain index is
+// rejected — such a fact cannot be homed in the existing decomposition
+// either, so the caller must fall back to a full re-Prepare.
+func (c *CQQuery) ExtendFacts(n int) error {
+	if n > c.inst.NumFacts() {
+		return fmt.Errorf("core: ExtendFacts(%d) beyond the instance's %d facts", n, c.inst.NumFacts())
+	}
+	for fi := len(c.factAtoms); fi < n; fi++ {
+		f := c.inst.Fact(fi)
+		var matches []factAtomMatch
 		for ai, atom := range c.atoms {
 			if atom.Rel != f.Rel || len(atom.Terms) != len(f.Args) {
 				continue
@@ -92,8 +113,11 @@ func NewCQQuery(q rel.CQ, inst *rel.Instance, di *rel.DomainIndex) *CQQuery {
 					}
 					continue
 				}
-				vi := varIdx[t.Name]
-				elem := di.ByName[arg]
+				vi := c.varIdx[t.Name]
+				elem, known := c.di.ByName[arg]
+				if !known {
+					return fmt.Errorf("core: fact %s uses constant %q outside the compiled domain", f, arg)
+				}
 				if match.varElem[vi] >= 0 && match.varElem[vi] != elem {
 					ok = false // repeated variable bound to two distinct args
 					break
@@ -101,11 +125,12 @@ func NewCQQuery(q rel.CQ, inst *rel.Instance, di *rel.DomainIndex) *CQQuery {
 				match.varElem[vi] = elem
 			}
 			if ok {
-				c.factAtoms[fi] = append(c.factAtoms[fi], match)
+				matches = append(matches, match)
 			}
 		}
+		c.factAtoms = append(c.factAtoms, matches)
 	}
-	return c
+	return nil
 }
 
 // cqState is the decoded form of a state key.

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+// Materialized is a live evaluation of a compiled plan: where the one-shot
+// eval discards each node's row table as soon as its parent is built, a
+// Materialized view persists every table. A change to one event's probability
+// then only invalidates the forget node that applies that event's Bernoulli
+// weight — every other node's table is independent of it — so refreshing the
+// query probability recomputes just the dirty root-path spine: O(depth) bag
+// tables instead of a full bottom-up pass. This is the evaluation-state
+// materialization behind internal/incr's live views (the production shape of
+// dynamic query evaluation: maintain, don't recompute).
+//
+// Updates are staged (Stage, StageAttach) and applied by Commit, which
+// recomputes the union of the dirty spines in a single bottom-up sweep, so a
+// batch of updates pays for each dirty node once no matter how many updates
+// touched it.
+//
+// A Materialized view is single-writer: it must be confined to one goroutine
+// (or externally locked, as incr.Store does). It may share its plan with
+// ordinary Probability/Result calls — those use their own pooled state — but
+// StageAttach mutates the plan's structure, after which any *other*
+// Materialized view of the same plan becomes stale and refuses further
+// operations. One live-updated plan therefore carries exactly one view.
+type Materialized struct {
+	pl        *Plan
+	st        *evalState
+	pe        []float64              // current per-event weights
+	tables    []map[rowKey]rowVal    // persisted per-node tables
+	dirty     []bool                 // nodes whose table must be recomputed
+	anyDirty  bool
+	prob      float64
+	recomp    int    // cumulative node recomputations, for cost accounting
+	structGen uint64 // plan structure generation this view tracks
+}
+
+// Materialize runs one full evaluation of the plan under p and keeps every
+// node table, returning the live view. The plan may be frozen if only event
+// probabilities will change (the freeze pass visited every transition the
+// recomputations can need); StageAttach additionally requires it unfrozen.
+func (pl *Plan) Materialize(p logic.Prob) (*Materialized, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Materialized{
+		pl:        pl,
+		st:        &evalState{},
+		pe:        make([]float64, len(pl.events)),
+		tables:    make([]map[rowKey]rowVal, len(pl.nodes)),
+		dirty:     make([]bool, len(pl.nodes)),
+		structGen: pl.structGen,
+	}
+	for i, e := range pl.events {
+		m.pe[i] = p.P(e)
+	}
+	for t := range m.dirty {
+		m.dirty[t] = true
+	}
+	m.anyDirty = true
+	if _, err := m.Commit(); err != nil {
+		return nil, err
+	}
+	m.recomp = 0 // the initial build is not an update cost
+	return m, nil
+}
+
+// Probability returns the query probability under the view's current event
+// weights, as of the last Commit.
+func (m *Materialized) Probability() float64 { return m.prob }
+
+// Recomputed returns the cumulative number of node tables recomputed by
+// Commit since Materialize — the incremental work actually paid, which tests
+// and stats compare against the full table count.
+func (m *Materialized) Recomputed() int { return m.recomp }
+
+// NumNodes returns the current number of nice nodes (and persisted tables).
+func (m *Materialized) NumNodes() int { return len(m.pl.nodes) }
+
+func (m *Materialized) check() error {
+	if m.structGen != m.pl.structGen {
+		return fmt.Errorf("core: the plan's structure changed under this Materialized view")
+	}
+	return nil
+}
+
+// Stage records a new probability for event e without recomputing anything:
+// it updates the weight and marks the event's forget node dirty. Commit
+// applies all staged changes at once.
+func (m *Materialized) Stage(e logic.Event, pr float64) error {
+	if err := m.check(); err != nil {
+		return err
+	}
+	if err := pdb.ValidateProb(pr); err != nil {
+		return fmt.Errorf("core: event %q: %w", e, err)
+	}
+	idx, ok := m.pl.eventIdx[e]
+	if !ok {
+		return fmt.Errorf("core: event %q is not an event of the plan", e)
+	}
+	if m.pe[idx] == pr {
+		return nil
+	}
+	m.pe[idx] = pr
+	t := m.pl.forgetAt[idx]
+	if t < 0 {
+		return fmt.Errorf("core: event %q has no forget node (internal invariant violated)", e)
+	}
+	m.dirty[t] = true
+	m.anyDirty = true
+	return nil
+}
+
+// StageAttach absorbs a brand-new fact into the live view: fact fi, already
+// appended to the instance the plan was prepared on, is spliced into the
+// compiled structure under the fresh event e with probability pr (see
+// Plan.attachFact), and the new nodes are marked dirty for the next Commit.
+// The plan's query must implement FactExtender, and f must not have been a
+// fact of the instance before (re-adding an existing fact merges annotations
+// in the instance but would home the fact twice in the plan; callers revive
+// existing facts by raising their event probability instead). On any error
+// the view is unchanged.
+func (m *Materialized) StageAttach(f rel.Fact, fi int, e logic.Event, pr float64) error {
+	if err := m.check(); err != nil {
+		return err
+	}
+	if err := pdb.ValidateProb(pr); err != nil {
+		return fmt.Errorf("core: event %q: %w", e, err)
+	}
+	fe, ok := m.pl.q.(FactExtender)
+	if !ok {
+		return fmt.Errorf("core: the plan's query does not support appended facts")
+	}
+	if err := fe.ExtendFacts(fi + 1); err != nil {
+		return err
+	}
+	if _, _, err := m.pl.attachFact(f, fi, e); err != nil {
+		return err
+	}
+	m.structGen = m.pl.structGen
+	// The spliced introduce/forget pair holds the last two node indices;
+	// their nil tables are marked dirty and built by the next Commit.
+	m.pe = append(m.pe, pr)
+	m.tables = append(m.tables, nil, nil)
+	m.dirty = append(m.dirty, true, true)
+	m.anyDirty = true
+	return nil
+}
+
+// Commit recomputes every table invalidated by the staged changes in one
+// bottom-up sweep — dirtiness propagates from each staged node along its root
+// path, and spines shared between staged updates are recomputed once — then
+// refreshes Probability. It returns the number of node tables recomputed.
+func (m *Materialized) Commit() (int, error) {
+	if err := m.check(); err != nil {
+		return 0, err
+	}
+	if !m.anyDirty {
+		return 0, nil
+	}
+	n := 0
+	for _, t := range m.pl.post {
+		if !m.dirty[t] {
+			continue
+		}
+		m.dirty[t] = false
+		old := m.tables[t]
+		m.tables[t] = m.pl.computeNode(m.st, m.tables, m.pe, t, nil, false)
+		if old != nil {
+			m.st.releaseTable(old)
+		}
+		n++
+		if p := m.pl.parents[t]; p >= 0 {
+			m.dirty[p] = true
+		}
+	}
+	m.anyDirty = false
+	m.recomp += n
+	prob, mass := m.pl.rootSummary(m.tables[m.pl.root])
+	if mass < 0.999999 || mass > 1.000001 {
+		return n, fmt.Errorf("core: probability mass %v drifted from 1", mass)
+	}
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	m.prob = prob
+	return n, nil
+}
+
+// SetEventProb stages a single event-probability change and commits it,
+// returning the number of node tables recomputed (at most depth+1).
+func (m *Materialized) SetEventProb(e logic.Event, pr float64) (int, error) {
+	if err := m.Stage(e, pr); err != nil {
+		return 0, err
+	}
+	return m.Commit()
+}
+
+// AttachFact stages the absorption of a new fact and commits it. See
+// StageAttach for the contract.
+func (m *Materialized) AttachFact(f rel.Fact, fi int, e logic.Event, pr float64) (int, error) {
+	if err := m.StageAttach(f, fi, e, pr); err != nil {
+		return 0, err
+	}
+	return m.Commit()
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+// TestMaterializedMatchesEval drives random single-event probability changes
+// through a Materialized view and checks every refreshed probability against
+// a fresh full evaluation of the same plan — including on a correlated
+// pc-instance, where one event annotates several facts.
+func TestMaterializedMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	type instance struct {
+		name string
+		c    *pdb.CInstance
+		p    logic.Prob
+		q    rel.CQ
+	}
+	corrC, corrP := gen.CorrelatedPC(24, 4, r)
+	chain := gen.RSTChain(20, 0.5)
+	chainC, chainP := chain.ToCInstance()
+	cases := []instance{
+		{"chain", chainC, chainP, rel.HardQuery()},
+		{"correlated", corrC, corrP, rel.NewCQ(
+			rel.NewAtom("E", rel.V("x"), rel.V("y")),
+			rel.NewAtom("E", rel.V("y"), rel.V("z")),
+		)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pl, err := PrepareCQ(tc.c, tc.q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := logic.Prob{}
+			for e, pr := range tc.p {
+				p[e] = pr
+			}
+			m, err := pl.Materialize(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := tc.c.Events()
+			for step := 0; step < 40; step++ {
+				e := events[r.Intn(len(events))]
+				pr := float64(r.Intn(11)) / 10
+				p[e] = pr
+				n, err := m.SetEventProb(e, pr)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if n > m.NumNodes() {
+					t.Fatalf("step %d: recomputed %d of %d nodes", step, n, m.NumNodes())
+				}
+				want, err := pl.Probability(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(m.Probability()-want) > 1e-12 {
+					t.Fatalf("step %d: materialized %v, eval %v", step, m.Probability(), want)
+				}
+			}
+		})
+	}
+}
+
+// TestMaterializedSpineIsSublinear checks the dirty-spine invariant that the
+// incremental layer's cost model rests on: a single event change recomputes
+// at most depth+1 tables, and on average far fewer than the full node count.
+func TestMaterializedSpineIsSublinear(t *testing.T) {
+	tid := gen.RSTChain(60, 0.5)
+	pl, p, err := PrepareTID(tid, rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := pl.Shape().Depth
+	updates := 0
+	for i := 0; i < tid.NumFacts(); i += 7 {
+		n, err := m.SetEventProb(tid.EventOf(i), 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > depth+1 {
+			t.Fatalf("fact %d: recomputed %d nodes, depth is %d", i, n, depth)
+		}
+		updates++
+	}
+	if avg := m.Recomputed() / updates; avg >= m.NumNodes()/2 {
+		t.Fatalf("average recomputation %d of %d nodes is not sublinear", avg, m.NumNodes())
+	}
+}
+
+// TestMaterializedBatchSharesSpines stages several event changes and commits
+// once: shared spine segments must be recomputed a single time, so the batch
+// costs less than the same changes committed one by one.
+func TestMaterializedBatchSharesSpines(t *testing.T) {
+	tid := gen.RSTChain(40, 0.5)
+	q := rel.HardQuery()
+	mk := func() *Materialized {
+		pl, p, err := PrepareTID(tid, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := pl.Materialize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	batched, serial := mk(), mk()
+	ids := []int{3, 17, 31, 45, 59}
+	for _, i := range ids {
+		if err := batched.Stage(tid.EventOf(i), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nBatch, err := batched.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSerial := 0
+	for _, i := range ids {
+		n, err := serial.SetEventProb(tid.EventOf(i), 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nSerial += n
+	}
+	if nBatch >= nSerial {
+		t.Errorf("batched commit recomputed %d nodes, serial %d", nBatch, nSerial)
+	}
+	if math.Abs(batched.Probability()-serial.Probability()) > 1e-12 {
+		t.Errorf("batched %v, serial %v", batched.Probability(), serial.Probability())
+	}
+}
+
+// TestMaterializedAttach grows a live view fact by fact and checks each
+// refreshed probability against a plan freshly prepared on the grown
+// instance.
+func TestMaterializedAttach(t *testing.T) {
+	c := pdb.NewCInstance()
+	p := logic.Prob{}
+	add := func(e logic.Event, pr float64, rl string, args ...string) {
+		c.AddFact(logic.Var(e), rl, args...)
+		p[e] = pr
+	}
+	add("e0", 0.9, "R", "a")
+	add("e1", 0.5, "S", "a", "b")
+	add("e2", 0.8, "T", "b")
+	add("e3", 0.7, "S", "a", "c")
+	q := rel.HardQuery()
+	pl, err := PrepareCQ(c, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	attach := func(e logic.Event, pr float64, rl string, args ...string) {
+		t.Helper()
+		f := rel.NewFact(rl, args...)
+		if !pl.CanAttach(f) {
+			t.Fatalf("cannot attach %s", f)
+		}
+		fi := c.Add(f, logic.Var(e))
+		p[e] = pr
+		if _, err := m.AttachFact(f, fi, e, pr); err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: a fresh plan over the grown instance.
+		fresh, err := PrepareCQ(c, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Probability(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Probability()-want) > 1e-12 {
+			t.Fatalf("after attaching %s: materialized %v, fresh %v", f, m.Probability(), want)
+		}
+	}
+	attach("e4", 0.4, "T", "c") // completes the a-c path
+	attach("e5", 0.6, "R", "b") // new R witness
+	attach("e6", 0.3, "T", "a") // unary fact on an existing element
+	attach("e7", 0.2, "R", "c") // another unary witness
+
+	// Probability changes on attached facts ride the same dirty-spine path.
+	if _, err := m.SetEventProb("e6", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := PrepareCQ(c, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p["e6"] = 0.9
+	want, err := fresh.Probability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Probability()-want) > 1e-12 {
+		t.Fatalf("after SetEventProb on attached fact: %v vs %v", m.Probability(), want)
+	}
+
+	// A fact with an unknown constant cannot be absorbed.
+	if pl.CanAttach(rel.NewFact("T", "zzz")) {
+		t.Error("CanAttach accepted a fact outside the domain")
+	}
+}
+
+// TestMaterializedAttachOnChainFallbackCase checks that CanAttach refuses a
+// fact whose argument vertices share no bag of the decomposition.
+func TestMaterializedAttachOnChainFallbackCase(t *testing.T) {
+	tid := gen.RSTChain(30, 0.5)
+	pl, _, err := PrepareTID(tid, rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v0 and v25 are far apart on the chain: no bag holds both.
+	if pl.CanAttach(rel.NewFact("S", "v0", "v25")) {
+		t.Error("CanAttach accepted a scope no bag covers")
+	}
+	if !pl.CanAttach(rel.NewFact("S", "v3", "v4")) {
+		t.Error("CanAttach refused an in-bag scope")
+	}
+}
+
+// TestMaterializedFrozenAndStale covers the guard rails: attach on a frozen
+// plan fails, a second view goes stale once the first one attaches, and
+// staging validates its inputs.
+func TestMaterializedFrozenAndStale(t *testing.T) {
+	tid := gen.RSTChain(4, 0.5)
+	pl, p, err := PrepareTID(tid, rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Stage("nosuch", 0.5); err == nil {
+		t.Error("Stage accepted an unknown event")
+	}
+	if err := m.Stage(tid.EventOf(0), math.NaN()); err == nil {
+		t.Error("Stage accepted NaN")
+	}
+	if err := m.Stage(tid.EventOf(0), 1.5); err == nil {
+		t.Error("Stage accepted 1.5")
+	}
+
+	// Frozen plans still serve SetEventProb but refuse attach.
+	fp, fpP, err := PrepareTID(tid, rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := fp.Materialize(fpP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.SetEventProb(tid.EventOf(1), 0.2); err != nil {
+		t.Errorf("SetEventProb on frozen plan: %v", err)
+	}
+	if fp.CanAttach(rel.NewFact("R", "v0")) {
+		t.Error("CanAttach on a frozen plan")
+	}
+
+	// A second view of the same plan goes stale after the first attaches.
+	c, cp := tid.ToCInstance()
+	spl, err := PrepareCQ(c, rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := spl.Materialize(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := spl.Materialize(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rel.NewFact("R", "v1")
+	fi := c.Add(f, logic.Var("fresh"))
+	if _, err := v1.AttachFact(f, fi, "fresh", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.SetEventProb(tid.EventOf(0), 0.1); err == nil {
+		t.Error("stale view accepted an update after a foreign attach")
+	}
+}
+
+// TestMaterializedManyAttachesMatchOracle interleaves attaches and
+// probability changes on a mid-size chain, comparing against fresh plans.
+func TestMaterializedManyAttachesMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tid := gen.RSTChain(12, 0.5)
+	c, p := tid.ToCInstance()
+	q := rel.HardQuery()
+	pl, err := PrepareCQ(c, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for step := 0; step < 30; step++ {
+		if r.Intn(2) == 0 {
+			// Random S edge between adjacent chain elements (covered bags).
+			i := r.Intn(12)
+			f := rel.NewFact("S", fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1))
+			if c.Inst.IndexOf(f) >= 0 || !pl.CanAttach(f) {
+				continue
+			}
+			e := logic.Event(fmt.Sprintf("new%d", next))
+			next++
+			pr := float64(1+r.Intn(9)) / 10
+			fi := c.Add(f, logic.Var(e))
+			p[e] = pr
+			if _, err := m.AttachFact(f, fi, e, pr); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		} else {
+			events := c.Events()
+			e := events[r.Intn(len(events))]
+			pr := float64(r.Intn(11)) / 10
+			p[e] = pr
+			if _, err := m.SetEventProb(e, pr); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		fresh, err := PrepareCQ(c, q, Options{})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, err := fresh.Probability(p)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if math.Abs(m.Probability()-want) > 1e-12 {
+			t.Fatalf("step %d: materialized %v, fresh %v", step, m.Probability(), want)
+		}
+	}
+}

@@ -45,6 +45,17 @@ type Plan struct {
 	post   []int
 	root   int
 
+	// Structure retained for the incremental layer (Materialize, attachFact)
+	// and for shape reporting: the nice decomposition the nodes were compiled
+	// from, the domain index of the prepared instance, per-node parents, the
+	// forget node applying each event's weight, and the event→index map.
+	nice      *treedec.Nice
+	di        *rel.DomainIndex
+	parents   []int
+	forgetAt  []int
+	eventIdx  map[logic.Event]int
+	structGen uint64 // bumped by attachFact; Materialized views check it
+
 	startSet int32
 
 	states stateInterner
@@ -289,7 +300,40 @@ func Prepare(c *pdb.CInstance, q Query, opts Options) (*Plan, error) {
 	}
 
 	pl.startSet = pl.internStrings(detStep(q, q.Start(), func(s string) []string { return []string{s} }))
+	pl.nice = nice
+	pl.di = di
+	pl.eventIdx = make(map[logic.Event]int, len(events))
+	for i, e := range events {
+		pl.eventIdx[e] = i
+	}
+	pl.rebuildTopology()
 	return pl, nil
+}
+
+// rebuildTopology derives the parent pointers and the per-event forget-node
+// index from the compiled nodes. Called by Prepare and again after attachFact
+// splices new nodes in.
+func (pl *Plan) rebuildTopology() {
+	pl.parents = make([]int, len(pl.nodes))
+	for i := range pl.parents {
+		pl.parents[i] = -1
+	}
+	pl.forgetAt = make([]int, len(pl.events))
+	for i := range pl.forgetAt {
+		pl.forgetAt[i] = -1
+	}
+	for t := range pl.nodes {
+		nd := &pl.nodes[t]
+		if nd.child0 >= 0 {
+			pl.parents[nd.child0] = t
+		}
+		if nd.child1 >= 0 {
+			pl.parents[nd.child1] = t
+		}
+		if nd.kind == treedec.NiceForget && nd.isEvent {
+			pl.forgetAt[nd.eventIdx] = t
+		}
+	}
 }
 
 // PrepareCQ compiles a plan for a Boolean conjunctive query on the
@@ -317,6 +361,15 @@ func (pl *Plan) Width() int { return pl.width }
 
 // NumNiceNodes returns the size of the compiled nice decomposition.
 func (pl *Plan) NumNiceNodes() int { return len(pl.nodes) }
+
+// Shape returns the structural statistics of the plan's nice decomposition.
+// Depth bounds the per-update cost of a Materialized view: a single event
+// change recomputes at most depth+1 node tables.
+func (pl *Plan) Shape() treedec.Stats { return pl.nice.Stats() }
+
+// Query returns the compiled query the plan runs. Callers use it to reach
+// optional extensions such as FactExtender.
+func (pl *Plan) Query() Query { return pl.q }
 
 // Probability evaluates the plan under the event probabilities p and
 // returns the exact query probability. Only the numeric dynamic program
@@ -592,120 +645,13 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 		pe[i] = p.P(e)
 	}
 
-	if st.tables == nil {
+	if len(st.tables) < len(pl.nodes) {
 		st.tables = make([]map[rowKey]rowVal, len(pl.nodes))
 	}
 	tables := st.tables
 
 	for _, t := range pl.post {
-		nd := &pl.nodes[t]
-		var tab map[rowKey]rowVal
-		switch nd.kind {
-		case treedec.NiceLeaf:
-			tab = st.allocTable(1)
-			v := rowVal{prob: 1}
-			if emit != nil {
-				v.gate = emit.Const(true)
-			}
-			tab[rowKey{set: pl.startSet}] = v
-
-		case treedec.NiceIntroduce:
-			child := tables[nd.child0]
-			tables[nd.child0] = nil
-			tab = st.allocTable(2 * len(child))
-			if nd.isEvent {
-				// Split every row on the value of the new event; the
-				// Bernoulli weight is applied at the event's forget node.
-				pos := nd.pos
-				for k, v := range child {
-					put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}, v, emit)
-					put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}, v, emit)
-				}
-			} else {
-				for k, v := range child {
-					put(tab, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}, v, emit)
-				}
-			}
-			st.releaseTable(child)
-
-		case treedec.NiceForget:
-			child := tables[nd.child0]
-			tables[nd.child0] = nil
-			tab = st.allocTable(len(child))
-			if nd.isEvent {
-				// Apply the event's Bernoulli weight according to the row's
-				// recorded value, conjoin the literal onto the lineage, and
-				// marginalize the bit out of the key.
-				pos := nd.pos
-				w1 := pe[nd.eventIdx]
-				w0 := 1 - w1
-				var lit0, lit1 circuit.Gate
-				if emit != nil {
-					lit1 = emit.Var(pl.events[nd.eventIdx])
-					lit0 = emit.Not(lit1)
-				}
-				for k, v := range child {
-					nv := rowVal{prob: v.prob}
-					if k.bits&(1<<uint(pos)) != 0 {
-						nv.prob *= w1
-						if emit != nil {
-							nv.gate = emit.And(v.gate, lit1)
-						}
-					} else {
-						nv.prob *= w0
-						if emit != nil {
-							nv.gate = emit.And(v.gate, lit0)
-						}
-					}
-					put(tab, rowKey{set: k.set, bits: removeBit(k.bits, pos)}, nv, emit)
-				}
-			} else {
-				for k, v := range child {
-					put(tab, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}, v, emit)
-				}
-			}
-			st.releaseTable(child)
-
-		case treedec.NiceJoin:
-			left := tables[nd.child0]
-			right := tables[nd.child1]
-			tables[nd.child0] = nil
-			tables[nd.child1] = nil
-			tab = st.allocTable(len(left))
-			for lk, lv := range left {
-				for rk, rv := range right {
-					if lk.bits != rk.bits {
-						continue // in-bag events are shared: values must agree
-					}
-					nv := rowVal{prob: lv.prob * rv.prob}
-					if emit != nil {
-						nv.gate = emit.And(lv.gate, rv.gate)
-					}
-					put(tab, rowKey{set: pl.joinSets(lk.set, rk.set), bits: lk.bits}, nv, emit)
-				}
-			}
-			st.releaseTable(left)
-			st.releaseTable(right)
-		}
-
-		// Apply the facts homed here: resolve each annotation under the
-		// row's event valuation and close the state set under the fact's
-		// transitions when it holds.
-		for i := range nd.facts {
-			pf := &nd.facts[i]
-			in := tab
-			out := st.allocTable(len(in))
-			for k, v := range in {
-				nk := k
-				if pf.cf.Eval(k.bits) {
-					nk.set = pl.factSet(k.set, pf.fi)
-				}
-				put(out, nk, v, emit)
-			}
-			st.releaseTable(in)
-			tab = out
-		}
-		tables[t] = tab
+		tables[t] = pl.computeNode(st, tables, pe, t, emit, true)
 	}
 
 	root := tables[pl.root]
@@ -738,6 +684,137 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 		res.Probability = 1
 	}
 	return res, nil
+}
+
+// computeNode builds the row table of nice node t from the tables of its
+// children under the per-event weights pe, applying the facts homed at t.
+// With consumeChildren (the one-shot eval path) the child tables are
+// released into st's free list — and cleared from tables — as soon as the
+// switch has read them, so the fact-staging tables reuse their storage; a
+// Materialized view passes false and keeps every child table alive. The
+// returned table is allocated from st's free list and owned by the caller.
+func (pl *Plan) computeNode(st *evalState, tables []map[rowKey]rowVal, pe []float64, t int, emit *circuit.Circuit, consumeChildren bool) map[rowKey]rowVal {
+	nd := &pl.nodes[t]
+	release := func(child int) {
+		if consumeChildren {
+			st.releaseTable(tables[child])
+			tables[child] = nil
+		}
+	}
+	var tab map[rowKey]rowVal
+	switch nd.kind {
+	case treedec.NiceLeaf:
+		tab = st.allocTable(1)
+		v := rowVal{prob: 1}
+		if emit != nil {
+			v.gate = emit.Const(true)
+		}
+		tab[rowKey{set: pl.startSet}] = v
+
+	case treedec.NiceIntroduce:
+		child := tables[nd.child0]
+		tab = st.allocTable(2 * len(child))
+		if nd.isEvent {
+			// Split every row on the value of the new event; the
+			// Bernoulli weight is applied at the event's forget node.
+			pos := nd.pos
+			for k, v := range child {
+				put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}, v, emit)
+				put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}, v, emit)
+			}
+		} else {
+			for k, v := range child {
+				put(tab, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}, v, emit)
+			}
+		}
+		release(nd.child0)
+
+	case treedec.NiceForget:
+		child := tables[nd.child0]
+		tab = st.allocTable(len(child))
+		if nd.isEvent {
+			// Apply the event's Bernoulli weight according to the row's
+			// recorded value, conjoin the literal onto the lineage, and
+			// marginalize the bit out of the key.
+			pos := nd.pos
+			w1 := pe[nd.eventIdx]
+			w0 := 1 - w1
+			var lit0, lit1 circuit.Gate
+			if emit != nil {
+				lit1 = emit.Var(pl.events[nd.eventIdx])
+				lit0 = emit.Not(lit1)
+			}
+			for k, v := range child {
+				nv := rowVal{prob: v.prob}
+				if k.bits&(1<<uint(pos)) != 0 {
+					nv.prob *= w1
+					if emit != nil {
+						nv.gate = emit.And(v.gate, lit1)
+					}
+				} else {
+					nv.prob *= w0
+					if emit != nil {
+						nv.gate = emit.And(v.gate, lit0)
+					}
+				}
+				put(tab, rowKey{set: k.set, bits: removeBit(k.bits, pos)}, nv, emit)
+			}
+		} else {
+			for k, v := range child {
+				put(tab, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}, v, emit)
+			}
+		}
+		release(nd.child0)
+
+	case treedec.NiceJoin:
+		left := tables[nd.child0]
+		right := tables[nd.child1]
+		tab = st.allocTable(len(left))
+		for lk, lv := range left {
+			for rk, rv := range right {
+				if lk.bits != rk.bits {
+					continue // in-bag events are shared: values must agree
+				}
+				nv := rowVal{prob: lv.prob * rv.prob}
+				if emit != nil {
+					nv.gate = emit.And(lv.gate, rv.gate)
+				}
+				put(tab, rowKey{set: pl.joinSets(lk.set, rk.set), bits: lk.bits}, nv, emit)
+			}
+		}
+		release(nd.child0)
+		release(nd.child1)
+	}
+
+	// Apply the facts homed here: resolve each annotation under the
+	// row's event valuation and close the state set under the fact's
+	// transitions when it holds.
+	for i := range nd.facts {
+		pf := &nd.facts[i]
+		in := tab
+		out := st.allocTable(len(in))
+		for k, v := range in {
+			nk := k
+			if pf.cf.Eval(k.bits) {
+				nk.set = pl.factSet(k.set, pf.fi)
+			}
+			put(out, nk, v, emit)
+		}
+		st.releaseTable(in)
+		tab = out
+	}
+	return tab
+}
+
+// rootSummary sums a root table's accepting and total probability mass.
+func (pl *Plan) rootSummary(root map[rowKey]rowVal) (prob, mass float64) {
+	for k, v := range root {
+		mass += v.prob
+		if pl.accept[k.set] {
+			prob += v.prob
+		}
+	}
+	return prob, mass
 }
 
 // --- bit and position helpers ---
@@ -787,6 +864,126 @@ func sortInt32(xs []int32) {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
+}
+
+// --- incremental structure growth ---
+
+// findAttach locates the node a new fact with the given arguments can be
+// absorbed at: the shallowest nice node whose bag contains every argument
+// vertex. It reports an error when the fact cannot be absorbed — an argument
+// outside the prepared domain, no covering bag, or a bag already at the
+// event-bit budget.
+func (pl *Plan) findAttach(f rel.Fact) (node int, err error) {
+	scope := make([]int, 0, len(f.Args))
+	seen := make(map[int]struct{}, len(f.Args))
+	for _, a := range f.Args {
+		v, ok := pl.di.ByName[a]
+		if !ok {
+			return -1, fmt.Errorf("core: constant %q of fact %s is outside the prepared domain", a, f)
+		}
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			scope = append(scope, v)
+		}
+	}
+	t := pl.nice.AttachPoint(scope)
+	if t < 0 {
+		return -1, fmt.Errorf("core: no bag of the decomposition covers the arguments of %s", f)
+	}
+	if len(bagEventVertices(pl.nice.Nodes[t].Bag, pl.nDom)) >= 60 {
+		return -1, fmt.Errorf("core: the covering bag of %s is at the event-bit budget", f)
+	}
+	return t, nil
+}
+
+// CanAttach reports whether attachFact would succeed for a fact with the
+// given arguments: the plan is unfrozen, its query accepts appended facts,
+// and some bag covers the arguments. The pre-flight check incr.Store runs
+// before committing to the in-place insertion path.
+func (pl *Plan) CanAttach(f rel.Fact) bool {
+	if pl.frozen {
+		return false
+	}
+	if _, ok := pl.q.(FactExtender); !ok {
+		return false
+	}
+	_, err := pl.findAttach(f)
+	return err == nil
+}
+
+// attachFact splices fact fi of the plan's instance — newly appended there by
+// the caller — into the compiled structure: a fresh event e is introduced and
+// immediately forgotten above the shallowest bag covering the fact's
+// arguments, and the fact is homed at the introduce node with annotation e.
+// Because the event pair is local, every other node's bag, bit layout and
+// table are untouched; only the spliced nodes and their root path need
+// recomputation (the caller — Materialized.StageAttach — marks them dirty).
+//
+// The plan's query must already cover fact fi (see FactExtender). Attaching
+// to a frozen plan is an error: it would grow the sealed transition caches.
+func (pl *Plan) attachFact(f rel.Fact, fi int, e logic.Event) (intro, forget int, err error) {
+	if pl.frozen {
+		return 0, 0, fmt.Errorf("core: cannot attach a fact to a frozen plan")
+	}
+	if _, dup := pl.eventIdx[e]; dup {
+		return 0, 0, fmt.Errorf("core: event %q is already an event of the plan", e)
+	}
+	t, err := pl.findAttach(f)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	bag := pl.nice.Nodes[t].Bag
+	eventIdx := len(pl.events)
+	v := pl.nDom + eventIdx // beyond every existing vertex: domain, then events in order
+	pos := len(bagEventVertices(bag, pl.nDom))
+	pl.events = append(pl.events, e)
+	pl.eventIdx[e] = eventIdx
+
+	// Splice introduce(v)+forget(v) between t and its parent. The new vertex
+	// is the largest, so the introduce bag stays sorted by appending.
+	intro = len(pl.nodes)
+	forget = intro + 1
+	introBag := append(append(make([]int, 0, len(bag)+1), bag...), v)
+	pl.nice.Nodes = append(pl.nice.Nodes,
+		treedec.NiceNode{Kind: treedec.NiceIntroduce, Vertex: v, Bag: introBag, Children: []int{t}},
+		treedec.NiceNode{Kind: treedec.NiceForget, Vertex: v, Bag: append([]int(nil), bag...), Children: []int{intro}},
+	)
+	pl.nodes = append(pl.nodes,
+		planNode{
+			kind: treedec.NiceIntroduce, vertex: v, child0: t, child1: -1,
+			isEvent: true, pos: pos, eventIdx: -1,
+			facts: []planFact{{fi: fi, cf: logic.CompileMask(logic.Var(e), map[logic.Event]int{e: pos})}},
+		},
+		planNode{
+			kind: treedec.NiceForget, vertex: v, child0: intro, child1: -1,
+			isEvent: true, pos: pos, eventIdx: eventIdx,
+		},
+	)
+	if parent := pl.parents[t]; parent < 0 {
+		pl.nice.Root = forget
+		pl.root = forget
+	} else {
+		pn := &pl.nodes[parent]
+		if pn.child0 == t {
+			pn.child0 = forget
+		} else {
+			pn.child1 = forget
+		}
+		nn := &pl.nice.Nodes[parent]
+		for i, c := range nn.Children {
+			if c == t {
+				nn.Children[i] = forget
+			}
+		}
+	}
+	if w := len(introBag) - 1; w > pl.width {
+		pl.width = w
+	}
+	pl.post = pl.nice.PostOrder()
+	pl.rebuildTopology()
+	pl.structGen++
+	return intro, forget, nil
 }
 
 // sortDedupInt32 sorts xs and removes duplicates in place.

@@ -81,6 +81,16 @@ type SetPruner interface {
 	PruneSet(set []string) []string
 }
 
+// FactExtender is an optional Query extension for live-updated instances: a
+// query compiled against an instance that later grows must learn about the
+// appended facts before the engine applies their FactTransitions.
+// ExtendFacts(n) declares that the instance now holds n facts, all appended
+// at the end; it returns an error when an appended fact cannot be handled
+// (e.g. its constants are outside the compiled domain index).
+type FactExtender interface {
+	ExtendFacts(n int) error
+}
+
 func prune(q Query, set []string) []string {
 	if p, ok := q.(SetPruner); ok {
 		return p.PruneSet(set)

@@ -1,0 +1,108 @@
+package incr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rel"
+)
+
+// FuzzIncrementalUpdates interprets the fuzz input as a sequence of
+// SetProb / Insert / Delete / ApplyBatch operations on a small chain store
+// and asserts, after every commit, that each live view equals the full
+// re-Prepare oracle to 1e-12 — including after tombstones, revivals and
+// fallback rebuilds. Three bytes drive one operation: opcode, argument,
+// probability.
+func FuzzIncrementalUpdates(f *testing.F) {
+	f.Add([]byte{0, 3, 128, 2, 1, 200, 4, 5, 0, 3, 9, 64})
+	f.Add([]byte{2, 0, 255, 2, 0, 10, 5, 0, 77, 1, 2, 30})
+	f.Add([]byte{6, 1, 50, 6, 2, 60, 0, 0, 0, 4, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := NewStore(gen.RSTChain(3, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := s.RegisterView(rel.HardQuery(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := s.RegisterView(rel.NewCQ(rel.NewAtom("R", rel.V("x"))), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views := []*View{v1, v2}
+
+		step := func(op, arg byte, pr float64) {
+			switch op % 7 {
+			case 0: // probability tweak
+				id := int(arg) % s.Len()
+				if s.Live(id) {
+					if err := s.SetProb(id, pr); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 1: // insert an S edge between adjacent chain elements
+				i := int(arg) % 3
+				f := rel.NewFact("S", fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1))
+				if _, err := s.Insert(f, pr); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // insert with a fresh constant: forces the rebuild path
+				f := rel.NewFact("R", fmt.Sprintf("w%d", int(arg)%3))
+				if _, err := s.Insert(f, pr); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // unary fact on an existing element
+				f := rel.NewFact("T", fmt.Sprintf("v%d", int(arg)%4))
+				if _, err := s.Insert(f, pr); err != nil {
+					t.Fatal(err)
+				}
+			case 4: // delete
+				id := int(arg) % s.Len()
+				if s.Live(id) {
+					if err := s.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 5: // revive / re-weight a known fact
+				id := int(arg) % s.Len()
+				fact, err := s.Fact(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Insert(fact, pr); err != nil {
+					t.Fatal(err)
+				}
+			case 6: // a small batch mixing set, insert and delete
+				us := []Update{{Op: OpInsert, Fact: rel.NewFact("T", fmt.Sprintf("v%d", int(arg)%4)), P: pr}}
+				if id := int(arg+1) % s.Len(); s.Live(id) {
+					us = append(us, Update{Op: OpSet, ID: id, P: 1 - pr})
+				}
+				if id := int(arg+2) % s.Len(); s.Live(id) {
+					us = append(us, Update{Op: OpDelete, ID: id})
+				}
+				if err := s.ApplyBatch(us); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		ops := 0
+		for i := 0; i+2 < len(data) && ops < 20; i += 3 {
+			step(data[i], data[i+1], float64(data[i+2])/255)
+			ops++
+			for vi, v := range views {
+				want, err := s.Oracle(v.Query())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := v.Probability(); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("op %d view %d: incremental %v, oracle %v", ops, vi, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,584 @@
+// Package incr maintains live materialized views over prepared query plans:
+// the incremental-maintenance layer of the serving stack.
+//
+// The frozen-plan path of internal/core answers repeated probability requests
+// fast, but treats the database as a snapshot — any change to a probability
+// or to the fact set throws the plan away and pays a full Prepare plus a full
+// dynamic-programming pass. Following the shape of dynamic query evaluation
+// (answering queries under updates by maintaining evaluation state), a Store
+// keeps the per-node DP tables of each registered view materialized
+// (core.Materialized) and maintains them under updates:
+//
+//   - SetProb touches one event weight, which is applied at a single forget
+//     node of the nice decomposition, so only that node's root-path spine is
+//     recomputed: O(depth) bag tables instead of O(n).
+//   - Insert splices the new fact into every view in place when some existing
+//     bag covers its arguments (treedec attach-point search); when the
+//     decomposition cannot absorb it — a new constant, or no covering bag —
+//     the store falls back to one counted full re-Prepare of every view.
+//   - Delete tombstones the fact: its event weight drops to 0, which is
+//     exactly the distribution without the fact, at dirty-spine cost.
+//     Tombstones are compacted away by the next fallback rebuild.
+//   - ApplyBatch stages a whole batch and commits once, so update spines
+//     that overlap are recomputed a single time, and a batch containing any
+//     non-absorbable insert costs one rebuild total.
+//
+// Readers (View.Probability, Stats) take a shared lock and may run
+// concurrently with each other and between commits; Subscribe delivers the
+// refreshed probabilities of every view after each commit.
+package incr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+	"repro/internal/treedec"
+)
+
+// Op selects the kind of an Update.
+type Op uint8
+
+const (
+	// OpSet overwrites the probability of fact ID.
+	OpSet Op = iota
+	// OpInsert adds Fact with probability P (or revives/overwrites it if the
+	// fact is already known).
+	OpInsert
+	// OpDelete tombstones fact ID.
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSet:
+		return "set"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// Update is one mutation of an update batch.
+type Update struct {
+	Op   Op
+	ID   int      // fact id for OpSet / OpDelete
+	Fact rel.Fact // inserted fact for OpInsert
+	P    float64  // probability for OpSet / OpInsert
+}
+
+// Commit describes one applied commit to subscribers.
+type Commit struct {
+	// Seq numbers commits from 1, in order.
+	Seq uint64
+	// Probabilities holds the refreshed query probability of every
+	// registered view, in registration order.
+	Probabilities []float64
+}
+
+// Stats counts the work the store has done, splitting the incremental paths
+// from the re-Prepare fallbacks so the absorption rate is observable.
+type Stats struct {
+	Commits         uint64 // commits applied (one per mutating call)
+	Updates         uint64 // individual updates inside those commits
+	SetProbs        uint64
+	Inserts         uint64
+	Deletes         uint64
+	Attached        uint64 // inserts absorbed in place by every view
+	Rebuilds        uint64 // full re-Prepare fallbacks
+	NodesRecomputed uint64 // DP tables recomputed incrementally, all views
+	Tombstones      int    // deleted facts still occupying plan events
+}
+
+// Store is a mutable tuple-independent probabilistic database serving live
+// materialized views. Fact ids are stable handles: they survive deletes,
+// revivals and the internal rebuilds that compact tombstones away.
+type Store struct {
+	mu      sync.RWMutex
+	facts   []rel.Fact
+	probs   []float64
+	deleted []bool
+	byKey   map[string]int // fact key -> id, live or tombstoned
+
+	c    *pdb.CInstance // the instance every view's plan is prepared on
+	cIdx []int          // id -> fact index in c, -1 when compacted away
+	pm   logic.Prob     // event probabilities for every event of c
+
+	views       []*View
+	needRebuild bool // set while staging when some insert cannot be absorbed
+	broken      error
+
+	subs  []func(Commit) // nil entries are cancelled subscriptions
+	seq   uint64
+	stats Stats
+}
+
+// View is a live materialized view: one query kept continuously answered
+// over the store's current facts and probabilities.
+type View struct {
+	store *Store
+	q     rel.CQ
+	opts  core.Options
+	plan  *core.Plan
+	mat   *core.Materialized
+}
+
+// NewStore builds a store over a snapshot of the TID instance t (later
+// changes to t are not observed; the store is the mutable handle from here
+// on). Probabilities are validated fact by fact.
+func NewStore(t *pdb.TID) (*Store, error) {
+	s := &Store{byKey: map[string]int{}}
+	for i := 0; i < t.NumFacts(); i++ {
+		f := t.Fact(i)
+		if err := pdb.ValidateProb(t.Prob(i)); err != nil {
+			return nil, fmt.Errorf("incr: fact %s: %w", f, err)
+		}
+		if _, dup := s.byKey[f.Key()]; dup {
+			return nil, fmt.Errorf("incr: duplicate fact %s", f)
+		}
+		s.byKey[f.Key()] = len(s.facts)
+		s.facts = append(s.facts, f)
+		s.probs = append(s.probs, t.Prob(i))
+		s.deleted = append(s.deleted, false)
+	}
+	s.buildC()
+	return s, nil
+}
+
+// eventOf names the private event of fact id; ids are stable, so the event
+// name survives rebuilds (and matches pdb.TID.EventOf for the seed facts).
+func (s *Store) eventOf(id int) logic.Event {
+	return logic.Event(fmt.Sprintf("f%d", id))
+}
+
+// buildC rebuilds the plan-facing c-instance and probability map from the
+// live facts, dropping tombstones.
+func (s *Store) buildC() {
+	s.c = pdb.NewCInstance()
+	s.cIdx = make([]int, len(s.facts))
+	s.pm = logic.Prob{}
+	for id := range s.facts {
+		s.cIdx[id] = -1
+		if s.deleted[id] {
+			continue
+		}
+		e := s.eventOf(id)
+		s.cIdx[id] = s.c.Add(s.facts[id], logic.Var(e))
+		s.pm[e] = s.probs[id]
+	}
+	s.stats.Tombstones = 0
+}
+
+// RegisterView compiles a plan for q over the store's current instance,
+// materializes its DP tables, and keeps both maintained under every later
+// update. Options are honoured as in core.PrepareCQ, except that a pinned
+// Joint decomposition is rejected (the live instance outgrows it) and
+// EmitLineage is ignored (live views answer probabilities, not lineages).
+func (s *Store) RegisterView(q rel.CQ, opts core.Options) (*View, error) {
+	if opts.Joint != nil {
+		return nil, fmt.Errorf("incr: a live view cannot pin a precomputed decomposition")
+	}
+	opts.EmitLineage = false
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return nil, s.broken
+	}
+	v := &View{store: s, q: q, opts: opts}
+	if err := v.build(); err != nil {
+		return nil, err
+	}
+	s.views = append(s.views, v)
+	return v, nil
+}
+
+// build (re)compiles the view's plan on the store's current instance and
+// materializes it. Called under the store's write lock.
+func (v *View) build() error {
+	pl, err := core.PrepareCQ(v.store.c, v.q, v.opts)
+	if err != nil {
+		return fmt.Errorf("incr: prepare %s: %w", v.q, err)
+	}
+	mat, err := pl.Materialize(v.store.pm)
+	if err != nil {
+		return fmt.Errorf("incr: materialize %s: %w", v.q, err)
+	}
+	v.plan, v.mat = pl, mat
+	return nil
+}
+
+// Probability returns the view's current query probability. Safe for any
+// number of concurrent callers, including while other goroutines commit.
+func (v *View) Probability() float64 {
+	v.store.mu.RLock()
+	defer v.store.mu.RUnlock()
+	return v.mat.Probability()
+}
+
+// Shape returns the structural statistics of the view's current plan. Depth
+// bounds the number of DP tables one probability update recomputes.
+func (v *View) Shape() treedec.Stats {
+	v.store.mu.RLock()
+	defer v.store.mu.RUnlock()
+	return v.plan.Shape()
+}
+
+// Query returns the view's conjunctive query.
+func (v *View) Query() rel.CQ { return v.q }
+
+// Stats returns a snapshot of the store's work counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Len returns the number of fact ids ever issued (live and tombstoned).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.facts)
+}
+
+// Fact returns the fact with the given id.
+func (s *Store) Fact(id int) (rel.Fact, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.facts) {
+		return rel.Fact{}, fmt.Errorf("incr: no fact %d (have %d)", id, len(s.facts))
+	}
+	return s.facts[id], nil
+}
+
+// Prob returns the current probability of fact id (0 for tombstones).
+func (s *Store) Prob(id int) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.facts) {
+		return 0, fmt.Errorf("incr: no fact %d (have %d)", id, len(s.facts))
+	}
+	return s.probs[id], nil
+}
+
+// Live reports whether fact id exists and is not tombstoned.
+func (s *Store) Live(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return id >= 0 && id < len(s.facts) && !s.deleted[id]
+}
+
+// IDOf returns the id of the given fact, or -1 when it was never inserted.
+func (s *Store) IDOf(f rel.Fact) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id, ok := s.byKey[f.Key()]; ok {
+		return id
+	}
+	return -1
+}
+
+// Subscribe registers fn to be called after every commit with the commit
+// sequence number and the refreshed probability of every view. Callbacks run
+// synchronously under the store's lock, in registration order: they must be
+// fast and must not call back into the store. The returned cancel function
+// unregisters fn.
+func (s *Store) Subscribe(fn func(Commit)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := len(s.subs)
+	s.subs = append(s.subs, fn)
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.subs[id] = nil
+	}
+}
+
+// SetProb overwrites the probability of fact id and refreshes every view
+// along the fact's dirty spine.
+func (s *Store) SetProb(id int, p float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.stageSet(id, p); err != nil {
+		return err
+	}
+	return s.commitLocked(1)
+}
+
+// Insert adds a fact with the given probability and returns its stable id.
+// A fact already known to the store (live or tombstoned) is revived or
+// re-weighted in place; a genuinely new fact is absorbed into every view
+// when the decompositions can cover it, and triggers one full re-Prepare of
+// all views otherwise.
+func (s *Store) Insert(f rel.Fact, p float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.stageInsert(f, p)
+	if err != nil {
+		return -1, err
+	}
+	return id, s.commitLocked(1)
+}
+
+// Delete tombstones fact id: its event weight drops to zero, which yields
+// exactly the distribution without the fact. The slot is reclaimed by the
+// next fallback rebuild; the id stays valid and can be revived by Insert.
+func (s *Store) Delete(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.stageDelete(id); err != nil {
+		return err
+	}
+	return s.commitLocked(1)
+}
+
+// ApplyBatch applies the updates in order and commits them as one unit:
+// overlapping dirty spines are recomputed once, and any number of
+// non-absorbable inserts in the batch cost a single rebuild. On the first
+// invalid update the batch stops, the already-staged prefix is committed,
+// and the error is returned.
+func (s *Store) ApplyBatch(us []Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	staged := 0
+	var stageErr error
+	for _, u := range us {
+		switch u.Op {
+		case OpSet:
+			stageErr = s.stageSet(u.ID, u.P)
+		case OpInsert:
+			_, stageErr = s.stageInsert(u.Fact, u.P)
+		case OpDelete:
+			stageErr = s.stageDelete(u.ID)
+		default:
+			stageErr = fmt.Errorf("incr: unknown update op %d", u.Op)
+		}
+		if stageErr != nil {
+			break
+		}
+		staged++
+	}
+	if staged > 0 || s.needRebuild {
+		if err := s.commitLocked(staged); err != nil {
+			return err
+		}
+	}
+	return stageErr
+}
+
+// --- staging (write lock held) ---
+
+func (s *Store) checkID(id int) error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if id < 0 || id >= len(s.facts) {
+		return fmt.Errorf("incr: no fact %d (have %d)", id, len(s.facts))
+	}
+	return nil
+}
+
+func (s *Store) stageSet(id int, p float64) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	if err := pdb.ValidateProb(p); err != nil {
+		return fmt.Errorf("incr: fact %s: %w", s.facts[id], err)
+	}
+	if s.deleted[id] {
+		return fmt.Errorf("incr: fact %s (id %d) is deleted; Insert revives it", s.facts[id], id)
+	}
+	s.probs[id] = p
+	e := s.eventOf(id)
+	s.pm[e] = p
+	s.stats.SetProbs++
+	if s.needRebuild {
+		return nil // the pending rebuild reads s.pm
+	}
+	for _, v := range s.views {
+		if err := v.mat.Stage(e, p); err != nil {
+			// The staged state and the views disagree; recover by rebuild.
+			s.needRebuild = true
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Store) stageDelete(id int) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	if s.deleted[id] {
+		return fmt.Errorf("incr: fact %s (id %d) is already deleted", s.facts[id], id)
+	}
+	s.deleted[id] = true
+	s.probs[id] = 0
+	s.stats.Deletes++
+	s.stats.Tombstones++
+	// A live fact is always present in the current c-instance: tombstone it
+	// by dropping its event weight to zero.
+	e := s.eventOf(id)
+	s.pm[e] = 0
+	if s.needRebuild {
+		return nil
+	}
+	for _, v := range s.views {
+		if err := v.mat.Stage(e, 0); err != nil {
+			s.needRebuild = true
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Store) stageInsert(f rel.Fact, p float64) (int, error) {
+	if s.broken != nil {
+		return -1, s.broken
+	}
+	if err := pdb.ValidateProb(p); err != nil {
+		return -1, fmt.Errorf("incr: fact %s: %w", f, err)
+	}
+	s.stats.Inserts++
+	if id, known := s.byKey[f.Key()]; known {
+		e := s.eventOf(id)
+		if s.deleted[id] {
+			s.deleted[id] = false
+			s.stats.Tombstones--
+		}
+		s.probs[id] = p
+		if s.cIdx[id] < 0 {
+			// The tombstone was compacted away by a rebuild: the fact is
+			// genuinely absent from the current plans — attach it afresh.
+			return id, s.attachOrRebuild(id, f, p)
+		}
+		s.pm[e] = p
+		if !s.needRebuild {
+			for _, v := range s.views {
+				if err := v.mat.Stage(e, p); err != nil {
+					s.needRebuild = true
+					break
+				}
+			}
+		}
+		return id, nil
+	}
+	id := len(s.facts)
+	s.byKey[f.Key()] = id
+	s.facts = append(s.facts, f)
+	s.probs = append(s.probs, p)
+	s.deleted = append(s.deleted, false)
+	s.cIdx = append(s.cIdx, -1)
+	return id, s.attachOrRebuild(id, f, p)
+}
+
+// attachOrRebuild absorbs fact id into every view in place when all of them
+// can cover it, and schedules the fallback rebuild otherwise. Called with
+// the fact's store-side state already updated.
+func (s *Store) attachOrRebuild(id int, f rel.Fact, p float64) error {
+	e := s.eventOf(id)
+	if s.needRebuild {
+		s.pm[e] = p
+		return nil
+	}
+	canAll := true
+	for _, v := range s.views {
+		if !v.plan.CanAttach(f) {
+			canAll = false
+			break
+		}
+	}
+	if !canAll {
+		s.pm[e] = p
+		s.needRebuild = true
+		return nil
+	}
+	ci := s.c.Add(f, logic.Var(e))
+	s.cIdx[id] = ci
+	s.pm[e] = p
+	for _, v := range s.views {
+		if err := v.mat.StageAttach(f, ci, e, p); err != nil {
+			s.needRebuild = true
+			return nil
+		}
+	}
+	if len(s.views) > 0 {
+		s.stats.Attached++
+	}
+	return nil
+}
+
+// --- commit (write lock held) ---
+
+// commitLocked applies everything staged since the last commit: one rebuild
+// when some update could not be absorbed, the batched dirty-spine
+// recomputation of every view otherwise. It then numbers the commit and
+// notifies subscribers.
+func (s *Store) commitLocked(updates int) error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if s.needRebuild {
+		s.needRebuild = false
+		s.buildC()
+		for _, v := range s.views {
+			if err := v.build(); err != nil {
+				// The store's data and its views have diverged and cannot be
+				// reconciled; refuse further use rather than serve stale
+				// answers.
+				s.broken = fmt.Errorf("incr: rebuild failed, store unusable: %w", err)
+				return s.broken
+			}
+		}
+		s.stats.Rebuilds++
+	} else {
+		for _, v := range s.views {
+			n, err := v.mat.Commit()
+			if err != nil {
+				s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
+				return s.broken
+			}
+			s.stats.NodesRecomputed += uint64(n)
+		}
+	}
+	s.seq++
+	s.stats.Commits++
+	s.stats.Updates += uint64(updates)
+	if len(s.subs) > 0 {
+		c := Commit{Seq: s.seq, Probabilities: make([]float64, len(s.views))}
+		for i, v := range s.views {
+			c.Probabilities[i] = v.mat.Probability()
+		}
+		for _, fn := range s.subs {
+			if fn != nil {
+				fn(c)
+			}
+		}
+	}
+	return nil
+}
+
+// Oracle recomputes the view's probability from scratch — a fresh TID of the
+// live facts, a fresh Prepare, one evaluation — bypassing every incremental
+// structure. It is the ground truth the property and fuzz tests compare
+// against, and a debugging aid; it does not touch the store's views.
+func (s *Store) Oracle(q rel.CQ) (float64, error) {
+	s.mu.RLock()
+	t := pdb.NewTID()
+	for id, f := range s.facts {
+		if !s.deleted[id] {
+			t.Add(f, s.probs[id])
+		}
+	}
+	s.mu.RUnlock()
+	pl, p, err := core.PrepareTID(t, q, core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return pl.Probability(p)
+}

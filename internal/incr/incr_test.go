@@ -1,0 +1,370 @@
+package incr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rel"
+	"repro/internal/treedec"
+)
+
+const tol = 1e-12
+
+// checkViews compares every view against the full re-Prepare oracle.
+func checkViews(t *testing.T, s *Store, views []*View, ctx string) {
+	t.Helper()
+	for i, v := range views {
+		want, err := s.Oracle(v.Query())
+		if err != nil {
+			t.Fatalf("%s: oracle view %d: %v", ctx, i, err)
+		}
+		if got := v.Probability(); math.Abs(got-want) > tol {
+			t.Fatalf("%s: view %d: incremental %v, oracle %v (|Δ|=%.3g)", ctx, i, got, want, math.Abs(got-want))
+		}
+	}
+}
+
+// chainStore builds a store over an RST chain with two registered views.
+func chainStore(t *testing.T, n int) (*Store, []*View) {
+	t.Helper()
+	s, err := NewStore(gen.RSTChain(n, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.RegisterView(rel.NewCQ(
+		rel.NewAtom("S", rel.V("x"), rel.V("y")),
+		rel.NewAtom("T", rel.V("y")),
+	), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, []*View{v1, v2}
+}
+
+func TestSetProbMatchesOracle(t *testing.T) {
+	s, views := chainStore(t, 8)
+	r := rand.New(rand.NewSource(1))
+	for step := 0; step < 30; step++ {
+		id := r.Intn(s.Len())
+		p := float64(r.Intn(11)) / 10
+		if err := s.SetProb(id, p); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkViews(t, s, views, fmt.Sprintf("step %d", step))
+	}
+	st := s.Stats()
+	if st.Rebuilds != 0 {
+		t.Errorf("SetProb forced %d rebuilds", st.Rebuilds)
+	}
+	if st.NodesRecomputed == 0 {
+		t.Error("no incremental recomputation recorded")
+	}
+}
+
+// TestRandomUpdateSequences drives randomized SetProb / Insert / Delete
+// sequences — the acceptance property: after every commit, every view equals
+// the full re-Prepare oracle to 1e-12, including after fallbacks.
+func TestRandomUpdateSequences(t *testing.T) {
+	var attached, rebuilds uint64
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s, views := chainStore(t, 4)
+		for step := 0; step < 35; step++ {
+			ctx := fmt.Sprintf("seed %d step %d", seed, step)
+			switch r.Intn(4) {
+			case 0: // probability tweak on a live fact
+				id := r.Intn(s.Len())
+				if !s.Live(id) {
+					continue
+				}
+				if err := s.SetProb(id, float64(r.Intn(11))/10); err != nil {
+					t.Fatalf("%s: %v", ctx, err)
+				}
+			case 1: // insert, sometimes with a fresh constant (forces rebuild)
+				var f rel.Fact
+				if r.Intn(3) == 0 {
+					f = rel.NewFact("R", fmt.Sprintf("w%d", r.Intn(3)))
+				} else {
+					i := r.Intn(4)
+					f = rel.NewFact("S", fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1))
+				}
+				if _, err := s.Insert(f, float64(1+r.Intn(9))/10); err != nil {
+					t.Fatalf("%s: %v", ctx, err)
+				}
+			case 2: // delete a random live fact
+				id := r.Intn(s.Len())
+				if s.Live(id) {
+					if err := s.Delete(id); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+				}
+			case 3: // revive or re-weight via Insert on a known fact
+				id := r.Intn(s.Len())
+				f, err := s.Fact(id)
+				if err != nil {
+					t.Fatalf("%s: %v", ctx, err)
+				}
+				if _, err := s.Insert(f, float64(r.Intn(11))/10); err != nil {
+					t.Fatalf("%s: %v", ctx, err)
+				}
+			}
+			checkViews(t, s, views, ctx)
+		}
+		st := s.Stats()
+		attached += st.Attached
+		rebuilds += st.Rebuilds
+	}
+	// The sequences must exercise both the in-place path and the fallback.
+	if attached == 0 {
+		t.Error("no insert was absorbed in place")
+	}
+	if rebuilds == 0 {
+		t.Error("no insert fell back to a rebuild")
+	}
+}
+
+func TestDeleteTombstoneAndRevival(t *testing.T) {
+	s, views := chainStore(t, 5)
+	id := s.IDOf(rel.NewFact("S", "v2", "v3"))
+	if id < 0 {
+		t.Fatal("chain fact missing")
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Live(id) {
+		t.Error("deleted fact still live")
+	}
+	checkViews(t, s, views, "after delete")
+	if err := s.Delete(id); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := s.SetProb(id, 0.4); err == nil {
+		t.Error("SetProb on a tombstone accepted")
+	}
+	// Revival restores the fact at a new probability.
+	f, _ := s.Fact(id)
+	rid, err := s.Insert(f, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid != id {
+		t.Errorf("revival changed the id: %d -> %d", id, rid)
+	}
+	if !s.Live(id) {
+		t.Error("revived fact not live")
+	}
+	checkViews(t, s, views, "after revival")
+	if st := s.Stats(); st.Rebuilds != 0 {
+		t.Errorf("tombstone/revival forced %d rebuilds", st.Rebuilds)
+	}
+
+	// Revival after a compacting rebuild re-attaches the fact.
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(rel.NewFact("R", "brandnew"), 0.5); err != nil { // forces rebuild
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Rebuilds != 1 || st.Tombstones != 0 {
+		t.Fatalf("stats after compacting rebuild: %+v", st)
+	}
+	if _, err := s.Insert(f, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	checkViews(t, s, views, "after post-compaction revival")
+}
+
+func TestApplyBatchAmortizesSpines(t *testing.T) {
+	mk := func() (*Store, []*View, []int) {
+		s, views := chainStore(t, 30)
+		ids := []int{0, 15, 33, 51, 69, 87}
+		return s, views, ids
+	}
+	batchS, batchViews, ids := mk()
+	var us []Update
+	for _, id := range ids {
+		us = append(us, Update{Op: OpSet, ID: id, P: 0.15})
+	}
+	if err := batchS.ApplyBatch(us); err != nil {
+		t.Fatal(err)
+	}
+	checkViews(t, batchS, batchViews, "after batch")
+
+	serialS, serialViews, _ := mk()
+	for _, id := range ids {
+		if err := serialS.SetProb(id, 0.15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkViews(t, serialS, serialViews, "after serial updates")
+
+	bs, ss := batchS.Stats(), serialS.Stats()
+	if bs.Commits != 1 || ss.Commits != uint64(len(ids)) {
+		t.Errorf("commits: batch %d, serial %d", bs.Commits, ss.Commits)
+	}
+	if bs.NodesRecomputed >= ss.NodesRecomputed {
+		t.Errorf("batch recomputed %d nodes, serial %d: no amortization", bs.NodesRecomputed, ss.NodesRecomputed)
+	}
+	for i := range batchViews {
+		if math.Abs(batchViews[i].Probability()-serialViews[i].Probability()) > tol {
+			t.Errorf("view %d: batch %v, serial %v", i, batchViews[i].Probability(), serialViews[i].Probability())
+		}
+	}
+}
+
+func TestApplyBatchWithMixedOpsAndFallback(t *testing.T) {
+	s, views := chainStore(t, 6)
+	err := s.ApplyBatch([]Update{
+		{Op: OpSet, ID: 0, P: 0.9},
+		{Op: OpInsert, Fact: rel.NewFact("S", "v1", "v2"), P: 0.4},
+		{Op: OpDelete, ID: 4},
+		{Op: OpInsert, Fact: rel.NewFact("R", "fresh1"), P: 0.5}, // new constant
+		{Op: OpInsert, Fact: rel.NewFact("T", "fresh1"), P: 0.6}, // rides the same rebuild
+		{Op: OpSet, ID: 2, P: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Rebuilds != 1 {
+		t.Errorf("batch with two fresh-constant inserts used %d rebuilds, want 1", st.Rebuilds)
+	}
+	if st.Commits != 1 {
+		t.Errorf("batch used %d commits", st.Commits)
+	}
+	checkViews(t, s, views, "after mixed batch")
+
+	// An invalid update stops the batch, commits the prefix, and errors.
+	if err := s.ApplyBatch([]Update{
+		{Op: OpSet, ID: 1, P: 0.3},
+		{Op: OpSet, ID: 9999, P: 0.3},
+	}); err == nil {
+		t.Error("batch with an invalid id did not error")
+	}
+	if p, _ := s.Prob(1); p != 0.3 {
+		t.Errorf("valid prefix not applied: P = %v", p)
+	}
+	checkViews(t, s, views, "after failed batch")
+}
+
+func TestValidationErrors(t *testing.T) {
+	s, _ := chainStore(t, 3)
+	if err := s.SetProb(0, math.NaN()); err == nil {
+		t.Error("SetProb accepted NaN")
+	}
+	if err := s.SetProb(0, 1.5); err == nil {
+		t.Error("SetProb accepted 1.5")
+	}
+	if err := s.SetProb(-1, 0.5); err == nil {
+		t.Error("SetProb accepted a negative id")
+	}
+	if _, err := s.Insert(rel.NewFact("R", "v0"), -0.5); err == nil {
+		t.Error("Insert accepted -0.5")
+	}
+	if err := s.Delete(4242); err == nil {
+		t.Error("Delete accepted an unknown id")
+	}
+	// Nothing committed: the views saw no update.
+	if st := s.Stats(); st.Commits != 0 {
+		t.Errorf("invalid updates committed: %+v", st)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	s, views := chainStore(t, 4)
+	var got []Commit
+	cancel := s.Subscribe(func(c Commit) { got = append(got, c) })
+	if err := s.SetProb(0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(rel.NewFact("R", "other"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("commits = %+v", got)
+	}
+	for i, v := range views {
+		if math.Abs(got[1].Probabilities[i]-v.Probability()) > tol {
+			t.Errorf("subscriber view %d: %v vs %v", i, got[1].Probabilities[i], v.Probability())
+		}
+	}
+	cancel()
+	if err := s.SetProb(0, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Error("cancelled subscriber still notified")
+	}
+}
+
+func TestRegisterViewRejectsPinnedDecomposition(t *testing.T) {
+	s, _ := chainStore(t, 3)
+	g := gen.RSTChain(3, 0.5).Inst.GaifmanGraph(nil)
+	joint := treedec.Decompose(g, treedec.MinDegree)
+	if _, err := s.RegisterView(rel.HardQuery(), core.Options{Joint: joint}); err == nil {
+		t.Error("pinned decomposition accepted")
+	}
+}
+
+// TestConcurrentReadersDuringCommits runs probability readers against a
+// committing writer; under -race this is the memory-safety check for the
+// single-writer/shared-reader contract.
+func TestConcurrentReadersDuringCommits(t *testing.T) {
+	s, views := chainStore(t, 12)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, v := range views {
+					p := v.Probability()
+					if p < 0 || p > 1 {
+						t.Errorf("probability %v out of range", p)
+						return
+					}
+					_ = v.Shape()
+				}
+				_ = s.Stats()
+			}
+		}()
+	}
+	r := rand.New(rand.NewSource(7))
+	for step := 0; step < 150; step++ {
+		switch r.Intn(3) {
+		case 0:
+			if err := s.SetProb(r.Intn(s.Len()), r.Float64()); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			i := r.Intn(12)
+			f := rel.NewFact("S", fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1))
+			if _, err := s.Insert(f, r.Float64()); err != nil {
+				t.Error(err)
+			}
+		case 2:
+			if _, err := s.Insert(rel.NewFact("R", fmt.Sprintf("x%d", r.Intn(4))), r.Float64()); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	checkViews(t, s, views, "after concurrent run")
+}

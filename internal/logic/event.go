@@ -80,10 +80,12 @@ func (p Prob) P(e Event) float64 {
 	return 0.5
 }
 
-// Validate returns an error if any probability lies outside [0, 1].
+// Validate returns an error if any probability lies outside [0, 1] or is
+// NaN (the negated comparison catches NaN, which every direct comparison
+// would wave through).
 func (p Prob) Validate() error {
 	for e, pr := range p {
-		if pr < 0 || pr > 1 {
+		if !(pr >= 0 && pr <= 1) {
 			return fmt.Errorf("logic: probability of event %q is %v, outside [0,1]", e, pr)
 		}
 	}

@@ -36,11 +36,35 @@ func NewTID() *TID {
 	return &TID{Inst: rel.NewInstance()}
 }
 
+// ValidateProb returns an error when p is not a probability: outside [0,1]
+// or NaN. Every ingestion path validates through it, so bad weights are
+// rejected at the door instead of flowing into the dynamic programs (where a
+// NaN silently poisons every downstream sum).
+func ValidateProb(p float64) error {
+	if !(p >= 0 && p <= 1) { // the negated form also catches NaN
+		return fmt.Errorf("pdb: probability %v outside [0,1]", p)
+	}
+	return nil
+}
+
 // Add inserts a fact with the given probability and returns its index.
-// Re-adding an existing fact overwrites its probability.
+// Re-adding an existing fact overwrites its probability. Add panics on an
+// invalid probability (NaN included); use TryAdd where bad input is expected
+// and should surface as an error.
 func (t *TID) Add(f rel.Fact, p float64) int {
-	if p < 0 || p > 1 {
-		panic(fmt.Sprintf("pdb: probability %v outside [0,1]", p))
+	i, err := t.TryAdd(f, p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return i
+}
+
+// TryAdd inserts a fact with the given probability and returns its index,
+// rejecting invalid probabilities (outside [0,1] or NaN) with an error. The
+// ingestion path for untrusted input such as CLI instance files.
+func (t *TID) TryAdd(f rel.Fact, p float64) (int, error) {
+	if err := ValidateProb(p); err != nil {
+		return -1, fmt.Errorf("%w for fact %s", err, f)
 	}
 	i := t.Inst.Add(f)
 	if i == len(t.Probs) {
@@ -48,12 +72,36 @@ func (t *TID) Add(f rel.Fact, p float64) int {
 	} else {
 		t.Probs[i] = p
 	}
-	return i
+	return i, nil
 }
 
 // AddFact is a convenience wrapper.
 func (t *TID) AddFact(p float64, relName string, args ...string) int {
 	return t.Add(rel.NewFact(relName, args...), p)
+}
+
+// TryAddFact is the validating convenience wrapper.
+func (t *TID) TryAddFact(p float64, relName string, args ...string) (int, error) {
+	return t.TryAdd(rel.NewFact(relName, args...), p)
+}
+
+// Fact returns the i-th fact.
+func (t *TID) Fact(i int) rel.Fact { return t.Inst.Fact(i) }
+
+// Prob returns the marginal probability of fact i.
+func (t *TID) Prob(i int) float64 { return t.Probs[i] }
+
+// SetProb overwrites the marginal probability of fact i, validating the new
+// value. The mutable-handle hook used by internal/incr's live stores.
+func (t *TID) SetProb(i int, p float64) error {
+	if i < 0 || i >= len(t.Probs) {
+		return fmt.Errorf("pdb: no fact %d (have %d)", i, len(t.Probs))
+	}
+	if err := ValidateProb(p); err != nil {
+		return fmt.Errorf("%w for fact %s", err, t.Inst.Fact(i))
+	}
+	t.Probs[i] = p
+	return nil
 }
 
 // NumFacts returns the number of (possibly-present) facts.

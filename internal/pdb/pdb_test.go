@@ -226,3 +226,35 @@ func TestPropertyCInstanceWorldsMatchAnnotations(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTIDProbabilityValidation(t *testing.T) {
+	tid := NewTID()
+	for _, bad := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1)} {
+		if _, err := tid.TryAddFact(bad, "R", "a"); err == nil {
+			t.Errorf("TryAddFact accepted %v", bad)
+		}
+	}
+	if tid.NumFacts() != 0 {
+		t.Fatalf("rejected facts were stored: %d", tid.NumFacts())
+	}
+	i, err := tid.TryAddFact(0.5, "R", "a")
+	if err != nil || i != 0 {
+		t.Fatalf("TryAddFact(0.5) = %d, %v", i, err)
+	}
+	if err := tid.SetProb(0, 0.9); err != nil || tid.Prob(0) != 0.9 {
+		t.Errorf("SetProb = %v, prob %v", err, tid.Prob(0))
+	}
+	if err := tid.SetProb(0, math.NaN()); err == nil {
+		t.Error("SetProb accepted NaN")
+	}
+	if err := tid.SetProb(5, 0.5); err == nil {
+		t.Error("SetProb accepted an out-of-range index")
+	}
+	// Add still panics on bad input, NaN included.
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(NaN) did not panic")
+		}
+	}()
+	tid.AddFact(math.NaN(), "R", "b")
+}
