@@ -52,6 +52,7 @@ func main() {
 	run("E9", e9)
 	run("E10", e10)
 	run("E11", e11)
+	run("E12", e12)
 }
 
 func timed(fn func()) time.Duration {
@@ -669,4 +670,96 @@ func e11() {
 		return
 	}
 	fmt.Printf("    agreement vs full re-Prepare oracle: |Δ| = %.1e\n", math.Abs(v.Probability()-want))
+}
+
+// e12 — sharded plans: the same total fact count split into K disjoint
+// chains. Updates route to the single dirty shard, so per-update cost falls
+// with the shard size while the instance size stays fixed; the cold path
+// evaluates shards in parallel off one sharded plan.
+func e12() {
+	fmt.Println("E12 Sharded plans: K disjoint chains, 720 facts total (incr.Store + core.PrepareSharded)")
+	fmt.Println("    update routing (SetProb through a live hard-query view):")
+	fmt.Println("    K(shards)  facts/shard  depth  update_us  tables/update")
+	q := rel.HardQuery()
+	const links = 240 // 3 facts per link
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		s, err := incr.NewStore(gen.RSTChains(k, links/k, 0.5))
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		v, err := s.RegisterView(q, core.Options{})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		const rounds = 50
+		before := s.Stats().NodesRecomputed
+		d := timed(func() {
+			for i := 0; i < rounds; i++ {
+				if err = s.SetProb((i*37)%s.Len(), float64(i%7+1)/10); err != nil {
+					return
+				}
+				_ = v.Probability()
+			}
+		})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		tables := float64(s.Stats().NodesRecomputed-before) / rounds
+		fmt.Printf("    %-10d %-12d %-6d %-10.1f %.1f\n",
+			k, s.Len()/k, v.Shape().Depth, float64(d.Microseconds())/rounds, tables)
+	}
+
+	fmt.Println("    cold path (K=8): monolithic Prepare vs PrepareSharded, same instance")
+	tid := gen.RSTChains(8, links/8, 0.5)
+	var pMono, pShard float64
+	dMono := timed(func() {
+		pl, p, errP := core.PrepareTID(tid, q, core.Options{})
+		if errP == nil {
+			pMono, errP = pl.Probability(p)
+		}
+		if errP != nil {
+			fmt.Println("    error:", errP)
+		}
+	})
+	sp, p, err := core.PrepareShardedTID(tid, q, core.Options{})
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	dShardPrep := timed(func() {
+		sp2, p2, errP := core.PrepareShardedTID(tid, q, core.Options{})
+		if errP == nil {
+			pShard, errP = sp2.Probability(p2)
+		}
+		if errP != nil {
+			fmt.Println("    error:", errP)
+		}
+	})
+	if err := sp.Freeze(); err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	if _, err := sp.Probability(p); err != nil { // warm
+		fmt.Println("    error:", err)
+		return
+	}
+	dEval := timed(func() {
+		for i := 0; i < 20; i++ {
+			if _, err = sp.Probability(p); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	fmt.Printf("    monolithic prepare+eval  %-8s ms\n", ms(dMono))
+	fmt.Printf("    sharded    prepare+eval  %-8s ms (%d shards, widths <= %d)\n", ms(dShardPrep), sp.NumShards(), sp.Width())
+	fmt.Printf("    frozen sharded eval      %-8s ms/eval (shards fanned over the worker pool)\n",
+		fmt.Sprintf("%.2f", float64(dEval.Microseconds())/1000/20))
+	fmt.Printf("    agreement |Δ| = %.1e\n", math.Abs(pMono-pShard))
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pdbcli -i instance.pdb -q 'R(?x) & S(?x,?y) & T(?y)' [-mode prob|possible|certain|all]
-//	       [-batch 'e1=0.1,0.5,0.9'] [-parallel N] [-stats]
+//	       [-batch 'e1=0.1,0.5,0.9'] [-parallel N] [-stats] [-shards]
 //	       [-updates script.up]
 //
 // Instance format, one declaration per line ('#' starts a comment):
@@ -25,6 +25,11 @@
 // -stats prints the shape of the decomposition the plan runs on (width,
 // nice nodes, depth, max bag); depth bounds the cost of live updates.
 //
+// -shards additionally compiles a component-sharded plan (core.PrepareSharded:
+// one sub-plan per connected component of the joint graph, combined at the
+// root) and prints the per-shard shapes plus the agreement with the
+// monolithic answer.
+//
 // -updates FILE switches to live-update mode: the instance (which must be
 // tuple-independent) is loaded into an incr.Store serving the query from a
 // live materialized view, and the update script in FILE — set/insert/delete/
@@ -37,6 +42,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"slices"
 	"strconv"
@@ -55,6 +61,7 @@ func main() {
 	batchSpec := flag.String("batch", "", "sweep one event's probability, e.g. 'e1=0.1,0.5,0.9' (one batched multi-lane evaluation)")
 	parallel := flag.Int("parallel", 0, "serve the -batch sweep over N worker goroutines instead of the lane path (0: batched)")
 	stats := flag.Bool("stats", false, "print the decomposition shape (width, nice nodes, depth, max bag)")
+	shards := flag.Bool("shards", false, "also compile a component-sharded plan and print per-shard statistics")
 	updates := flag.String("updates", "", "live-update mode: replay the update script in this file ('-' for stdin) against a live view")
 	flag.Parse()
 	if *queryStr == "" {
@@ -142,6 +149,21 @@ func main() {
 	if *stats {
 		sh := pl.Shape()
 		fmt.Printf("decomposition: width %d, %d nice nodes, depth %d, max bag %d\n", sh.Width, sh.Nodes, sh.Depth, sh.MaxBag)
+	}
+	if *shards {
+		sp, err := core.PrepareSharded(c, q, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		sres, err := sp.Result(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shards: %d components, max width %d, %d nice nodes total, |Δ| vs monolithic %.1e\n",
+			sp.NumShards(), sp.Width(), sp.NumNiceNodes(), math.Abs(sres.Probability-res.Probability))
+		for i, st := range sp.ShardStats() {
+			fmt.Printf("  shard %d: width %d, %d nodes, depth %d, max bag %d\n", i, st.Width, st.Nodes, st.Depth, st.MaxBag)
+		}
 	}
 	if *mode == "prob" || *mode == "all" {
 		fmt.Printf("probability: %.9f (joint width %d)\n", res.Probability, res.Width)

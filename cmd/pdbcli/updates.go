@@ -54,10 +54,17 @@ func TIDFromInstance(c *pdb.CInstance, p logic.Prob) (*pdb.TID, error) {
 //	delete ID            tombstone fact ID
 //	begin ... commit     group the enclosed updates into one batched commit
 //	prob                 print the current probability
-//	stats                print store counters and the decomposition shape
+//	stats                print store counters, shards and the decomposition shape
 //
 // Fact ids are the load order of the instance file, counted from 0; inserts
 // print the id they were assigned.
+//
+// A malformed line — bad probability, unknown fact id, unknown command —
+// does not terminate the session: the error is reported to w (prefixed
+// "error:") and processing continues, so an interactive REPL survives
+// typos. A bad line inside a begin block leaves the already-staged batch
+// intact. RunUpdates itself only errors on I/O failures or on a script that
+// ends inside an unterminated begin block.
 func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer) error {
 	s, err := incr.NewStore(tid)
 	if err != nil {
@@ -84,87 +91,103 @@ func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer) error {
 			continue
 		}
 		fields := strings.Fields(text)
-		fail := func(err error) error { return fmt.Errorf("updates line %d: %v", line, err) }
-		switch fields[0] {
-		case "set":
-			if len(fields) != 3 {
-				return fail(fmt.Errorf("set ID P"))
-			}
-			id, err1 := strconv.Atoi(fields[1])
-			p, err2 := strconv.ParseFloat(fields[2], 64)
-			if err1 != nil || err2 != nil {
-				return fail(fmt.Errorf("set wants an integer id and a probability"))
-			}
-			if inBatch {
-				batch = append(batch, incr.Update{Op: incr.OpSet, ID: id, P: p})
-			} else if err := s.SetProb(id, p); err != nil {
-				return fail(err)
-			}
-		case "insert":
-			if len(fields) < 3 {
-				return fail(fmt.Errorf("insert P REL ARGS..."))
-			}
-			p, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				return fail(err)
-			}
-			f := rel.NewFact(fields[2], fields[3:]...)
-			if inBatch {
-				batch = append(batch, incr.Update{Op: incr.OpInsert, Fact: f, P: p})
-			} else {
-				id, err := s.Insert(f, p)
-				if err != nil {
-					return fail(err)
-				}
-				fmt.Fprintf(w, "inserted %s as id %d\n", f, id)
-			}
-		case "delete":
-			if len(fields) != 2 {
-				return fail(fmt.Errorf("delete ID"))
-			}
-			id, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return fail(err)
-			}
-			if inBatch {
-				batch = append(batch, incr.Update{Op: incr.OpDelete, ID: id})
-			} else if err := s.Delete(id); err != nil {
-				return fail(err)
-			}
-		case "begin":
-			if inBatch {
-				return fail(fmt.Errorf("nested begin"))
-			}
-			inBatch = true
-			batch = batch[:0]
-		case "commit":
-			if !inBatch {
-				return fail(fmt.Errorf("commit outside begin"))
-			}
-			inBatch = false
-			if err := s.ApplyBatch(batch); err != nil {
-				return fail(err)
-			}
-			for _, u := range batch {
-				if u.Op == incr.OpInsert {
-					fmt.Fprintf(w, "inserted %s as id %d\n", u.Fact, s.IDOf(u.Fact))
-				}
-			}
-			fmt.Fprintf(w, "batch of %d updates committed\n", len(batch))
-		case "prob":
-			fmt.Fprintf(w, "P(q) = %.9f\n", v.Probability())
-		case "stats":
-			st := s.Stats()
-			sh := v.Shape()
-			fmt.Fprintf(w, "store: %d commits, %d updates (%d set, %d insert, %d delete), %d attached in place, %d rebuilds, %d tombstones, %d tables recomputed\n",
-				st.Commits, st.Updates, st.SetProbs, st.Inserts, st.Deletes, st.Attached, st.Rebuilds, st.Tombstones, st.NodesRecomputed)
-			fmt.Fprintf(w, "view: width %d, %d nice nodes, depth %d, max bag %d\n", sh.Width, sh.Nodes, sh.Depth, sh.MaxBag)
-		default:
-			return fail(fmt.Errorf("unknown command %q (set|insert|delete|begin|commit|prob|stats)", fields[0]))
+		if err := runUpdateLine(s, v, w, fields, &batch, &inBatch); err != nil {
+			// Report and carry on: the staged batch (if any) is untouched.
+			fmt.Fprintf(w, "error: line %d: %v\n", line, err)
 		}
 	}
 	if inBatch {
 		return fmt.Errorf("updates: unterminated begin block")
 	}
 	return sc.Err()
+}
+
+// runUpdateLine executes one parsed update command. Errors are recoverable:
+// the caller reports them and continues, with all staged state intact.
+func runUpdateLine(s *incr.Store, v *incr.View, w io.Writer, fields []string, batch *[]incr.Update, inBatch *bool) error {
+	switch fields[0] {
+	case "set":
+		if len(fields) != 3 {
+			return fmt.Errorf("set ID P")
+		}
+		id, err1 := strconv.Atoi(fields[1])
+		p, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("set wants an integer id and a probability")
+		}
+		if *inBatch {
+			*batch = append(*batch, incr.Update{Op: incr.OpSet, ID: id, P: p})
+		} else if err := s.SetProb(id, p); err != nil {
+			return err
+		}
+	case "insert":
+		if len(fields) < 3 {
+			return fmt.Errorf("insert P REL ARGS...")
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return err
+		}
+		f := rel.NewFact(fields[2], fields[3:]...)
+		if *inBatch {
+			*batch = append(*batch, incr.Update{Op: incr.OpInsert, Fact: f, P: p})
+		} else {
+			id, err := s.Insert(f, p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "inserted %s as id %d\n", f, id)
+		}
+	case "delete":
+		if len(fields) != 2 {
+			return fmt.Errorf("delete ID")
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		if *inBatch {
+			*batch = append(*batch, incr.Update{Op: incr.OpDelete, ID: id})
+		} else if err := s.Delete(id); err != nil {
+			return err
+		}
+	case "begin":
+		if *inBatch {
+			return fmt.Errorf("nested begin")
+		}
+		*inBatch = true
+		*batch = (*batch)[:0]
+	case "commit":
+		if !*inBatch {
+			return fmt.Errorf("commit outside begin")
+		}
+		*inBatch = false
+		err := s.ApplyBatch(*batch)
+		// ApplyBatch commits the staged prefix even when a later update
+		// fails, so report what actually landed either way: inserted ids for
+		// the inserts the store now knows, and an explicit partial-commit
+		// note alongside the error.
+		for _, u := range *batch {
+			if u.Op == incr.OpInsert {
+				if id := s.IDOf(u.Fact); id >= 0 {
+					fmt.Fprintf(w, "inserted %s as id %d\n", u.Fact, id)
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%v (the staged updates before the failing one were committed)", err)
+		}
+		fmt.Fprintf(w, "batch of %d updates committed\n", len(*batch))
+	case "prob":
+		fmt.Fprintf(w, "P(q) = %.9f\n", v.Probability())
+	case "stats":
+		st := s.Stats()
+		sh := v.Shape()
+		fmt.Fprintf(w, "store: %d commits, %d updates (%d set, %d insert, %d delete), %d attached in place, %d shards opened, %d rebuilds, %d tombstones, %d tables recomputed\n",
+			st.Commits, st.Updates, st.SetProbs, st.Inserts, st.Deletes, st.Attached, st.NewShards, st.Rebuilds, st.Tombstones, st.NodesRecomputed)
+		fmt.Fprintf(w, "view: %d shards, max width %d, %d nice nodes, depth %d, max bag %d\n", st.Shards, sh.Width, sh.Nodes, sh.Depth, sh.MaxBag)
+	default:
+		return fmt.Errorf("unknown command %q (set|insert|delete|begin|commit|prob|stats)", fields[0])
+	}
+	return nil
 }

@@ -25,7 +25,7 @@ cfact e1 S a b
 
 	// Correlated annotations are rejected: no per-tuple weight to maintain.
 	for _, bad := range []string{
-		"event e1 0.5\ncfact !e1 R b",               // negated annotation
+		"event e1 0.5\ncfact !e1 R b",              // negated annotation
 		"event e1 0.5\ncfact e1 R a\ncfact e1 R b", // shared event
 	} {
 		c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(bad)))
@@ -87,20 +87,108 @@ stats
 		"inserted T(c) as id 4",
 		"#4 P(q) = 0.140000000",
 		"batch of 2 updates committed",
-		"view: width",
+		"view: 1 shards, max width",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
 	}
 
-	// Script errors carry the line number and stop the replay.
+	// A script that ends inside a begin block is the one fatal condition.
 	var out2 strings.Builder
-	err = RunUpdates(tid, q, strings.NewReader("set 99 0.5\n"), &out2)
-	if err == nil || !strings.Contains(err.Error(), "line 1") {
-		t.Errorf("bad id error = %v", err)
-	}
 	if err := RunUpdates(tid, q, strings.NewReader("begin\nset 0 0.5\n"), &out2); err == nil {
 		t.Error("unterminated begin accepted")
+	}
+}
+
+// TestRunUpdatesRecoversFromMalformedLines is the REPL-survival regression
+// test: a bad probability, an unknown fact id, or an unknown command is
+// reported (with its line number) and the session continues — and a bad line
+// inside a begin block leaves the staged batch intact.
+func TestRunUpdatesRecoversFromMalformedLines(t *testing.T) {
+	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(`
+fact 0.9 R a
+fact 0.5 S a b
+fact 0.8 T b
+`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := TIDFromInstance(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := `
+set 99 0.5
+set 1 nope
+frobnicate 3
+set 1 0.9
+begin
+set 0 0.5
+insert bad_probability R zzz
+commit
+prob
+`
+	// The malformed lines must not abort the replay: the two good updates
+	// (set 1 0.9, and the batched set 0 0.5) still land, and the bad line
+	// inside the begin block leaves the staged batch intact.
+	var out strings.Builder
+	if err := RunUpdates(tid, q, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("recoverable errors aborted the session: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"error: line 2: incr: no fact 99",
+		"error: line 3: set wants an integer id and a probability",
+		"error: line 4: unknown command \"frobnicate\"",
+		"#1 P(q) = 0.648000000", // set 1 0.9 committed despite earlier errors
+		"error: line 8",
+		"batch of 1 updates committed", // the staged set 0 0.5 survived the bad line...
+		"#2 P(q) = 0.360000000",        // ...and applied: 0.5*0.9*0.8
+		"P(q) = 0.360000000",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunUpdatesPartialBatchCommitReported: when a batch fails mid-way,
+// ApplyBatch commits the staged prefix — the REPL must say so and still
+// print the ids of the inserts that landed.
+func TestRunUpdatesPartialBatchCommitReported(t *testing.T) {
+	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader("fact 0.9 R a\nfact 0.5 S a b\nfact 0.8 T b\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := TIDFromInstance(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	script := "begin\ninsert 0.7 S a c\nset 99 0.5\ncommit\nprob\n"
+	if err := RunUpdates(tid, q, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"inserted S(a,c) as id 3", // the committed prefix is visible
+		"were committed",          // ...and the partial commit is called out
+		"error: line 4",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "batch of 2 updates committed") {
+		t.Errorf("failed batch reported as fully committed:\n%s", got)
 	}
 }

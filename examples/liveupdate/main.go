@@ -69,12 +69,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 6. An insert with a brand-new constant cannot be absorbed — no bag
-	// covers it — so the store falls back to one full re-Prepare.
-	fmt.Println("Insert: a new city hnd enters (fallback re-Prepare)")
+	// 6. An insert whose constants are all brand new opens a fresh singleton
+	// shard: the store is partitioned by connected component, so the new
+	// city's component gets its own little plan and nothing else is touched.
+	fmt.Println("Insert: a new city hnd enters (opens its own shard)")
 	if _, err := s.Insert(rel.NewFact("T", "hnd"), 0.7); err != nil {
 		log.Fatal(err)
 	}
+	// A leg connecting hnd to mel merges two components — the one shape the
+	// shard layout cannot absorb in place — so the store pays one counted
+	// re-shard and carries on.
+	fmt.Println("Insert: a leg S(mel, hnd) links the components (one re-shard)")
 	if _, err := s.Insert(rel.NewFact("S", "mel", "hnd"), 0.5); err != nil {
 		log.Fatal(err)
 	}
@@ -93,8 +98,8 @@ func main() {
 
 	// 8. The work ledger: how much was absorbed in place vs rebuilt.
 	st := s.Stats()
-	fmt.Printf("\nstats: %d commits, %d updates; %d inserts attached in place, %d rebuilds, %d tombstones, %d DP tables recomputed incrementally\n",
-		st.Commits, st.Updates, st.Attached, st.Rebuilds, st.Tombstones, st.NodesRecomputed)
+	fmt.Printf("\nstats: %d commits, %d updates; %d inserts attached in place, %d shards opened, %d re-shards, %d shards now, %d tombstones, %d DP tables recomputed incrementally\n",
+		st.Commits, st.Updates, st.Attached, st.NewShards, st.Rebuilds, st.Shards, st.Tombstones, st.NodesRecomputed)
 
 	// 9. Ground truth: the incremental answer equals a full re-Prepare.
 	want, err := s.Oracle(q)

@@ -182,25 +182,48 @@ func (pp *PosteriorPlan) Probability(p logic.Prob) (float64, error) {
 // sweeps — ranking observations across many parameter settings, or
 // sensitivity analysis on a conditioned instance.
 //
-// A lane whose parameters give the observation zero probability has an
-// undefined posterior and comes back as NaN (where the serial Probability
-// call errors); the other lanes of the sweep are unaffected.
+// Lanes fail independently, mirroring core.(*Plan).ProbabilityBatch: a lane
+// whose probability map is invalid comes back NaN under a core.LaneErrors
+// (the union of the numerator's and denominator's lane failures) while the
+// other lanes of the sweep keep their values. A lane whose parameters give
+// the observation zero probability has an undefined posterior and also comes
+// back as NaN (where the serial Probability call errors), without an error.
 func (pp *PosteriorPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	dens, err := pp.den.ProbabilityBatch(ps)
-	if err != nil {
+	denErrs, ok := err.(core.LaneErrors)
+	if err != nil && !ok {
 		return nil, err
 	}
 	nums, err := pp.num.ProbabilityBatch(ps)
-	if err != nil {
+	numErrs, ok := err.(core.LaneErrors)
+	if err != nil && !ok {
 		return nil, err
 	}
 	out := make([]float64, len(ps))
+	var lerrs []error
 	for i, den := range dens {
+		var laneErr error
+		if denErrs != nil && denErrs[i] != nil {
+			laneErr = denErrs[i]
+		} else if numErrs != nil && numErrs[i] != nil {
+			laneErr = numErrs[i]
+		}
+		if laneErr != nil {
+			if lerrs == nil {
+				lerrs = make([]error, len(ps))
+			}
+			lerrs[i] = laneErr
+			out[i] = math.NaN()
+			continue
+		}
 		if den == 0 {
 			out[i] = math.NaN()
 			continue
 		}
 		out[i] = nums[i] / den
+	}
+	if lerrs != nil {
+		return out, core.LaneErrors(lerrs)
 	}
 	return out, nil
 }

@@ -268,3 +268,35 @@ func TestResolveGreedyNegativeCase(t *testing.T) {
 		t.Errorf("posterior = %v, want 0", res.Posterior)
 	}
 }
+
+// TestPosteriorPlanBatchLaneErrors: an invalid probability map fails only
+// its own lane, surfacing as a core.LaneErrors with NaN in that slot.
+func TestPosteriorPlanBatchLaneErrors(t *testing.T) {
+	c, p := table1()
+	cd, err := NewConditioned(c, p).ObserveFact(rel.NewFact("Trip", "MEL", "PDX"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("PDX"), rel.C("CDG")))
+	pp, err := cd.PreparePosterior(q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pp.ProbabilityBatch([]logic.Prob{
+		{"pods": 0.7, "stoc": 0.4},
+		{"pods": 1.5, "stoc": 0.4}, // invalid lane
+	})
+	le, ok := err.(core.LaneErrors)
+	if !ok {
+		t.Fatalf("error %v (%T), want core.LaneErrors", err, err)
+	}
+	if le[0] != nil || le[1] == nil {
+		t.Fatalf("lane errors %v, want only lane 1", []error(le))
+	}
+	if !math.IsNaN(got[1]) {
+		t.Errorf("invalid lane = %v, want NaN", got[1])
+	}
+	if math.IsNaN(got[0]) || math.Abs(got[0]-1) > 1e-9 {
+		t.Errorf("healthy lane poisoned: %v", got[0])
+	}
+}

@@ -2,10 +2,90 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/logic"
 	"repro/internal/treedec"
 )
+
+// LaneErrors reports per-lane failures of a batched evaluation: entry i is
+// the error of lane i, nil for lanes that evaluated fine. A batch whose
+// error is a LaneErrors still carries valid probabilities for the healthy
+// lanes (failed lanes hold NaN), so one bad assignment in a sweep does not
+// poison the others.
+type LaneErrors []error
+
+func (le LaneErrors) Error() string {
+	n, first := 0, ""
+	for i, err := range le {
+		if err == nil {
+			continue
+		}
+		if n == 0 {
+			first = fmt.Sprintf("lane %d: %v", i, err)
+		}
+		n++
+	}
+	if n <= 1 {
+		return "core: " + first
+	}
+	return fmt.Sprintf("core: %d of %d lanes failed (%s, ...)", n, len(le), first)
+}
+
+// Failed reports whether lane i carries an error.
+func (le LaneErrors) Failed(i int) bool { return le[i] != nil }
+
+// sanitizeLanes validates every lane of ps. Invalid lanes are recorded in the
+// returned error slice (nil when every lane is valid) and replaced by an
+// empty map — the default-0.5 weights — so the shared dynamic program stays
+// finite; their outputs are overwritten with NaN afterwards.
+func sanitizeLanes(ps []logic.Prob) ([]logic.Prob, []error) {
+	var errs []error
+	clean := ps
+	for i, p := range ps {
+		if err := p.Validate(); err == nil {
+			continue
+		} else {
+			if errs == nil {
+				errs = make([]error, len(ps))
+				clean = append([]logic.Prob(nil), ps...)
+			}
+			errs[i] = err
+			clean[i] = logic.Prob{}
+		}
+	}
+	return clean, errs
+}
+
+// laneError converts a per-lane error slice into a single error value: nil
+// when no lane failed, a LaneErrors otherwise.
+func laneError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return LaneErrors(errs)
+		}
+	}
+	return nil
+}
+
+// allLanesNaN reports whether every lane failed validation and, if so,
+// returns the all-NaN output — the batch paths skip the dynamic program
+// entirely when no lane could produce a value.
+func allLanesNaN(errs []error) []float64 {
+	if errs == nil {
+		return nil
+	}
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+	}
+	out := make([]float64, len(errs))
+	for l := range out {
+		out[l] = math.NaN()
+	}
+	return out
+}
 
 // batchTable is the multi-lane form of a row table: rows are indexed by the
 // same structural keys as the serial DP, but each row carries one weight per
@@ -69,20 +149,66 @@ func addLanes(dst, src []float64) {
 // per assignment through every row. The per-assignment cost of a parameter
 // sweep therefore collapses to a handful of float operations per row.
 //
+// Lanes fail independently: an invalid probability map, or a per-lane mass
+// drift, marks only that lane. When any lane fails, the returned error is a
+// LaneErrors whose i-th entry explains lane i (nil for healthy lanes), the
+// failed lanes' outputs are NaN, and every other lane's probability is still
+// valid. The error is non-nil only when at least one lane failed.
+//
 // Safe for concurrent calls once the plan is frozen (see Freeze).
 func (pl *Plan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	B := len(ps)
 	if B == 0 {
 		return nil, nil
 	}
-	for i, p := range ps {
-		if err := p.Validate(); err != nil {
-			return nil, fmt.Errorf("core: lane %d: %w", i, err)
-		}
+	clean, lerrs := sanitizeLanes(ps)
+	if nan := allLanesNaN(lerrs); nan != nil {
+		return nan, LaneErrors(lerrs)
 	}
 
 	st := pl.getState()
 	defer pl.putState(st)
+	root := pl.runBatchDP(st, clean)
+
+	out := make([]float64, B)
+	totals := make([]float64, B)
+	for k, i := range root.idx {
+		v := root.lanesOf(i, B)
+		addLanes(totals, v)
+		if pl.accept[k.set] {
+			addLanes(out, v)
+		}
+	}
+	st.releaseBatch(root)
+	for l, total := range totals {
+		if lerrs != nil && lerrs[l] != nil {
+			out[l] = math.NaN()
+			continue
+		}
+		if total < 0.999999 || total > 1.000001 {
+			if lerrs == nil {
+				lerrs = make([]error, B)
+			}
+			lerrs[l] = fmt.Errorf("core: probability mass %v drifted from 1", total)
+			out[l] = math.NaN()
+			continue
+		}
+		// Clamp floating noise.
+		if out[l] < 0 {
+			out[l] = 0
+		}
+		if out[l] > 1 {
+			out[l] = 1
+		}
+	}
+	return out, laneError(lerrs)
+}
+
+// runBatchDP executes the multi-lane dynamic program under the (already
+// validated) probability maps ps and returns the root batch table, whose
+// ownership passes to the caller (release it back into st).
+func (pl *Plan) runBatchDP(st *evalState, ps []logic.Prob) *batchTable {
+	B := len(ps)
 
 	// Lane-major Bernoulli weights: pe[e*B+lane] is P(event e) in lane.
 	need := len(pl.events) * B
@@ -199,27 +325,5 @@ func (pl *Plan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 
 	root := tables[pl.root]
 	tables[pl.root] = nil
-	out := make([]float64, B)
-	totals := make([]float64, B)
-	for k, i := range root.idx {
-		v := root.lanesOf(i, B)
-		addLanes(totals, v)
-		if pl.accept[k.set] {
-			addLanes(out, v)
-		}
-	}
-	st.releaseBatch(root)
-	for l, total := range totals {
-		if total < 0.999999 || total > 1.000001 {
-			return nil, fmt.Errorf("core: lane %d: probability mass %v drifted from 1", l, total)
-		}
-		// Clamp floating noise.
-		if out[l] < 0 {
-			out[l] = 0
-		}
-		if out[l] > 1 {
-			out[l] = 1
-		}
-	}
-	return out, nil
+	return root
 }

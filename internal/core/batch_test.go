@@ -124,9 +124,15 @@ func TestProbabilityBatchEmpty(t *testing.T) {
 	}
 }
 
-// TestProbabilityBatchRejectsInvalidLane checks per-lane validation.
-func TestProbabilityBatchRejectsInvalidLane(t *testing.T) {
+// TestProbabilityBatchLaneErrors checks per-lane failure isolation: an
+// invalid lane comes back as NaN under a LaneErrors while every other lane
+// still carries its exact probability.
+func TestProbabilityBatchLaneErrors(t *testing.T) {
 	pl, p, err := PrepareTID(gen.RSTChain(3, 0.5), rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pl.Probability(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,8 +140,33 @@ func TestProbabilityBatchRejectsInvalidLane(t *testing.T) {
 	for e := range p {
 		bad[e] = 1.5
 	}
-	if _, err := pl.ProbabilityBatch([]logic.Prob{p, bad}); err == nil {
-		t.Error("invalid lane accepted")
+	nan := logic.Prob{}
+	for e := range p {
+		nan[e] = math.NaN()
+	}
+	out, err := pl.ProbabilityBatch([]logic.Prob{p, bad, p, nan})
+	if err == nil {
+		t.Fatal("invalid lanes accepted")
+	}
+	le, ok := err.(LaneErrors)
+	if !ok {
+		t.Fatalf("error %v (%T), want LaneErrors", err, err)
+	}
+	if le[0] != nil || le[1] == nil || le[2] != nil || le[3] == nil {
+		t.Fatalf("lane errors %v, want lanes 1 and 3 only", []error(le))
+	}
+	if le.Failed(0) || !le.Failed(1) {
+		t.Error("Failed() disagrees with the entries")
+	}
+	for _, l := range []int{1, 3} {
+		if !math.IsNaN(out[l]) {
+			t.Errorf("bad lane %d output %v, want NaN", l, out[l])
+		}
+	}
+	for _, l := range []int{0, 2} {
+		if math.Abs(out[l]-want) > 1e-12 {
+			t.Errorf("healthy lane %d poisoned: %v vs %v", l, out[l], want)
+		}
 	}
 }
 
@@ -188,5 +219,28 @@ func TestServeMixedPlans(t *testing.T) {
 	}
 	if !pl1.Frozen() || !pl2.Frozen() {
 		t.Error("Serve must freeze every distinct plan")
+	}
+}
+
+// TestProbabilityBatchAllLanesInvalid: a batch with no valid lane skips the
+// dynamic program and returns all-NaN under a full LaneErrors.
+func TestProbabilityBatchAllLanesInvalid(t *testing.T) {
+	pl, p, err := PrepareTID(gen.RSTChain(3, 0.5), rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := logic.Prob{}
+	for e := range p {
+		bad[e] = -1
+	}
+	out, err := pl.ProbabilityBatch([]logic.Prob{bad, bad})
+	le, ok := err.(LaneErrors)
+	if !ok || le[0] == nil || le[1] == nil {
+		t.Fatalf("error %v (%T), want LaneErrors on both lanes", err, err)
+	}
+	for l, v := range out {
+		if !math.IsNaN(v) {
+			t.Errorf("lane %d = %v, want NaN", l, v)
+		}
 	}
 }

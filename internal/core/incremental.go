@@ -39,6 +39,8 @@ type Materialized struct {
 	prob      float64
 	recomp    int    // cumulative node recomputations, for cost accounting
 	structGen uint64 // plan structure generation this view tracks
+	commitGen uint64 // bumped by every Commit that recomputed something;
+	// lets a ShardCombiner skip shards whose tables are unchanged
 }
 
 // Materialize runs one full evaluation of the plan under p and keeps every
@@ -182,6 +184,7 @@ func (m *Materialized) Commit() (int, error) {
 	}
 	m.anyDirty = false
 	m.recomp += n
+	m.commitGen++
 	prob, mass := m.pl.rootSummary(m.tables[m.pl.root])
 	if mass < 0.999999 || mass > 1.000001 {
 		return n, fmt.Errorf("core: probability mass %v drifted from 1", mass)

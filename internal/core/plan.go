@@ -624,18 +624,12 @@ func put(tab map[rowKey]rowVal, k rowKey, v rowVal, emit *circuit.Circuit) {
 
 // --- evaluation ---
 
-func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	var emit *circuit.Circuit
-	if emitLineage {
-		emit = circuit.New()
-	}
-
-	st := pl.getState()
-	defer pl.putState(st)
-
+// runDP executes the numeric dynamic program bottom-up under the event
+// probabilities p and returns the root table, whose ownership passes to the
+// caller (release it back into st). It is the shared core of eval (which
+// summarizes acceptance) and rootVec (which hands per-row probabilities to
+// the cross-shard combiner of ShardedPlan).
+func (pl *Plan) runDP(st *evalState, p logic.Prob, emit *circuit.Circuit) map[rowKey]rowVal {
 	// Per-event Bernoulli weights, resolved once per evaluation.
 	if cap(st.peBuf) < len(pl.events) {
 		st.peBuf = make([]float64, len(pl.events))
@@ -653,9 +647,58 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 	for _, t := range pl.post {
 		tables[t] = pl.computeNode(st, tables, pe, t, emit, true)
 	}
-
 	root := tables[pl.root]
 	tables[pl.root] = nil
+	return root
+}
+
+// rootKeys discovers the root table's row keys with one structural pass: the
+// keys depend only on the compiled structure, never on the probabilities, so
+// any one evaluation visits them all. Root bags are empty, so every key is a
+// bare state-set id; the ids are returned sorted.
+func (pl *Plan) rootKeys() []int32 {
+	st := pl.getState()
+	defer pl.putState(st)
+	root := pl.runDP(st, logic.Prob{}, nil)
+	keys := make([]int32, 0, len(root))
+	for k := range root {
+		keys = append(keys, k.set)
+	}
+	st.releaseTable(root)
+	sortInt32(keys)
+	return keys
+}
+
+// rootVec evaluates the plan under p and extracts the root-table probability
+// of every key in keys (as discovered by rootKeys) into out. Safe for
+// concurrent calls once the plan is frozen, like Probability.
+func (pl *Plan) rootVec(p logic.Prob, keys []int32, out []float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	st := pl.getState()
+	defer pl.putState(st)
+	root := pl.runDP(st, p, nil)
+	for i, set := range keys {
+		out[i] = root[rowKey{set: set}].prob
+	}
+	st.releaseTable(root)
+	return nil
+}
+
+func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var emit *circuit.Circuit
+	if emitLineage {
+		emit = circuit.New()
+	}
+
+	st := pl.getState()
+	defer pl.putState(st)
+
+	root := pl.runDP(st, p, emit)
 	res := &Result{Width: pl.width, NiceNodes: len(pl.nodes)}
 	var acceptGates []circuit.Gate
 	for k, v := range root {

@@ -56,6 +56,41 @@ func Serve(reqs []Request, workers int) []Response {
 		}
 	}
 
+	runPool(len(reqs), workers, func(i int) {
+		req := reqs[i]
+		if req.Plan == nil {
+			out[i].Err = fmt.Errorf("core: request %d has a nil plan", i)
+			return
+		}
+		if err := freezeErr[req.Plan]; err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Probability, out[i].Err = req.Plan.Probability(req.P)
+	})
+	return out
+}
+
+// runPool fans fn(0..n-1) over a pool of worker goroutines pulling indices
+// from a shared counter — the serving machinery behind Serve, reused by
+// ShardedPlan to evaluate shards concurrently. workers <= 0 uses
+// runtime.GOMAXPROCS(0); a single worker (or n <= 1) runs inline.
+func runPool(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -64,22 +99,12 @@ func Serve(reqs []Request, workers int) []Response {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
+				if i >= n {
 					return
 				}
-				req := reqs[i]
-				if req.Plan == nil {
-					out[i].Err = fmt.Errorf("core: request %d has a nil plan", i)
-					continue
-				}
-				if err := freezeErr[req.Plan]; err != nil {
-					out[i].Err = err
-					continue
-				}
-				out[i].Probability, out[i].Err = req.Plan.Probability(req.P)
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
 }

@@ -38,6 +38,24 @@ func RSTChain(n int, p float64) *pdb.TID {
 	return t
 }
 
+// RSTChains builds the TID instance of k disjoint RSTChain copies of n
+// elements each, over pairwise-disjoint constants ("g<j>v<i>"). The
+// co-occurrence graph has exactly k connected components, making it the
+// canonical workload of the sharded plan layer: per-shard widths stay 1, and
+// an update to one chain leaves the other k-1 shards untouched.
+func RSTChains(k, n int, p float64) *pdb.TID {
+	t := pdb.NewTID()
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			a, b := fmt.Sprintf("g%dv%d", j, i), fmt.Sprintf("g%dv%d", j, i+1)
+			t.AddFact(p, "R", a)
+			t.AddFact(p, "S", a, b)
+			t.AddFact(p, "T", b)
+		}
+	}
+	return t
+}
+
 // RSTBipartite builds the TID instance for the same query over a complete
 // bipartite S relation between nl left and nr right elements: the
 // high-treewidth shape behind the #P-hardness reduction (the hard arm of

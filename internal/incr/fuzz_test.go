@@ -11,15 +11,16 @@ import (
 )
 
 // FuzzIncrementalUpdates interprets the fuzz input as a sequence of
-// SetProb / Insert / Delete / ApplyBatch operations on a small chain store
-// and asserts, after every commit, that each live view equals the full
-// re-Prepare oracle to 1e-12 — including after tombstones, revivals and
-// fallback rebuilds. Three bytes drive one operation: opcode, argument,
-// probability.
+// SetProb / Insert / Delete / ApplyBatch operations on a small sharded chain
+// store and asserts, after every commit, that each live view equals the full
+// re-Prepare oracle to 1e-12 — including after tombstones, revivals,
+// singleton-shard opens, component merges and fallback re-shards. Three
+// bytes drive one operation: opcode, argument, probability.
 func FuzzIncrementalUpdates(f *testing.F) {
 	f.Add([]byte{0, 3, 128, 2, 1, 200, 4, 5, 0, 3, 9, 64})
 	f.Add([]byte{2, 0, 255, 2, 0, 10, 5, 0, 77, 1, 2, 30})
 	f.Add([]byte{6, 1, 50, 6, 2, 60, 0, 0, 0, 4, 1, 1})
+	f.Add([]byte{7, 2, 90, 2, 1, 40, 7, 2, 10, 2, 3, 200})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := NewStore(gen.RSTChain(3, 0.5))
 		if err != nil {
@@ -36,7 +37,7 @@ func FuzzIncrementalUpdates(f *testing.F) {
 		views := []*View{v1, v2}
 
 		step := func(op, arg byte, pr float64) {
-			switch op % 7 {
+			switch op % 8 {
 			case 0: // probability tweak
 				id := int(arg) % s.Len()
 				if s.Live(id) {
@@ -50,8 +51,14 @@ func FuzzIncrementalUpdates(f *testing.F) {
 				if _, err := s.Insert(f, pr); err != nil {
 					t.Fatal(err)
 				}
-			case 2: // insert with a fresh constant: forces the rebuild path
-				f := rel.NewFact("R", fmt.Sprintf("w%d", int(arg)%3))
+			case 2: // fresh constant (opens a singleton shard) or a link onto
+				// the main component (merging shards: the re-shard path)
+				var f rel.Fact
+				if arg%2 == 0 {
+					f = rel.NewFact("R", fmt.Sprintf("w%d", int(arg)%3))
+				} else {
+					f = rel.NewFact("S", fmt.Sprintf("w%d", int(arg)%3), fmt.Sprintf("v%d", int(arg)%4))
+				}
 				if _, err := s.Insert(f, pr); err != nil {
 					t.Fatal(err)
 				}
@@ -83,6 +90,22 @@ func FuzzIncrementalUpdates(f *testing.F) {
 				}
 				if id := int(arg+2) % s.Len(); s.Live(id) {
 					us = append(us, Update{Op: OpDelete, ID: id})
+				}
+				if err := s.ApplyBatch(us); err != nil {
+					t.Fatal(err)
+				}
+			case 7: // same-key churn: delete+insert (or insert+delete) of one
+				// fact inside a single batch
+				id := int(arg) % s.Len()
+				fact, err := s.Fact(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var us []Update
+				if s.Live(id) && arg%2 == 0 {
+					us = []Update{{Op: OpDelete, ID: id}, {Op: OpInsert, Fact: fact, P: pr}}
+				} else {
+					us = []Update{{Op: OpInsert, Fact: fact, P: pr}, {Op: OpDelete, ID: id}}
 				}
 				if err := s.ApplyBatch(us); err != nil {
 					t.Fatal(err)

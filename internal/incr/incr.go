@@ -7,25 +7,36 @@
 // dynamic-programming pass. Following the shape of dynamic query evaluation
 // (answering queries under updates by maintaining evaluation state), a Store
 // keeps the per-node DP tables of each registered view materialized
-// (core.Materialized) and maintains them under updates:
+// (core.Materialized) and maintains them under updates.
+//
+// The store is sharded by connected component: facts whose constants never
+// co-occur live in independent probability spaces, so each component gets
+// its own sub-instance, and every view compiles one plan and materializes
+// one table set per component (combined at commit time by the compiled fold
+// of core.ShardCombiner). Updates route to the single owning shard:
 //
 //   - SetProb touches one event weight, which is applied at a single forget
-//     node of the nice decomposition, so only that node's root-path spine is
-//     recomputed: O(depth) bag tables instead of O(n).
-//   - Insert splices the new fact into every view in place when some existing
-//     bag covers its arguments (treedec attach-point search); when the
-//     decomposition cannot absorb it — a new constant, or no covering bag —
-//     the store falls back to one counted full re-Prepare of every view.
-//   - Delete tombstones the fact: its event weight drops to 0, which is
-//     exactly the distribution without the fact, at dirty-spine cost.
-//     Tombstones are compacted away by the next fallback rebuild.
+//     node of the owning shard's nice decomposition, so only that shard's
+//     root-path spine is recomputed: O(depth of the dirty shard) bag tables,
+//     not O(instance).
+//   - Insert routes to the shard owning the fact's constants: it is absorbed
+//     in place when some bag of that shard covers the arguments (treedec
+//     attach-point search), and a fact whose constants are all new opens a
+//     fresh singleton shard — no other shard is touched either way. Only an
+//     insert that spans shards (merging components) or defeats the attach
+//     search falls back to one counted re-shard of every view.
+//   - Delete tombstones the fact in its shard: the event weight drops to 0,
+//     which is exactly the distribution without the fact, at dirty-spine
+//     cost. Tombstones are compacted away by the next fallback rebuild.
 //   - ApplyBatch stages a whole batch and commits once, so update spines
 //     that overlap are recomputed a single time, and a batch containing any
 //     non-absorbable insert costs one rebuild total.
 //
 // Readers (View.Probability, Stats) take a shared lock and may run
-// concurrently with each other and between commits; Subscribe delivers the
-// refreshed probabilities of every view after each commit.
+// concurrently with each other and between commits. Subscribe delivers the
+// refreshed probabilities of every view after each commit; callbacks run
+// after the commit's lock is released (so they may call back into the
+// store), serialized in commit order.
 package incr
 
 import (
@@ -81,6 +92,13 @@ type Commit struct {
 	Probabilities []float64
 }
 
+// notification is one commit queued for subscriber delivery: the commit and
+// the subscriber snapshot taken while its lock was still held.
+type notification struct {
+	subs []func(Commit)
+	c    Commit
+}
+
 // Stats counts the work the store has done, splitting the incremental paths
 // from the re-Prepare fallbacks so the absorption rate is observable.
 type Stats struct {
@@ -89,14 +107,17 @@ type Stats struct {
 	SetProbs        uint64
 	Inserts         uint64
 	Deletes         uint64
-	Attached        uint64 // inserts absorbed in place by every view
-	Rebuilds        uint64 // full re-Prepare fallbacks
+	Attached        uint64 // inserts absorbed in place by the owning shard
+	NewShards       uint64 // inserts that opened a fresh singleton shard
+	Rebuilds        uint64 // full re-shard fallbacks
 	NodesRecomputed uint64 // DP tables recomputed incrementally, all views
 	Tombstones      int    // deleted facts still occupying plan events
+	Shards          int    // current connected-component shards
 }
 
 // Store is a mutable tuple-independent probabilistic database serving live
-// materialized views. Fact ids are stable handles: they survive deletes,
+// materialized views, sharded by the connected components of its fact
+// co-occurrence graph. Fact ids are stable handles: they survive deletes,
 // revivals and the internal rebuilds that compact tombstones away.
 type Store struct {
 	mu      sync.RWMutex
@@ -105,27 +126,39 @@ type Store struct {
 	deleted []bool
 	byKey   map[string]int // fact key -> id, live or tombstoned
 
-	c    *pdb.CInstance // the instance every view's plan is prepared on
-	cIdx []int          // id -> fact index in c, -1 when compacted away
-	pm   logic.Prob     // event probabilities for every event of c
+	shards     []*pdb.CInstance // per-component sub-instances the shard plans are prepared on
+	shardOf    []int            // id -> owning shard, -1 when compacted away
+	cIdx       []int            // id -> fact index within its shard's instance, -1 when compacted away
+	constShard map[string]int   // constant -> owning shard
+	pm         logic.Prob       // event probabilities for every event of every shard
 
 	views       []*View
 	needRebuild bool // set while staging when some insert cannot be absorbed
 	broken      error
 
-	subs  []func(Commit) // nil entries are cancelled subscriptions
-	seq   uint64
-	stats Stats
+	subs     []func(Commit) // nil entries are cancelled subscriptions
+	pending  []notification // commits awaiting subscriber delivery
+	notifyMu sync.Mutex     // serializes deliveries, preserving commit order
+	seq      uint64
+	stats    Stats
 }
 
 // View is a live materialized view: one query kept continuously answered
-// over the store's current facts and probabilities.
+// over the store's current facts and probabilities, as one plan plus one
+// materialized table set per shard.
 type View struct {
-	store *Store
-	q     rel.CQ
-	opts  core.Options
-	plan  *core.Plan
-	mat   *core.Materialized
+	store  *Store
+	q      rel.CQ
+	opts   core.Options
+	combQ  core.Query          // instance-independent join/accept oracle for recombination
+	comb   *core.ShardCombiner // compiled cross-shard fold over the shard views
+	shards []viewShard         // aligned with store.shards
+	prob   float64             // combined probability, refreshed at every commit
+}
+
+type viewShard struct {
+	plan *core.Plan
+	mat  *core.Materialized
 }
 
 // NewStore builds a store over a snapshot of the TID instance t (later
@@ -146,7 +179,7 @@ func NewStore(t *pdb.TID) (*Store, error) {
 		s.probs = append(s.probs, t.Prob(i))
 		s.deleted = append(s.deleted, false)
 	}
-	s.buildC()
+	s.rebuildShards()
 	return s, nil
 }
 
@@ -156,29 +189,82 @@ func (s *Store) eventOf(id int) logic.Event {
 	return logic.Event(fmt.Sprintf("f%d", id))
 }
 
-// buildC rebuilds the plan-facing c-instance and probability map from the
-// live facts, dropping tombstones.
-func (s *Store) buildC() {
-	s.c = pdb.NewCInstance()
-	s.cIdx = make([]int, len(s.facts))
-	s.pm = logic.Prob{}
-	for id := range s.facts {
-		s.cIdx[id] = -1
+// rebuildShards recomputes the connected-component partition of the live
+// facts and rebuilds the per-shard instances and probability map, dropping
+// tombstones. Two facts share a shard iff they are linked by a chain of
+// co-occurring constants; facts with no arguments are their own components.
+func (s *Store) rebuildShards() {
+	// Union-find over the constants of the live facts (kept map-based and
+	// iterative: unlike treedec.Components it needs no materialized graph or
+	// dense vertex index, and the flat find loop is safe on arbitrarily long
+	// constant chains).
+	parent := map[string]string{}
+	find := func(x string) string {
+		r := x
+		for {
+			p, ok := parent[r]
+			if !ok || p == r {
+				break
+			}
+			r = p
+		}
+		for x != r { // path compression
+			parent[x], x = r, parent[x]
+		}
+		parent[r] = r
+		return r
+	}
+	for id, f := range s.facts {
 		if s.deleted[id] {
 			continue
 		}
+		for _, a := range f.Args[1:] {
+			parent[find(a)] = find(f.Args[0])
+		}
+		if len(f.Args) > 0 {
+			find(f.Args[0])
+		}
+	}
+
+	s.shards = nil
+	s.shardOf = make([]int, len(s.facts))
+	s.cIdx = make([]int, len(s.facts))
+	s.constShard = map[string]int{}
+	s.pm = logic.Prob{}
+	compShard := map[string]int{}
+	for id, f := range s.facts {
+		s.shardOf[id], s.cIdx[id] = -1, -1
+		if s.deleted[id] {
+			continue
+		}
+		var k int
+		if len(f.Args) == 0 {
+			k = len(s.shards)
+			s.shards = append(s.shards, pdb.NewCInstance())
+		} else if kk, ok := compShard[find(f.Args[0])]; ok {
+			k = kk
+		} else {
+			k = len(s.shards)
+			compShard[find(f.Args[0])] = k
+			s.shards = append(s.shards, pdb.NewCInstance())
+		}
 		e := s.eventOf(id)
-		s.cIdx[id] = s.c.Add(s.facts[id], logic.Var(e))
+		s.cIdx[id] = s.shards[k].Add(f, logic.Var(e))
+		s.shardOf[id] = k
 		s.pm[e] = s.probs[id]
+		for _, a := range f.Args {
+			s.constShard[a] = k
+		}
 	}
 	s.stats.Tombstones = 0
 }
 
-// RegisterView compiles a plan for q over the store's current instance,
-// materializes its DP tables, and keeps both maintained under every later
-// update. Options are honoured as in core.PrepareCQ, except that a pinned
-// Joint decomposition is rejected (the live instance outgrows it) and
-// EmitLineage is ignored (live views answer probabilities, not lineages).
+// RegisterView compiles one plan per shard for q over the store's current
+// instance, materializes their DP tables, and keeps everything maintained
+// under every later update. Options are honoured as in core.PrepareCQ,
+// except that a pinned Joint decomposition is rejected (the live instance
+// outgrows it) and EmitLineage is ignored (live views answer probabilities,
+// not lineages).
 func (s *Store) RegisterView(q rel.CQ, opts core.Options) (*View, error) {
 	if opts.Joint != nil {
 		return nil, fmt.Errorf("incr: a live view cannot pin a precomputed decomposition")
@@ -189,7 +275,8 @@ func (s *Store) RegisterView(q rel.CQ, opts core.Options) (*View, error) {
 	if s.broken != nil {
 		return nil, s.broken
 	}
-	v := &View{store: s, q: q, opts: opts}
+	empty := rel.NewInstance()
+	v := &View{store: s, q: q, opts: opts, combQ: core.NewCQQuery(q, empty, empty.IndexDomain())}
 	if err := v.build(); err != nil {
 		return nil, err
 	}
@@ -197,35 +284,92 @@ func (s *Store) RegisterView(q rel.CQ, opts core.Options) (*View, error) {
 	return v, nil
 }
 
-// build (re)compiles the view's plan on the store's current instance and
-// materializes it. Called under the store's write lock.
+// build (re)compiles the view's shard plans on the store's current shard
+// instances, materializes them, and refreshes the combined probability.
+// Called under the store's write lock.
 func (v *View) build() error {
-	pl, err := core.PrepareCQ(v.store.c, v.q, v.opts)
-	if err != nil {
-		return fmt.Errorf("incr: prepare %s: %w", v.q, err)
+	v.shards = make([]viewShard, len(v.store.shards))
+	for k, c := range v.store.shards {
+		pl, err := core.PrepareCQ(c, v.q, v.opts)
+		if err != nil {
+			return fmt.Errorf("incr: prepare %s shard %d: %w", v.q, k, err)
+		}
+		mat, err := pl.Materialize(v.store.pm)
+		if err != nil {
+			return fmt.Errorf("incr: materialize %s shard %d: %w", v.q, k, err)
+		}
+		v.shards[k] = viewShard{plan: pl, mat: mat}
 	}
-	mat, err := pl.Materialize(v.store.pm)
-	if err != nil {
-		return fmt.Errorf("incr: materialize %s: %w", v.q, err)
+	v.comb = nil // recombine compiles a fresh fold over the new shard set
+	return v.recombine()
+}
+
+// mats lists the view's per-shard materialized tables, in shard order.
+func (v *View) mats() []*core.Materialized {
+	ms := make([]*core.Materialized, len(v.shards))
+	for i := range v.shards {
+		ms[i] = v.shards[i].mat
 	}
-	v.plan, v.mat = pl, mat
+	return ms
+}
+
+// recombine folds the shard root tables into the view's combined
+// probability through the compiled fold. Called under the store's write
+// lock, after the dirty shards have committed — never earlier: the combiner
+// compiles its fold from the shards' current root tables, which are only
+// consistent with their structure generations post-commit (a combiner built
+// while another shard held a staged-but-uncommitted attach would memorize
+// stale root keys under the new generation and never recover).
+func (v *View) recombine() error {
+	if v.comb == nil {
+		v.comb = core.NewShardCombiner(v.combQ, v.mats())
+	}
+	p, err := v.comb.Probability()
+	if err != nil {
+		return fmt.Errorf("incr: combine %s: %w", v.q, err)
+	}
+	v.prob = p
 	return nil
 }
 
-// Probability returns the view's current query probability. Safe for any
-// number of concurrent callers, including while other goroutines commit.
+// Probability returns the view's current query probability, as of the last
+// commit. Safe for any number of concurrent callers, including while other
+// goroutines commit.
 func (v *View) Probability() float64 {
 	v.store.mu.RLock()
 	defer v.store.mu.RUnlock()
-	return v.mat.Probability()
+	return v.prob
 }
 
-// Shape returns the structural statistics of the view's current plan. Depth
-// bounds the number of DP tables one probability update recomputes.
+// Shape returns the aggregate structural statistics of the view's shard
+// plans: total nice nodes, and the maximum width, bag size and depth across
+// shards. Depth bounds the number of DP tables one probability update
+// recomputes (the dirty shard's spine).
 func (v *View) Shape() treedec.Stats {
 	v.store.mu.RLock()
 	defer v.store.mu.RUnlock()
-	return v.plan.Shape()
+	agg := treedec.Stats{Width: -1}
+	for _, vs := range v.shards {
+		sh := vs.plan.Shape()
+		agg.Nodes += sh.Nodes
+		if sh.Width > agg.Width {
+			agg.Width = sh.Width
+		}
+		if sh.MaxBag > agg.MaxBag {
+			agg.MaxBag = sh.MaxBag
+		}
+		if sh.Depth > agg.Depth {
+			agg.Depth = sh.Depth
+		}
+	}
+	return agg
+}
+
+// Shards returns the number of shard plans currently serving the view.
+func (v *View) Shards() int {
+	v.store.mu.RLock()
+	defer v.store.mu.RUnlock()
+	return len(v.shards)
 }
 
 // Query returns the view's conjunctive query.
@@ -235,7 +379,9 @@ func (v *View) Query() rel.CQ { return v.q }
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	st.Shards = len(s.shards)
+	return st
 }
 
 // Len returns the number of fact ids ever issued (live and tombstoned).
@@ -282,11 +428,28 @@ func (s *Store) IDOf(f rel.Fact) int {
 	return -1
 }
 
+// ShardOf returns the shard currently owning fact id, or -1 when the fact is
+// unknown or was compacted away. Shard indices are only stable between
+// rebuilds; they exist for observability, not as handles.
+func (s *Store) ShardOf(id int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.shardOf) {
+		return -1
+	}
+	return s.shardOf[id]
+}
+
 // Subscribe registers fn to be called after every commit with the commit
 // sequence number and the refreshed probability of every view. Callbacks run
-// synchronously under the store's lock, in registration order: they must be
-// fast and must not call back into the store. The returned cancel function
-// unregisters fn.
+// after the commit's write lock has been released, serialized in commit
+// order (and in registration order within a commit), so a subscriber may
+// call back into the store — Prob, Live, View.Probability, even further
+// updates — without deadlocking; reads observe the notified commit or a
+// later one. A slow subscriber delays later notifications but never blocks
+// readers. The returned cancel function unregisters fn; a commit that
+// already snapshotted its subscribers may still deliver one final callback
+// after cancel returns.
 func (s *Store) Subscribe(fn func(Commit)) (cancel func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -299,42 +462,87 @@ func (s *Store) Subscribe(fn func(Commit)) (cancel func()) {
 	}
 }
 
+// flushNotifications delivers every queued commit notification outside the
+// store lock. notifyMu serializes deliverers so subscribers see commits in
+// order; it is acquired with TryLock so that a subscriber issuing a further
+// update from inside its callback (whose commit re-enters here on the same
+// goroutine) hands its notification to the already-running drain instead of
+// deadlocking on the non-reentrant mutex. The post-unlock re-check closes
+// the race where a notification is enqueued just as the drain winds down.
+func (s *Store) flushNotifications() {
+	for {
+		if !s.notifyMu.TryLock() {
+			return // the current holder's drain loop delivers our commit
+		}
+		for {
+			s.mu.Lock()
+			if len(s.pending) == 0 {
+				s.mu.Unlock()
+				break
+			}
+			n := s.pending[0]
+			s.pending = s.pending[1:]
+			s.mu.Unlock()
+			for _, fn := range n.subs {
+				fn(n.c)
+			}
+		}
+		s.notifyMu.Unlock()
+		s.mu.RLock()
+		again := len(s.pending) > 0
+		s.mu.RUnlock()
+		if !again {
+			return
+		}
+	}
+}
+
 // SetProb overwrites the probability of fact id and refreshes every view
-// along the fact's dirty spine.
+// along the dirty spine of the owning shard.
 func (s *Store) SetProb(id int, p float64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.stageSet(id, p); err != nil {
-		return err
+	err := s.stageSet(id, p)
+	if err == nil {
+		err = s.commitLocked(1)
 	}
-	return s.commitLocked(1)
+	s.mu.Unlock()
+	s.flushNotifications()
+	return err
 }
 
 // Insert adds a fact with the given probability and returns its stable id.
 // A fact already known to the store (live or tombstoned) is revived or
-// re-weighted in place; a genuinely new fact is absorbed into every view
-// when the decompositions can cover it, and triggers one full re-Prepare of
-// all views otherwise.
+// re-weighted in place in its owning shard. A genuinely new fact is absorbed
+// into that shard when its decompositions can cover it, opens a fresh
+// singleton shard when all its constants are new, and triggers one full
+// re-shard of all views otherwise (e.g. when it merges two components).
 func (s *Store) Insert(f rel.Fact, p float64) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id, err := s.stageInsert(f, p)
+	if err == nil {
+		err = s.commitLocked(1)
+	}
+	s.mu.Unlock()
+	s.flushNotifications()
 	if err != nil {
 		return -1, err
 	}
-	return id, s.commitLocked(1)
+	return id, nil
 }
 
 // Delete tombstones fact id: its event weight drops to zero, which yields
-// exactly the distribution without the fact. The slot is reclaimed by the
-// next fallback rebuild; the id stays valid and can be revived by Insert.
+// exactly the distribution without the fact, at the owning shard's
+// dirty-spine cost. The slot is reclaimed by the next fallback rebuild; the
+// id stays valid and can be revived by Insert.
 func (s *Store) Delete(id int) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.stageDelete(id); err != nil {
-		return err
+	err := s.stageDelete(id)
+	if err == nil {
+		err = s.commitLocked(1)
 	}
-	return s.commitLocked(1)
+	s.mu.Unlock()
+	s.flushNotifications()
+	return err
 }
 
 // ApplyBatch applies the updates in order and commits them as one unit:
@@ -344,7 +552,6 @@ func (s *Store) Delete(id int) error {
 // and the error is returned.
 func (s *Store) ApplyBatch(us []Update) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	staged := 0
 	var stageErr error
 	for _, u := range us {
@@ -363,10 +570,14 @@ func (s *Store) ApplyBatch(us []Update) error {
 		}
 		staged++
 	}
+	var commitErr error
 	if staged > 0 || s.needRebuild {
-		if err := s.commitLocked(staged); err != nil {
-			return err
-		}
+		commitErr = s.commitLocked(staged)
+	}
+	s.mu.Unlock()
+	s.flushNotifications()
+	if commitErr != nil {
+		return commitErr
 	}
 	return stageErr
 }
@@ -383,6 +594,30 @@ func (s *Store) checkID(id int) error {
 	return nil
 }
 
+// stageWeight routes a new weight for fact id's event to its owning shard:
+// every view stages the change on that shard's materialized tables only.
+func (s *Store) stageWeight(id int, p float64) {
+	e := s.eventOf(id)
+	s.pm[e] = p
+	if s.needRebuild {
+		return // the pending rebuild reads s.pm
+	}
+	k := s.shardOf[id]
+	if k < 0 {
+		// Not represented in any shard (compacted tombstone): only a rebuild
+		// can bring it back; stageInsert routes here after re-attaching.
+		s.needRebuild = true
+		return
+	}
+	for _, v := range s.views {
+		if err := v.shards[k].mat.Stage(e, p); err != nil {
+			// The staged state and the views disagree; recover by rebuild.
+			s.needRebuild = true
+			return
+		}
+	}
+}
+
 func (s *Store) stageSet(id int, p float64) error {
 	if err := s.checkID(id); err != nil {
 		return err
@@ -394,19 +629,8 @@ func (s *Store) stageSet(id int, p float64) error {
 		return fmt.Errorf("incr: fact %s (id %d) is deleted; Insert revives it", s.facts[id], id)
 	}
 	s.probs[id] = p
-	e := s.eventOf(id)
-	s.pm[e] = p
 	s.stats.SetProbs++
-	if s.needRebuild {
-		return nil // the pending rebuild reads s.pm
-	}
-	for _, v := range s.views {
-		if err := v.mat.Stage(e, p); err != nil {
-			// The staged state and the views disagree; recover by rebuild.
-			s.needRebuild = true
-			return nil
-		}
-	}
+	s.stageWeight(id, p)
 	return nil
 }
 
@@ -421,19 +645,9 @@ func (s *Store) stageDelete(id int) error {
 	s.probs[id] = 0
 	s.stats.Deletes++
 	s.stats.Tombstones++
-	// A live fact is always present in the current c-instance: tombstone it
-	// by dropping its event weight to zero.
-	e := s.eventOf(id)
-	s.pm[e] = 0
-	if s.needRebuild {
-		return nil
-	}
-	for _, v := range s.views {
-		if err := v.mat.Stage(e, 0); err != nil {
-			s.needRebuild = true
-			return nil
-		}
-	}
+	// A live fact is always present in its shard: tombstone it by dropping
+	// its event weight to zero.
+	s.stageWeight(id, 0)
 	return nil
 }
 
@@ -446,7 +660,6 @@ func (s *Store) stageInsert(f rel.Fact, p float64) (int, error) {
 	}
 	s.stats.Inserts++
 	if id, known := s.byKey[f.Key()]; known {
-		e := s.eventOf(id)
 		if s.deleted[id] {
 			s.deleted[id] = false
 			s.stats.Tombstones--
@@ -455,17 +668,9 @@ func (s *Store) stageInsert(f rel.Fact, p float64) (int, error) {
 		if s.cIdx[id] < 0 {
 			// The tombstone was compacted away by a rebuild: the fact is
 			// genuinely absent from the current plans — attach it afresh.
-			return id, s.attachOrRebuild(id, f, p)
+			return id, s.routeNewFact(id, f, p)
 		}
-		s.pm[e] = p
-		if !s.needRebuild {
-			for _, v := range s.views {
-				if err := v.mat.Stage(e, p); err != nil {
-					s.needRebuild = true
-					break
-				}
-			}
-		}
+		s.stageWeight(id, p)
 		return id, nil
 	}
 	id := len(s.facts)
@@ -473,59 +678,119 @@ func (s *Store) stageInsert(f rel.Fact, p float64) (int, error) {
 	s.facts = append(s.facts, f)
 	s.probs = append(s.probs, p)
 	s.deleted = append(s.deleted, false)
+	s.shardOf = append(s.shardOf, -1)
 	s.cIdx = append(s.cIdx, -1)
-	return id, s.attachOrRebuild(id, f, p)
+	return id, s.routeNewFact(id, f, p)
 }
 
-// attachOrRebuild absorbs fact id into every view in place when all of them
-// can cover it, and schedules the fallback rebuild otherwise. Called with
-// the fact's store-side state already updated.
-func (s *Store) attachOrRebuild(id int, f rel.Fact, p float64) error {
+// routeNewFact places fact id — absent from every current plan — into the
+// shard layout: absorbed in place by the single shard owning its constants,
+// opened as a fresh singleton shard when every constant is new, or falling
+// back to a full re-shard when the fact spans components (it merges them) or
+// defeats the attach search. Called with the fact's store-side state already
+// updated.
+func (s *Store) routeNewFact(id int, f rel.Fact, p float64) error {
 	e := s.eventOf(id)
+	s.pm[e] = p
 	if s.needRebuild {
-		s.pm[e] = p
 		return nil
 	}
-	canAll := true
-	for _, v := range s.views {
-		if !v.plan.CanAttach(f) {
-			canAll = false
-			break
+
+	owner, fresh := -1, 0
+	spans := false
+	for _, a := range f.Args {
+		k, known := s.constShard[a]
+		switch {
+		case !known:
+			fresh++
+		case owner < 0:
+			owner = k
+		case owner != k:
+			spans = true
 		}
 	}
-	if !canAll {
-		s.pm[e] = p
+	switch {
+	case owner < 0 && !spans:
+		// Every constant is new (or the fact has none): a brand-new
+		// component, served by a fresh singleton shard. No existing shard's
+		// tables are touched.
+		s.openShard(id, f)
+	case owner >= 0 && !spans && fresh == 0:
+		// All constants live in one shard: absorb in place there.
+		s.attachToShard(owner, id, f, p)
+	default:
+		// The fact merges components, or mixes known and new constants:
+		// re-shard everything at commit.
 		s.needRebuild = true
-		return nil
 	}
-	ci := s.c.Add(f, logic.Var(e))
-	s.cIdx[id] = ci
-	s.pm[e] = p
+	return nil
+}
+
+// openShard creates a new singleton shard holding only fact id and compiles
+// each view's plan for it (a one-fact Prepare). On any failure the store
+// falls back to a rebuild.
+func (s *Store) openShard(id int, f rel.Fact) {
+	c := pdb.NewCInstance()
+	ci := c.Add(f, logic.Var(s.eventOf(id)))
+	k := len(s.shards)
+	s.shards = append(s.shards, c)
+	s.shardOf[id], s.cIdx[id] = k, ci
+	for _, a := range f.Args {
+		s.constShard[a] = k
+	}
 	for _, v := range s.views {
-		if err := v.mat.StageAttach(f, ci, e, p); err != nil {
+		pl, err := core.PrepareCQ(c, v.q, v.opts)
+		var mat *core.Materialized
+		if err == nil {
+			mat, err = pl.Materialize(s.pm)
+		}
+		if err != nil {
 			s.needRebuild = true
-			return nil
+			return
+		}
+		v.shards = append(v.shards, viewShard{plan: pl, mat: mat})
+		v.comb = nil // shard set changed; recombine compiles the new fold post-commit
+	}
+	s.stats.NewShards++
+}
+
+// attachToShard absorbs fact id into shard k in place when every view's
+// shard plan can cover it, and schedules the fallback rebuild otherwise.
+func (s *Store) attachToShard(k, id int, f rel.Fact, p float64) {
+	for _, v := range s.views {
+		if !v.shards[k].plan.CanAttach(f) {
+			s.needRebuild = true
+			return
+		}
+	}
+	ci := s.shards[k].Add(f, logic.Var(s.eventOf(id)))
+	s.shardOf[id], s.cIdx[id] = k, ci
+	for _, v := range s.views {
+		if err := v.shards[k].mat.StageAttach(f, ci, s.eventOf(id), p); err != nil {
+			s.needRebuild = true
+			return
 		}
 	}
 	if len(s.views) > 0 {
 		s.stats.Attached++
 	}
-	return nil
 }
 
 // --- commit (write lock held) ---
 
-// commitLocked applies everything staged since the last commit: one rebuild
+// commitLocked applies everything staged since the last commit: one re-shard
 // when some update could not be absorbed, the batched dirty-spine
-// recomputation of every view otherwise. It then numbers the commit and
-// notifies subscribers.
+// recomputation of each view's dirty shards otherwise. It then refreshes
+// every view's combined probability, numbers the commit, and queues the
+// subscriber notification (delivered by flushNotifications after the lock is
+// released).
 func (s *Store) commitLocked(updates int) error {
 	if s.broken != nil {
 		return s.broken
 	}
 	if s.needRebuild {
 		s.needRebuild = false
-		s.buildC()
+		s.rebuildShards()
 		for _, v := range s.views {
 			if err := v.build(); err != nil {
 				// The store's data and its views have diverged and cannot be
@@ -538,26 +803,36 @@ func (s *Store) commitLocked(updates int) error {
 		s.stats.Rebuilds++
 	} else {
 		for _, v := range s.views {
-			n, err := v.mat.Commit()
-			if err != nil {
+			for _, vs := range v.shards {
+				n, err := vs.mat.Commit()
+				if err != nil {
+					s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
+					return s.broken
+				}
+				s.stats.NodesRecomputed += uint64(n)
+			}
+			if err := v.recombine(); err != nil {
 				s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
 				return s.broken
 			}
-			s.stats.NodesRecomputed += uint64(n)
 		}
 	}
 	s.seq++
 	s.stats.Commits++
 	s.stats.Updates += uint64(updates)
 	if len(s.subs) > 0 {
-		c := Commit{Seq: s.seq, Probabilities: make([]float64, len(s.views))}
-		for i, v := range s.views {
-			c.Probabilities[i] = v.mat.Probability()
-		}
+		var snap []func(Commit)
 		for _, fn := range s.subs {
 			if fn != nil {
-				fn(c)
+				snap = append(snap, fn)
 			}
+		}
+		if len(snap) > 0 {
+			c := Commit{Seq: s.seq, Probabilities: make([]float64, len(s.views))}
+			for i, v := range s.views {
+				c.Probabilities[i] = v.prob
+			}
+			s.pending = append(s.pending, notification{subs: snap, c: c})
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/pdb"
 	"repro/internal/rel"
 	"repro/internal/treedec"
 )
@@ -74,13 +75,13 @@ func TestSetProbMatchesOracle(t *testing.T) {
 // sequences — the acceptance property: after every commit, every view equals
 // the full re-Prepare oracle to 1e-12, including after fallbacks.
 func TestRandomUpdateSequences(t *testing.T) {
-	var attached, rebuilds uint64
+	var attached, rebuilds, newShards uint64
 	for seed := int64(0); seed < 12; seed++ {
 		r := rand.New(rand.NewSource(seed))
 		s, views := chainStore(t, 4)
 		for step := 0; step < 35; step++ {
 			ctx := fmt.Sprintf("seed %d step %d", seed, step)
-			switch r.Intn(4) {
+			switch r.Intn(5) {
 			case 0: // probability tweak on a live fact
 				id := r.Intn(s.Len())
 				if !s.Live(id) {
@@ -89,7 +90,7 @@ func TestRandomUpdateSequences(t *testing.T) {
 				if err := s.SetProb(id, float64(r.Intn(11))/10); err != nil {
 					t.Fatalf("%s: %v", ctx, err)
 				}
-			case 1: // insert, sometimes with a fresh constant (forces rebuild)
+			case 1: // insert: an existing edge, or a fresh constant (opens a shard)
 				var f rel.Fact
 				if r.Intn(3) == 0 {
 					f = rel.NewFact("R", fmt.Sprintf("w%d", r.Intn(3)))
@@ -116,19 +117,35 @@ func TestRandomUpdateSequences(t *testing.T) {
 				if _, err := s.Insert(f, float64(r.Intn(11))/10); err != nil {
 					t.Fatalf("%s: %v", ctx, err)
 				}
+			case 4: // cross-shard link (merges components: rebuild) or a
+				// unary fact on a w constant (absorbed by its shard)
+				var f rel.Fact
+				if r.Intn(2) == 0 {
+					f = rel.NewFact("S", fmt.Sprintf("w%d", r.Intn(3)), fmt.Sprintf("v%d", r.Intn(5)))
+				} else {
+					f = rel.NewFact("T", fmt.Sprintf("w%d", r.Intn(3)))
+				}
+				if _, err := s.Insert(f, float64(1+r.Intn(9))/10); err != nil {
+					t.Fatalf("%s: %v", ctx, err)
+				}
 			}
 			checkViews(t, s, views, ctx)
 		}
 		st := s.Stats()
 		attached += st.Attached
 		rebuilds += st.Rebuilds
+		newShards += st.NewShards
 	}
-	// The sequences must exercise both the in-place path and the fallback.
+	// The sequences must exercise the in-place path, the singleton-shard
+	// path, and the re-shard fallback.
 	if attached == 0 {
 		t.Error("no insert was absorbed in place")
 	}
 	if rebuilds == 0 {
 		t.Error("no insert fell back to a rebuild")
+	}
+	if newShards == 0 {
+		t.Error("no insert opened a fresh shard")
 	}
 }
 
@@ -168,11 +185,13 @@ func TestDeleteTombstoneAndRevival(t *testing.T) {
 		t.Errorf("tombstone/revival forced %d rebuilds", st.Rebuilds)
 	}
 
-	// Revival after a compacting rebuild re-attaches the fact.
+	// Revival after a compacting rebuild re-attaches the fact. A fact mixing
+	// a known constant with a brand-new one cannot be absorbed or opened as
+	// its own shard, so it forces the compacting re-shard.
 	if err := s.Delete(id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Insert(rel.NewFact("R", "brandnew"), 0.5); err != nil { // forces rebuild
+	if _, err := s.Insert(rel.NewFact("S", "v0", "brandnew"), 0.5); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Rebuilds != 1 || st.Tombstones != 0 {
@@ -228,8 +247,9 @@ func TestApplyBatchWithMixedOpsAndFallback(t *testing.T) {
 		{Op: OpSet, ID: 0, P: 0.9},
 		{Op: OpInsert, Fact: rel.NewFact("S", "v1", "v2"), P: 0.4},
 		{Op: OpDelete, ID: 4},
-		{Op: OpInsert, Fact: rel.NewFact("R", "fresh1"), P: 0.5}, // new constant
-		{Op: OpInsert, Fact: rel.NewFact("T", "fresh1"), P: 0.6}, // rides the same rebuild
+		{Op: OpInsert, Fact: rel.NewFact("R", "fresh1"), P: 0.5},     // new constant: opens a shard
+		{Op: OpInsert, Fact: rel.NewFact("T", "fresh1"), P: 0.6},     // absorbed by that shard
+		{Op: OpInsert, Fact: rel.NewFact("S", "v5", "fresh2"), P: 1}, // spans components: one rebuild
 		{Op: OpSet, ID: 2, P: 0.1},
 	})
 	if err != nil {
@@ -237,7 +257,10 @@ func TestApplyBatchWithMixedOpsAndFallback(t *testing.T) {
 	}
 	st := s.Stats()
 	if st.Rebuilds != 1 {
-		t.Errorf("batch with two fresh-constant inserts used %d rebuilds, want 1", st.Rebuilds)
+		t.Errorf("batch with a component-merging insert used %d rebuilds, want 1", st.Rebuilds)
+	}
+	if st.NewShards != 1 {
+		t.Errorf("batch opened %d shards, want 1", st.NewShards)
 	}
 	if st.Commits != 1 {
 		t.Errorf("batch used %d commits", st.Commits)
@@ -367,4 +390,237 @@ func TestConcurrentReadersDuringCommits(t *testing.T) {
 	close(stop)
 	wg.Wait()
 	checkViews(t, s, views, "after concurrent run")
+}
+
+// TestShardRoutingAndLocality checks the tentpole property of the sharded
+// store: disjoint components get independent shards, an update dirties only
+// its owning shard's spine, and cross-shard combination is exact — including
+// for a disconnected query whose matches span shards.
+func TestShardRoutingAndLocality(t *testing.T) {
+	const chains, n = 4, 6
+	s, err := NewStore(gen.RSTChains(chains, n, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vHard, err := s.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A disconnected query: R and T may come from different components, so
+	// a per-shard product of probabilities would be wrong; only the root
+	// join combine answers it exactly.
+	qCross := rel.NewCQ(rel.NewAtom("R", rel.V("x")), rel.NewAtom("T", rel.V("y")))
+	vCross, err := s.RegisterView(qCross, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []*View{vHard, vCross}
+	if st := s.Stats(); st.Shards != chains {
+		t.Fatalf("store split into %d shards, want %d", st.Shards, chains)
+	}
+	if got := vHard.Shards(); got != chains {
+		t.Fatalf("view serves %d shards, want %d", got, chains)
+	}
+	checkViews(t, s, views, "initial")
+
+	// A single SetProb recomputes at most (depth+1) tables per view — the
+	// dirty shard's spine — no matter how many shards the store holds.
+	sh := vHard.Shape()
+	for step := 0; step < 8; step++ {
+		before := s.Stats().NodesRecomputed
+		id := (step * 29) % s.Len()
+		if err := s.SetProb(id, 0.3+0.05*float64(step)); err != nil {
+			t.Fatal(err)
+		}
+		recomputed := int(s.Stats().NodesRecomputed - before)
+		if limit := (sh.Depth + 1) * len(views); recomputed > limit {
+			t.Fatalf("step %d: SetProb recomputed %d tables, dirty-shard bound is %d", step, recomputed, limit)
+		}
+		checkViews(t, s, views, fmt.Sprintf("set step %d", step))
+	}
+
+	// Inserts route to the owning shard; a cross-chain link merges two
+	// components via one rebuild and the shard count drops.
+	if _, err := s.Insert(rel.NewFact("T", "g2v3"), 0.7); err != nil {
+		t.Fatal(err)
+	}
+	checkViews(t, s, views, "after routed insert")
+	if st := s.Stats(); st.Rebuilds != 0 {
+		t.Fatalf("routed insert caused %d rebuilds", st.Rebuilds)
+	}
+	if _, err := s.Insert(rel.NewFact("S", "g0v1", "g1v1"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	checkViews(t, s, views, "after merging insert")
+	st := s.Stats()
+	if st.Rebuilds != 1 {
+		t.Fatalf("merging insert used %d rebuilds, want 1", st.Rebuilds)
+	}
+	if st.Shards != chains-1 {
+		t.Fatalf("after merge the store holds %d shards, want %d", st.Shards, chains-1)
+	}
+}
+
+// TestSubscribeReentrant is the regression test for the callback-under-lock
+// bug: subscribers used to run while the commit held the store's write lock,
+// so any callback that re-entered the store deadlocked. Callbacks now run
+// after unlock and may freely read the store — and even commit further
+// updates, which are delivered in order.
+func TestSubscribeReentrant(t *testing.T) {
+	s, views := chainStore(t, 4)
+	var seqs []uint64
+	var probs []float64
+	nested := false
+	cancel := s.Subscribe(func(c Commit) {
+		// Re-entrant reads: every one of these blocked forever before the fix.
+		if p, err := s.Prob(0); err != nil || p < 0 {
+			t.Errorf("re-entrant Prob: %v %v", p, err)
+		}
+		if !s.Live(0) {
+			t.Error("re-entrant Live went false")
+		}
+		_ = s.Stats()
+		probs = append(probs, views[0].Probability())
+		seqs = append(seqs, c.Seq)
+		// A subscriber may even commit a further update from its callback;
+		// the nested commit's notification is delivered after this one.
+		if !nested {
+			nested = true
+			if err := s.SetProb(1, 0.9); err != nil {
+				t.Errorf("re-entrant SetProb: %v", err)
+			}
+		}
+	})
+	defer cancel()
+	if err := s.SetProb(0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("delivered commits %v, want [1 2] in order", seqs)
+	}
+	if probs[1] != views[0].Probability() {
+		t.Errorf("second delivery saw a stale probability")
+	}
+	checkViews(t, s, views, "after re-entrant subscriber")
+}
+
+// TestSameKeyChurnBatches drives Delete(k)→Insert(k) and Insert(k)→Delete(k)
+// pairs of the same fact through single batches — including across a
+// tombstone-compacting rebuild — and asserts every view equals the full
+// re-Prepare oracle after each commit.
+func TestSameKeyChurnBatches(t *testing.T) {
+	s, views := chainStore(t, 3)
+	id := s.IDOf(rel.NewFact("S", "v1", "v2"))
+	f, err := s.Fact(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// delete → insert in one batch: the fact survives at the new weight.
+	if err := s.ApplyBatch([]Update{{Op: OpDelete, ID: id}, {Op: OpInsert, Fact: f, P: 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Live(id) {
+		t.Fatal("delete→insert left the fact dead")
+	}
+	if p, _ := s.Prob(id); p != 0.9 {
+		t.Fatalf("delete→insert weight %v, want 0.9", p)
+	}
+	if st := s.Stats(); st.Tombstones != 0 {
+		t.Fatalf("delete→insert left %d tombstones", st.Tombstones)
+	}
+	checkViews(t, s, views, "after delete→insert")
+
+	// insert → delete in one batch: ends tombstoned.
+	if err := s.ApplyBatch([]Update{{Op: OpInsert, Fact: f, P: 0.4}, {Op: OpDelete, ID: id}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Live(id) {
+		t.Fatal("insert→delete left the fact live")
+	}
+	checkViews(t, s, views, "after insert→delete")
+
+	// Compact the tombstone with a re-shard, then churn the same key again:
+	// the insert re-attaches the compacted fact, the delete tombstones the
+	// fresh attachment, the final insert revives it.
+	if _, err := s.Insert(rel.NewFact("S", "v0", "zzz"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Rebuilds != 1 || st.Tombstones != 0 {
+		t.Fatalf("stats after compacting rebuild: %+v", st)
+	}
+	if err := s.ApplyBatch([]Update{
+		{Op: OpInsert, Fact: f, P: 0.7},
+		{Op: OpDelete, ID: id},
+		{Op: OpInsert, Fact: f, P: 0.2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Live(id) {
+		t.Fatal("churn across compaction left the fact dead")
+	}
+	if p, _ := s.Prob(id); p != 0.2 {
+		t.Fatalf("churn weight %v, want 0.2", p)
+	}
+	checkViews(t, s, views, "after churn across compaction")
+
+	// Randomized property: same-key pairs in both orders, any starting state.
+	r := rand.New(rand.NewSource(5))
+	for step := 0; step < 25; step++ {
+		id := r.Intn(s.Len())
+		f, err := s.Fact(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := float64(1+r.Intn(9)) / 10
+		var us []Update
+		if s.Live(id) && r.Intn(2) == 0 {
+			us = []Update{{Op: OpDelete, ID: id}, {Op: OpInsert, Fact: f, P: pr}}
+		} else {
+			us = []Update{{Op: OpInsert, Fact: f, P: pr}, {Op: OpDelete, ID: id}}
+		}
+		if err := s.ApplyBatch(us); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkViews(t, s, views, fmt.Sprintf("churn step %d", step))
+	}
+}
+
+// TestBatchAttachThenOpenShard is the regression test for a combiner-staleness
+// bug: a single batch that first attaches a fact to an existing shard
+// (changing that shard's root state sets) and then opens a fresh singleton
+// shard used to compile the new cross-shard fold from the stale pre-attach
+// tables, poisoning the store with a mass-drift error at commit.
+func TestBatchAttachThenOpenShard(t *testing.T) {
+	tid := pdb.NewTID()
+	tid.AddFact(0.5, "R", "a")
+	tid.AddFact(0.8, "S", "a", "b")
+	s, err := NewStore(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.ApplyBatch([]Update{
+		{Op: OpInsert, Fact: rel.NewFact("T", "b"), P: 0.9},  // attaches: completes a match
+		{Op: OpInsert, Fact: rel.NewFact("R", "zz"), P: 0.4}, // opens a singleton shard
+	})
+	if err != nil {
+		t.Fatalf("legal batch broke the store: %v", err)
+	}
+	checkViews(t, s, []*View{v}, "after attach+open batch")
+	if st := s.Stats(); st.Attached != 1 || st.NewShards != 1 || st.Rebuilds != 0 {
+		t.Errorf("stats = %+v, want 1 attach, 1 new shard, 0 rebuilds", st)
+	}
+	// The reverse order in one batch must hold too.
+	err = s.ApplyBatch([]Update{
+		{Op: OpInsert, Fact: rel.NewFact("T", "zz"), P: 0.3}, // attaches to the singleton shard
+		{Op: OpInsert, Fact: rel.NewFact("S", "a", "c"), P: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkViews(t, s, []*View{v}, "after second batch")
 }

@@ -150,6 +150,57 @@ func (g *Graph) Components() [][]int {
 	return comps
 }
 
+// Partition records the connected-component structure of a graph: Comp[v] is
+// the component index of vertex v (components are numbered 0..N-1 in order of
+// their smallest vertex). It is the splitting step of the sharded plan layer:
+// a dynamic program over a disconnected (joint) graph factors into one
+// independent program per component, so plans can be compiled, evaluated and
+// maintained shard by shard.
+type Partition struct {
+	Comp []int // Comp[v] = component index of vertex v
+	N    int   // number of components
+}
+
+// Members returns the vertices of every component, sorted, indexed by
+// component.
+func (p Partition) Members() [][]int {
+	out := make([][]int, p.N)
+	for v, c := range p.Comp {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// Components returns the connected-component partition of g. Vertices are
+// visited in increasing order, so component indices are deterministic: the
+// component holding the smallest unseen vertex gets the next index.
+func Components(g *Graph) Partition {
+	p := Partition{Comp: make([]int, g.N())}
+	for i := range p.Comp {
+		p.Comp[i] = -1
+	}
+	for s := 0; s < g.N(); s++ {
+		if p.Comp[s] >= 0 {
+			continue
+		}
+		c := p.N
+		p.N++
+		stack := []int{s}
+		p.Comp[s] = c
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for u := range g.adj[v] {
+				if p.Comp[u] < 0 {
+					p.Comp[u] = c
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return p
+}
+
 // Path returns a path graph on n vertices (treewidth 1).
 func Path(n int) *Graph {
 	g := NewGraph(n)

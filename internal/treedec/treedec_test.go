@@ -216,3 +216,30 @@ func TestDecompositionChildrenRoots(t *testing.T) {
 		t.Errorf("roots = %v", rs)
 	}
 }
+
+func TestComponents(t *testing.T) {
+	// A path, an isolated vertex, and a triangle: three components.
+	g := NewGraph(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 4)
+	p := Components(g)
+	if p.N != 3 {
+		t.Fatalf("N = %d, want 3", p.N)
+	}
+	wantComp := []int{0, 0, 0, 1, 2, 2, 2}
+	for v, c := range p.Comp {
+		if c != wantComp[v] {
+			t.Errorf("vertex %d in component %d, want %d", v, c, wantComp[v])
+		}
+	}
+	members := p.Members()
+	if got := members[2]; len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Errorf("component 2 = %v", got)
+	}
+	if Components(NewGraph(0)).N != 0 {
+		t.Error("empty graph has components")
+	}
+}

@@ -34,6 +34,7 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
         else if ($f == "allocs/op") allocs[name] += $(f-1)
         else if ($f == "ns/assign") assign[name] += $(f-1)
         else if ($f == "ns/update") update[name] += $(f-1)
+        else if ($f == "shards")    shards[name] += $(f-1)
     }
     runs[name]++
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
@@ -47,6 +48,8 @@ END {
             extra = sprintf(", \"ns_per_assign\": %.1f", assign[name]/runs[name])
         if (name in update)
             extra = extra sprintf(", \"ns_per_update\": %.1f", update[name]/runs[name])
+        if (name in shards)
+            extra = extra sprintf(", \"shards\": %.0f", shards[name]/runs[name])
         printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f%s, \"runs\": %d}%s\n", \
             name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], extra, runs[name], \
             (i < n-1 ? "," : "")
