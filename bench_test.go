@@ -5,9 +5,15 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cond"
@@ -21,6 +27,7 @@ import (
 	"repro/internal/rel"
 	"repro/internal/rules"
 	"repro/internal/sampling"
+	"repro/internal/server"
 )
 
 // BenchmarkE1TIDScaling measures Theorem 1: the tractable engine on
@@ -530,4 +537,87 @@ func BenchmarkE10Sampling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE13Service measures the query service end to end over HTTP:
+// clients hammering /query on one shared normalized query shape (answered by
+// a cached live view after a single Prepare), swept over the number of
+// concurrent clients. req/s is the serving throughput number the service
+// layer exists to move.
+func BenchmarkE13Service(b *testing.B) {
+	tid := gen.RSTChain(200, 0.5)
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("query/clients=%d", clients), func(b *testing.B) {
+			s, err := server.New(tid, server.Config{Workers: clients})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Preregister("R(?x) & S(?x,?y) & T(?y)"); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(s)
+			defer ts.Close()
+			body := []byte(`{"query": "T(?b) & S(?a,?b) & R(?a)"}`)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := &http.Client{}
+					for next.Add(1) <= int64(b.N) {
+						resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			st := s.Stats()
+			if st.Prepares != 1 {
+				b.Fatalf("prepares = %d, want 1 (cache must absorb the load)", st.Prepares)
+			}
+		})
+	}
+
+	// The batched sweep path: one request carrying 64 assignment lanes
+	// through the frozen snapshot plan's multi-lane DP.
+	b.Run("batch/lanes=64", func(b *testing.B) {
+		s, err := server.New(tid, server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		defer ts.Close()
+		lanes := make([]map[string]float64, 64)
+		for i := range lanes {
+			lanes[i] = map[string]float64{"0": float64(i+1) / 65}
+		}
+		body, err := json.Marshal(map[string]any{
+			"query":       "R(?x) & S(?x,?y) & T(?y)",
+			"assignments": lanes,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(lanes)), "ns/assign")
+	})
 }

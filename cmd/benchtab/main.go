@@ -10,10 +10,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cond"
@@ -27,6 +34,7 @@ import (
 	"repro/internal/rel"
 	"repro/internal/rules"
 	"repro/internal/sampling"
+	"repro/internal/server"
 )
 
 func main() {
@@ -53,6 +61,7 @@ func main() {
 	run("E10", e10)
 	run("E11", e11)
 	run("E12", e12)
+	run("E13", e13)
 }
 
 func timed(fn func()) time.Duration {
@@ -762,4 +771,135 @@ func e12() {
 	fmt.Printf("    frozen sharded eval      %-8s ms/eval (shards fanned over the worker pool)\n",
 		fmt.Sprintf("%.2f", float64(dEval.Microseconds())/1000/20))
 	fmt.Printf("    agreement |Δ| = %.1e\n", math.Abs(pMono-pShard))
+}
+
+// e13 — the query service under load: requests/sec on one cached query
+// shape as the client count grows (one Prepare total, everything after is a
+// plan-cache hit), plus the batched sweep path, with agreement checks
+// against the store's from-scratch oracle.
+func e13() {
+	fmt.Println("E13 Query service (pdbd): /query throughput on a cached shape (chain n=200)")
+	tid := gen.RSTChain(200, 0.5)
+	q := rel.HardQuery()
+	fmt.Println("    clients  requests  total_ms  req/s    cache_hit_rate")
+	const perClient = 200
+	for _, clients := range []int{1, 2, 4, 8} {
+		s, err := server.New(tid, server.Config{Workers: clients})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		ts := httptest.NewServer(s)
+		body := []byte(`{"query": "T(?b) & S(?a,?b) & R(?a)"}`)
+		total := clients * perClient
+		var firstErr atomic.Value
+		d := timed(func() {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+						if err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		if err := firstErr.Load(); err != nil {
+			ts.Close()
+			fmt.Println("    error:", err)
+			return
+		}
+		st := s.Stats()
+		ts.Close()
+		if st.Prepares != 1 {
+			fmt.Printf("    error: %d prepares for one shape\n", st.Prepares)
+			return
+		}
+		hitRate := float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		fmt.Printf("    %-8d %-9d %-9s %-8.0f %.4f\n",
+			clients, total, ms(d), float64(total)/d.Seconds(), hitRate)
+	}
+
+	fmt.Println("    batched sweep (/batch, 64 lanes/request) vs 64 single /query overrides:")
+	s, err := server.New(tid, server.Config{Workers: 4})
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	lanes := make([]map[string]float64, 64)
+	for i := range lanes {
+		lanes[i] = map[string]float64{"0": float64(i+1) / 65}
+	}
+	batchBody, _ := json.Marshal(map[string]any{"query": "R(?x) & S(?x,?y) & T(?y)", "assignments": lanes})
+	var batchProbs []float64
+	dBatch := timed(func() {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(batchBody))
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		defer resp.Body.Close()
+		var br struct {
+			Probabilities []float64 `json:"probabilities"`
+		}
+		json.NewDecoder(resp.Body).Decode(&br)
+		batchProbs = br.Probabilities
+	})
+	dSingles := timed(func() {
+		for i := range lanes {
+			body, _ := json.Marshal(map[string]any{"query": "R(?x) & S(?x,?y) & T(?y)", "assignment": lanes[i]})
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fmt.Println("    error:", err)
+				return
+			}
+			var qr struct {
+				Probability float64 `json:"probability"`
+			}
+			json.NewDecoder(resp.Body).Decode(&qr)
+			resp.Body.Close()
+			if batchProbs != nil && math.Abs(qr.Probability-batchProbs[i]) > 1e-12 {
+				fmt.Printf("    mismatch lane %d: %v vs %v\n", i, qr.Probability, batchProbs[i])
+				return
+			}
+		}
+	})
+	fmt.Printf("    path             total_ms  ms/assignment\n")
+	fmt.Printf("    batch 64 lanes   %-9s %.3f\n", ms(dBatch), float64(dBatch.Microseconds())/1000/64)
+	fmt.Printf("    single x64       %-9s %.3f\n", ms(dSingles), float64(dSingles.Microseconds())/1000/64)
+
+	// End-to-end freshness: an update commits and the cached view serves the
+	// refreshed answer, matching the from-scratch oracle.
+	upBody, _ := json.Marshal(map[string]any{"updates": []map[string]any{{"op": "set", "id": 0, "p": 0.95}}})
+	if resp, err := http.Post(ts.URL+"/update", "application/json", bytes.NewReader(upBody)); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	qBody, _ := json.Marshal(map[string]any{"query": "R(?x) & S(?x,?y) & T(?y)"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(qBody))
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	var qr struct {
+		Probability float64 `json:"probability"`
+	}
+	json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	want, err := s.Store().Oracle(q)
+	if err != nil {
+		fmt.Println("    error:", err)
+		return
+	}
+	fmt.Printf("    update freshness: |Δ| vs oracle after commit = %.1e\n", math.Abs(qr.Probability-want))
 }

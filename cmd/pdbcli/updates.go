@@ -15,35 +15,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/incr"
-	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/rel"
 )
-
-// TIDFromInstance converts a parsed instance into a tuple-independent one:
-// every fact must be annotated by its own single positive event. Instances
-// with shared or complex annotations are rejected — the live-update store
-// maintains tuple-level probabilities, so correlated facts have no
-// well-defined per-tuple weight to update.
-func TIDFromInstance(c *pdb.CInstance, p logic.Prob) (*pdb.TID, error) {
-	t := pdb.NewTID()
-	seen := map[logic.Event]int{}
-	for i := 0; i < c.NumFacts(); i++ {
-		f := c.Inst.Fact(i)
-		vars := logic.Vars(c.Ann[i])
-		if len(vars) != 1 || !logic.Equivalent(c.Ann[i], logic.Var(vars[0])) {
-			return nil, fmt.Errorf("fact %s has annotation %s: the update mode needs a tuple-independent instance (plain 'fact' lines, or one positive event per cfact)", f, logic.String(c.Ann[i]))
-		}
-		if prev, dup := seen[vars[0]]; dup {
-			return nil, fmt.Errorf("facts %s and %s share event %s: the update mode needs independent tuples", c.Inst.Fact(prev), f, vars[0])
-		}
-		seen[vars[0]] = i
-		if _, err := t.TryAdd(f, p.P(vars[0])); err != nil {
-			return nil, err
-		}
-	}
-	return t, nil
-}
 
 // RunUpdates executes the update script from r against a fresh store over
 // tid, serving q from a live view, and writes the refreshed probability
@@ -63,9 +37,16 @@ func TIDFromInstance(c *pdb.CInstance, p logic.Prob) (*pdb.TID, error) {
 // does not terminate the session: the error is reported to w (prefixed
 // "error:") and processing continues, so an interactive REPL survives
 // typos. A bad line inside a begin block leaves the already-staged batch
-// intact. RunUpdates itself only errors on I/O failures or on a script that
-// ends inside an unterminated begin block.
-func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer) error {
+// intact.
+//
+// Input that ends inside a begin block holds staged-but-uncommitted updates
+// that will never land; both modes report them with a "warning: N staged
+// updates discarded" line so the loss is never silent. In script mode
+// (interactive false) the truncated script is additionally an error — the
+// caller exits non-zero; an interactive session (interactive true) treats
+// the EOF as the user hanging up and ends cleanly after the warning.
+// RunUpdates otherwise only errors on I/O failures.
+func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer, interactive bool) error {
 	s, err := incr.NewStore(tid)
 	if err != nil {
 		return err
@@ -97,7 +78,10 @@ func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer) error {
 		}
 	}
 	if inBatch {
-		return fmt.Errorf("updates: unterminated begin block")
+		fmt.Fprintf(w, "warning: %d staged updates discarded (input ended inside a begin block)\n", len(batch))
+		if !interactive {
+			return fmt.Errorf("updates: unterminated begin block: %d staged updates discarded", len(batch))
+		}
 	}
 	return sc.Err()
 }

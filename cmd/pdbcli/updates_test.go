@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"strings"
 	"testing"
+
+	"repro/internal/pdbio"
 )
 
 func TestTIDFromInstance(t *testing.T) {
-	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(`
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader(`
 fact 0.9 R a
 event e1 0.5
 cfact e1 S a b
@@ -15,7 +17,7 @@ cfact e1 S a b
 	if err != nil {
 		t.Fatal(err)
 	}
-	tid, err := TIDFromInstance(c, p)
+	tid, err := pdbio.TIDFromInstance(c, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,27 +30,27 @@ cfact e1 S a b
 		"event e1 0.5\ncfact !e1 R b",              // negated annotation
 		"event e1 0.5\ncfact e1 R a\ncfact e1 R b", // shared event
 	} {
-		c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(bad)))
+		c, p, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader(bad)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := TIDFromInstance(c, p); err == nil {
+		if _, err := pdbio.TIDFromInstance(c, p); err == nil {
 			t.Errorf("accepted correlated instance %q", bad)
 		}
 	}
 
 	// Bad probabilities surface as errors, not panics.
-	c2, p2, err := ParseInstance(bufio.NewScanner(strings.NewReader("fact 1.5 R a")))
+	c2, p2, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader("fact 1.5 R a")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := TIDFromInstance(c2, p2); err == nil {
+	if _, err := pdbio.TIDFromInstance(c2, p2); err == nil {
 		t.Error("accepted probability 1.5")
 	}
 }
 
 func TestRunUpdatesReplay(t *testing.T) {
-	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(`
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader(`
 fact 0.9 R a
 fact 0.5 S a b
 fact 0.8 T b
@@ -56,11 +58,11 @@ fact 0.8 T b
 	if err != nil {
 		t.Fatal(err)
 	}
-	tid, err := TIDFromInstance(c, p)
+	tid, err := pdbio.TIDFromInstance(c, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	q, err := pdbio.ParseCQ("R(?x) & S(?x,?y) & T(?y)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ prob
 stats
 `
 	var out strings.Builder
-	if err := RunUpdates(tid, q, strings.NewReader(script), &out); err != nil {
+	if err := RunUpdates(tid, q, strings.NewReader(script), &out, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -96,7 +98,7 @@ stats
 
 	// A script that ends inside a begin block is the one fatal condition.
 	var out2 strings.Builder
-	if err := RunUpdates(tid, q, strings.NewReader("begin\nset 0 0.5\n"), &out2); err == nil {
+	if err := RunUpdates(tid, q, strings.NewReader("begin\nset 0 0.5\n"), &out2, false); err == nil {
 		t.Error("unterminated begin accepted")
 	}
 }
@@ -106,7 +108,7 @@ stats
 // reported (with its line number) and the session continues — and a bad line
 // inside a begin block leaves the staged batch intact.
 func TestRunUpdatesRecoversFromMalformedLines(t *testing.T) {
-	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(`
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader(`
 fact 0.9 R a
 fact 0.5 S a b
 fact 0.8 T b
@@ -114,11 +116,11 @@ fact 0.8 T b
 	if err != nil {
 		t.Fatal(err)
 	}
-	tid, err := TIDFromInstance(c, p)
+	tid, err := pdbio.TIDFromInstance(c, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	q, err := pdbio.ParseCQ("R(?x) & S(?x,?y) & T(?y)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +139,7 @@ prob
 	// (set 1 0.9, and the batched set 0 0.5) still land, and the bad line
 	// inside the begin block leaves the staged batch intact.
 	var out strings.Builder
-	if err := RunUpdates(tid, q, strings.NewReader(script), &out); err != nil {
+	if err := RunUpdates(tid, q, strings.NewReader(script), &out, false); err != nil {
 		t.Fatalf("recoverable errors aborted the session: %v", err)
 	}
 	got := out.String()
@@ -161,21 +163,21 @@ prob
 // ApplyBatch commits the staged prefix — the REPL must say so and still
 // print the ids of the inserts that landed.
 func TestRunUpdatesPartialBatchCommitReported(t *testing.T) {
-	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader("fact 0.9 R a\nfact 0.5 S a b\nfact 0.8 T b\n")))
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader("fact 0.9 R a\nfact 0.5 S a b\nfact 0.8 T b\n")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	tid, err := TIDFromInstance(c, p)
+	tid, err := pdbio.TIDFromInstance(c, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	q, err := pdbio.ParseCQ("R(?x) & S(?x,?y) & T(?y)")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var out strings.Builder
 	script := "begin\ninsert 0.7 S a c\nset 99 0.5\ncommit\nprob\n"
-	if err := RunUpdates(tid, q, strings.NewReader(script), &out); err != nil {
+	if err := RunUpdates(tid, q, strings.NewReader(script), &out, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -190,5 +192,54 @@ func TestRunUpdatesPartialBatchCommitReported(t *testing.T) {
 	}
 	if strings.Contains(got, "batch of 2 updates committed") {
 		t.Errorf("failed batch reported as fully committed:\n%s", got)
+	}
+}
+
+// TestRunUpdatesDiscardedBatchWarning: input ending inside a begin block
+// discards the staged updates — never silently. Script mode warns AND errors
+// (pdbcli exits non-zero); an interactive session warns and ends cleanly.
+func TestRunUpdatesDiscardedBatchWarning(t *testing.T) {
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader("fact 0.9 R a\nfact 0.5 S a b\nfact 0.8 T b\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := pdbio.TIDFromInstance(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pdbio.ParseCQ("R(?x) & S(?x,?y) & T(?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := "begin\nset 0 0.5\ninsert 0.7 S a c\n" // EOF before commit
+
+	// Script mode: the truncated script is an error.
+	var out strings.Builder
+	err = RunUpdates(tid, q, strings.NewReader(script), &out, false)
+	if err == nil {
+		t.Error("script mode accepted an unterminated begin block")
+	} else if !strings.Contains(err.Error(), "2 staged updates discarded") {
+		t.Errorf("script-mode error %q does not count the discarded updates", err)
+	}
+	if !strings.Contains(out.String(), "warning: 2 staged updates discarded") {
+		t.Errorf("script-mode output missing the warning:\n%s", out.String())
+	}
+
+	// Interactive mode: warn, exit clean.
+	var out2 strings.Builder
+	if err := RunUpdates(tid, q, strings.NewReader(script), &out2, true); err != nil {
+		t.Errorf("interactive EOF treated as fatal: %v", err)
+	}
+	if !strings.Contains(out2.String(), "warning: 2 staged updates discarded") {
+		t.Errorf("interactive output missing the warning:\n%s", out2.String())
+	}
+
+	// The discarded updates really did not land.
+	var out3 strings.Builder
+	if err := RunUpdates(tid, q, strings.NewReader("prob\n"), &out3, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3.String(), "P(q) = 0.360000000") {
+		t.Errorf("staged updates leaked into the store:\n%s", out3.String())
 	}
 }

@@ -1,0 +1,98 @@
+// Command pdbd serves probabilistic-database queries over HTTP: the network
+// front end of the serving stack (compiled plans + live incremental views).
+//
+// Usage:
+//
+//	pdbd -i instance.pdb [-addr :8080] [-workers N] [-cache N] [-q 'R(?x)']
+//
+// The instance file uses pdbcli's format (see internal/pdbio): it must be
+// tuple-independent — plain 'fact' lines, or one positive event per cfact —
+// because the live store maintains per-tuple probabilities under /update.
+//
+// Endpoints (JSON bodies; see internal/server for the full shapes):
+//
+//	POST /query   {"query": "R(?x) & S(?x,?y)"}           live-view answer
+//	POST /batch   {"query": ..., "assignments": [{...}]}  multi-lane sweep
+//	POST /update  {"updates": [{"op":"set","id":0,"p":.5}]}
+//	GET  /watch                                           SSE commit stream
+//	GET  /healthz, /statsz
+//
+// -q pre-registers a query shape so the first client request is already a
+// cache hit. On SIGINT/SIGTERM the server drains: new requests get 503,
+// watch streams close, in-flight requests finish.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pdbio"
+	"repro/internal/server"
+)
+
+func main() {
+	inPath := flag.String("i", "", "instance file (default: stdin)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size for parallel evaluations (0: GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 64, "max cached query shapes (live views)")
+	preQ := flag.String("q", "", "pre-register this conjunctive query, e.g. 'R(?x) & S(?x,?y)'")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain timeout on shutdown")
+	flag.Parse()
+
+	r := os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(r))
+	if err != nil {
+		fatal(err)
+	}
+	tid, err := pdbio.TIDFromInstance(c, p)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := server.New(tid, server.Config{Workers: *workers, CacheSize: *cacheSize, Options: core.Options{}})
+	if err != nil {
+		fatal(err)
+	}
+	if *preQ != "" {
+		if err := s.Preregister(*preQ); err != nil {
+			fatal(fmt.Errorf("-q: %w", err))
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "pdbd: serving %d facts on %s\n", tid.NumFacts(), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-sig:
+	}
+	fmt.Fprintln(os.Stderr, "pdbd: draining")
+	if !s.Shutdown(*drain) {
+		fmt.Fprintln(os.Stderr, "pdbd: drain timeout, closing anyway")
+	}
+	httpSrv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbd:", err)
+	os.Exit(1)
+}

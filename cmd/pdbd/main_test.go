@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/pdbio"
+	"repro/internal/server"
+)
+
+// TestServeParsedInstance wires the pdbcli instance format through the
+// server exactly as main does: parse, TID-convert, serve, query.
+func TestServeParsedInstance(t *testing.T) {
+	input := `
+fact 0.9 R a
+fact 0.5 S a b
+fact 0.8 T b
+event e1 0.7
+cfact e1 T c
+`
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := pdbio.TIDFromInstance(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(tid, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Preregister("R(?x) & S(?x,?y) & T(?y)"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]string{"query": "T(?v) & R(?u) & S(?u,?v)"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Probability float64 `json:"probability"`
+		Cached      bool    `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Cached {
+		t.Error("preregistered shape missed the cache")
+	}
+	if got, want := qr.Probability, 0.9*0.5*0.8; math.Abs(got-want) > 1e-12 {
+		// T(c) is disconnected from the a-b chain and cannot complete the
+		// join, so the answer is the chain's alone.
+		t.Fatalf("P(q) = %v, want %v", got, want)
+	}
+
+	// A correlated instance is rejected at the door, mirroring pdbcli.
+	c2, p2, err := pdbio.ParseInstance(bufio.NewScanner(strings.NewReader("event e 0.5\ncfact e R a\ncfact e R b\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdbio.TIDFromInstance(c2, p2); err == nil {
+		t.Error("correlated instance accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Example service: the full pdbd scenario in one process — a query service
+// over a live probabilistic database, exercised by three "clients":
+//
+//  1. two query clients asking the same conjunctive query under different
+//     spellings (one Prepare, the second answer is a plan-cache hit),
+//  2. a watch client streaming every commit's refreshed probability,
+//  3. an update client committing probability changes and inserts.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/pdb"
+	"repro/internal/server"
+)
+
+func main() {
+	// The running example: R(a) S(a,b) T(b), tuple-independent.
+	tid := pdb.NewTID()
+	tid.AddFact(0.9, "R", "a")
+	tid.AddFact(0.5, "S", "a", "b")
+	tid.AddFact(0.8, "T", "b")
+
+	s, err := server.New(tid, server.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// In production: http.ListenAndServe(":8080", s). The walkthrough uses
+	// an in-process listener so it runs anywhere.
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	post := func(path string, body map[string]any) map[string]any {
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+
+	// Client 1 and 2: the same query shape, spelled differently. The
+	// normalized fingerprint routes both to one compiled live view.
+	q1 := post("/query", map[string]any{"query": "R(?x) & S(?x,?y) & T(?y)"})
+	q2 := post("/query", map[string]any{"query": "T(?b) & S(?a,?b) & R(?a)"})
+	fmt.Printf("client 1: P(q) = %.3f (cached: %v)\n", q1["probability"], q1["cached"])
+	fmt.Printf("client 2: P(q) = %.3f (cached: %v)  <- same plan, different spelling\n",
+		q2["probability"], q2["cached"])
+
+	// Client 3: a watch stream. Events arrive in commit order.
+	watchResp, err := http.Get(ts.URL + "/watch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer watchResp.Body.Close()
+	events := bufio.NewScanner(watchResp.Body)
+	nextEvent := func() map[string]any {
+		for events.Scan() {
+			line := strings.TrimSpace(events.Text())
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				var ev map[string]any
+				json.Unmarshal([]byte(data), &ev)
+				return ev
+			}
+		}
+		log.Fatal("watch stream ended")
+		return nil
+	}
+	nextEvent() // the initial snapshot event
+
+	// Client 4: updates. Each commit pushes a refreshed probability to the
+	// watch stream; the sweep below raises P(S(a,b)) step by step.
+	for _, p := range []float64{0.6, 0.8, 1.0} {
+		post("/update", map[string]any{
+			"updates": []map[string]any{{"op": "set", "id": 1, "p": p}},
+		})
+		ev := nextEvent()
+		for _, prob := range ev["probabilities"].(map[string]any) {
+			fmt.Printf("watch: commit %v -> P(q) = %.3f  (P(S) raised to %.1f)\n", ev["seq"], prob, p)
+		}
+	}
+
+	// A batched sensitivity sweep over P(R(a)) in one request: 5 lanes, one
+	// multi-lane DP pass on a frozen snapshot plan.
+	lanes := []map[string]float64{{"0": 0.1}, {"0": 0.3}, {"0": 0.5}, {"0": 0.7}, {"0": 0.9}}
+	br := post("/batch", map[string]any{"query": "R(?x) & S(?x,?y) & T(?y)", "assignments": lanes})
+	fmt.Print("batch sweep over P(R): ")
+	for _, p := range br["probabilities"].([]any) {
+		fmt.Printf("%.3f ", p)
+	}
+	fmt.Println()
+
+	var stats server.Statsz
+	resp, _ := http.Get(ts.URL + "/statsz")
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	fmt.Printf("statsz: %d queries, %d prepares, %d cache hits, seq %d\n",
+		stats.Queries, stats.Prepares, stats.CacheHits, stats.Seq)
+}

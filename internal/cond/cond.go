@@ -14,6 +14,7 @@
 package cond
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -23,6 +24,14 @@ import (
 	"repro/internal/pdb"
 	"repro/internal/rel"
 )
+
+// ErrZeroEvidence is returned by every conditioning path — enumeration,
+// prepared posterior, batched sweeps, question ranking — when the evidence
+// being conditioned on has probability zero: the posterior
+// P(q ∧ obs)/P(obs) is undefined. Callers distinguish it with errors.Is;
+// batched paths surface it per lane inside a core.LaneErrors so the other
+// lanes of a sweep keep their values.
+var ErrZeroEvidence = errors.New("cond: conditioning on zero-probability evidence")
 
 // ConditionOnEvent returns the pc-instance conditioned on event e having
 // the given value: e is substituted in every annotation and removed from the
@@ -108,7 +117,7 @@ func (cd *Conditioned) ProbabilityEnumeration(q rel.CQ) (float64, error) {
 		}
 	})
 	if den == 0 {
-		return 0, fmt.Errorf("cond: conditioning on a zero-probability observation")
+		return 0, ErrZeroEvidence
 	}
 	return num / den, nil
 }
@@ -166,7 +175,7 @@ func (pp *PosteriorPlan) Probability(p logic.Prob) (float64, error) {
 		return 0, err
 	}
 	if den == 0 {
-		return 0, fmt.Errorf("cond: conditioning on a zero-probability observation")
+		return 0, ErrZeroEvidence
 	}
 	num, err := pp.num.Probability(p)
 	if err != nil {
@@ -186,8 +195,10 @@ func (pp *PosteriorPlan) Probability(p logic.Prob) (float64, error) {
 // whose probability map is invalid comes back NaN under a core.LaneErrors
 // (the union of the numerator's and denominator's lane failures) while the
 // other lanes of the sweep keep their values. A lane whose parameters give
-// the observation zero probability has an undefined posterior and also comes
-// back as NaN (where the serial Probability call errors), without an error.
+// the observation zero probability has an undefined posterior: its value is
+// 0 (never NaN, so downstream numeric code is not poisoned) and its lane
+// error is ErrZeroEvidence — the same typed error the serial Probability
+// call returns.
 func (pp *PosteriorPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	dens, err := pp.den.ProbabilityBatch(ps)
 	denErrs, ok := err.(core.LaneErrors)
@@ -217,7 +228,11 @@ func (pp *PosteriorPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 			continue
 		}
 		if den == 0 {
-			out[i] = math.NaN()
+			if lerrs == nil {
+				lerrs = make([]error, len(ps))
+			}
+			lerrs[i] = ErrZeroEvidence
+			out[i] = 0
 			continue
 		}
 		out[i] = nums[i] / den
@@ -284,7 +299,7 @@ func (cd *Conditioned) RankQuestions(q rel.CQ) ([]Question, error) {
 		pe := logic.Probability(logic.And(cd.Constraint, logic.Var(e)), cd.P)
 		pc := cd.ConstraintProbability()
 		if pc == 0 {
-			return nil, fmt.Errorf("cond: zero-probability constraint")
+			return nil, ErrZeroEvidence
 		}
 		peCond := pe / pc
 		gain := h0

@@ -1,6 +1,7 @@
 package cond
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -112,8 +113,40 @@ func TestZeroProbabilityObservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cd2.ProbabilityEnumeration(rel.NewCQ(rel.NewAtom("R", rel.V("x")))); err == nil {
-		t.Error("expected zero-probability error")
+	if _, err := cd2.ProbabilityEnumeration(rel.NewCQ(rel.NewAtom("R", rel.V("x")))); !errors.Is(err, ErrZeroEvidence) {
+		t.Errorf("err = %v, want ErrZeroEvidence", err)
+	}
+}
+
+// TestZeroEvidenceUnified: every conditioning path reports zero-probability
+// evidence as the same typed ErrZeroEvidence — enumeration, the prepared
+// posterior, and question ranking.
+func TestZeroEvidenceUnified(t *testing.T) {
+	c, p := table1()
+	// Observing MEL->PDX requires pods ∧ stoc; zeroing pods kills it.
+	cd, err := NewConditioned(c, p).ObserveFact(rel.NewFact("Trip", "MEL", "PDX"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroP := logic.Prob{"pods": 0, "stoc": 0.4}
+	cdZero := &Conditioned{C: cd.C, P: zeroP, Constraint: cd.Constraint}
+	q := rel.NewCQ(rel.NewAtom("Trip", rel.C("PDX"), rel.C("CDG")))
+
+	if _, err := cdZero.ProbabilityEnumeration(q); !errors.Is(err, ErrZeroEvidence) {
+		t.Errorf("enumeration err = %v, want ErrZeroEvidence", err)
+	}
+	pp, err := cd.PreparePosterior(q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Probability(zeroP); !errors.Is(err, ErrZeroEvidence) {
+		t.Errorf("posterior err = %v, want ErrZeroEvidence", err)
+	}
+	if _, err := cdZero.RankQuestions(q); !errors.Is(err, ErrZeroEvidence) {
+		t.Errorf("ranked-gain err = %v, want ErrZeroEvidence", err)
+	}
+	if _, err := cdZero.Probability(q, core.Options{}); !errors.Is(err, ErrZeroEvidence) {
+		t.Errorf("one-shot posterior err = %v, want ErrZeroEvidence", err)
 	}
 }
 
@@ -181,8 +214,9 @@ func TestPosteriorPlanBatchSweep(t *testing.T) {
 }
 
 // TestPosteriorPlanBatchZeroProbabilityLane: a lane that drives the
-// observation to probability zero comes back NaN without poisoning the
-// other lanes of the sweep.
+// observation to probability zero comes back 0 (NaN-free) with an
+// ErrZeroEvidence lane error, without poisoning the other lanes of the
+// sweep.
 func TestPosteriorPlanBatchZeroProbabilityLane(t *testing.T) {
 	c, p := table1()
 	// Observing Trip(MEL,PDX) requires pods ∧ stoc: pods=0 zeroes it out.
@@ -200,11 +234,15 @@ func TestPosteriorPlanBatchZeroProbabilityLane(t *testing.T) {
 		{"pods": 0, "stoc": 0.4}, // zero-probability observation
 		{"pods": 0.2, "stoc": 0.9},
 	})
-	if err != nil {
-		t.Fatal(err)
+	le, ok := err.(core.LaneErrors)
+	if !ok {
+		t.Fatalf("err = %v, want core.LaneErrors", err)
 	}
-	if !math.IsNaN(got[1]) {
-		t.Errorf("degenerate lane = %v, want NaN", got[1])
+	if !errors.Is(le[1], ErrZeroEvidence) || le[0] != nil || le[2] != nil {
+		t.Fatalf("lane errors %v, want ErrZeroEvidence on lane 1 only", []error(le))
+	}
+	if math.IsNaN(got[1]) || got[1] != 0 {
+		t.Errorf("degenerate lane = %v, want NaN-free 0", got[1])
 	}
 	for _, i := range []int{0, 2} {
 		if math.IsNaN(got[i]) || math.Abs(got[i]-1) > 1e-9 {

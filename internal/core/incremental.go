@@ -32,9 +32,9 @@ import (
 type Materialized struct {
 	pl        *Plan
 	st        *evalState
-	pe        []float64              // current per-event weights
-	tables    []map[rowKey]rowVal    // persisted per-node tables
-	dirty     []bool                 // nodes whose table must be recomputed
+	pe        []float64           // current per-event weights
+	tables    []map[rowKey]rowVal // persisted per-node tables
+	dirty     []bool              // nodes whose table must be recomputed
 	anyDirty  bool
 	prob      float64
 	recomp    int    // cumulative node recomputations, for cost accounting

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// NormalizeCQ returns a canonical form of q: atoms reordered
+// deterministically and variables renamed to x0, x1, ... in order of first
+// use by the reordered atoms. Normalization preserves the query's semantics
+// exactly — reordering a conjunction and renaming bound variables never
+// changes the Boolean query — so a plan prepared for the normalized query
+// answers the original, and two queries that differ only in atom order,
+// variable names or whitespace normalize to the same value.
+//
+// The renaming is greedy, not a full canonical labeling (graph
+// canonization is not worth its cost for a cache key): two queries related
+// by an exotic variable automorphism may still normalize differently. That
+// is sound for caching — distinct normal forms only cost a duplicate plan,
+// never a wrong answer.
+func NormalizeCQ(q rel.CQ) rel.CQ {
+	n := len(q.Atoms)
+	rename := make(map[string]string, 8)
+	placed := make([]bool, n)
+	out := make([]rel.Atom, 0, n)
+	for len(out) < n {
+		// Pick the unplaced atom minimal under the current partial renaming:
+		// named variables compare by their assigned canonical name,
+		// still-unnamed ones by their first-occurrence pattern within the
+		// candidate atom, so the choice is independent of the input names.
+		best, bestKey := -1, ""
+		for i := range q.Atoms {
+			if placed[i] {
+				continue
+			}
+			key := atomSortKey(q.Atoms[i], rename)
+			if best < 0 || key < bestKey {
+				best, bestKey = i, key
+			}
+		}
+		a := q.Atoms[best]
+		placed[best] = true
+		terms := make([]rel.Term, len(a.Terms))
+		for j, t := range a.Terms {
+			if !t.IsVar {
+				terms[j] = t
+				continue
+			}
+			name, ok := rename[t.Name]
+			if !ok {
+				name = "x" + strconv.Itoa(len(rename))
+				rename[t.Name] = name
+			}
+			terms[j] = rel.V(name)
+		}
+		out = append(out, rel.NewAtom(a.Rel, terms...))
+	}
+	return rel.NewCQ(out...)
+}
+
+// atomSortKey renders an atom for the normalization ordering: relation name,
+// arity, then per term either the constant, the already-assigned canonical
+// variable name, or a name-independent placeholder describing where an
+// unnamed variable first occurred within this atom (so repeated variables
+// compare equal across renamings).
+func atomSortKey(a rel.Atom, rename map[string]string) string {
+	var b strings.Builder
+	b.WriteString(a.Rel)
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(len(a.Terms)))
+	local := map[string]int{}
+	for _, t := range a.Terms {
+		b.WriteByte('\x1f')
+		switch {
+		case !t.IsVar:
+			b.WriteString("c:")
+			b.WriteString(t.Name)
+		default:
+			if name, ok := rename[t.Name]; ok {
+				b.WriteString("v:")
+				b.WriteString(name)
+			} else {
+				j, ok := local[t.Name]
+				if !ok {
+					j = len(local)
+					local[t.Name] = j
+				}
+				b.WriteString("n:")
+				b.WriteString(strconv.Itoa(j))
+			}
+		}
+	}
+	return b.String()
+}
+
+// FingerprintCQ returns a canonical string identifying q's normalized shape,
+// usable as a map key: two conjunctive queries that differ only in atom
+// order or variable naming fingerprint identically, so they can share one
+// compiled plan (the plan-cache key of the query service).
+func FingerprintCQ(q rel.CQ) string {
+	return FingerprintNormalized(NormalizeCQ(q))
+}
+
+// FingerprintNormalized renders the fingerprint of an already-normalized
+// query (a NormalizeCQ result), skipping the re-normalization FingerprintCQ
+// would pay — the hot-path form for callers that need both the normal form
+// and its key.
+func FingerprintNormalized(nq rel.CQ) string {
+	parts := make([]string, len(nq.Atoms))
+	for i, a := range nq.Atoms {
+		parts[i] = a.String()
+	}
+	// Atom multiset semantics: duplicate atoms are harmless to keep, but
+	// sorting the rendered atoms once more guards against pathological
+	// orderings of equal keys.
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}

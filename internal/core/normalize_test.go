@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rel"
+)
+
+func TestNormalizeCQRenamesAndReorders(t *testing.T) {
+	a := rel.NewCQ(
+		rel.NewAtom("R", rel.V("x")),
+		rel.NewAtom("S", rel.V("x"), rel.V("y")),
+		rel.NewAtom("T", rel.V("y")),
+	)
+	b := rel.NewCQ(
+		rel.NewAtom("T", rel.V("q")),
+		rel.NewAtom("S", rel.V("p"), rel.V("q")),
+		rel.NewAtom("R", rel.V("p")),
+	)
+	if FingerprintCQ(a) != FingerprintCQ(b) {
+		t.Fatalf("isomorphic queries fingerprint differently:\n  %s\n  %s", FingerprintCQ(a), FingerprintCQ(b))
+	}
+	if got, want := NormalizeCQ(a).String(), NormalizeCQ(b).String(); got != want {
+		t.Fatalf("normal forms differ: %s vs %s", got, want)
+	}
+}
+
+func TestNormalizeCQDistinguishesShapes(t *testing.T) {
+	// Same atoms, different join structure: must not collide.
+	joined := rel.NewCQ(
+		rel.NewAtom("S", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+	)
+	split := rel.NewCQ(
+		rel.NewAtom("S", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("u"), rel.V("v")),
+	)
+	if FingerprintCQ(joined) == FingerprintCQ(split) {
+		t.Fatalf("join structure lost: both fingerprint to %s", FingerprintCQ(joined))
+	}
+	// Constants are preserved verbatim.
+	c1 := rel.NewCQ(rel.NewAtom("R", rel.C("a")))
+	c2 := rel.NewCQ(rel.NewAtom("R", rel.C("b")))
+	if FingerprintCQ(c1) == FingerprintCQ(c2) {
+		t.Fatal("constants collapsed by normalization")
+	}
+}
+
+func TestNormalizeCQRepeatedVariables(t *testing.T) {
+	// R(x,x) vs R(x,y): the repeated-variable pattern must survive renaming.
+	diag := rel.NewCQ(rel.NewAtom("R", rel.V("x"), rel.V("x")))
+	free := rel.NewCQ(rel.NewAtom("R", rel.V("x"), rel.V("y")))
+	if FingerprintCQ(diag) == FingerprintCQ(free) {
+		t.Fatal("repeated-variable pattern lost")
+	}
+	if FingerprintCQ(diag) != FingerprintCQ(rel.NewCQ(rel.NewAtom("R", rel.V("w"), rel.V("w")))) {
+		t.Fatal("renamed diagonal query fingerprints differently")
+	}
+}
+
+// TestNormalizeCQPreservesSemantics checks the load-bearing property of the
+// plan cache: a plan prepared for the normalized query answers the original
+// query — the normalized CQ has the same probability on random instances.
+func TestNormalizeCQPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	queries := []rel.CQ{
+		rel.HardQuery(),
+		rel.NewCQ(
+			rel.NewAtom("S", rel.V("b"), rel.V("a")),
+			rel.NewAtom("R", rel.V("b")),
+		),
+		rel.NewCQ(
+			rel.NewAtom("T", rel.V("z")),
+			rel.NewAtom("S", rel.V("x"), rel.V("z")),
+			rel.NewAtom("S", rel.V("x"), rel.V("x")),
+		),
+	}
+	for _, q := range queries {
+		nq := NormalizeCQ(q)
+		for trial := 0; trial < 5; trial++ {
+			tid := gen.RSTChain(3+r.Intn(5), 0.3+0.4*r.Float64())
+			pl, p, err := PrepareTID(tid, q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := pl.Probability(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			npl, np, err := PrepareTID(tid, nq, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := npl.Probability(np)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("query %s normalized to %s: probability %v vs %v", q, nq, want, got)
+			}
+		}
+	}
+}
+
+// TestNormalizeCQShuffleInvariance: the fingerprint of a query is invariant
+// under random atom shuffles and variable renamings.
+func TestNormalizeCQShuffleInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	base := rel.NewCQ(
+		rel.NewAtom("R", rel.V("a")),
+		rel.NewAtom("S", rel.V("a"), rel.V("b")),
+		rel.NewAtom("S", rel.V("b"), rel.V("c")),
+		rel.NewAtom("T", rel.V("c"), rel.C("k")),
+	)
+	want := FingerprintCQ(base)
+	names := []string{"u", "v", "w", "z", "a", "b", "c", "q0", "q1", "zz"}
+	for trial := 0; trial < 50; trial++ {
+		perm := r.Perm(len(base.Atoms))
+		ren := map[string]string{}
+		used := map[string]bool{}
+		for _, v := range base.Vars() {
+			for {
+				cand := names[r.Intn(len(names))]
+				if !used[cand] {
+					used[cand] = true
+					ren[v] = cand
+					break
+				}
+			}
+		}
+		atoms := make([]rel.Atom, len(base.Atoms))
+		for i, pi := range perm {
+			a := base.Atoms[pi]
+			terms := make([]rel.Term, len(a.Terms))
+			for j, tm := range a.Terms {
+				if tm.IsVar {
+					terms[j] = rel.V(ren[tm.Name])
+				} else {
+					terms[j] = tm
+				}
+			}
+			atoms[i] = rel.NewAtom(a.Rel, terms...)
+		}
+		if got := FingerprintCQ(rel.NewCQ(atoms...)); got != want {
+			t.Fatalf("trial %d: fingerprint %s != %s", trial, got, want)
+		}
+	}
+}

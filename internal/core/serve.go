@@ -12,10 +12,13 @@ import (
 // Request names one independent evaluation for Serve: a compiled plan and
 // the event probability map to evaluate it under. Requests may mix plans
 // freely — many requests sharing one plan (a parameter sweep), or each
-// carrying its own (mixed queries).
+// carrying its own (mixed queries). Exactly one of Plan and Sharded must be
+// set; component-sharded plans additionally fan their own shards over the
+// pool once frozen.
 type Request struct {
-	Plan *Plan
-	P    logic.Prob
+	Plan    *Plan
+	Sharded *ShardedPlan
+	P       logic.Prob
 }
 
 // Response is the outcome of one Request.
@@ -47,26 +50,40 @@ func Serve(reqs []Request, workers int) []Response {
 
 	// Freeze each distinct plan once, serially, before sharing it.
 	freezeErr := map[*Plan]error{}
+	shardedErr := map[*ShardedPlan]error{}
 	for _, r := range reqs {
-		if r.Plan == nil {
-			continue
+		if r.Plan != nil {
+			if _, seen := freezeErr[r.Plan]; !seen {
+				freezeErr[r.Plan] = r.Plan.Freeze()
+			}
 		}
-		if _, seen := freezeErr[r.Plan]; !seen {
-			freezeErr[r.Plan] = r.Plan.Freeze()
+		if r.Sharded != nil {
+			if _, seen := shardedErr[r.Sharded]; !seen {
+				shardedErr[r.Sharded] = r.Sharded.Freeze()
+			}
 		}
 	}
 
 	runPool(len(reqs), workers, func(i int) {
 		req := reqs[i]
-		if req.Plan == nil {
+		switch {
+		case req.Plan != nil && req.Sharded != nil:
+			out[i].Err = fmt.Errorf("core: request %d sets both Plan and Sharded", i)
+		case req.Plan != nil:
+			if err := freezeErr[req.Plan]; err != nil {
+				out[i].Err = err
+				return
+			}
+			out[i].Probability, out[i].Err = req.Plan.Probability(req.P)
+		case req.Sharded != nil:
+			if err := shardedErr[req.Sharded]; err != nil {
+				out[i].Err = err
+				return
+			}
+			out[i].Probability, out[i].Err = req.Sharded.Probability(req.P)
+		default:
 			out[i].Err = fmt.Errorf("core: request %d has a nil plan", i)
-			return
 		}
-		if err := freezeErr[req.Plan]; err != nil {
-			out[i].Err = err
-			return
-		}
-		out[i].Probability, out[i].Err = req.Plan.Probability(req.P)
 	})
 	return out
 }

@@ -234,6 +234,12 @@ func PrepareSharded(c *pdb.CInstance, q rel.CQ, opts Options) (*ShardedPlan, err
 		}
 	}
 
+	// An instance where no component carries facts (empty, or every fact
+	// tombstoned away upstream) compiles to zero shards; the fold below then
+	// starts from the query's start set and folds nothing, which is exactly
+	// the query-on-the-empty-instance distribution. Width keeps the
+	// empty-decomposition convention of the monolithic path (-1).
+	sp.width = -1
 	for _, sub := range sp.subC {
 		pl, err := PrepareCQ(sub, q, opts)
 		if err != nil {

@@ -249,3 +249,117 @@ func TestShardedEmptyInstance(t *testing.T) {
 		t.Errorf("P(q) over the empty instance = %v", res.Probability)
 	}
 }
+
+// TestShardedDegenerateMatchesMonolithic is the regression property for
+// instances where no component carries facts (empty, or nothing but
+// zero-weight tombstones): the sharded fold must land on the exact
+// query-on-empty-instance probability the monolithic Prepare computes — 1
+// for a trivially-true query, 0 for a CQ with atoms — through Probability,
+// Result, the batch path and a frozen plan alike, with matching metadata.
+func TestShardedDegenerateMatchesMonolithic(t *testing.T) {
+	trivial := rel.NewCQ() // zero atoms: holds on every world
+	type tc struct {
+		name  string
+		build func() (*pdb.CInstance, logic.Prob)
+	}
+	cases := []tc{
+		{"empty", func() (*pdb.CInstance, logic.Prob) {
+			return pdb.NewCInstance(), logic.Prob{}
+		}},
+		{"all-zero-weights", func() (*pdb.CInstance, logic.Prob) {
+			tid := pdb.NewTID()
+			tid.AddFact(0, "R", "a")
+			tid.AddFact(0, "S", "a", "b")
+			tid.AddFact(0, "T", "b")
+			c, p := tid.ToCInstance()
+			return c, p
+		}},
+		{"floating-only", func() (*pdb.CInstance, logic.Prob) {
+			c := pdb.NewCInstance()
+			c.AddFact(logic.False, "Z") // 0-ary, never present
+			return c, logic.Prob{}
+		}},
+	}
+	for _, c := range cases {
+		for qi, q := range []rel.CQ{rel.HardQuery(), trivial, rel.NewCQ(rel.NewAtom("Z"))} {
+			ctx := fmt.Sprintf("%s q%d", c.name, qi)
+			inst, p := c.build()
+			pl, err := PrepareCQ(inst, q, Options{})
+			if err != nil {
+				t.Fatalf("%s: monolithic: %v", ctx, err)
+			}
+			want, err := pl.Result(p)
+			if err != nil {
+				t.Fatalf("%s: monolithic: %v", ctx, err)
+			}
+			sp, err := PrepareSharded(inst, q, Options{})
+			if err != nil {
+				t.Fatalf("%s: sharded: %v", ctx, err)
+			}
+			got, err := sp.Result(p)
+			if err != nil {
+				t.Fatalf("%s: sharded: %v", ctx, err)
+			}
+			if math.Abs(got.Probability-want.Probability) > 1e-12 {
+				t.Fatalf("%s: sharded %v, monolithic %v", ctx, got.Probability, want.Probability)
+			}
+			if math.Abs(got.TotalMass-1) > 1e-6 {
+				t.Fatalf("%s: mass %v drifted", ctx, got.TotalMass)
+			}
+			if sp.NumShards() == 0 && sp.Width() != pl.Width() {
+				t.Errorf("%s: zero-shard width %d, monolithic %d", ctx, sp.Width(), pl.Width())
+			}
+			outs, err := sp.ProbabilityBatch([]logic.Prob{p, p})
+			if err != nil {
+				t.Fatalf("%s: batch: %v", ctx, err)
+			}
+			for l, o := range outs {
+				if math.Abs(o-want.Probability) > 1e-12 {
+					t.Fatalf("%s: batch lane %d = %v, want %v", ctx, l, o, want.Probability)
+				}
+			}
+			if err := sp.Freeze(); err != nil {
+				t.Fatalf("%s: freeze: %v", ctx, err)
+			}
+			pr, err := sp.Probability(p)
+			if err != nil || math.Abs(pr-want.Probability) > 1e-12 {
+				t.Fatalf("%s: frozen eval %v, %v", ctx, pr, err)
+			}
+		}
+	}
+}
+
+// TestShardedTombstonedToEmpty drives an instance to the all-tombstone state
+// through the live store path (every fact weight dropped to zero one by one)
+// and checks sharded vs monolithic agreement at every step, including the
+// final facts-but-no-mass state.
+func TestShardedTombstonedToEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		tid := randomMultiComponent(1+r.Intn(4), r)
+		q := rel.HardQuery()
+		order := r.Perm(tid.NumFacts())
+		for _, fi := range order {
+			tid.Probs[fi] = 0
+			sp, p, err := PrepareShardedTID(tid, q, Options{})
+			if err != nil {
+				t.Fatalf("trial %d: sharded: %v", trial, err)
+			}
+			pl, _, err := PrepareTID(tid, q, Options{})
+			if err != nil {
+				t.Fatalf("trial %d: monolithic: %v", trial, err)
+			}
+			want, err := pl.Probability(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sp.Probability(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d after zeroing %d: sharded %v, monolithic %v", trial, fi, got, want)
+			}
+		}
+	}
+}

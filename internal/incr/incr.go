@@ -40,8 +40,12 @@
 package incr
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/logic"
@@ -88,15 +92,46 @@ type Commit struct {
 	// Seq numbers commits from 1, in order.
 	Seq uint64
 	// Probabilities holds the refreshed query probability of every
-	// registered view, in registration order.
+	// registered view, in registration order at commit time.
 	Probabilities []float64
+	// Views identifies the view behind each probability: Probabilities[i]
+	// is Views[i]'s refreshed answer. Registration order can shift when
+	// views are unregistered, so consumers that outlive a single commit
+	// (e.g. network watch streams) should key on the view, not the index.
+	Views []*View
+}
+
+// subscriber is one Subscribe registration: the callback plus the state that
+// makes cancellation a barrier (see Subscribe).
+type subscriber struct {
+	fn        func(Commit)
+	cancelled atomic.Bool
+	// delivering holds the id of the goroutine currently running fn, 0 when
+	// idle. Deliveries are serialized (notifyMu), so one slot suffices; it
+	// lets a cancel from inside the callback itself recognize the
+	// re-entrancy and skip waiting for its own return.
+	delivering atomic.Int64
 }
 
 // notification is one commit queued for subscriber delivery: the commit and
 // the subscriber snapshot taken while its lock was still held.
 type notification struct {
-	subs []func(Commit)
+	subs []*subscriber
 	c    Commit
+}
+
+// goid returns the current goroutine's id (parsed from the runtime's stack
+// header — there is no public accessor). Used only to detect a subscriber
+// cancelling itself from inside its own callback.
+func goid() int64 {
+	var buf [64]byte
+	b := buf[:runtime.Stack(buf[:], false)]
+	b = b[len("goroutine "):]
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		b = b[:i]
+	}
+	id, _ := strconv.ParseInt(string(b), 10, 64)
+	return id
 }
 
 // Stats counts the work the store has done, splitting the incremental paths
@@ -136,11 +171,13 @@ type Store struct {
 	needRebuild bool // set while staging when some insert cannot be absorbed
 	broken      error
 
-	subs     []func(Commit) // nil entries are cancelled subscriptions
-	pending  []notification // commits awaiting subscriber delivery
-	notifyMu sync.Mutex     // serializes deliveries, preserving commit order
-	seq      uint64
-	stats    Stats
+	subs      []*subscriber  // live subscriptions
+	pending   []notification // commits awaiting subscriber delivery
+	notifyMu  sync.Mutex     // serializes deliveries, preserving commit order
+	deliverMu sync.Mutex     // guards deliverCond: cancel waits out in-flight callbacks
+	deliver   *sync.Cond
+	seq       uint64
+	stats     Stats
 }
 
 // View is a live materialized view: one query kept continuously answered
@@ -166,6 +203,7 @@ type viewShard struct {
 // on). Probabilities are validated fact by fact.
 func NewStore(t *pdb.TID) (*Store, error) {
 	s := &Store{byKey: map[string]int{}}
+	s.deliver = sync.NewCond(&s.deliverMu)
 	for i := 0; i < t.NumFacts(); i++ {
 		f := t.Fact(i)
 		if err := pdb.ValidateProb(t.Prob(i)); err != nil {
@@ -336,9 +374,18 @@ func (v *View) recombine() error {
 // commit. Safe for any number of concurrent callers, including while other
 // goroutines commit.
 func (v *View) Probability() float64 {
+	p, _ := v.ProbabilitySeq()
+	return p
+}
+
+// ProbabilitySeq returns the view's current query probability together with
+// the commit sequence it reflects, read in one critical section — the form
+// for consumers that label answers with their sequence (a query service
+// reconciling responses against a commit-ordered watch stream).
+func (v *View) ProbabilitySeq() (float64, uint64) {
 	v.store.mu.RLock()
 	defer v.store.mu.RUnlock()
-	return v.prob
+	return v.prob, v.store.seq
 }
 
 // Shape returns the aggregate structural statistics of the view's shard
@@ -375,6 +422,61 @@ func (v *View) Shards() int {
 // Query returns the view's conjunctive query.
 func (v *View) Query() rel.CQ { return v.q }
 
+// UnregisterView removes a previously registered view: it stops being
+// maintained (and stops appearing in commit notifications) from the next
+// commit on. Maintenance cost is proportional to the registered views, so
+// long-lived servers evicting cold queries should unregister them. A view
+// that is not (or no longer) registered is a no-op. The view's last
+// Probability stays readable but is frozen at its final commit.
+func (s *Store) UnregisterView(v *View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, other := range s.views {
+		if other == v {
+			s.views = append(s.views[:i], s.views[i+1:]...)
+			return
+		}
+	}
+}
+
+// NumViews returns the number of currently registered views.
+func (s *Store) NumViews() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.views)
+}
+
+// Seq returns the sequence number of the last applied commit (0 before the
+// first commit). Matches the Seq delivered to subscribers.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Snapshot materializes the live facts as a fresh TID instance, returning
+// alongside it the store id of every snapshot fact (ids[i] is the store id
+// of snapshot fact i) and the commit sequence the snapshot was taken at —
+// all read in one critical section, so the caller can cache the snapshot
+// keyed by sequence without racing concurrent commits. The snapshot is
+// detached: later store commits do not touch it. This is the bridge to the
+// frozen-plan machinery of internal/core — a query service prepares a
+// ShardedPlan on the snapshot and evaluates request-supplied probability
+// assignments against it without holding any store lock.
+func (s *Store) Snapshot() (*pdb.TID, []int, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := pdb.NewTID()
+	var ids []int
+	for id, f := range s.facts {
+		if !s.deleted[id] {
+			t.Add(f, s.probs[id])
+			ids = append(ids, id)
+		}
+	}
+	return t, ids, s.seq
+}
+
 // Stats returns a snapshot of the store's work counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
@@ -389,6 +491,21 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.facts)
+}
+
+// NumLive returns the number of live (non-tombstoned) facts — what a
+// Snapshot would contain, and the right gauge for dashboards (Len never
+// decreases because ids are stable).
+func (s *Store) NumLive() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, d := range s.deleted {
+		if !d {
+			n++
+		}
+	}
+	return n
 }
 
 // Fact returns the fact with the given id.
@@ -447,18 +564,41 @@ func (s *Store) ShardOf(id int) int {
 // call back into the store — Prob, Live, View.Probability, even further
 // updates — without deadlocking; reads observe the notified commit or a
 // later one. A slow subscriber delays later notifications but never blocks
-// readers. The returned cancel function unregisters fn; a commit that
-// already snapshotted its subscribers may still deliver one final callback
-// after cancel returns.
+// readers.
+//
+// The returned cancel function unregisters fn and is a barrier: once cancel
+// returns, fn will never be invoked again — a commit that snapshotted its
+// subscribers before the cancellation skips the cancelled entry at delivery
+// time, and a callback already executing on another goroutine is waited
+// out. (Network consumers rely on this: a handler that cancels on
+// disconnect may immediately free the resources its callback writes to.)
+// The one re-entrant exception: fn cancelling its own subscription from
+// inside a callback returns immediately — waiting there would deadlock on
+// the delivery in progress — and likewise never fires again. cancel is
+// idempotent and safe for concurrent use.
 func (s *Store) Subscribe(fn func(Commit)) (cancel func()) {
+	sub := &subscriber{fn: fn}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := len(s.subs)
-	s.subs = append(s.subs, fn)
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
 	return func() {
+		sub.cancelled.Store(true)
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.subs[id] = nil
+		for i, other := range s.subs {
+			if other == sub {
+				s.subs = append(s.subs[:i], s.subs[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		if sub.delivering.Load() == goid() {
+			return // self-cancel from inside the callback being delivered
+		}
+		s.deliverMu.Lock()
+		for sub.delivering.Load() != 0 {
+			s.deliver.Wait()
+		}
+		s.deliverMu.Unlock()
 	}
 }
 
@@ -469,7 +609,14 @@ func (s *Store) Subscribe(fn func(Commit)) (cancel func()) {
 // goroutine) hands its notification to the already-running drain instead of
 // deadlocking on the non-reentrant mutex. The post-unlock re-check closes
 // the race where a notification is enqueued just as the drain winds down.
+//
+// Each delivery claims the subscriber (delivering = this goroutine's id)
+// before re-checking cancellation, so it either observes a cancel that
+// already happened and skips the callback, or a racing cancel observes the
+// claim and blocks until the callback returns — the barrier Subscribe
+// documents.
 func (s *Store) flushNotifications() {
+	gid := goid()
 	for {
 		if !s.notifyMu.TryLock() {
 			return // the current holder's drain loop delivers our commit
@@ -483,8 +630,18 @@ func (s *Store) flushNotifications() {
 			n := s.pending[0]
 			s.pending = s.pending[1:]
 			s.mu.Unlock()
-			for _, fn := range n.subs {
-				fn(n.c)
+			for _, sub := range n.subs {
+				if sub.cancelled.Load() {
+					continue
+				}
+				sub.delivering.Store(gid)
+				if !sub.cancelled.Load() {
+					sub.fn(n.c)
+				}
+				s.deliverMu.Lock()
+				sub.delivering.Store(0)
+				s.deliver.Broadcast()
+				s.deliverMu.Unlock()
 			}
 		}
 		s.notifyMu.Unlock()
@@ -551,6 +708,17 @@ func (s *Store) Delete(id int) error {
 // invalid update the batch stops, the already-staged prefix is committed,
 // and the error is returned.
 func (s *Store) ApplyBatch(us []Update) error {
+	_, _, err := s.ApplyBatchN(us)
+	return err
+}
+
+// ApplyBatchN is ApplyBatch reporting how many updates actually landed —
+// len(us) on success, the length of the committed prefix when the batch
+// stopped at an invalid update — together with the commit sequence as of
+// this batch (read atomically with the commit, so concurrent committers
+// cannot be misattributed). The form for callers that must report partial
+// commits honestly (the /update endpoint).
+func (s *Store) ApplyBatchN(us []Update) (applied int, seq uint64, err error) {
 	s.mu.Lock()
 	staged := 0
 	var stageErr error
@@ -574,12 +742,13 @@ func (s *Store) ApplyBatch(us []Update) error {
 	if staged > 0 || s.needRebuild {
 		commitErr = s.commitLocked(staged)
 	}
+	seq = s.seq
 	s.mu.Unlock()
 	s.flushNotifications()
 	if commitErr != nil {
-		return commitErr
+		return 0, seq, commitErr
 	}
-	return stageErr
+	return staged, seq, stageErr
 }
 
 // --- staging (write lock held) ---
@@ -821,19 +990,16 @@ func (s *Store) commitLocked(updates int) error {
 	s.stats.Commits++
 	s.stats.Updates += uint64(updates)
 	if len(s.subs) > 0 {
-		var snap []func(Commit)
-		for _, fn := range s.subs {
-			if fn != nil {
-				snap = append(snap, fn)
-			}
+		snap := append([]*subscriber(nil), s.subs...)
+		c := Commit{
+			Seq:           s.seq,
+			Probabilities: make([]float64, len(s.views)),
+			Views:         append([]*View(nil), s.views...),
 		}
-		if len(snap) > 0 {
-			c := Commit{Seq: s.seq, Probabilities: make([]float64, len(s.views))}
-			for i, v := range s.views {
-				c.Probabilities[i] = v.prob
-			}
-			s.pending = append(s.pending, notification{subs: snap, c: c})
+		for i, v := range s.views {
+			c.Probabilities[i] = v.prob
 		}
+		s.pending = append(s.pending, notification{subs: snap, c: c})
 	}
 	return nil
 }
@@ -843,14 +1009,7 @@ func (s *Store) commitLocked(updates int) error {
 // structure. It is the ground truth the property and fuzz tests compare
 // against, and a debugging aid; it does not touch the store's views.
 func (s *Store) Oracle(q rel.CQ) (float64, error) {
-	s.mu.RLock()
-	t := pdb.NewTID()
-	for id, f := range s.facts {
-		if !s.deleted[id] {
-			t.Add(f, s.probs[id])
-		}
-	}
-	s.mu.RUnlock()
+	t, _, _ := s.Snapshot()
 	pl, p, err := core.PrepareTID(t, q, core.Options{})
 	if err != nil {
 		return 0, err

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -623,4 +624,179 @@ func TestBatchAttachThenOpenShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkViews(t, s, []*View{v}, "after second batch")
+}
+
+// TestSubscribeCancelBarrier: once cancel() returns, the callback must never
+// run again — even when a commit snapshotted its subscribers before the
+// cancellation, and even when the callback is mid-flight on another
+// goroutine when cancel is called. Run under -race in CI.
+func TestSubscribeCancelBarrier(t *testing.T) {
+	s, _ := chainStore(t, 4)
+	for round := 0; round < 20; round++ {
+		var dead atomic.Bool // set by the canceller after cancel returns
+		started := make(chan struct{}, 64)
+		var fired atomic.Int64
+		cancel := s.Subscribe(func(c Commit) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			if dead.Load() {
+				t.Error("callback invoked after cancel returned")
+			}
+			fired.Add(1)
+		})
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := s.SetProb(i%s.Len(), float64(i%10+1)/10); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-started // let at least one delivery race with the cancel
+			cancel()
+			dead.Store(true)
+		}()
+		wg.Wait()
+		// Post-cancel commits must not reach the callback either.
+		before := fired.Load()
+		if err := s.SetProb(0, 0.42); err != nil {
+			t.Fatal(err)
+		}
+		if fired.Load() != before {
+			t.Fatal("cancelled subscriber still notified by a later commit")
+		}
+	}
+}
+
+// TestSubscribeSelfCancel: a callback cancelling its own subscription does
+// not deadlock, and the subscription never fires again.
+func TestSubscribeSelfCancel(t *testing.T) {
+	s, _ := chainStore(t, 4)
+	var calls int
+	var cancel func()
+	cancel = s.Subscribe(func(c Commit) {
+		calls++
+		cancel()
+	})
+	if err := s.SetProb(0, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetProb(1, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1 (self-cancelled)", calls)
+	}
+}
+
+// TestSubscribeCancelIdempotent: double cancel and cancel-after-commit are
+// safe; concurrent cancels of distinct subscribers don't interfere.
+func TestSubscribeCancelIdempotent(t *testing.T) {
+	s, _ := chainStore(t, 4)
+	var aCalls, bCalls int
+	cancelA := s.Subscribe(func(Commit) { aCalls++ })
+	cancelB := s.Subscribe(func(Commit) { bCalls++ })
+	if err := s.SetProb(0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	cancelA()
+	cancelA()
+	if err := s.SetProb(1, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	cancelB()
+	if aCalls != 1 || bCalls != 2 {
+		t.Fatalf("calls = %d/%d, want 1/2", aCalls, bCalls)
+	}
+}
+
+// TestCommitCarriesViews: notifications identify the view behind each
+// probability, surviving unregistration-induced index shifts.
+func TestCommitCarriesViews(t *testing.T) {
+	s, views := chainStore(t, 4)
+	var last Commit
+	cancel := s.Subscribe(func(c Commit) { last = c })
+	defer cancel()
+	if err := s.SetProb(0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Views) != 2 || last.Views[0] != views[0] || last.Views[1] != views[1] {
+		t.Fatalf("commit views %v do not match registration", last.Views)
+	}
+	s.UnregisterView(views[0])
+	if s.NumViews() != 1 {
+		t.Fatalf("NumViews = %d after unregister, want 1", s.NumViews())
+	}
+	if err := s.SetProb(1, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Views) != 1 || last.Views[0] != views[1] {
+		t.Fatalf("commit views after unregister = %v, want just the second view", last.Views)
+	}
+	want, err := s.Oracle(views[1].Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(last.Probabilities[0]-want) > tol {
+		t.Fatalf("surviving view probability %v, oracle %v", last.Probabilities[0], want)
+	}
+	// Unregistering twice (or an unknown view) is a no-op.
+	s.UnregisterView(views[0])
+}
+
+// TestSnapshotDetached: Snapshot returns the live facts with stable ids and
+// is unaffected by later commits.
+func TestSnapshotDetached(t *testing.T) {
+	s, views := chainStore(t, 4)
+	if err := s.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	tid, ids, snapSeq := s.Snapshot()
+	if snapSeq != s.Seq() {
+		t.Fatalf("snapshot seq %d, store %d", snapSeq, s.Seq())
+	}
+	if tid.NumFacts() != s.Len()-1 || len(ids) != tid.NumFacts() {
+		t.Fatalf("snapshot has %d facts (ids %d), want %d", tid.NumFacts(), len(ids), s.Len()-1)
+	}
+	for i, id := range ids {
+		f, err := s.Fact(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Equal(tid.Fact(i)) {
+			t.Fatalf("snapshot fact %d = %s, store id %d = %s", i, tid.Fact(i), id, f)
+		}
+		if id == 0 {
+			t.Fatal("tombstoned fact id 0 leaked into the snapshot")
+		}
+	}
+	seqBefore := s.Seq()
+	// A frozen plan over the snapshot answers like the live view did at
+	// snapshot time, regardless of later commits.
+	pl, p, err := core.PrepareShardedTID(tid, views[0].Query(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atSnap := views[0].Probability()
+	if err := s.SetProb(1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq() != seqBefore+1 {
+		t.Fatalf("Seq = %d, want %d", s.Seq(), seqBefore+1)
+	}
+	got, err := pl.Probability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-atSnap) > tol {
+		t.Fatalf("snapshot plan drifted with the store: %v vs %v", got, atSnap)
+	}
 }

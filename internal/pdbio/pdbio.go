@@ -1,0 +1,317 @@
+// Package pdbio parses the textual interchange formats shared by the CLIs
+// and the query service: uncertain-instance files, conjunctive queries,
+// annotation formulas and sweep specs. It is the single home of the formats
+// documented in cmd/pdbcli's package comment, so pdbcli, pdbd and tests all
+// read exactly the same language.
+//
+// Instance format, one declaration per line ('#' starts a comment):
+//
+//	fact 0.9 R a          # TID-style fact with marginal probability
+//	event e1 0.7          # declare an event with its probability
+//	cfact e1 & !e2 S a b  # c-instance fact with a formula annotation
+//
+// fact and cfact lines may be mixed; plain facts get private events.
+package pdbio
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/rel"
+)
+
+// TIDFromInstance converts a parsed instance into a tuple-independent one:
+// every fact must be annotated by its own single positive event. Instances
+// with shared or complex annotations are rejected — the live-update store
+// maintains tuple-level probabilities, so correlated facts have no
+// well-defined per-tuple weight to update.
+func TIDFromInstance(c *pdb.CInstance, p logic.Prob) (*pdb.TID, error) {
+	t := pdb.NewTID()
+	seen := map[logic.Event]int{}
+	for i := 0; i < c.NumFacts(); i++ {
+		f := c.Inst.Fact(i)
+		vars := logic.Vars(c.Ann[i])
+		if len(vars) != 1 || !logic.Equivalent(c.Ann[i], logic.Var(vars[0])) {
+			return nil, fmt.Errorf("fact %s has annotation %s: the update mode needs a tuple-independent instance (plain 'fact' lines, or one positive event per cfact)", f, logic.String(c.Ann[i]))
+		}
+		if prev, dup := seen[vars[0]]; dup {
+			return nil, fmt.Errorf("facts %s and %s share event %s: the update mode needs independent tuples", c.Inst.Fact(prev), f, vars[0])
+		}
+		seen[vars[0]] = i
+		if _, err := t.TryAdd(f, p.P(vars[0])); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ParseSweep parses a -batch spec "event=v1,v2,..." into the event and its
+// probability values.
+func ParseSweep(spec string) (logic.Event, []float64, error) {
+	name, list, ok := strings.Cut(spec, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("-batch wants 'event=v1,v2,...', got %q", spec)
+	}
+	var vals []float64
+	for _, tok := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("-batch value %q: %v", tok, err)
+		}
+		if v < 0 || v > 1 {
+			return "", nil, fmt.Errorf("-batch value %v outside [0,1]", v)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return "", nil, fmt.Errorf("-batch lists no values")
+	}
+	return logic.Event(name), vals, nil
+}
+
+// ParseInstance reads the instance format described in the package comment.
+func ParseInstance(sc *bufio.Scanner) (*pdb.CInstance, logic.Prob, error) {
+	c := pdb.NewCInstance()
+	p := logic.Prob{}
+	fresh := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "event":
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("line %d: event NAME PROB", line)
+			}
+			pr, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			p[logic.Event(fields[1])] = pr
+		case "fact":
+			if len(fields) < 3 {
+				return nil, nil, fmt.Errorf("line %d: fact PROB REL ARGS...", line)
+			}
+			pr, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			e := logic.Event(fmt.Sprintf("_f%d", fresh))
+			fresh++
+			p[e] = pr
+			c.AddFact(logic.Var(e), fields[2], fields[3:]...)
+		case "cfact":
+			// cfact FORMULA... REL ARGS...: the formula is everything up
+			// to the second-to-last whitespace-run that starts a
+			// relation name; we locate the split by parsing from the end:
+			// the relation is the first field after the formula, so we
+			// re-join and search for the last formula token.
+			rest := strings.TrimSpace(text[len("cfact"):])
+			ann, relPart, err := SplitAnnotation(rest)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			f, err := ParseFormula(ann)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			rf := strings.Fields(relPart)
+			c.AddFact(f, rf[0], rf[1:]...)
+		default:
+			return nil, nil, fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	return c, p, sc.Err()
+}
+
+// SplitAnnotation separates "e1 & !e2 S a b" into the formula part and the
+// fact part: the fact begins at the last token run that is not part of a
+// formula (no operators around it). We use the convention that the formula
+// and the fact are separated by the last operator-free boundary: formula
+// tokens are identifiers, '&', '|', '!', '(' , ')'; the first token that is
+// followed only by identifier tokens and is preceded by an identifier or
+// ')' begins the fact.
+func SplitAnnotation(s string) (string, string, error) {
+	tokens := strings.Fields(s)
+	if len(tokens) < 2 {
+		return "", "", fmt.Errorf("cfact needs a formula and a fact")
+	}
+	isOp := func(t string) bool {
+		return t == "&" || t == "|" || strings.HasPrefix(t, "!") || strings.HasSuffix(t, "&") || strings.HasSuffix(t, "|")
+	}
+	// Scan from the right: the fact is the longest suffix of operator-free
+	// tokens such that the token before the suffix is not an operator.
+	split := -1
+	for i := len(tokens) - 1; i >= 1; i-- {
+		if isOp(tokens[i]) {
+			split = i + 1
+			break
+		}
+	}
+	if split < 0 {
+		split = 1 // single-token formula
+	}
+	if split >= len(tokens) {
+		return "", "", fmt.Errorf("cfact is missing the fact after the formula")
+	}
+	return strings.Join(tokens[:split], " "), strings.Join(tokens[split:], " "), nil
+}
+
+// ParseFormula parses formulas with '!', '&', '|' and parentheses, with the
+// usual precedences (! > & > |).
+func ParseFormula(s string) (logic.Formula, error) {
+	p := &fparser{input: s}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("trailing input %q in formula", p.input[p.pos:])
+	}
+	return f, nil
+}
+
+type fparser struct {
+	input string
+	pos   int
+}
+
+func (p *fparser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *fparser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *fparser) parseOr() (logic.Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		g, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		f = logic.Or(f, g)
+	}
+	return f, nil
+}
+
+func (p *fparser) parseAnd() (logic.Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		g, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		f = logic.And(f, g)
+	}
+	return f, nil
+}
+
+func (p *fparser) parseUnary() (logic.Formula, error) {
+	switch p.peek() {
+	case '!':
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not(f), nil
+	case '(':
+		p.pos++
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ')' in formula")
+		}
+		p.pos++
+		return f, nil
+	case 0:
+		return nil, fmt.Errorf("unexpected end of formula")
+	}
+	start := p.pos
+	for p.pos < len(p.input) && isIdent(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("unexpected character %q in formula", p.input[p.pos])
+	}
+	name := p.input[start:p.pos]
+	switch name {
+	case "true":
+		return logic.True, nil
+	case "false":
+		return logic.False, nil
+	}
+	return logic.Var(logic.Event(name)), nil
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// ParseCQ parses 'R(?x) & S(?x,?y) & T(c)': variables start with '?',
+// everything else is a constant.
+func ParseCQ(s string) (rel.CQ, error) {
+	var atoms []rel.Atom
+	for _, part := range strings.Split(s, "&") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		open := strings.IndexByte(part, '(')
+		if open < 0 || !strings.HasSuffix(part, ")") {
+			return rel.CQ{}, fmt.Errorf("atom %q must look like R(?x,c)", part)
+		}
+		relName := strings.TrimSpace(part[:open])
+		if relName == "" {
+			return rel.CQ{}, fmt.Errorf("atom %q has no relation name", part)
+		}
+		inner := part[open+1 : len(part)-1]
+		var terms []rel.Term
+		if strings.TrimSpace(inner) != "" {
+			for _, raw := range strings.Split(inner, ",") {
+				tok := strings.TrimSpace(raw)
+				if tok == "" {
+					return rel.CQ{}, fmt.Errorf("empty term in %q", part)
+				}
+				if strings.HasPrefix(tok, "?") {
+					terms = append(terms, rel.V(tok[1:]))
+				} else {
+					terms = append(terms, rel.C(tok))
+				}
+			}
+		}
+		atoms = append(atoms, rel.NewAtom(relName, terms...))
+	}
+	if len(atoms) == 0 {
+		return rel.CQ{}, fmt.Errorf("empty query")
+	}
+	return rel.NewCQ(atoms...), nil
+}

@@ -1,0 +1,147 @@
+package pdbio
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestParseCQ(t *testing.T) {
+	q, err := ParseCQ("R(?x) & S(?x,?y) & T(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 3 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+	if !q.Atoms[0].Terms[0].IsVar || q.Atoms[0].Terms[0].Name != "x" {
+		t.Errorf("first term = %+v", q.Atoms[0].Terms[0])
+	}
+	if q.Atoms[2].Terms[0].IsVar || q.Atoms[2].Terms[0].Name != "c" {
+		t.Errorf("constant term = %+v", q.Atoms[2].Terms[0])
+	}
+	if got := q.String(); got != "R(?x) & S(?x,?y) & T(c)" {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestParseCQErrors(t *testing.T) {
+	for _, bad := range []string{"", "R", "R(?x", "(?x)", "R(?x,)"} {
+		if _, err := ParseCQ(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseFormula(t *testing.T) {
+	cases := []struct {
+		in   string
+		want logic.Formula
+	}{
+		{"a", logic.Var("a")},
+		{"!a", logic.Not(logic.Var("a"))},
+		{"a & b | c", logic.Or(logic.And(logic.Var("a"), logic.Var("b")), logic.Var("c"))},
+		{"a & (b | c)", logic.And(logic.Var("a"), logic.Or(logic.Var("b"), logic.Var("c")))},
+		{"true & a", logic.Var("a")},
+		{"!(a | b)", logic.And(logic.Not(logic.Var("a")), logic.Not(logic.Var("b")))},
+	}
+	for _, tc := range cases {
+		got, err := ParseFormula(tc.in)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if !logic.Equivalent(got, tc.want) {
+			t.Errorf("%q parsed to %s", tc.in, logic.String(got))
+		}
+	}
+	for _, bad := range []string{"", "a &", "(a", "a b", "&a"} {
+		if _, err := ParseFormula(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	input := `
+# Table-1-ish instance
+event pods 0.8
+event stoc 0.3
+cfact pods & !stoc Trip MEL CDG
+cfact pods Trip CDG MEL
+fact 0.5 Extra x
+`
+	c, p, err := ParseInstance(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFacts() != 3 {
+		t.Fatalf("facts = %d", c.NumFacts())
+	}
+	if math.Abs(p.P("pods")-0.8) > 1e-12 {
+		t.Errorf("P(pods) = %v", p.P("pods"))
+	}
+	// The plain fact got a private event with probability 0.5.
+	found := false
+	for e, pr := range p {
+		if strings.HasPrefix(string(e), "_f") && pr == 0.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("private event for plain fact missing")
+	}
+	// The annotated fact evaluates per its formula.
+	w := c.World(logic.Valuation{"pods": true, "stoc": false})
+	if w.NumFacts() < 2 {
+		t.Errorf("world too small: %v", w.Facts())
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus 1 2",
+		"event x",
+		"fact notanumber R a",
+		"cfact onlyformula",
+	} {
+		_, _, err := ParseInstance(bufio.NewScanner(strings.NewReader(bad)))
+		if err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	event, vals, err := ParseSweep("e1=0.1, 0.5,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if event != "e1" || len(vals) != 3 || vals[1] != 0.5 {
+		t.Errorf("parsed %q / %v", event, vals)
+	}
+	for _, bad := range []string{"", "e1", "=0.1", "e1=", "e1=x", "e1=1.5"} {
+		if _, _, err := ParseSweep(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestSplitAnnotation(t *testing.T) {
+	ann, fact, err := SplitAnnotation("e1 & !e2 S a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann != "e1 & !e2" || fact != "S a b" {
+		t.Errorf("split = %q / %q", ann, fact)
+	}
+	ann, fact, err = SplitAnnotation("e1 R x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann != "e1" || fact != "R x" {
+		t.Errorf("split = %q / %q", ann, fact)
+	}
+}

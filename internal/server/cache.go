@@ -1,0 +1,213 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/logic"
+)
+
+// planCache is the LRU view cache of the service, keyed by the normalized
+// query fingerprint (core.FingerprintCQ): textually different but identical
+// CQs share one registered view, so the Prepare cost of a query shape is
+// paid once no matter how many clients ask it.
+//
+// Lookups are single-flight: concurrent misses on one fingerprint block on
+// a single RegisterView call instead of compiling the same plan N times.
+// Eviction unregisters the view from the store (via onEvict) so the store
+// stops maintaining cold query shapes under updates.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	order   *list.List // front = most recently used; values are *cacheEntry
+	onEvict func(*incr.View)
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	fp    string
+	elem  *list.Element
+	ready chan struct{} // closed once view/err are set
+	view  *incr.View
+	err   error
+}
+
+func newPlanCache(max int, onEvict func(*incr.View)) *planCache {
+	if max < 1 {
+		max = 1
+	}
+	return &planCache{
+		max:     max,
+		entries: map[string]*cacheEntry{},
+		order:   list.New(),
+		onEvict: onEvict,
+	}
+}
+
+// get returns the cached view for fp, building it with build on a miss.
+// hit reports whether a cached (or in-flight) entry was reused. A build
+// failure is not cached: the entry is removed so the next request retries.
+func (pc *planCache) get(fp string, build func() (*incr.View, error)) (v *incr.View, hit bool, err error) {
+	pc.mu.Lock()
+	if e, ok := pc.entries[fp]; ok {
+		pc.order.MoveToFront(e.elem)
+		pc.hits++
+		pc.mu.Unlock()
+		<-e.ready
+		return e.view, true, e.err
+	}
+	e := &cacheEntry{fp: fp, ready: make(chan struct{})}
+	e.elem = pc.order.PushFront(e)
+	pc.entries[fp] = e
+	pc.misses++
+	evicted := pc.evictLocked()
+	pc.mu.Unlock()
+
+	for _, old := range evicted {
+		pc.onEvict(old)
+	}
+
+	e.view, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		pc.mu.Lock()
+		// Only remove if the entry is still ours (it is: failed entries are
+		// only removed here, and fp collisions wait on ready).
+		if pc.entries[fp] == e {
+			delete(pc.entries, fp)
+			pc.order.Remove(e.elem)
+		}
+		pc.mu.Unlock()
+	}
+	return e.view, false, e.err
+}
+
+// evictLocked trims the cache to max entries, skipping entries whose build
+// is still in flight (their view is not yet known). Returns the views to
+// unregister, to be released outside the lock.
+func (pc *planCache) evictLocked() []*incr.View {
+	var out []*incr.View
+	for elem := pc.order.Back(); elem != nil && pc.order.Len() > pc.max; {
+		e := elem.Value.(*cacheEntry)
+		prev := elem.Prev()
+		select {
+		case <-e.ready:
+			if e.view != nil {
+				out = append(out, e.view)
+			}
+			delete(pc.entries, e.fp)
+			pc.order.Remove(elem)
+			pc.evictions++
+		default:
+			// still building; never evict an in-flight entry
+		}
+		elem = prev
+	}
+	return out
+}
+
+// stats returns the cumulative hit/miss/eviction counters and current size.
+func (pc *planCache) stats() (hits, misses, evictions uint64, size int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, pc.evictions, pc.order.Len()
+}
+
+// frozenEntry is one cached frozen-plan snapshot for the /batch and
+// assignment-override paths: a component-sharded plan prepared on the
+// store's live facts as of commit seq, its base probability map, and the
+// store-id → event index used to apply request-supplied overrides.
+type frozenEntry struct {
+	seq     uint64
+	sp      *core.ShardedPlan
+	base    logic.Prob
+	eventOf map[int]logic.Event // store fact id -> event of the snapshot plan
+}
+
+// frozenCache caches frozen snapshot plans per fingerprint. Entries are
+// valid only for the commit sequence they were prepared at — a store commit
+// invalidates them, so a hit requires seq to match. Builds are single-flight
+// per fingerprint. The cache is bounded by max; stale or excess entries are
+// dropped on insert.
+type frozenCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*frozenSlot
+	hits    uint64
+	misses  uint64
+}
+
+type frozenSlot struct {
+	mu    sync.Mutex // serializes rebuilds of this fingerprint
+	entry *frozenEntry
+	pins  int // gets in flight on this slot (guarded by frozenCache.mu)
+}
+
+func newFrozenCache(max int) *frozenCache {
+	if max < 1 {
+		max = 1
+	}
+	return &frozenCache{max: max, entries: map[string]*frozenSlot{}}
+}
+
+// get returns the frozen snapshot for fp at commit seq, building it with
+// build on a miss or when the cached snapshot is stale. hit reports whether
+// a still-fresh entry was reused.
+func (fc *frozenCache) get(fp string, seq uint64, build func() (*frozenEntry, error)) (e *frozenEntry, hit bool, err error) {
+	fc.mu.Lock()
+	slot, ok := fc.entries[fp]
+	if !ok {
+		slot = &frozenSlot{}
+		fc.entries[fp] = slot
+		// Bound the table: drop an arbitrary other entry when over budget
+		// (snapshot plans are cheap to rebuild relative to serving value, so
+		// LRU precision is not worth a second list here). A pinned slot —
+		// one some get() has fetched and not yet released — is never
+		// dropped: deleting it would let a concurrent request for the same
+		// fingerprint open a fresh slot and run a duplicate Prepare,
+		// breaking the single-flight guarantee.
+		for key, other := range fc.entries {
+			if len(fc.entries) <= fc.max {
+				break
+			}
+			if key != fp && other.pins == 0 {
+				delete(fc.entries, key)
+			}
+		}
+	}
+	slot.pins++
+	fc.mu.Unlock()
+	defer func() {
+		fc.mu.Lock()
+		slot.pins--
+		fc.mu.Unlock()
+	}()
+
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.entry != nil && slot.entry.seq == seq {
+		fc.mu.Lock()
+		fc.hits++
+		fc.mu.Unlock()
+		return slot.entry, true, nil
+	}
+	fc.mu.Lock()
+	fc.misses++
+	fc.mu.Unlock()
+	e, err = build()
+	if err != nil {
+		return nil, false, err
+	}
+	slot.entry = e
+	return e, false, nil
+}
+
+func (fc *frozenCache) stats() (hits, misses uint64, size int) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.hits, fc.misses, len(fc.entries)
+}

@@ -1,0 +1,669 @@
+// Package server implements pdbd's HTTP/JSON query service over the
+// engine's serving stack: a live incr.Store absorbs updates while compiled
+// plans answer probability requests.
+//
+// The request regime follows query answering under updates (Berkholz et
+// al.'s FO+MOD maintenance, Kara et al.'s free access patterns): pay the
+// preprocessing (Prepare) once per *query shape*, then answer every request
+// as pure numeric work against maintained state. Concretely:
+//
+//   - POST /query normalizes the conjunctive query (core.NormalizeCQ) and
+//     hits an LRU plan cache keyed by the normalized fingerprint, so
+//     textually different but identical CQs share one registered live view;
+//     cache misses register the view single-flight. A request carrying an
+//     explicit probability assignment is instead answered by a frozen
+//     component-sharded snapshot plan (core.PrepareSharded + Freeze), whose
+//     evaluation fans over the worker pool.
+//   - POST /batch folds many probability assignments into one multi-lane
+//     ProbabilityBatch pass over the frozen snapshot plan; per-lane
+//     failures surface individually (core.LaneErrors), healthy lanes keep
+//     their values. With "parallel": true the lanes are served as
+//     independent requests over the core.Serve worker pool instead.
+//   - POST /update routes set/insert/delete batches through
+//     Store.ApplyBatch: one commit, shared dirty spines, returning the
+//     commit sequence and the store's work counters.
+//   - GET /watch streams every commit as a server-sent event: sequence
+//     number plus the refreshed probability of each cached view, in commit
+//     order — the push channel of the incremental-maintenance layer.
+//
+// /healthz and /statsz expose liveness and the serving counters; Shutdown
+// drains in-flight requests and closes watch streams.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/logic"
+	"repro/internal/pdb"
+	"repro/internal/pdbio"
+	"repro/internal/rel"
+)
+
+// Config tunes a Server. The zero value is serviceable: GOMAXPROCS workers,
+// a 64-entry plan cache, default engine options.
+type Config struct {
+	// Workers sizes the core.Serve pool for parallel-mode evaluations.
+	// <= 0 uses runtime.GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the live-view plan cache (and the frozen snapshot
+	// cache). <= 0 means 64.
+	CacheSize int
+	// Options are passed to every Prepare/RegisterView.
+	Options core.Options
+}
+
+// Server is the query service: an incr.Store of the loaded instance, the
+// plan caches, and the HTTP handlers. Create with New, serve with
+// http.Server{Handler: s}, stop with Shutdown.
+type Server struct {
+	store *incr.Store
+	cfg   Config
+	mux   *http.ServeMux
+
+	cache  *planCache
+	frozen *frozenCache
+
+	viewMu sync.Mutex
+	viewFP map[*incr.View]string // registered view -> fingerprint (for /watch)
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{}
+	inflight  atomic.Int64
+
+	nQueries    atomic.Uint64
+	nBatchReqs  atomic.Uint64
+	nBatchLanes atomic.Uint64
+	nUpdateReqs atomic.Uint64
+	nUpdates    atomic.Uint64
+	nPrepares   atomic.Uint64 // view registrations + frozen snapshot prepares
+	nWatchers   atomic.Int64
+	nDropped    atomic.Uint64 // watch events dropped on slow consumers
+}
+
+// New builds a server over a snapshot of the TID instance t (the store is
+// the mutable handle from here on, fed by /update).
+func New(t *pdb.TID, cfg Config) (*Server, error) {
+	st, err := incr.NewStore(t)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	s := &Server{
+		store:   st,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		frozen:  newFrozenCache(cfg.CacheSize),
+		viewMu:  sync.Mutex{},
+		viewFP:  map[*incr.View]string{},
+		drainCh: make(chan struct{}),
+	}
+	s.cache = newPlanCache(cfg.CacheSize, func(v *incr.View) {
+		s.store.UnregisterView(v)
+		s.viewMu.Lock()
+		delete(s.viewFP, v)
+		s.viewMu.Unlock()
+	})
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("GET /watch", s.handleWatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Store exposes the underlying live store (tests and embedders; handlers go
+// through it too).
+func (s *Server) Store() *incr.Store { return s.store }
+
+// Preregister parses, normalizes and registers a query shape ahead of
+// traffic, so the first client asking it is already a cache hit (pdbd -q).
+func (s *Server) Preregister(raw string) error {
+	nq, fp, err := parseQuery(raw)
+	if err != nil {
+		return err
+	}
+	_, _, err = s.view(nq, fp)
+	return err
+}
+
+// ServeHTTP implements http.Handler with request admission: a draining
+// server refuses new work with 503 (health stays reachable so load
+// balancers see the drain), and every admitted request is tracked so
+// Shutdown can wait for it. The increment-then-recheck order pairs with
+// Shutdown's store-then-poll: either this request observes the drain and
+// backs out, or Shutdown observes the in-flight count — never neither.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() && r.URL.Path != "/healthz" {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new requests are refused, open watch streams
+// are closed, and in-flight requests are given until timeout to finish.
+// Returns false when the timeout expired with requests still running.
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	deadline := time.Now().Add(timeout)
+	for s.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// --- request/response shapes ---
+
+type queryRequest struct {
+	// Query is the conjunctive query, pdbcli syntax: "R(?x) & S(?x,?y)".
+	Query string `json:"query"`
+	// Assignment optionally overrides fact probabilities (store fact id ->
+	// probability) for this evaluation only; it routes the request to the
+	// frozen snapshot plan instead of the live view.
+	Assignment map[string]float64 `json:"assignment,omitempty"`
+}
+
+type queryResponse struct {
+	Probability float64 `json:"probability"`
+	Seq         uint64  `json:"seq"`
+	Normalized  string  `json:"normalized"`
+	Cached      bool    `json:"cached"`
+}
+
+type batchRequest struct {
+	Query string `json:"query"`
+	// Assignments carries one probability override map per lane (store fact
+	// id -> probability); omitted facts keep their live probability.
+	Assignments []map[string]float64 `json:"assignments"`
+	// Parallel serves the lanes as independent single evaluations over the
+	// core.Serve worker pool instead of the multi-lane batched DP.
+	Parallel bool `json:"parallel,omitempty"`
+}
+
+type batchResponse struct {
+	Probabilities []float64 `json:"probabilities"`
+	// Errors[i] is the failure of lane i, empty when the lane is healthy.
+	Errors []string `json:"errors,omitempty"`
+	Seq    uint64   `json:"seq"`
+}
+
+type updateOp struct {
+	Op string `json:"op"` // set | insert | delete
+	// ID is required for set/delete (a pointer so an omitted id is a
+	// request error, not a silent update of fact 0).
+	ID   *int     `json:"id,omitempty"`
+	Rel  string   `json:"rel,omitempty"`
+	Args []string `json:"args,omitempty"`
+	P    float64  `json:"p,omitempty"`
+}
+
+type insertedFact struct {
+	Fact string `json:"fact"`
+	ID   int    `json:"id"`
+}
+
+type updateResponse struct {
+	Seq uint64 `json:"seq"`
+	// Applied counts the updates that actually committed: the full batch on
+	// success, the staged prefix when the batch stopped at an invalid one.
+	Applied  int            `json:"applied"`
+	Inserted []insertedFact `json:"inserted,omitempty"`
+	Stats    incr.Stats     `json:"stats"`
+	Error    string         `json:"error,omitempty"`
+}
+
+type watchEvent struct {
+	Seq           uint64             `json:"seq"`
+	Probabilities map[string]float64 `json:"probabilities"`
+	Dropped       uint64             `json:"dropped,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// parseQuery parses and normalizes the request CQ, returning the normalized
+// query and its cache fingerprint.
+func parseQuery(raw string) (rel.CQ, string, error) {
+	q, err := pdbio.ParseCQ(raw)
+	if err != nil {
+		return rel.CQ{}, "", err
+	}
+	nq := core.NormalizeCQ(q)
+	return nq, core.FingerprintNormalized(nq), nil
+}
+
+// --- views (live path) ---
+
+// view returns the cached live view for the fingerprint, registering it
+// single-flight on a miss.
+func (s *Server) view(nq rel.CQ, fp string) (*incr.View, bool, error) {
+	return s.cache.get(fp, func() (*incr.View, error) {
+		v, err := s.store.RegisterView(nq, s.cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		s.nPrepares.Add(1)
+		s.viewMu.Lock()
+		s.viewFP[v] = fp
+		s.viewMu.Unlock()
+		return v, nil
+	})
+}
+
+// --- frozen snapshot plans (assignment/batch path) ---
+
+// frozenPlan returns the frozen sharded snapshot plan for the fingerprint
+// at the store's current commit, preparing one when missing or stale; hit
+// reports whether a still-fresh cached plan answered.
+func (s *Server) frozenPlan(nq rel.CQ, fp string) (*frozenEntry, bool, error) {
+	return s.frozen.get(fp, s.store.Seq(), func() (*frozenEntry, error) {
+		tid, ids, seq := s.store.Snapshot()
+		sp, base, err := core.PrepareShardedTID(tid, nq, s.cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		if err := sp.Freeze(); err != nil {
+			return nil, err
+		}
+		s.nPrepares.Add(1)
+		eventOf := make(map[int]logic.Event, len(ids))
+		for i, id := range ids {
+			eventOf[id] = tid.EventOf(i)
+		}
+		return &frozenEntry{seq: seq, sp: sp, base: base, eventOf: eventOf}, nil
+	})
+}
+
+// laneProb builds one lane's probability map: the snapshot base overridden
+// by the request assignment (store fact id -> probability).
+func (fe *frozenEntry) laneProb(assignment map[string]float64) (logic.Prob, error) {
+	m := make(logic.Prob, len(fe.base))
+	for e, p := range fe.base {
+		m[e] = p
+	}
+	for key, p := range assignment {
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("assignment key %q is not a fact id", key)
+		}
+		e, ok := fe.eventOf[id]
+		if !ok {
+			return nil, fmt.Errorf("no live fact with id %s", key)
+		}
+		m[e] = p
+	}
+	return m, nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.nQueries.Add(1)
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	nq, fp, err := parseQuery(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Assignment) > 0 {
+		fe, hit, err := s.frozenPlan(nq, fp)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		p, err := fe.laneProb(req.Assignment)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		prob, err := fe.sp.Probability(p)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		writeJSON(w, queryResponse{Probability: prob, Seq: fe.seq, Normalized: nq.String(), Cached: hit})
+		return
+	}
+	v, hit, err := s.view(nq, fp)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	prob, seq := v.ProbabilitySeq()
+	writeJSON(w, queryResponse{Probability: prob, Seq: seq, Normalized: nq.String(), Cached: hit})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.nBatchReqs.Add(1)
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Assignments) == 0 {
+		httpError(w, http.StatusBadRequest, "batch carries no assignments")
+		return
+	}
+	nq, fp, err := parseQuery(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fe, _, err := s.frozenPlan(nq, fp)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	B := len(req.Assignments)
+	s.nBatchLanes.Add(uint64(B))
+	laneErrs := make([]string, B)
+	// Only lanes whose assignment parses are evaluated: a lane with a bad
+	// fact id fails at admission, it does not burn a DP lane (or a whole
+	// sharded evaluation in parallel mode).
+	var ps []logic.Prob
+	var valid []int
+	for i, a := range req.Assignments {
+		p, err := fe.laneProb(a)
+		if err != nil {
+			laneErrs[i] = err.Error()
+			continue
+		}
+		ps = append(ps, p)
+		valid = append(valid, i)
+	}
+
+	probs := make([]float64, B)
+	evaled := make([]float64, len(valid))
+	if req.Parallel {
+		reqs := make([]core.Request, len(valid))
+		for i := range ps {
+			reqs[i] = core.Request{Sharded: fe.sp, P: ps[i]}
+		}
+		for i, resp := range core.Serve(reqs, s.cfg.Workers) {
+			evaled[i] = resp.Probability
+			if resp.Err != nil {
+				laneErrs[valid[i]] = resp.Err.Error()
+			}
+		}
+	} else if len(valid) > 0 {
+		out, err := fe.sp.ProbabilityBatch(ps)
+		if le, ok := err.(core.LaneErrors); ok {
+			for i, lerr := range le {
+				if lerr != nil {
+					laneErrs[valid[i]] = lerr.Error()
+				}
+			}
+		} else if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		copy(evaled, out)
+	}
+	for i, lane := range valid {
+		probs[lane] = evaled[i]
+	}
+	anyErr := false
+	for i := range laneErrs {
+		if laneErrs[i] != "" {
+			anyErr = true
+			probs[i] = 0 // never ship NaN through JSON
+		}
+	}
+	resp := batchResponse{Probabilities: probs, Seq: fe.seq}
+	if anyErr {
+		resp.Errors = laneErrs
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.nUpdateReqs.Add(1)
+	var req struct {
+		Updates []updateOp `json:"updates"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "no updates")
+		return
+	}
+	us := make([]incr.Update, len(req.Updates))
+	for i, op := range req.Updates {
+		switch op.Op {
+		case "set", "delete":
+			if op.ID == nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("update %d: %s needs an \"id\"", i, op.Op))
+				return
+			}
+			o := incr.OpSet
+			if op.Op == "delete" {
+				o = incr.OpDelete
+			}
+			us[i] = incr.Update{Op: o, ID: *op.ID, P: op.P}
+		case "insert":
+			if op.Rel == "" {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("update %d: insert needs a \"rel\"", i))
+				return
+			}
+			us[i] = incr.Update{Op: incr.OpInsert, Fact: rel.NewFact(op.Rel, op.Args...), P: op.P}
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("update %d: unknown op %q (set|insert|delete)", i, op.Op))
+			return
+		}
+	}
+	applied, seq, applyErr := s.store.ApplyBatchN(us)
+	s.nUpdates.Add(uint64(applied))
+	resp := updateResponse{Seq: seq, Applied: applied, Stats: s.store.Stats()}
+	// Report inserted ids only for the prefix that actually committed — an
+	// insert beyond the failing update never ran, even if its fact happens
+	// to exist from an earlier batch.
+	for _, u := range us[:applied] {
+		if u.Op != incr.OpInsert {
+			continue
+		}
+		if id := s.store.IDOf(u.Fact); id >= 0 {
+			resp.Inserted = append(resp.Inserted, insertedFact{Fact: u.Fact.String(), ID: id})
+		}
+	}
+	if applyErr != nil {
+		// ApplyBatch commits the staged prefix before the failing update;
+		// report the partial commit honestly with the error attached.
+		resp.Error = applyErr.Error()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// A buffered channel decouples the store's (serialized) notification
+	// drain from this client's write speed; a consumer slower than the
+	// buffer loses events and is told how many via the dropped counter.
+	events := make(chan incr.Commit, 256)
+	var dropped atomic.Uint64
+	cancel := s.store.Subscribe(func(c incr.Commit) {
+		select {
+		case events <- c:
+		default:
+			dropped.Add(1)
+			s.nDropped.Add(1)
+		}
+	})
+	defer cancel()
+	s.nWatchers.Add(1)
+	defer s.nWatchers.Add(-1)
+
+	send := func(ev watchEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	// Initial snapshot so clients see the current state before the first
+	// commit arrives.
+	if !send(watchEvent{Seq: s.store.Seq(), Probabilities: s.viewProbabilities()}) {
+		return
+	}
+	for {
+		select {
+		case c := <-events:
+			ev := watchEvent{Seq: c.Seq, Probabilities: map[string]float64{}, Dropped: dropped.Swap(0)}
+			s.viewMu.Lock()
+			for i, v := range c.Views {
+				if fp, ok := s.viewFP[v]; ok {
+					ev.Probabilities[fp] = c.Probabilities[i]
+				}
+			}
+			s.viewMu.Unlock()
+			if !send(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// viewProbabilities snapshots the current probability of every cached view,
+// keyed by fingerprint.
+func (s *Server) viewProbabilities() map[string]float64 {
+	s.viewMu.Lock()
+	views := make(map[*incr.View]string, len(s.viewFP))
+	for v, fp := range s.viewFP {
+		views[v] = fp
+	}
+	s.viewMu.Unlock()
+	out := make(map[string]float64, len(views))
+	for v, fp := range views {
+		out[fp] = v.Probability()
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": status,
+		"seq":    s.store.Seq(),
+		"facts":  s.store.NumLive(),
+		"views":  s.store.NumViews(),
+	})
+}
+
+// Statsz is the counters document served by /statsz.
+type Statsz struct {
+	Queries       uint64     `json:"queries"`
+	BatchRequests uint64     `json:"batch_requests"`
+	BatchLanes    uint64     `json:"batch_lanes"`
+	UpdateReqs    uint64     `json:"update_requests"`
+	Updates       uint64     `json:"updates"`
+	Prepares      uint64     `json:"prepares"`
+	CacheHits     uint64     `json:"cache_hits"`
+	CacheMisses   uint64     `json:"cache_misses"`
+	CacheEvicts   uint64     `json:"cache_evictions"`
+	CacheSize     int        `json:"cache_size"`
+	FrozenHits    uint64     `json:"frozen_hits"`
+	FrozenMisses  uint64     `json:"frozen_misses"`
+	FrozenSize    int        `json:"frozen_size"`
+	Watchers      int64      `json:"watchers"`
+	WatchDropped  uint64     `json:"watch_events_dropped"`
+	Seq           uint64     `json:"seq"`
+	Facts         int        `json:"facts"`
+	Views         int        `json:"views"`
+	Store         incr.Stats `json:"store"`
+}
+
+// Stats snapshots the serving counters (also served as /statsz).
+func (s *Server) Stats() Statsz {
+	hits, misses, evicts, size := s.cache.stats()
+	fh, fm, fs := s.frozen.stats()
+	return Statsz{
+		Queries:       s.nQueries.Load(),
+		BatchRequests: s.nBatchReqs.Load(),
+		BatchLanes:    s.nBatchLanes.Load(),
+		UpdateReqs:    s.nUpdateReqs.Load(),
+		Updates:       s.nUpdates.Load(),
+		Prepares:      s.nPrepares.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEvicts:   evicts,
+		CacheSize:     size,
+		FrozenHits:    fh,
+		FrozenMisses:  fm,
+		FrozenSize:    fs,
+		Watchers:      s.nWatchers.Load(),
+		WatchDropped:  s.nDropped.Load(),
+		Seq:           s.store.Seq(),
+		Facts:         s.store.NumLive(),
+		Views:         s.store.NumViews(),
+		Store:         s.store.Stats(),
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}

@@ -9,6 +9,12 @@
 # Environment:
 #   BENCH  benchmark regexp passed to -bench   (default: .)
 #   COUNT  repetitions passed to -count        (default: 3)
+#
+# The output is MERGED with the existing baseline: a benchmark missing from
+# this run (filtered out by BENCH, renamed, or temporarily failing) keeps its
+# previously recorded entry instead of being overwritten with empty or NaN
+# values — so a partial `BENCH=E13 scripts/bench.sh` refreshes one family
+# without wiping the rest of the trajectory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,14 +22,16 @@ out="${1:-BENCH_BASELINE.json}"
 bench="${BENCH:-.}"
 count="${COUNT:-3}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+fresh="$(mktemp)"
+trap 'rm -f "$raw" "$fresh"' EXIT
 
 go test -run '^$' -bench "$bench" -benchmem -count "$count" | tee "$raw"
 
 # Average the repetitions per benchmark and emit a JSON object keyed by
 # benchmark name (GOMAXPROCS suffix stripped). Metrics are located by their
 # unit label rather than by column, so benchmarks that report extra metrics
-# (e.g. the ns/assign of the multi-lane batch benchmarks) parse correctly.
+# (e.g. the ns/assign of the multi-lane batch benchmarks, the req/s of the
+# service load generator) parse correctly.
 awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 /^Benchmark/ {
     name = $1
@@ -35,14 +43,21 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
         else if ($f == "ns/assign") assign[name] += $(f-1)
         else if ($f == "ns/update") update[name] += $(f-1)
         else if ($f == "shards")    shards[name] += $(f-1)
+        else if ($f == "req/s")     reqs[name] += $(f-1)
     }
     runs[name]++
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
 END {
     printf "{\n  \"host\": \"%s\",\n  \"benchmarks\": {\n", host
+    first = 1
     for (i = 0; i < n; i++) {
         name = order[i]
+        # A benchmark line that carried no parsed ns/op metric (e.g. the
+        # benchmark failed after printing its name) must not poison the
+        # baseline with zero/NaN fields — skipping it here leaves the
+        # previously recorded entry intact through the merge below.
+        if (!(name in ns) || runs[name] == 0) continue
         extra = ""
         if (name in assign)
             extra = sprintf(", \"ns_per_assign\": %.1f", assign[name]/runs[name])
@@ -50,11 +65,37 @@ END {
             extra = extra sprintf(", \"ns_per_update\": %.1f", update[name]/runs[name])
         if (name in shards)
             extra = extra sprintf(", \"shards\": %.0f", shards[name]/runs[name])
-        printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f%s, \"runs\": %d}%s\n", \
-            name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], extra, runs[name], \
-            (i < n-1 ? "," : "")
+        if (name in reqs)
+            extra = extra sprintf(", \"req_per_s\": %.0f", reqs[name]/runs[name])
+        if (!first) printf ",\n"
+        first = 0
+        printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f%s, \"runs\": %d}", \
+            name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], extra, runs[name]
     }
-    printf "  }\n}\n"
-}' "$raw" > "$out"
+    printf "\n  }\n}\n"
+}' "$raw" > "$fresh"
+
+# Merge with the previous baseline: entries present in this run win, every
+# other previously recorded benchmark survives untouched.
+if [ -s "$out" ]; then
+    python3 - "$out" "$fresh" <<'PYEOF' > "$out.tmp" && mv "$out.tmp" "$out"
+import json, sys
+old_path, fresh_path = sys.argv[1], sys.argv[2]
+try:
+    with open(old_path) as f:
+        old = json.load(f)
+except (OSError, ValueError):
+    old = {}
+with open(fresh_path) as f:
+    fresh = json.load(f)
+merged = dict(old.get("benchmarks", {}))
+merged.update(fresh.get("benchmarks", {}))
+fresh["benchmarks"] = merged
+json.dump(fresh, sys.stdout, indent=2)
+print()
+PYEOF
+else
+    cp "$fresh" "$out"
+fi
 
 echo "wrote $out"
