@@ -112,7 +112,7 @@ func BenchmarkE1Batched(b *testing.B) {
 	if err := pl.Freeze(); err != nil {
 		b.Fatal(err)
 	}
-	for _, lanes := range []int{1, 16, 64} {
+	for _, lanes := range []int{1, 8, 16, 64, 256} {
 		ps := sweepMaps(tid, lanes)
 		b.Run(fmt.Sprintf("lanes=%d/n=800", lanes), func(b *testing.B) {
 			b.ReportAllocs()
@@ -230,6 +230,71 @@ func BenchmarkE1Update(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(us)), "ns/update")
+	})
+	// Several live views over the same store, refreshed by one batched
+	// commit: the shard-major sweep recomputes every view's dirty spine
+	// back-to-back through the compiled row programs.
+	b.Run("multiview-batch64/n=800", func(b *testing.B) {
+		s, err := incr.NewStore(tid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, vq := range []rel.CQ{
+			q,
+			rel.NewCQ(rel.NewAtom("R", rel.V("x"))),
+			rel.NewCQ(rel.NewAtom("T", rel.V("x"))),
+		} {
+			if _, err := s.RegisterView(vq, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		us := make([]incr.Update, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range us {
+				us[j] = incr.Update{Op: incr.OpSet, ID: (i + j*37) % s.Len(), P: float64((i+j)%7+1) / 10}
+			}
+			if err := s.ApplyBatch(us); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(us)), "ns/update")
+	})
+}
+
+// BenchmarkE1JoinHeavy is the join-merge regression guard: a partial 3-tree
+// instance whose branching decomposition is dense in NiceJoin nodes, under
+// the prepared scalar path (the bits-sorted run merge in computeNode) and the
+// frozen compiled-program path. The quadratic all-pairs join scan this
+// replaced made this shape superlinearly slower.
+func BenchmarkE1JoinHeavy(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	g, _ := gen.PartialKTree(120, 3, 0.6, r)
+	tid := gen.RSTOverGraph(g, 0.05, 0.3, r)
+	q := rel.HardQuery()
+	pl, p, err := core.PrepareTID(tid, q, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dp/n=120", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Probability(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := pl.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("prog/n=120", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Probability(p); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

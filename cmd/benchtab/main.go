@@ -170,6 +170,36 @@ func e1Sweep(q rel.CQ) {
 	fmt.Printf("    serial x%-3d     %-10s %-14.3f 1.0x\n", lanes, ms(dSerial), perSerial)
 	fmt.Printf("    batch %d lanes  %-10s %-14.3f %.1fx\n", lanes, ms(dBatch), perBatch, perSerial/perBatch)
 
+	fmt.Println("    lane sweep (kernel block width vs per-assignment cost, same frozen plan):")
+	fmt.Println("    lanes  total_ms   us/assignment")
+	for _, B := range []int{8, 64, 256} {
+		psB := make([]logic.Prob, B)
+		for i := range psB {
+			m := make(logic.Prob, len(base))
+			for e := range base {
+				m[e] = 0.1 + 0.8*float64(i)/float64(B)
+			}
+			psB[i] = m
+		}
+		if _, err := pl.ProbabilityBatch(psB); err != nil { // warm
+			fmt.Println("    error:", err)
+			return
+		}
+		const reps = 5
+		d := timed(func() {
+			for r := 0; r < reps; r++ {
+				if _, err = pl.ProbabilityBatch(psB); err != nil {
+					return
+				}
+			}
+		})
+		if err != nil {
+			fmt.Println("    error:", err)
+			return
+		}
+		fmt.Printf("    %-6d %-10s %.3f\n", B, ms(d/reps), float64(d.Microseconds())/reps/float64(B))
+	}
+
 	fmt.Println("    parallel serving of the same sweep (core.Serve, shared frozen plan):")
 	fmt.Println("    workers  total_ms   ms/request")
 	reqs := make([]core.Request, lanes)

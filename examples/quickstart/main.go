@@ -4,6 +4,10 @@
 // tractable tree-decomposition engine (Theorem 1), exhaustive possible-
 // worlds enumeration, and Monte Carlo sampling — plus possibility,
 // certainty, and the lineage circuit.
+//
+// Tip for parameter sweeps: freeze the prepared plan and use
+// core.(*Plan).ProbabilityBatch — on amd64, building with GOAMD64=v3
+// enables FMA/AVX code in its lane kernels (internal/core/kernel).
 package main
 
 import (

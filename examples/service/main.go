@@ -7,6 +7,11 @@
 //  3. an update client committing probability changes and inserts.
 //
 // Run with: go run ./examples/service
+//
+// On amd64, building with GOAMD64=v3 lets the compiler emit FMA/AVX forms
+// of the lane kernels behind /batch sweeps (internal/core/kernel):
+//
+//	GOAMD64=v3 go run ./examples/service
 package main
 
 import (

@@ -1,6 +1,9 @@
 package circuit
 
-import "repro/internal/logic"
+import (
+	"repro/internal/core/kernel"
+	"repro/internal/logic"
+)
 
 // DDNNFProbability evaluates the probability of root in a single bottom-up
 // pass, assuming the circuit is deterministic (the inputs of every Or gate
@@ -65,35 +68,22 @@ func (c *Circuit) DDNNFProbabilityBatch(root Gate, ps []logic.Prob) []float64 {
 		switch n.kind {
 		case KindConst:
 			if n.value {
-				for l := range lane {
-					lane[l] = 1
-				}
+				kernel.Fill(lane, 1)
 			}
 		case KindVar:
 			for l, p := range ps {
 				lane[l] = p.P(n.event)
 			}
 		case KindNot:
-			in := vals[int(n.inputs[0])*B : int(n.inputs[0])*B+B]
-			for l := range lane {
-				lane[l] = 1 - in[l]
-			}
+			kernel.OneMinus(lane, vals[int(n.inputs[0])*B:int(n.inputs[0])*B+B])
 		case KindAnd:
-			for l := range lane {
-				lane[l] = 1
-			}
+			kernel.Fill(lane, 1)
 			for _, in := range n.inputs {
-				iv := vals[int(in)*B : int(in)*B+B]
-				for l := range lane {
-					lane[l] *= iv[l]
-				}
+				kernel.Mul(lane, vals[int(in)*B:int(in)*B+B])
 			}
 		case KindOr:
 			for _, in := range n.inputs {
-				iv := vals[int(in)*B : int(in)*B+B]
-				for l := range lane {
-					lane[l] += iv[l]
-				}
+				kernel.AddTo(lane, vals[int(in)*B:int(in)*B+B])
 			}
 		}
 	}

@@ -187,9 +187,10 @@ func TestPosteriorPlanBatchSweep(t *testing.T) {
 	if err := pp.Freeze(); err != nil {
 		t.Fatal(err)
 	}
+	// 64 lanes: a full kernel block through both underlying frozen plans.
 	var ps []logic.Prob
-	for _, pods := range []float64{0.1, 0.5, 0.7, 0.95} {
-		ps = append(ps, logic.Prob{"pods": pods, "stoc": 0.4})
+	for i := 0; i < 64; i++ {
+		ps = append(ps, logic.Prob{"pods": float64(i+1) / 65, "stoc": 0.4})
 	}
 	got, err := pp.ProbabilityBatch(ps)
 	if err != nil {

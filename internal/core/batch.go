@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core/kernel"
 	"repro/internal/logic"
 	"repro/internal/treedec"
 )
@@ -87,11 +88,12 @@ func allLanesNaN(errs []error) []float64 {
 	return out
 }
 
-// batchTable is the multi-lane form of a row table: rows are indexed by the
-// same structural keys as the serial DP, but each row carries one weight per
-// lane (per probability assignment), stored contiguously in vals with lane
-// stride B. Keeping the lanes flat lets the inner loops run as straight-line
-// float adds and multiplies over adjacent memory.
+// batchTable is the multi-lane form of a row table, used on unfrozen plans
+// (frozen plans run the compiled row program instead — see rowprog.go): rows
+// are indexed by the same structural keys as the serial DP, but each row
+// carries one weight per lane (per probability assignment), stored
+// contiguously in vals with lane stride B. Keeping the lanes flat lets the
+// inner loops run as kernel calls over adjacent memory.
 type batchTable struct {
 	idx  map[rowKey]int32
 	vals []float64
@@ -133,21 +135,17 @@ func (st *evalState) releaseBatch(bt *batchTable) {
 	st.freeBatch = append(st.freeBatch, bt)
 }
 
-func addLanes(dst, src []float64) {
-	for l, v := range src {
-		dst[l] += v
-	}
-}
-
 // ProbabilityBatch evaluates the plan under B = len(ps) event probability
 // maps in one pass and returns the B exact query probabilities, out[i]
 // matching what Probability(ps[i]) returns (up to float summation order).
 //
 // The dynamic program's row structure — table keys, transitions, set
-// interning, map traffic — depends only on the compiled plan, never on the
-// probabilities, so the batch path runs it once and carries a weight lane
-// per assignment through every row. The per-assignment cost of a parameter
-// sweep therefore collapses to a handful of float operations per row.
+// interning — depends only on the compiled plan, never on the probabilities,
+// so the batch path runs it once and carries a weight lane per assignment
+// through every row. On a frozen plan the whole pass runs the compiled row
+// program: dense lane blocks driven through the kernel primitives, with no
+// map traffic at all, so the per-assignment cost of a parameter sweep
+// collapses to a handful of float operations per row.
 //
 // Lanes fail independently: an invalid probability map, or a per-lane mass
 // drift, marks only that lane. When any lane fails, the returned error is a
@@ -161,35 +159,56 @@ func (pl *Plan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	if B == 0 {
 		return nil, nil
 	}
-	clean, lerrs := sanitizeLanes(ps)
+	st := pl.getState()
+	defer pl.putState(st)
+	// Validation is fused into the weight fill: one pass over each lane's
+	// map both checks and scatters it.
+	pe, lerrs := pl.fillLaneWeightsChecked(st, ps)
 	if nan := allLanesNaN(lerrs); nan != nil {
 		return nan, LaneErrors(lerrs)
 	}
-
-	st := pl.getState()
-	defer pl.putState(st)
-	root := pl.runBatchDP(st, clean)
-
 	out := make([]float64, B)
 	totals := make([]float64, B)
-	for k, i := range root.idx {
-		v := root.lanesOf(i, B)
-		addLanes(totals, v)
-		if pl.accept[k.set] {
-			addLanes(out, v)
+	if pl.prog != nil {
+		root := pl.runBatchProg(st, pe, B)
+		for i, set := range pl.prog.rootSets {
+			v := root[i*B : i*B+B]
+			kernel.AddTo(totals, v)
+			if pl.accept[set] {
+				kernel.AddTo(out, v)
+			}
 		}
+		st.arena.Put(root)
+	} else {
+		root := pl.runBatchDP(st, pe, B)
+		for k, i := range root.idx {
+			v := root.lanesOf(i, B)
+			kernel.AddTo(totals, v)
+			if pl.accept[k.set] {
+				kernel.AddTo(out, v)
+			}
+		}
+		st.releaseBatch(root)
 	}
-	st.releaseBatch(root)
+	finishLanes(out, totals, &lerrs)
+	return out, laneError(lerrs)
+}
+
+// finishLanes applies the shared per-lane epilogue of every batch path: NaN
+// for lanes already failed, the massEps drift check (recorded per lane), and
+// clamping of floating noise on healthy lanes. lerrs is allocated on first
+// failure.
+func finishLanes(out, totals []float64, lerrs *[]error) {
 	for l, total := range totals {
-		if lerrs != nil && lerrs[l] != nil {
+		if *lerrs != nil && (*lerrs)[l] != nil {
 			out[l] = math.NaN()
 			continue
 		}
-		if total < 0.999999 || total > 1.000001 {
-			if lerrs == nil {
-				lerrs = make([]error, B)
+		if massDrifted(total) {
+			if *lerrs == nil {
+				*lerrs = make([]error, len(out))
 			}
-			lerrs[l] = fmt.Errorf("core: probability mass %v drifted from 1", total)
+			(*lerrs)[l] = errMassDrift(total)
 			out[l] = math.NaN()
 			continue
 		}
@@ -201,27 +220,16 @@ func (pl *Plan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 			out[l] = 1
 		}
 	}
-	return out, laneError(lerrs)
 }
 
-// runBatchDP executes the multi-lane dynamic program under the (already
-// validated) probability maps ps and returns the root batch table, whose
-// ownership passes to the caller (release it back into st).
-func (pl *Plan) runBatchDP(st *evalState, ps []logic.Prob) *batchTable {
-	B := len(ps)
-
-	// Lane-major Bernoulli weights: pe[e*B+lane] is P(event e) in lane.
-	need := len(pl.events) * B
-	if cap(st.peBuf) < need {
-		st.peBuf = make([]float64, need)
-	}
-	pe := st.peBuf[:need]
-	for i, e := range pl.events {
-		for l, p := range ps {
-			pe[i*B+l] = p.P(e)
-		}
-	}
-
+// runBatchDP executes the multi-lane dynamic program over map-keyed tables
+// under the lane-major weight matrix pe (as filled by fillLaneWeights; B
+// lanes) and returns the root batch table, whose ownership passes to the
+// caller (release it back into st). It is the unfrozen fallback of the
+// batch path; frozen plans run the compiled row program (runBatchProg)
+// instead. Facts are fused into the row keys (factRemap) and joins merge
+// bits-sorted runs, mirroring the scalar computeNode.
+func (pl *Plan) runBatchDP(st *evalState, pe []float64, B int) *batchTable {
 	if len(st.btables) < len(pl.nodes) {
 		st.btables = make([]*batchTable, len(pl.nodes))
 	}
@@ -233,10 +241,7 @@ func (pl *Plan) runBatchDP(st *evalState, ps []logic.Prob) *batchTable {
 		switch nd.kind {
 		case treedec.NiceLeaf:
 			tab = st.allocBatch(1)
-			start := tab.slot(rowKey{set: pl.startSet}, B)
-			for l := range start {
-				start[l] = 1
-			}
+			kernel.Fill(tab.slot(pl.factRemap(nd, rowKey{set: pl.startSet}), B), 1)
 
 		case treedec.NiceIntroduce:
 			child := tables[nd.child0]
@@ -246,12 +251,12 @@ func (pl *Plan) runBatchDP(st *evalState, ps []logic.Prob) *batchTable {
 				pos := nd.pos
 				for k, i := range child.idx {
 					v := child.lanesOf(i, B)
-					addLanes(tab.slot(rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}, B), v)
-					addLanes(tab.slot(rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}, B), v)
+					kernel.AddTo(tab.slot(pl.factRemap(nd, rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}), B), v)
+					kernel.AddTo(tab.slot(pl.factRemap(nd, rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}), B), v)
 				}
 			} else {
 				for k, i := range child.idx {
-					addLanes(tab.slot(rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}, B), child.lanesOf(i, B))
+					kernel.AddTo(tab.slot(pl.factRemap(nd, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}), B), child.lanesOf(i, B))
 				}
 			}
 			st.releaseBatch(child)
@@ -265,20 +270,16 @@ func (pl *Plan) runBatchDP(st *evalState, ps []logic.Prob) *batchTable {
 				w := pe[nd.eventIdx*B : nd.eventIdx*B+B]
 				for k, i := range child.idx {
 					v := child.lanesOf(i, B)
-					dst := tab.slot(rowKey{set: k.set, bits: removeBit(k.bits, pos)}, B)
+					dst := tab.slot(pl.factRemap(nd, rowKey{set: k.set, bits: removeBit(k.bits, pos)}), B)
 					if k.bits&(1<<uint(pos)) != 0 {
-						for l := range dst {
-							dst[l] += v[l] * w[l]
-						}
+						kernel.MulAdd(dst, v, w)
 					} else {
-						for l := range dst {
-							dst[l] += v[l] * (1 - w[l])
-						}
+						kernel.FMAdd1m(dst, v, w)
 					}
 				}
 			} else {
 				for k, i := range child.idx {
-					addLanes(tab.slot(rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}, B), child.lanesOf(i, B))
+					kernel.AddTo(tab.slot(pl.factRemap(nd, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}), B), child.lanesOf(i, B))
 				}
 			}
 			st.releaseBatch(child)
@@ -289,36 +290,25 @@ func (pl *Plan) runBatchDP(st *evalState, ps []logic.Prob) *batchTable {
 			tables[nd.child0] = nil
 			tables[nd.child1] = nil
 			tab = st.allocBatch(len(left.idx))
+			// Merge bits-sorted runs instead of scanning all pairs; see the
+			// scalar join in computeNode.
+			ents := st.joinEnts[:0]
+			for rk, ri := range right.idx {
+				ents = append(ents, joinEnt{k: rk, i: ri})
+			}
+			sortJoinEnts(ents)
+			st.joinEnts = ents
 			for lk, li := range left.idx {
 				lv := left.lanesOf(li, B)
-				for rk, ri := range right.idx {
-					if lk.bits != rk.bits {
-						continue // in-bag events are shared: values must agree
-					}
-					rv := right.lanesOf(ri, B)
-					dst := tab.slot(rowKey{set: pl.joinSets(lk.set, rk.set), bits: lk.bits}, B)
-					for l := range dst {
-						dst[l] += lv[l] * rv[l]
-					}
+				lo, hi := joinRun(ents, lk.bits)
+				for e := lo; e < hi; e++ {
+					rv := right.lanesOf(ents[e].i, B)
+					dst := tab.slot(pl.factRemap(nd, rowKey{set: pl.joinSets(lk.set, ents[e].k.set), bits: lk.bits}), B)
+					kernel.MulAdd(dst, lv, rv)
 				}
 			}
 			st.releaseBatch(left)
 			st.releaseBatch(right)
-		}
-
-		for i := range nd.facts {
-			pf := &nd.facts[i]
-			in := tab
-			out := st.allocBatch(len(in.idx))
-			for k, ix := range in.idx {
-				nk := k
-				if pf.cf.Eval(k.bits) {
-					nk.set = pl.factSet(k.set, pf.fi)
-				}
-				addLanes(out.slot(nk, B), in.lanesOf(ix, B))
-			}
-			st.releaseBatch(in)
-			tab = out
 		}
 		tables[t] = tab
 	}

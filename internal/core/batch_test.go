@@ -244,3 +244,121 @@ func TestProbabilityBatchAllLanesInvalid(t *testing.T) {
 		}
 	}
 }
+
+// TestProbabilityBatchLaneWidths is the lane-width property test of the
+// kernel layer: for every block width the arena classes and fused sweeps care
+// about — 1, 3, one under/at/over the 64-lane register sweet spot, and a wide
+// 256 — every healthy lane of ProbabilityBatch must equal the scalar
+// Probability under the same map to 1e-12, failed lanes must come back as NaN
+// at exactly their positions, and the whole contract must hold on the frozen
+// (compiled row program) and unfrozen (map DP) paths alike.
+func TestProbabilityBatchLaneWidths(t *testing.T) {
+	for _, frozen := range []bool{false, true} {
+		pl, p, err := PrepareTID(gen.RSTChain(5, 0.5), rel.HardQuery(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frozen {
+			if err := pl.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var poisonEvent logic.Event
+		for e := range p {
+			poisonEvent = e
+			break
+		}
+		r := rand.New(rand.NewSource(7))
+		for _, B := range []int{1, 3, 63, 64, 65, 256} {
+			ps := randomProbMaps(r, p, B)
+			bad := map[int]bool{}
+			if B >= 3 {
+				// Poison a spread of lanes, including the block edges.
+				for _, i := range []int{1, B / 2, B - 1} {
+					ps[i][poisonEvent] = 1.5
+					bad[i] = true
+				}
+			}
+			got, err := pl.ProbabilityBatch(ps)
+			if len(bad) == 0 && err != nil {
+				t.Fatalf("frozen=%v B=%d: %v", frozen, B, err)
+			}
+			le, _ := err.(LaneErrors)
+			if len(bad) > 0 && le == nil {
+				t.Fatalf("frozen=%v B=%d: no LaneErrors for %d poisoned lanes (err %v)", frozen, B, len(bad), err)
+			}
+			for i := 0; i < B; i++ {
+				if bad[i] {
+					if !math.IsNaN(got[i]) {
+						t.Errorf("frozen=%v B=%d lane %d: poisoned lane = %v, want NaN", frozen, B, i, got[i])
+					}
+					if le[i] == nil {
+						t.Errorf("frozen=%v B=%d lane %d: poisoned lane has no error", frozen, B, i)
+					}
+					continue
+				}
+				if le != nil && le[i] != nil {
+					t.Errorf("frozen=%v B=%d lane %d: healthy lane failed: %v", frozen, B, i, le[i])
+					continue
+				}
+				serial, err := pl.Probability(ps[i])
+				if err != nil {
+					t.Fatalf("frozen=%v B=%d lane %d: serial: %v", frozen, B, i, err)
+				}
+				if math.Abs(got[i]-serial) > 1e-12 {
+					t.Errorf("frozen=%v B=%d lane %d: batch %v, serial %v", frozen, B, i, got[i], serial)
+				}
+			}
+		}
+	}
+}
+
+// TestMassEpsRejectsIdentically pins the shared mass-conservation window:
+// massDrifted is the single predicate both the scalar evaluation and the
+// batch epilogue consult, its boundary sits at massEps, and a drifting root
+// mass is rejected by Probability and ProbabilityBatch with the same error.
+func TestMassEpsRejectsIdentically(t *testing.T) {
+	for _, tc := range []struct {
+		total float64
+		drift bool
+	}{
+		{1, false},
+		{1 - massEps/2, false},
+		{1 + massEps/2, false},
+		{1 - 2*massEps, true},
+		{1 + 2*massEps, true},
+		{0, true},
+	} {
+		if got := massDrifted(tc.total); got != tc.drift {
+			t.Errorf("massDrifted(%v) = %v, want %v", tc.total, got, tc.drift)
+		}
+	}
+
+	// Skew a frozen plan's compiled root layout so its mass genuinely drifts,
+	// then check the scalar and batch paths reject with the identical error.
+	pl, p, err := PrepareTID(gen.RSTChain(3, 0.5), rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	pl.prog.rootSets = nil // no root rows: total mass 0, far outside the window
+	_, serialErr := pl.Probability(p)
+	if serialErr == nil {
+		t.Fatal("scalar evaluation accepted a drifting mass")
+	}
+	_, batchErr := pl.ProbabilityBatch([]logic.Prob{p, p})
+	le, ok := batchErr.(LaneErrors)
+	if !ok {
+		t.Fatalf("batch evaluation: %v, want LaneErrors", batchErr)
+	}
+	for i, lerr := range le {
+		if lerr == nil {
+			t.Fatalf("lane %d accepted a drifting mass", i)
+		}
+		if lerr.Error() != serialErr.Error() {
+			t.Errorf("lane %d rejects with %q, scalar with %q", i, lerr, serialErr)
+		}
+	}
+}

@@ -18,6 +18,13 @@ import (
 // materialization behind internal/incr's live views (the production shape of
 // dynamic query evaluation: maintain, don't recompute).
 //
+// Tables are dense: each node persists its row layout (layouts[t], the
+// probability-independent row keys) and a flat value vector (vals[t]),
+// recomputed through the node's compiled row program (progs[t], see
+// rowprog.go) — so a spine recompute is pure kernel arithmetic over
+// contiguous memory, with no map traffic. Programs compile lazily on first
+// use and survive until a structure splice invalidates them.
+//
 // Updates are staged (Stage, StageAttach) and applied by Commit, which
 // recomputes the union of the dirty spines in a single bottom-up sweep, so a
 // batch of updates pays for each dirty node once no matter how many updates
@@ -31,10 +38,11 @@ import (
 // operations. One live-updated plan therefore carries exactly one view.
 type Materialized struct {
 	pl        *Plan
-	st        *evalState
-	pe        []float64           // current per-event weights
-	tables    []map[rowKey]rowVal // persisted per-node tables
-	dirty     []bool              // nodes whose table must be recomputed
+	pe        []float64   // current per-event weights
+	layouts   [][]rowKey  // persisted per-node row layouts
+	vals      [][]float64 // persisted per-node row values, same order
+	progs     []*nodeProg // lazily compiled per-node row programs
+	dirty     []bool      // nodes whose table must be recomputed
 	anyDirty  bool
 	prob      float64
 	recomp    int    // cumulative node recomputations, for cost accounting
@@ -53,9 +61,10 @@ func (pl *Plan) Materialize(p logic.Prob) (*Materialized, error) {
 	}
 	m := &Materialized{
 		pl:        pl,
-		st:        &evalState{},
 		pe:        make([]float64, len(pl.events)),
-		tables:    make([]map[rowKey]rowVal, len(pl.nodes)),
+		layouts:   make([][]rowKey, len(pl.nodes)),
+		vals:      make([][]float64, len(pl.nodes)),
+		progs:     make([]*nodeProg, len(pl.nodes)),
 		dirty:     make([]bool, len(pl.nodes)),
 		structGen: pl.structGen,
 	}
@@ -142,15 +151,27 @@ func (m *Materialized) StageAttach(f rel.Fact, fi int, e logic.Event, pr float64
 	if err := fe.ExtendFacts(fi + 1); err != nil {
 		return err
 	}
-	if _, _, err := m.pl.attachFact(f, fi, e); err != nil {
+	_, forget, err := m.pl.attachFact(f, fi, e)
+	if err != nil {
 		return err
 	}
 	m.structGen = m.pl.structGen
 	// The spliced introduce/forget pair holds the last two node indices;
-	// their nil tables are marked dirty and built by the next Commit.
+	// their nil programs and tables are compiled and built by the next
+	// Commit.
 	m.pe = append(m.pe, pr)
-	m.tables = append(m.tables, nil, nil)
+	m.layouts = append(m.layouts, nil, nil)
+	m.vals = append(m.vals, nil, nil)
+	m.progs = append(m.progs, nil, nil)
 	m.dirty = append(m.dirty, true, true)
+	// The splice changes the row layout flowing up from the attach point
+	// (the fact transition can mint new state sets), so every ancestor's
+	// compiled program — wired against the old child layouts — is stale:
+	// drop them for lazy recompilation during the commit sweep.
+	for a := m.pl.parents[forget]; a >= 0; a = m.pl.parents[a] {
+		m.progs[a] = nil
+		m.dirty[a] = true
+	}
 	m.anyDirty = true
 	return nil
 }
@@ -158,7 +179,9 @@ func (m *Materialized) StageAttach(f rel.Fact, fi int, e logic.Event, pr float64
 // Commit recomputes every table invalidated by the staged changes in one
 // bottom-up sweep — dirtiness propagates from each staged node along its root
 // path, and spines shared between staged updates are recomputed once — then
-// refreshes Probability. It returns the number of node tables recomputed.
+// refreshes Probability. Each dirty node reruns its compiled row program
+// (recompiling it first when a structure splice invalidated it) over the
+// persisted dense tables. It returns the number of node tables recomputed.
 func (m *Materialized) Commit() (int, error) {
 	if err := m.check(); err != nil {
 		return 0, err
@@ -172,11 +195,29 @@ func (m *Materialized) Commit() (int, error) {
 			continue
 		}
 		m.dirty[t] = false
-		old := m.tables[t]
-		m.tables[t] = m.pl.computeNode(m.st, m.tables, m.pe, t, nil, false)
-		if old != nil {
-			m.st.releaseTable(old)
+		nd := &m.pl.nodes[t]
+		np := m.progs[t]
+		if np == nil {
+			m.layouts[t], np = m.pl.compileNodeProg(t, m.layouts)
+			m.progs[t] = np
 		}
+		if len(m.vals[t]) != np.rows {
+			m.vals[t] = make([]float64, np.rows)
+		} else {
+			clear(m.vals[t])
+		}
+		var c0, c1 []float64
+		if nd.child0 >= 0 {
+			c0 = m.vals[nd.child0]
+		}
+		if nd.child1 >= 0 {
+			c1 = m.vals[nd.child1]
+		}
+		var w float64
+		if np.kind == pkForgetEvent {
+			w = m.pe[np.eventIdx]
+		}
+		runNodeProg1(np, m.vals[t], c0, c1, w)
 		n++
 		if p := m.pl.parents[t]; p >= 0 {
 			m.dirty[p] = true
@@ -185,9 +226,16 @@ func (m *Materialized) Commit() (int, error) {
 	m.anyDirty = false
 	m.recomp += n
 	m.commitGen++
-	prob, mass := m.pl.rootSummary(m.tables[m.pl.root])
-	if mass < 0.999999 || mass > 1.000001 {
-		return n, fmt.Errorf("core: probability mass %v drifted from 1", mass)
+	var prob, mass float64
+	rootVals := m.vals[m.pl.root]
+	for i, k := range m.layouts[m.pl.root] {
+		mass += rootVals[i]
+		if m.pl.accept[k.set] {
+			prob += rootVals[i]
+		}
+	}
+	if massDrifted(mass) {
+		return n, errMassDrift(mass)
 	}
 	if prob < 0 {
 		prob = 0

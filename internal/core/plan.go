@@ -2,15 +2,31 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
 	"repro/internal/circuit"
+	"repro/internal/core/kernel"
 	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/rel"
 	"repro/internal/treedec"
 )
+
+// massEps bounds the tolerated floating-point drift of a root distribution's
+// total probability mass from 1. Every summary path — scalar, batch, sharded
+// fold, materialized commit — rejects through the same massDrifted check, so
+// an instance that trips the guard fails identically everywhere.
+const massEps = 1e-6
+
+// massDrifted reports whether a total probability mass violates the shared
+// drift tolerance.
+func massDrifted(total float64) bool { return total < 1-massEps || total > 1+massEps }
+
+func errMassDrift(total float64) error {
+	return fmt.Errorf("core: probability mass %v drifted from 1", total)
+}
 
 // Plan is a compiled query plan: the Prepare/Evaluate split of the Theorem
 // 1/2 engine. Prepare hoists every probability-independent stage out of the
@@ -77,6 +93,13 @@ type Plan struct {
 	// Freeze before the plan is shared across goroutines.
 	frozen bool
 
+	// prog is the compiled row program (see rowprog.go), built by Freeze:
+	// with the transition caches complete, the entire dynamic program
+	// compiles into dense per-node edge lists, and frozen evaluations run
+	// pure kernel arithmetic with no map traffic. nil until Freeze;
+	// read-only afterwards.
+	prog *rowProgram
+
 	// Structural scratch, touched only on cache misses (never once frozen).
 	strBuf []string
 	idBuf  []int32
@@ -96,9 +119,55 @@ type evalState struct {
 	freeTabs []map[rowKey]rowVal
 	tables   []map[rowKey]rowVal
 
-	// Multi-lane counterparts used by ProbabilityBatch.
+	// Multi-lane counterparts used by the unfrozen ProbabilityBatch path.
 	freeBatch []*batchTable
 	btables   []*batchTable
+
+	// Row-program state: the lane-block arena and the per-node block
+	// pointers of runBatchProg (see rowprog.go).
+	arena  kernel.Arena
+	blocks [][]float64
+
+	// one adapts a single probability map to the lane-major weight fill.
+	one [1]logic.Prob
+
+	// joinEnts stages a join node's right table sorted by bits, so the scalar
+	// and batch fallback paths merge matching runs instead of scanning all
+	// pairs.
+	joinEnts []joinEnt
+}
+
+// joinEnt is one right-table row staged for a bits-grouped join: the row key
+// plus either its scalar value (map path) or its batch row index.
+type joinEnt struct {
+	k rowKey
+	v rowVal
+	i int32
+}
+
+// sortJoinEnts orders staged join entries by their event-valuation bits so
+// equal-bits rows form contiguous runs.
+func sortJoinEnts(ents []joinEnt) {
+	slices.SortFunc(ents, func(a, b joinEnt) int {
+		switch {
+		case a.k.bits < b.k.bits:
+			return -1
+		case a.k.bits > b.k.bits:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// joinRun locates the contiguous run of entries whose bits equal target.
+func joinRun(ents []joinEnt, target uint64) (lo, hi int) {
+	lo = sort.Search(len(ents), func(i int) bool { return ents[i].k.bits >= target })
+	hi = lo
+	for hi < len(ents) && ents[hi].k.bits == target {
+		hi++
+	}
+	return lo, hi
 }
 
 func (pl *Plan) getState() *evalState {
@@ -414,6 +483,9 @@ func (pl *Plan) Freeze() error {
 	if _, err := pl.eval(logic.Prob{}, false); err != nil {
 		return fmt.Errorf("core: freeze pass failed: %w", err)
 	}
+	// With the caches complete, compile the dense row program (every
+	// transition it replays is now a cache hit) and seal the plan.
+	pl.prog = pl.compileProgram()
 	pl.frozen = true
 	return nil
 }
@@ -631,13 +703,9 @@ func put(tab map[rowKey]rowVal, k rowKey, v rowVal, emit *circuit.Circuit) {
 // the cross-shard combiner of ShardedPlan).
 func (pl *Plan) runDP(st *evalState, p logic.Prob, emit *circuit.Circuit) map[rowKey]rowVal {
 	// Per-event Bernoulli weights, resolved once per evaluation.
-	if cap(st.peBuf) < len(pl.events) {
-		st.peBuf = make([]float64, len(pl.events))
-	}
-	pe := st.peBuf[:len(pl.events)]
-	for i, e := range pl.events {
-		pe[i] = p.P(e)
-	}
+	st.one[0] = p
+	pe := pl.fillLaneWeights(st, st.one[:])
+	st.one[0] = nil
 
 	if len(st.tables) < len(pl.nodes) {
 		st.tables = make([]map[rowKey]rowVal, len(pl.nodes))
@@ -678,6 +746,21 @@ func (pl *Plan) rootVec(p logic.Prob, keys []int32, out []float64) error {
 	}
 	st := pl.getState()
 	defer pl.putState(st)
+	if pl.prog != nil {
+		st.one[0] = p
+		pe := pl.fillLaneWeights(st, st.one[:])
+		st.one[0] = nil
+		root := pl.runBatchProg(st, pe, 1)
+		for i, set := range keys {
+			if r, ok := pl.prog.rootRow[set]; ok {
+				out[i] = root[r]
+			} else {
+				out[i] = 0
+			}
+		}
+		st.arena.Put(root)
+		return nil
+	}
 	root := pl.runDP(st, p, nil)
 	for i, set := range keys {
 		out[i] = root[rowKey{set: set}].prob
@@ -698,21 +781,36 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 	st := pl.getState()
 	defer pl.putState(st)
 
-	root := pl.runDP(st, p, emit)
 	res := &Result{Width: pl.width, NiceNodes: len(pl.nodes)}
 	var acceptGates []circuit.Gate
-	for k, v := range root {
-		res.TotalMass += v.prob
-		if pl.accept[k.set] {
-			res.Probability += v.prob
-			if emit != nil {
-				acceptGates = append(acceptGates, v.gate)
+	if emit == nil && pl.prog != nil {
+		// Frozen non-lineage path: run the compiled row program at one lane.
+		st.one[0] = p
+		pe := pl.fillLaneWeights(st, st.one[:])
+		st.one[0] = nil
+		root := pl.runBatchProg(st, pe, 1)
+		for i, set := range pl.prog.rootSets {
+			res.TotalMass += root[i]
+			if pl.accept[set] {
+				res.Probability += root[i]
 			}
 		}
+		st.arena.Put(root)
+	} else {
+		root := pl.runDP(st, p, emit)
+		for k, v := range root {
+			res.TotalMass += v.prob
+			if pl.accept[k.set] {
+				res.Probability += v.prob
+				if emit != nil {
+					acceptGates = append(acceptGates, v.gate)
+				}
+			}
+		}
+		st.releaseTable(root)
 	}
-	st.releaseTable(root)
-	if res.TotalMass < 0.999999 || res.TotalMass > 1.000001 {
-		return nil, fmt.Errorf("core: probability mass %v drifted from 1", res.TotalMass)
+	if massDrifted(res.TotalMass) {
+		return nil, errMassDrift(res.TotalMass)
 	}
 	if emit != nil {
 		sortGates(acceptGates)
@@ -730,12 +828,14 @@ func (pl *Plan) eval(p logic.Prob, emitLineage bool) (*Result, error) {
 }
 
 // computeNode builds the row table of nice node t from the tables of its
-// children under the per-event weights pe, applying the facts homed at t.
-// With consumeChildren (the one-shot eval path) the child tables are
-// released into st's free list — and cleared from tables — as soon as the
-// switch has read them, so the fact-staging tables reuse their storage; a
-// Materialized view passes false and keeps every child table alive. The
-// returned table is allocated from st's free list and owned by the caller.
+// children under the per-event weights pe. The facts homed at t are fused
+// into the row keys as they are produced — a fact's annotation reads only a
+// row's bits, which no fact changes, so the whole fact chain composes into
+// one set remap per row (factRemap) and no staging tables are needed. With
+// consumeChildren (the one-shot eval path) the child tables are released
+// into st's free list — and cleared from tables — as soon as the switch has
+// read them. The returned table is allocated from st's free list and owned
+// by the caller.
 func (pl *Plan) computeNode(st *evalState, tables []map[rowKey]rowVal, pe []float64, t int, emit *circuit.Circuit, consumeChildren bool) map[rowKey]rowVal {
 	nd := &pl.nodes[t]
 	release := func(child int) {
@@ -752,7 +852,7 @@ func (pl *Plan) computeNode(st *evalState, tables []map[rowKey]rowVal, pe []floa
 		if emit != nil {
 			v.gate = emit.Const(true)
 		}
-		tab[rowKey{set: pl.startSet}] = v
+		tab[pl.factRemap(nd, rowKey{set: pl.startSet})] = v
 
 	case treedec.NiceIntroduce:
 		child := tables[nd.child0]
@@ -762,12 +862,12 @@ func (pl *Plan) computeNode(st *evalState, tables []map[rowKey]rowVal, pe []floa
 			// Bernoulli weight is applied at the event's forget node.
 			pos := nd.pos
 			for k, v := range child {
-				put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}, v, emit)
-				put(tab, rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}, v, emit)
+				put(tab, pl.factRemap(nd, rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}), v, emit)
+				put(tab, pl.factRemap(nd, rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}), v, emit)
 			}
 		} else {
 			for k, v := range child {
-				put(tab, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}, v, emit)
+				put(tab, pl.factRemap(nd, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}), v, emit)
 			}
 		}
 		release(nd.child0)
@@ -800,11 +900,11 @@ func (pl *Plan) computeNode(st *evalState, tables []map[rowKey]rowVal, pe []floa
 						nv.gate = emit.And(v.gate, lit0)
 					}
 				}
-				put(tab, rowKey{set: k.set, bits: removeBit(k.bits, pos)}, nv, emit)
+				put(tab, pl.factRemap(nd, rowKey{set: k.set, bits: removeBit(k.bits, pos)}), nv, emit)
 			}
 		} else {
 			for k, v := range child {
-				put(tab, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}, v, emit)
+				put(tab, pl.factRemap(nd, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}), v, emit)
 			}
 		}
 		release(nd.child0)
@@ -813,51 +913,30 @@ func (pl *Plan) computeNode(st *evalState, tables []map[rowKey]rowVal, pe []floa
 		left := tables[nd.child0]
 		right := tables[nd.child1]
 		tab = st.allocTable(len(left))
+		// In-bag events are shared between the children, so only rows with
+		// equal bits combine: stage the right table sorted by bits, then
+		// each left row multiplies against its matching run — a linear merge
+		// instead of the quadratic all-pairs scan with a mismatch skip.
+		ents := st.joinEnts[:0]
+		for rk, rv := range right {
+			ents = append(ents, joinEnt{k: rk, v: rv})
+		}
+		sortJoinEnts(ents)
+		st.joinEnts = ents
 		for lk, lv := range left {
-			for rk, rv := range right {
-				if lk.bits != rk.bits {
-					continue // in-bag events are shared: values must agree
-				}
-				nv := rowVal{prob: lv.prob * rv.prob}
+			lo, hi := joinRun(ents, lk.bits)
+			for _, re := range ents[lo:hi] {
+				nv := rowVal{prob: lv.prob * re.v.prob}
 				if emit != nil {
-					nv.gate = emit.And(lv.gate, rv.gate)
+					nv.gate = emit.And(lv.gate, re.v.gate)
 				}
-				put(tab, rowKey{set: pl.joinSets(lk.set, rk.set), bits: lk.bits}, nv, emit)
+				put(tab, pl.factRemap(nd, rowKey{set: pl.joinSets(lk.set, re.k.set), bits: lk.bits}), nv, emit)
 			}
 		}
 		release(nd.child0)
 		release(nd.child1)
 	}
-
-	// Apply the facts homed here: resolve each annotation under the
-	// row's event valuation and close the state set under the fact's
-	// transitions when it holds.
-	for i := range nd.facts {
-		pf := &nd.facts[i]
-		in := tab
-		out := st.allocTable(len(in))
-		for k, v := range in {
-			nk := k
-			if pf.cf.Eval(k.bits) {
-				nk.set = pl.factSet(k.set, pf.fi)
-			}
-			put(out, nk, v, emit)
-		}
-		st.releaseTable(in)
-		tab = out
-	}
 	return tab
-}
-
-// rootSummary sums a root table's accepting and total probability mass.
-func (pl *Plan) rootSummary(root map[rowKey]rowVal) (prob, mass float64) {
-	for k, v := range root {
-		mass += v.prob
-		if pl.accept[k.set] {
-			prob += v.prob
-		}
-	}
-	return prob, mass
 }
 
 // --- bit and position helpers ---

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/kernel"
+	"repro/internal/logic"
+	"repro/internal/treedec"
+)
+
+// This file compiles the dynamic program's row structure into dense row
+// programs. The row keys of every node table — and therefore the complete
+// src→dst wiring of the bottom-up sweep — depend only on the compiled plan,
+// never on the event probabilities (the same invariant Freeze relies on to
+// seal the transition caches). A row program exploits that invariant to the
+// end: each node's table becomes a contiguous block of lane vectors in a
+// fixed row layout, and the node's work becomes a precompiled edge list
+// driven through the kernel primitives (internal/core/kernel). Evaluation
+// then runs with no map lookups, no interning and no key hashing at all —
+// pure gather/accumulate float arithmetic over adjacent memory.
+//
+// Fact application is fused into the wiring: a fact homed at a node only
+// remaps a row's state set (its annotation reads the row's bits, which no
+// fact changes), so the compiler composes all fact transitions into the
+// node's dst indices and every row is touched exactly once per node.
+//
+// Two consumers share the compiler:
+//
+//   - (*Plan).Freeze compiles the whole plan (compileProgram); frozen-plan
+//     evaluations — Probability, ProbabilityBatch, rootVec — run the program
+//     instead of the map DP.
+//   - core.Materialized compiles per node, lazily, against its persisted
+//     dense tables (compileNodeProg), so live-view spine recomputation runs
+//     the same kernels; a structure splice (StageAttach) just drops the
+//     affected nodes' programs for recompilation during the next commit.
+
+// nodeProg kinds.
+const (
+	pkLeaf uint8 = iota
+	pkUnary
+	pkForgetEvent
+	pkJoin
+)
+
+// rpEdge wires child row src into this node's row dst.
+type rpEdge struct{ src, dst int32 }
+
+// rpJoin wires the product of left row l and right row r into row dst.
+type rpJoin struct{ l, r, dst int32 }
+
+// nodeProg is the compiled row wiring of one nice node: everything the
+// node's table computation does, with row keys resolved to dense indices and
+// fact transitions folded in.
+//
+// in0/in1 name the nodes whose blocks feed this program. They start as the
+// nice children, but the whole-plan fusion pass (fuseUnaryChains) re-sources
+// them past folded unary nodes, so a fused program gathers directly from a
+// deeper ancestor's block.
+type nodeProg struct {
+	kind     uint8
+	dead     bool  // folded into its consumer; the sweep skips it entirely
+	in0, in1 int32 // source nodes of c0/c1 (-1 when absent)
+	rows     int
+	eventIdx int      // pkForgetEvent: index of the weight lane applied here
+	edges    []rpEdge // pkUnary: plain gather-add edges
+	e0, e1   []rpEdge // pkForgetEvent: edges for rows with the event false / true
+	joins    []rpJoin // pkJoin
+}
+
+// rowProgram is the whole-plan compile: one nodeProg per nice node plus the
+// root layout, attached to a Plan by Freeze.
+type rowProgram struct {
+	nodes    []*nodeProg
+	rootSets []int32         // interned set id of each root row, in row order
+	rootRow  map[int32]int32 // set id -> root row, for keyed extraction
+}
+
+// factRemap composes the transitions of the facts homed at nd onto row key
+// k: each annotation is a compiled mask over k.bits (which no fact changes),
+// so the whole fact chain folds into one set remap per row.
+func (pl *Plan) factRemap(nd *planNode, k rowKey) rowKey {
+	for i := range nd.facts {
+		pf := &nd.facts[i]
+		if pf.cf.Eval(k.bits) {
+			k.set = pl.factSet(k.set, pf.fi)
+		}
+	}
+	return k
+}
+
+// compileNodeProg compiles the row program of node t against the given
+// child row layouts (layouts[c] is the key of child c's row i at index i)
+// and returns t's own layout alongside the program. Rows are laid out in
+// first-encounter order over the deterministic child-layout iteration, so
+// recompiling a node whose children kept their layouts reproduces the same
+// layout. Transition-cache misses fill the caches as usual; on a frozen
+// plan every lookup hits (Freeze's structural pass visited them all).
+func (pl *Plan) compileNodeProg(t int, layouts [][]rowKey) ([]rowKey, *nodeProg) {
+	nd := &pl.nodes[t]
+	np := &nodeProg{eventIdx: -1, in0: int32(nd.child0), in1: int32(nd.child1)}
+	var keys []rowKey
+	idx := make(map[rowKey]int32)
+	slot := func(k rowKey) int32 {
+		if i, ok := idx[k]; ok {
+			return i
+		}
+		i := int32(len(keys))
+		idx[k] = i
+		keys = append(keys, k)
+		return i
+	}
+
+	switch nd.kind {
+	case treedec.NiceLeaf:
+		np.kind = pkLeaf
+		slot(pl.factRemap(nd, rowKey{set: pl.startSet}))
+
+	case treedec.NiceIntroduce:
+		np.kind = pkUnary
+		child := layouts[nd.child0]
+		if nd.isEvent {
+			pos := nd.pos
+			for si, k := range child {
+				np.edges = append(np.edges,
+					rpEdge{src: int32(si), dst: slot(pl.factRemap(nd, rowKey{set: k.set, bits: insertBit(k.bits, pos, false)}))},
+					rpEdge{src: int32(si), dst: slot(pl.factRemap(nd, rowKey{set: k.set, bits: insertBit(k.bits, pos, true)}))})
+			}
+		} else {
+			for si, k := range child {
+				np.edges = append(np.edges,
+					rpEdge{src: int32(si), dst: slot(pl.factRemap(nd, rowKey{set: pl.introduceSet(k.set, nd.vertex), bits: k.bits}))})
+			}
+		}
+
+	case treedec.NiceForget:
+		child := layouts[nd.child0]
+		if nd.isEvent {
+			np.kind = pkForgetEvent
+			np.eventIdx = nd.eventIdx
+			pos := nd.pos
+			for si, k := range child {
+				e := rpEdge{src: int32(si), dst: slot(pl.factRemap(nd, rowKey{set: k.set, bits: removeBit(k.bits, pos)}))}
+				if k.bits&(1<<uint(pos)) != 0 {
+					np.e1 = append(np.e1, e)
+				} else {
+					np.e0 = append(np.e0, e)
+				}
+			}
+		} else {
+			np.kind = pkUnary
+			for si, k := range child {
+				np.edges = append(np.edges,
+					rpEdge{src: int32(si), dst: slot(pl.factRemap(nd, rowKey{set: pl.forgetSet(k.set, nd.vertex), bits: k.bits}))})
+			}
+		}
+
+	case treedec.NiceJoin:
+		np.kind = pkJoin
+		left, right := layouts[nd.child0], layouts[nd.child1]
+		// In-bag events are shared between the children, so only rows with
+		// equal bits combine: index the right layout by bits once, then each
+		// left row joins against its (usually tiny) matching run — a linear
+		// merge instead of the quadratic all-pairs scan.
+		byBits := make(map[uint64][]int32, len(right))
+		for ri, k := range right {
+			byBits[k.bits] = append(byBits[k.bits], int32(ri))
+		}
+		for li, lk := range left {
+			for _, ri := range byBits[lk.bits] {
+				np.joins = append(np.joins, rpJoin{
+					l: int32(li), r: ri,
+					dst: slot(pl.factRemap(nd, rowKey{set: pl.joinSets(lk.set, right[ri].set), bits: lk.bits})),
+				})
+			}
+		}
+	}
+	np.rows = len(keys)
+	return keys, np
+}
+
+// compileProgram compiles every node of the plan in one structural pass and
+// fuses away the plain-unary copy chains. Called by Freeze, after the freeze
+// evaluation has completed the transition caches and before the plan is
+// marked frozen.
+func (pl *Plan) compileProgram() *rowProgram {
+	layouts := make([][]rowKey, len(pl.nodes))
+	prog := &rowProgram{nodes: make([]*nodeProg, len(pl.nodes))}
+	for _, t := range pl.post {
+		layouts[t], prog.nodes[t] = pl.compileNodeProg(t, layouts)
+	}
+	prog.fuseUnaryChains(pl.post, pl.root)
+	rootKeys := layouts[pl.root]
+	prog.rootSets = make([]int32, len(rootKeys))
+	prog.rootRow = make(map[int32]int32, len(rootKeys))
+	for i, k := range rootKeys {
+		prog.rootSets[i] = k.set
+		prog.rootRow[k.set] = int32(i)
+	}
+	return prog
+}
+
+// fuseUnaryChains folds pkUnary programs into their consumers: a plain
+// gather-add node is a 0/1 linear map, so composing its edge list into the
+// parent's source indices yields the same block without ever materializing
+// the intermediate one. Nice decompositions are dominated by such nodes
+// (introduce/forget of domain vertices, event introductions), so after
+// fusion the sweep only materializes leaf, forget-event and join blocks —
+// each surviving kernel gathers straight from the previous surviving block.
+//
+// Nodes are visited in post order; chains collapse one link per visit since
+// a folded child's sources were already re-sourced at its own visit. Every
+// node has exactly one consumer (the decomposition is a tree), so folding a
+// child never duplicates its work. Composition through a merging node
+// multiplies edge lists; a fold that would blow the parent's edge count past
+// a small multiple is skipped (the node then simply stays materialized).
+func (rp *rowProgram) fuseUnaryChains(post []int, root int) {
+	for _, t := range post {
+		if t == root {
+			continue // the root block is the program's output
+		}
+		np := rp.nodes[t]
+		if np.dead {
+			continue
+		}
+		rp.fuseInput(np, &np.in0, true)
+		if np.kind == pkJoin {
+			rp.fuseInput(np, &np.in1, false)
+		}
+	}
+}
+
+// fuseInput folds the pkUnary chain feeding one input of np (left when
+// isLeft, the join's right otherwise), rewriting the matching source-index
+// lists in place.
+func (rp *rowProgram) fuseInput(np *nodeProg, in *int32, isLeft bool) {
+	for *in >= 0 {
+		child := rp.nodes[*in]
+		if child.kind != pkUnary || child.dead {
+			return
+		}
+		// Invert the child's edges: inv[dst] = the child-input rows feeding it.
+		inv := make([][]int32, child.rows)
+		for _, e := range child.edges {
+			inv[e.dst] = append(inv[e.dst], e.src)
+		}
+		project := func(edges []rpEdge) (int, bool) {
+			n := 0
+			for _, e := range edges {
+				n += len(inv[e.src])
+			}
+			return n, n <= 2*len(edges)+16
+		}
+		substEdges := func(edges []rpEdge) []rpEdge {
+			out := make([]rpEdge, 0, len(edges))
+			for _, e := range edges {
+				for _, cs := range inv[e.src] {
+					out = append(out, rpEdge{src: cs, dst: e.dst})
+				}
+			}
+			return out
+		}
+		switch np.kind {
+		case pkUnary:
+			if _, ok := project(np.edges); !ok {
+				return
+			}
+			np.edges = substEdges(np.edges)
+		case pkForgetEvent:
+			n0, ok0 := project(np.e0)
+			n1, ok1 := project(np.e1)
+			if !ok0 || !ok1 || n0+n1 > 2*(len(np.e0)+len(np.e1))+16 {
+				return
+			}
+			np.e0 = substEdges(np.e0)
+			np.e1 = substEdges(np.e1)
+		case pkJoin:
+			n := 0
+			for _, j := range np.joins {
+				if isLeft {
+					n += len(inv[j.l])
+				} else {
+					n += len(inv[j.r])
+				}
+			}
+			if n > 2*len(np.joins)+16 {
+				return
+			}
+			out := make([]rpJoin, 0, len(np.joins))
+			for _, j := range np.joins {
+				if isLeft {
+					for _, cs := range inv[j.l] {
+						out = append(out, rpJoin{l: cs, r: j.r, dst: j.dst})
+					}
+				} else {
+					for _, cs := range inv[j.r] {
+						out = append(out, rpJoin{l: j.l, r: cs, dst: j.dst})
+					}
+				}
+			}
+			np.joins = out
+		default:
+			return
+		}
+		child.dead = true
+		*in = child.in0
+	}
+}
+
+// runNodeProg executes one node's program over B-lane row blocks: dst is the
+// node's zeroed rows*B block, c0/c1 the children's blocks, w the node's
+// weight lane block (pkForgetEvent only).
+func runNodeProg(np *nodeProg, B int, dst, c0, c1, w []float64) {
+	switch np.kind {
+	case pkLeaf:
+		kernel.Fill(dst[:B], 1)
+	case pkUnary:
+		for _, e := range np.edges {
+			kernel.AddTo(dst[int(e.dst)*B:int(e.dst)*B+B], c0[int(e.src)*B:int(e.src)*B+B])
+		}
+	case pkForgetEvent:
+		for _, e := range np.e1 {
+			kernel.MulAdd(dst[int(e.dst)*B:int(e.dst)*B+B], c0[int(e.src)*B:int(e.src)*B+B], w)
+		}
+		for _, e := range np.e0 {
+			kernel.FMAdd1m(dst[int(e.dst)*B:int(e.dst)*B+B], c0[int(e.src)*B:int(e.src)*B+B], w)
+		}
+	case pkJoin:
+		for _, j := range np.joins {
+			kernel.MulAdd(dst[int(j.dst)*B:int(j.dst)*B+B], c0[int(j.l)*B:int(j.l)*B+B], c1[int(j.r)*B:int(j.r)*B+B])
+		}
+	}
+}
+
+// runNodeProg1 is the single-lane (B = 1) specialization used by
+// Materialized spine recomputation, where per-edge kernel-call overhead
+// would dominate one-element blocks.
+func runNodeProg1(np *nodeProg, dst, c0, c1 []float64, w float64) {
+	switch np.kind {
+	case pkLeaf:
+		dst[0] = 1
+	case pkUnary:
+		for _, e := range np.edges {
+			dst[e.dst] += c0[e.src]
+		}
+	case pkForgetEvent:
+		for _, e := range np.e1 {
+			dst[e.dst] += c0[e.src] * w
+		}
+		w1m := 1 - w
+		for _, e := range np.e0 {
+			dst[e.dst] += c0[e.src] * w1m
+		}
+	case pkJoin:
+		for _, j := range np.joins {
+			dst[j.dst] += c0[j.l] * c1[j.r]
+		}
+	}
+}
+
+// runBatchProg executes the compiled row program bottom-up under the
+// lane-major weight matrix pe and returns the root block (rows × B,
+// lane-major), whose ownership passes to the caller (Put it back into st's
+// arena). Blocks are recycled through the arena as soon as each parent has
+// consumed them, so the live memory tracks the frontier of the sweep and
+// steady-state calls through a pooled state allocate nothing.
+func (pl *Plan) runBatchProg(st *evalState, pe []float64, B int) []float64 {
+	if len(st.blocks) < len(pl.nodes) {
+		st.blocks = make([][]float64, len(pl.nodes))
+	}
+	blocks := st.blocks
+	for _, t := range pl.post {
+		np := pl.prog.nodes[t]
+		if np.dead {
+			continue // folded into its consumer by fuseUnaryChains
+		}
+		dst := st.arena.Get(np.rows * B)
+		var c0, c1 []float64
+		if np.in0 >= 0 {
+			c0 = blocks[np.in0]
+		}
+		if np.in1 >= 0 {
+			c1 = blocks[np.in1]
+		}
+		var w []float64
+		if np.kind == pkForgetEvent {
+			w = pe[np.eventIdx*B : np.eventIdx*B+B]
+		}
+		runNodeProg(np, B, dst, c0, c1, w)
+		if c0 != nil {
+			st.arena.Put(c0)
+			blocks[np.in0] = nil
+		}
+		if c1 != nil {
+			st.arena.Put(c1)
+			blocks[np.in1] = nil
+		}
+		blocks[t] = dst
+	}
+	root := blocks[pl.root]
+	blocks[pl.root] = nil
+	return root
+}
+
+// fillLaneWeights writes the lane-major Bernoulli weight matrix of ps into
+// the state's weight buffer: pe[i*B+l] = ps[l].P(events[i]). Instead of one
+// hashed string lookup per (event, lane) pair, it fills the 0.5 default
+// (logic.Prob's convention for unlisted events) and scatters each lane's map
+// entries through the plan's single event index, so every string key hashes
+// into one cache-resident map exactly once per lane.
+func (pl *Plan) fillLaneWeights(st *evalState, ps []logic.Prob) []float64 {
+	B := len(ps)
+	need := len(pl.events) * B
+	if cap(st.peBuf) < need {
+		st.peBuf = make([]float64, need)
+	}
+	pe := st.peBuf[:need]
+	kernel.Fill(pe, 0.5)
+	for l, p := range ps {
+		for e, v := range p {
+			if i, ok := pl.eventIdx[e]; ok {
+				pe[i*B+l] = v
+			}
+		}
+	}
+	return pe
+}
+
+// fillLaneWeightsChecked is fillLaneWeights with per-lane validation fused
+// into the scatter, so each lane's map is iterated exactly once per batch
+// call instead of once for Validate and once for the fill. A lane with an
+// out-of-range or NaN probability is recorded in the returned error slice
+// (nil when every lane is valid, matching sanitizeLanes) and its weight
+// column is reset to the 0.5 defaults so the shared program stays finite;
+// the caller overwrites its output with NaN.
+func (pl *Plan) fillLaneWeightsChecked(st *evalState, ps []logic.Prob) ([]float64, []error) {
+	B := len(ps)
+	need := len(pl.events) * B
+	if cap(st.peBuf) < need {
+		st.peBuf = make([]float64, need)
+	}
+	pe := st.peBuf[:need]
+	kernel.Fill(pe, 0.5)
+	var errs []error
+	for l, p := range ps {
+		bad := false
+		for e, v := range p {
+			if !(v >= 0 && v <= 1) { // negated comparison catches NaN
+				if errs == nil {
+					errs = make([]error, B)
+				}
+				errs[l] = fmt.Errorf("logic: probability of event %q is %v, outside [0,1]", e, v)
+				bad = true
+				break
+			}
+			if i, ok := pl.eventIdx[e]; ok {
+				pe[i*B+l] = v
+			}
+		}
+		if bad {
+			// Reset whatever the lane wrote before the invalid entry.
+			for i := 0; i < len(pl.events); i++ {
+				pe[i*B+l] = 0.5
+			}
+		}
+	}
+	return pe, errs
+}

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
+	"repro/internal/core/kernel"
 	"repro/internal/logic"
 	"repro/internal/pdb"
 	"repro/internal/rel"
@@ -375,8 +375,8 @@ func (sp *ShardedPlan) Result(p logic.Prob) (*Result, error) {
 		return nil, err
 	}
 	prob, mass := sp.prog.fold(vecs, nil)
-	if mass < 0.999999 || mass > 1.000001 {
-		return nil, fmt.Errorf("core: probability mass %v drifted from 1", mass)
+	if massDrifted(mass) {
+		return nil, errMassDrift(mass)
 	}
 	if prob < 0 {
 		prob = 0
@@ -407,14 +407,25 @@ func (sp *ShardedPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	eval := func(i int) {
 		pl := sp.shards[i]
 		st := pl.getState()
-		root := pl.runBatchDP(st, clean)
+		pe := pl.fillLaneWeights(st, clean)
 		vec := make([]float64, len(sp.prog.keys[i])*B)
-		for j, set := range sp.prog.keys[i] {
-			if ri, ok := root.idx[rowKey{set: set}]; ok {
-				copy(vec[j*B:(j+1)*B], root.lanesOf(ri, B))
+		if pl.prog != nil {
+			root := pl.runBatchProg(st, pe, B)
+			for j, set := range sp.prog.keys[i] {
+				if r, ok := pl.prog.rootRow[set]; ok {
+					copy(vec[j*B:(j+1)*B], root[int(r)*B:int(r)*B+B])
+				}
 			}
+			st.arena.Put(root)
+		} else {
+			root := pl.runBatchDP(st, pe, B)
+			for j, set := range sp.prog.keys[i] {
+				if ri, ok := root.idx[rowKey{set: set}]; ok {
+					copy(vec[j*B:(j+1)*B], root.lanesOf(ri, B))
+				}
+			}
+			st.releaseBatch(root)
 		}
-		st.releaseBatch(root)
 		pl.putState(st)
 		vecs[i] = vec
 	}
@@ -436,12 +447,7 @@ func (sp *ShardedPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 		next := make([]float64, step.rows*B)
 		sv := vecs[si]
 		for _, e := range step.edges {
-			a := cur[int(e.a)*B : int(e.a)*B+B]
-			b := sv[int(e.b)*B : int(e.b)*B+B]
-			o := next[int(e.out)*B : int(e.out)*B+B]
-			for l := range o {
-				o[l] += a[l] * b[l]
-			}
+			kernel.MulAdd(next[int(e.out)*B:int(e.out)*B+B], cur[int(e.a)*B:int(e.a)*B+B], sv[int(e.b)*B:int(e.b)*B+B])
 		}
 		cur = next
 		rows = step.rows
@@ -451,31 +457,12 @@ func (sp *ShardedPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	totals := make([]float64, B)
 	for r := 0; r < rows; r++ {
 		row := cur[r*B : r*B+B]
-		addLanes(totals, row)
+		kernel.AddTo(totals, row)
 		if sp.prog.accepts[r] {
-			addLanes(out, row)
+			kernel.AddTo(out, row)
 		}
 	}
-	for l, total := range totals {
-		if lerrs != nil && lerrs[l] != nil {
-			out[l] = math.NaN()
-			continue
-		}
-		if total < 0.999999 || total > 1.000001 {
-			if lerrs == nil {
-				lerrs = make([]error, B)
-			}
-			lerrs[l] = fmt.Errorf("core: probability mass %v drifted from 1", total)
-			out[l] = math.NaN()
-			continue
-		}
-		if out[l] < 0 {
-			out[l] = 0
-		}
-		if out[l] > 1 {
-			out[l] = 1
-		}
-	}
+	finishLanes(out, totals, &lerrs)
 	return out, laneError(lerrs)
 }
 
@@ -496,8 +483,9 @@ func (sp *ShardedPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 type ShardCombiner struct {
 	q       Query
 	ms      []*Materialized
-	gens    []uint64 // structure generations: a mismatch forces a recompile
-	seen    []uint64 // commit generations: a match skips re-extraction
+	gens    []uint64  // structure generations: a mismatch forces a recompile
+	seen    []uint64  // commit generations: a match skips re-extraction
+	extract [][]int32 // per shard: root-table row index of each fold key
 	prog    foldProgram
 	vecs    [][]float64
 	scratch [][]float64
@@ -515,22 +503,28 @@ func (sc *ShardCombiner) compile() {
 	sc.gens = make([]uint64, len(sc.ms))
 	sc.seen = make([]uint64, len(sc.ms))
 	sc.vecs = make([][]float64, len(sc.ms))
+	sc.extract = make([][]int32, len(sc.ms))
 	roots := make([]shardRoots, len(sc.ms))
 	var buf []string
 	for i, m := range sc.ms {
 		sc.gens[i] = m.structGen
-		root := m.tables[m.pl.root]
-		keys := make([]int32, 0, len(root))
-		for k := range root {
+		layout := m.layouts[m.pl.root]
+		keys := make([]int32, 0, len(layout))
+		rowOf := make(map[int32]int32, len(layout))
+		for j, k := range layout {
 			keys = append(keys, k.set)
+			rowOf[k.set] = int32(j)
 		}
 		sortInt32(keys)
 		sets := make([][]string, len(keys))
+		ext := make([]int32, len(keys))
 		for j, set := range keys {
 			buf = m.pl.setStrings(set, buf)
 			sets[j] = append([]string(nil), buf...)
+			ext[j] = rowOf[set]
 		}
 		roots[i] = shardRoots{keys: keys, sets: sets}
+		sc.extract[i] = ext
 		sc.vecs[i] = make([]float64, len(keys))
 	}
 	sc.prog = compileFold(sc.q, roots)
@@ -553,14 +547,14 @@ func (sc *ShardCombiner) Probability() (float64, error) {
 			continue // unchanged since the last fold
 		}
 		sc.seen[i] = m.commitGen
-		root := m.tables[m.pl.root]
+		rootVals := m.vals[m.pl.root]
 		vec := sc.vecs[i]
-		for j, set := range sc.prog.keys[i] {
-			vec[j] = root[rowKey{set: set}].prob
+		for j, r := range sc.extract[i] {
+			vec[j] = rootVals[r]
 		}
 	}
 	prob, mass := sc.prog.fold(sc.vecs, sc.scratch)
-	if mass < 0.999999 || mass > 1.000001 {
+	if massDrifted(mass) {
 		return 0, fmt.Errorf("core: combined probability mass %v drifted from 1", mass)
 	}
 	if prob < 0 {

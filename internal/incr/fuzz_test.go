@@ -34,10 +34,14 @@ func FuzzIncrementalUpdates(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		views := []*View{v1, v2}
+		v3, err := s.RegisterView(rel.NewCQ(rel.NewAtom("T", rel.V("x"))), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views := []*View{v1, v2, v3}
 
 		step := func(op, arg byte, pr float64) {
-			switch op % 8 {
+			switch op % 9 {
 			case 0: // probability tweak
 				id := int(arg) % s.Len()
 				if s.Live(id) {
@@ -109,6 +113,23 @@ func FuzzIncrementalUpdates(f *testing.F) {
 				}
 				if err := s.ApplyBatch(us); err != nil {
 					t.Fatal(err)
+				}
+			case 8: // multi-spine batch: re-weight several facts in one commit,
+				// so every view's dirty shards recompute in the single
+				// shard-major sweep of commitLocked
+				var us []Update
+				for d := 0; d < 3; d++ {
+					id := int(arg+byte(d)) % s.Len()
+					if cur, err := s.Prob(id); err == nil && s.Live(id) && cur != pr {
+						us = append(us, Update{Op: OpSet, ID: id, P: pr})
+					}
+				}
+				before := s.Stats().NodesRecomputed
+				if err := s.ApplyBatch(us); err != nil {
+					t.Fatal(err)
+				}
+				if len(us) > 0 && s.Stats().NodesRecomputed == before && s.Stats().Rebuilds == 0 {
+					t.Fatalf("batched set of %d facts recomputed no node tables", len(us))
 				}
 			}
 		}

@@ -971,15 +971,23 @@ func (s *Store) commitLocked(updates int) error {
 		}
 		s.stats.Rebuilds++
 	} else {
-		for _, v := range s.views {
-			for _, vs := range v.shards {
-				n, err := vs.mat.Commit()
+		// Batched dirty-spine recompute, shard-major: every view's tables for
+		// one shard commit back-to-back — their spines walk the same
+		// decomposition of the same sub-instance, so the shard's row layouts
+		// and kernel blocks stay hot across views — and only then does each
+		// view fold its refreshed shards back into a combined probability,
+		// once, no matter how many updates the batch staged.
+		for k := range s.shards {
+			for _, v := range s.views {
+				n, err := v.shards[k].mat.Commit()
 				if err != nil {
 					s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
 					return s.broken
 				}
 				s.stats.NodesRecomputed += uint64(n)
 			}
+		}
+		for _, v := range s.views {
 			if err := v.recombine(); err != nil {
 				s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
 				return s.broken

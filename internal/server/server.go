@@ -56,6 +56,11 @@ type Config struct {
 	// CacheSize bounds the live-view plan cache (and the frozen snapshot
 	// cache). <= 0 means 64.
 	CacheSize int
+	// MaxBatchLanes caps the number of assignments one /batch request may
+	// carry; larger requests are rejected with 413 before any evaluation
+	// (each lane widens every row block of the sweep, so the cap bounds the
+	// request's memory footprint). <= 0 means 1024.
+	MaxBatchLanes int
 	// Options are passed to every Prepare/RegisterView.
 	Options core.Options
 }
@@ -98,6 +103,9 @@ func New(t *pdb.TID, cfg Config) (*Server, error) {
 	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 64
+	}
+	if cfg.MaxBatchLanes <= 0 {
+		cfg.MaxBatchLanes = 1024
 	}
 	s := &Server{
 		store:   st,
@@ -379,6 +387,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Assignments) == 0 {
 		httpError(w, http.StatusBadRequest, "batch carries no assignments")
+		return
+	}
+	if len(req.Assignments) > s.cfg.MaxBatchLanes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch carries %d assignments, limit is %d; split the sweep into smaller requests", len(req.Assignments), s.cfg.MaxBatchLanes))
 		return
 	}
 	nq, fp, err := parseQuery(req.Query)

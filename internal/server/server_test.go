@@ -214,6 +214,33 @@ func TestBatchLaneErrors(t *testing.T) {
 	}
 }
 
+func TestBatchLaneCap(t *testing.T) {
+	_, ts := newTestServer(t, rstTID(0.9, 0.5, 0.8), Config{MaxBatchLanes: 4})
+	over := make([]map[string]float64, 5)
+	for i := range over {
+		over[i] = map[string]float64{"0": 0.5}
+	}
+	if resp := postJSON(t, ts.URL+"/batch", batchRequest{
+		Query:       "R(?x) & S(?x,?y) & T(?y)",
+		Assignments: over,
+	}, nil); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap batch status %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+	// Exactly at the cap is served.
+	var br batchResponse
+	if resp := postJSON(t, ts.URL+"/batch", batchRequest{
+		Query:       "R(?x) & S(?x,?y) & T(?y)",
+		Assignments: over[:4],
+	}, &br); resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap batch status %d", resp.StatusCode)
+	}
+	for i, p := range br.Probabilities {
+		if math.Abs(p-0.5*0.5*0.8) > 1e-12 {
+			t.Errorf("lane %d = %v", i, p)
+		}
+	}
+}
+
 func TestUpdateEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, rstTID(0.9, 0.5, 0.8), Config{})
 	var ur updateResponse

@@ -7,8 +7,13 @@
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCH  benchmark regexp passed to -bench   (default: .)
-#   COUNT  repetitions passed to -count        (default: 3)
+#   BENCH    benchmark regexp passed to -bench   (default: .)
+#   COUNT    repetitions passed to -count        (default: 3)
+#   GOAMD64  amd64 microarchitecture level, passed through to go test; v3
+#            lets the compiler emit FMA/AVX forms of the lane kernels
+#            (internal/core/kernel), which is how the recorded kernel
+#            baselines should be read. Compare the BenchmarkE1Batched
+#            lanes=8/64/256 entries (ns_per_assign) for the lane sweep.
 #
 # The output is MERGED with the existing baseline: a benchmark missing from
 # this run (filtered out by BENCH, renamed, or temporarily failing) keeps its
