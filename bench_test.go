@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cond"
 	"repro/internal/core"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/sampling"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // BenchmarkE1TIDScaling measures Theorem 1: the tractable engine on
@@ -685,4 +687,109 @@ func BenchmarkE13Service(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(lanes)), "ns/assign")
 	})
+}
+
+// BenchmarkE14DurableUpdate is BenchmarkE1Update with the write-ahead log
+// attached: every SetProb is acknowledged only after its record is durable
+// under the named fsync policy, with concurrent committers sharing the
+// group-commit pipeline (batch + single fsync). The paper's serving claim
+// extends to durability when fsync=always stays within ~an order of
+// magnitude of the in-memory ns/update.
+func BenchmarkE14DurableUpdate(b *testing.B) {
+	q := rel.HardQuery()
+	tid := gen.RSTChain(800, 0.5)
+	for _, pol := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncOff} {
+		b.Run("fsync="+pol.String(), func(b *testing.B) {
+			be, err := wal.NewDirBackend(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			// MaxWait 0: the accumulation window is the in-flight flush
+			// itself (commits queue up behind it and the next flush takes
+			// them all), which adds no artificial latency when committers
+			// are scarce.
+			w, _, err := wal.Open(wal.Options{
+				Backend:   be,
+				BatchSize: 64,
+				MaxWait:   0,
+				Sync:      pol,
+				SyncEvery: 10 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := incr.NewStore(tid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := s.RegisterView(q, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Attach(s, nil)
+			var next atomic.Int64
+			b.SetParallelism(8) // concurrent committers share flushes and fsyncs
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					if err := s.SetProb(int(i*37)%s.Len(), float64(i%7+1)/10); err != nil {
+						b.Error(err)
+						return
+					}
+					_ = v.Probability()
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/durable_update")
+			st := w.Stats()
+			if st.Err != "" {
+				b.Fatalf("WAL failed during benchmark: %s", st.Err)
+			}
+			b.ReportMetric(float64(st.Appends)/float64(st.Flushes), "appends/flush")
+			w.Kill()
+		})
+	}
+}
+
+// BenchmarkE14Recovery measures warm-restart latency: rebuilding the store
+// from a snapshot plus a 1000-record log tail (the worst planned case —
+// crash just before the next snapshot would have truncated).
+func BenchmarkE14Recovery(b *testing.B) {
+	mem := wal.NewMemBackend()
+	w, _, err := wal.Open(wal.Options{Backend: mem, BatchSize: 64, MaxWait: 0, Sync: wal.SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := incr.NewStore(gen.RSTChain(800, 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Attach(s, nil)
+	if err := w.Snapshot(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := s.SetProb((i*37)%s.Len(), float64(i%7+1)/10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	wantSeq := s.Seq()
+	w.Kill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := wal.Replay(mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Seq != wantSeq {
+			b.Fatalf("recovered seq %d, want %d", rec.Seq, wantSeq)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "recovery_ms")
 }

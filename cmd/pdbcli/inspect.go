@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/pdbio"
+	"repro/internal/wal"
+)
+
+// RunInspect is pdbcli's -data-dir mode: a read-only replay of a pdbd
+// durability directory. It reconstructs the store exactly as a restarting
+// pdbd would — newest valid snapshot plus the surviving log tail — without
+// creating, truncating or modifying anything, prints what recovery would
+// find, and (with -q) answers a query against the recovered state. Safe to
+// run against the data dir of a live or crashed server.
+func RunInspect(dir, queryStr string, out io.Writer) error {
+	b, err := wal.NewDirBackend(dir)
+	if err != nil {
+		return err
+	}
+	rec, err := wal.Replay(b)
+	if err != nil {
+		return err
+	}
+	st := rec.Store
+	fmt.Fprintf(out, "data dir: %s\n", dir)
+	fmt.Fprintf(out, "recovered: seq %d (snapshot at %d + %d log records over %d segments)\n",
+		rec.Seq, rec.SnapshotSeq, rec.Records, rec.Segments)
+	if rec.TornTail {
+		fmt.Fprintln(out, "torn tail: a segment ends mid-record (crash residue); recovery stops at the last valid commit")
+	}
+	fmt.Fprintf(out, "store: %d live facts (%d slots incl. tombstones), %d shards\n",
+		st.NumLive(), st.Len(), st.Stats().Shards)
+	if len(rec.Views) > 0 {
+		fmt.Fprintf(out, "views recorded at snapshot (%d):\n", len(rec.Views))
+		for _, q := range rec.Views {
+			fmt.Fprintf(out, "  %s\n", q)
+		}
+	}
+	if queryStr == "" {
+		return nil
+	}
+	q, err := pdbio.ParseCQ(queryStr)
+	if err != nil {
+		return err
+	}
+	v, err := st.RegisterView(core.NormalizeCQ(q), core.Options{})
+	if err != nil {
+		return err
+	}
+	prob, seq := v.ProbabilitySeq()
+	fmt.Fprintf(out, "query: %s\nprobability: %.9f (at seq %d)\n", q, prob, seq)
+	return nil
+}

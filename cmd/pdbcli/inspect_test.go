@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/incr"
+	"repro/internal/rel"
+	"repro/internal/wal"
+)
+
+// TestRunInspect builds a real on-disk data dir — baseline snapshot plus an
+// unsealed log tail, as a crash leaves it — and checks the read-only
+// inspection reports the recovery and answers a query, without modifying
+// the directory.
+func TestRunInspect(t *testing.T) {
+	dir := t.TempDir()
+	b, err := wal.NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := wal.Open(wal.Options{Backend: b, BatchSize: 4, MaxWait: 0, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := incr.NewStore(gen.RSTChain(4, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Attach(st, func() []string { return []string{rel.HardQuery().String()} })
+	if err := w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.SetProb(i%st.Len(), float64(i+1)/10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := st.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProb := v.Probability()
+	w.Kill() // crash: the log tail is left unsealed
+
+	var out strings.Builder
+	if err := RunInspect(dir, rel.HardQuery().String(), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"recovered: seq 5", "5 log records", "views recorded at snapshot (1)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "probability:") {
+		t.Fatalf("no probability in:\n%s", got)
+	}
+
+	// Inspection is repeatable and read-only: a second run sees the same
+	// directory, and a real recovery still works afterwards.
+	var out2 strings.Builder
+	if err := RunInspect(dir, "", &out2); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wal.Replay(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 5 {
+		t.Fatalf("post-inspect recovery at seq %d, want 5", rec.Seq)
+	}
+	v2, err := rec.Store.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Probability() != wantProb {
+		t.Fatalf("post-inspect recovery probability %v, want %v", v2.Probability(), wantProb)
+	}
+}

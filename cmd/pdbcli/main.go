@@ -6,6 +6,7 @@
 //	pdbcli -i instance.pdb -q 'R(?x) & S(?x,?y) & T(?y)' [-mode prob|possible|certain|all]
 //	       [-batch 'e1=0.1,0.5,0.9'] [-parallel N] [-stats] [-shards]
 //	       [-updates script.up]
+//	pdbcli -data-dir DIR [-q 'R(?x)']
 //
 // Instance format, one declaration per line ('#' starts a comment):
 //
@@ -36,6 +37,12 @@
 // begin/commit/prob/stats commands, see RunUpdates — is replayed against it,
 // printing the refreshed probability after every commit. FILE may be "-" to
 // read commands from stdin, e.g. interactively.
+//
+// -data-dir DIR switches to inspection mode: a read-only replay of a pdbd
+// durability directory (WAL snapshot + log tail, see internal/wal) that
+// prints what recovery would reconstruct — commit sequence, snapshot
+// provenance, torn-tail status, live facts, recorded views — and, with -q,
+// answers a query against the recovered state. Nothing in DIR is modified.
 package main
 
 import (
@@ -60,7 +67,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print the decomposition shape (width, nice nodes, depth, max bag)")
 	shards := flag.Bool("shards", false, "also compile a component-sharded plan and print per-shard statistics")
 	updates := flag.String("updates", "", "live-update mode: replay the update script in this file ('-' for stdin) against a live view")
+	dataDir := flag.String("data-dir", "", "inspect a pdbd durability directory (read-only replay); -q optionally answers a query against the recovered state")
 	flag.Parse()
+	// Inspection mode stands alone: the instance comes from the data dir's
+	// snapshot + log, not from -i, and -q is optional.
+	if *dataDir != "" {
+		if err := RunInspect(*dataDir, *queryStr, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *queryStr == "" {
 		fmt.Fprintln(os.Stderr, "pdbcli: -q is required")
 		os.Exit(2)

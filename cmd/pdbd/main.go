@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pdbd -i instance.pdb [-addr :8080] [-workers N] [-cache N] [-q 'R(?x)']
+//	     [-data-dir DIR] [-fsync always|interval|off] [-snapshot-every N]
 //
 // The instance file uses pdbcli's format (see internal/pdbio): it must be
 // tuple-independent — plain 'fact' lines, or one positive event per cfact —
@@ -17,15 +18,25 @@
 //	GET  /watch                                           SSE commit stream
 //	GET  /healthz, /statsz
 //
+// -data-dir makes the server crash-safe: every acknowledged /update commit
+// is written to a write-ahead log in DIR before the response goes out, and
+// periodic snapshots keep recovery fast. A fresh directory is seeded from
+// -i (and a baseline snapshot written, so the instance file is not needed
+// again); a directory holding state ignores -i and recovers exactly the
+// pre-crash store — same commit sequence, same fact ids — re-registering
+// the views the last snapshot recorded so the plan cache starts warm.
+//
 // -q pre-registers a query shape so the first client request is already a
 // cache hit. On SIGINT/SIGTERM the server drains: new requests get 503,
-// watch streams close, in-flight requests finish.
+// watch streams close, in-flight requests finish, and the log is sealed
+// under a final clean snapshot (planned restarts replay nothing).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,39 +44,52 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/pdb"
 	"repro/internal/pdbio"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
-	inPath := flag.String("i", "", "instance file (default: stdin)")
+	inPath := flag.String("i", "", "instance file (default: stdin; ignored when -data-dir holds state)")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size for parallel evaluations (0: GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 64, "max cached query shapes (live views)")
 	preQ := flag.String("q", "", "pre-register this conjunctive query, e.g. 'R(?x) & S(?x,?y)'")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain timeout on shutdown")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty: in-memory only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
+	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "background fsync period under -fsync interval")
+	walBatch := flag.Int("wal-batch", 64, "group-commit batch size")
+	walMaxWait := flag.Duration("wal-maxwait", 0, "extra group-commit accumulation window (0: the in-flight flush itself is the window)")
+	snapEvery := flag.Uint64("snapshot-every", 4096, "snapshot + truncate the log every N commits (0: only on shutdown)")
 	flag.Parse()
 
-	r := os.Stdin
-	if *inPath != "" {
-		f, err := os.Open(*inPath)
+	cfg := server.Config{Workers: *workers, CacheSize: *cacheSize, Options: core.Options{}}
+	var s *server.Server
+	if *dataDir == "" {
+		tid, err := loadInstance(*inPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		r = f
-	}
-	c, p, err := pdbio.ParseInstance(bufio.NewScanner(r))
-	if err != nil {
-		fatal(err)
-	}
-	tid, err := pdbio.TIDFromInstance(c, p)
-	if err != nil {
-		fatal(err)
-	}
-	s, err := server.New(tid, server.Config{Workers: *workers, CacheSize: *cacheSize, Options: core.Options{}})
-	if err != nil {
-		fatal(err)
+		s, err = server.New(tid, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdbd: loaded %d facts (no durability; set -data-dir)\n", tid.NumFacts())
+	} else {
+		var err error
+		s, err = openDurable(*dataDir, *inPath, cfg, wal.Options{
+			BatchSize:     *walBatch,
+			MaxWait:       *walMaxWait,
+			Sync:          parseFsync(*fsync),
+			SyncEvery:     *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+		}, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *preQ != "" {
 		if err := s.Preregister(*preQ); err != nil {
@@ -76,7 +100,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "pdbd: serving %d facts on %s\n", tid.NumFacts(), *addr)
+	fmt.Fprintf(os.Stderr, "pdbd: serving on %s\n", *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -87,9 +111,96 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "pdbd: draining")
 	if !s.Shutdown(*drain) {
-		fmt.Fprintln(os.Stderr, "pdbd: drain timeout, closing anyway")
+		fmt.Fprintln(os.Stderr, "pdbd: drain incomplete (timeout or WAL close error), closing anyway")
 	}
 	httpSrv.Close()
+}
+
+// loadInstance parses the -i file (or stdin) into a TID instance.
+func loadInstance(inPath string) (*pdb.TID, error) {
+	r := os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	c, p, err := pdbio.ParseInstance(bufio.NewScanner(r))
+	if err != nil {
+		return nil, err
+	}
+	return pdbio.TIDFromInstance(c, p)
+}
+
+// openDurable opens (or recovers) the WAL in dir and returns a durable
+// server over it. A directory with no recoverable state is seeded from the
+// instance file and immediately baseline-snapshotted; a directory holding
+// state is recovered exactly, ignoring -i.
+func openDurable(dir, inPath string, cfg server.Config, opts wal.Options, logw io.Writer) (*server.Server, error) {
+	b, err := wal.NewDirBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	opts.Backend = b
+	w, rec, err := wal.Open(opts)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", dir, err)
+	}
+	fresh := rec.SnapshotSeq == 0 && rec.Seq == 0 && rec.Records == 0
+	if fresh {
+		tid, err := loadInstance(inPath)
+		if err != nil {
+			return nil, err
+		}
+		st, err := incr.NewStore(tid)
+		if err != nil {
+			return nil, err
+		}
+		s := server.NewFromStore(st, cfg)
+		s.AttachWAL(w)
+		// Baseline snapshot: from here on the data dir alone carries the
+		// instance; -i is never consulted again.
+		if err := w.Snapshot(); err != nil {
+			return nil, fmt.Errorf("baseline snapshot: %w", err)
+		}
+		fmt.Fprintf(logw, "pdbd: seeded %s with %d facts (fsync=%s)\n", dir, tid.NumFacts(), opts.Sync)
+		return s, nil
+	}
+	if inPath != "" {
+		fmt.Fprintf(logw, "pdbd: %s holds state; ignoring -i %s\n", dir, inPath)
+	}
+	s := server.NewFromStore(rec.Store, cfg)
+	s.AttachWAL(w)
+	warm := 0
+	for _, q := range rec.Views {
+		if err := s.Preregister(q); err != nil {
+			fmt.Fprintf(logw, "pdbd: warm view %q: %v\n", q, err)
+			continue
+		}
+		warm++
+	}
+	torn := ""
+	if rec.TornTail {
+		torn = ", torn tail discarded"
+	}
+	fmt.Fprintf(logw, "pdbd: recovered %s at seq %d (snapshot %d + %d records%s), %d warm views (fsync=%s)\n",
+		dir, rec.Seq, rec.SnapshotSeq, rec.Records, torn, warm, opts.Sync)
+	return s, nil
+}
+
+func parseFsync(s string) wal.SyncPolicy {
+	switch s {
+	case "always":
+		return wal.SyncAlways
+	case "interval":
+		return wal.SyncInterval
+	case "off":
+		return wal.SyncOff
+	}
+	fatal(fmt.Errorf("-fsync %q: want always, interval or off", s))
+	panic("unreachable")
 }
 
 func fatal(err error) {

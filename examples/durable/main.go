@@ -1,0 +1,95 @@
+// Command durable walks through crash recovery: a live store is made
+// durable with a write-ahead log, commits are acknowledged only once on
+// disk, the process "dies" without warning, and a second generation
+// recovers the exact pre-crash state — same commit sequence, same weights,
+// same query answer — from the data directory alone.
+//
+// Run it twice to see both paths: the first run seeds the directory, a
+// rerun recovers whatever the previous run left behind.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/incr"
+	"repro/internal/rel"
+	"repro/internal/wal"
+)
+
+func main() {
+	dir := "durable-data"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	b, err := wal.NewDirBackend(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Open recovers whatever the directory holds: nothing on a fresh one,
+	// the newest snapshot plus the log tail after a crash.
+	w, rec, err := wal.Open(wal.Options{Backend: b, Sync: wal.SyncAlways})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var st *incr.Store
+	fresh := rec.SnapshotSeq == 0 && rec.Seq == 0 && rec.Records == 0
+	if fresh {
+		// Generation 1: seed the store from scratch and attach the WAL.
+		// The baseline snapshot makes the directory self-contained.
+		st, err = incr.NewStore(gen.RSTChain(8, 0.5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fresh %s: seeded %d facts\n", dir, st.Len())
+	} else {
+		st = rec.Store
+		torn := ""
+		if rec.TornTail {
+			torn = " (torn tail discarded)"
+		}
+		fmt.Printf("recovered %s: seq %d = snapshot %d + %d log records%s\n",
+			dir, rec.Seq, rec.SnapshotSeq, rec.Records, torn)
+		fmt.Printf("views recorded at snapshot: %v\n", rec.Views)
+	}
+
+	// The view is not persisted — it is recomputed from the recovered
+	// facts, which is why recovery needs no plan state on disk.
+	v, err := st.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Attach(st, func() []string { return []string{rel.HardQuery().String()} })
+	if fresh {
+		if err := w.Snapshot(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("P(R-S-T path) = %.12f at seq %d\n", v.Probability(), st.Seq())
+
+	// Each commit below is on disk before SetProb/ApplyBatch returns:
+	// kill -9 here and a rerun recovers every acknowledged commit.
+	for i := 0; i < 5; i++ {
+		id := int(st.Seq()) % st.Len()
+		if err := st.SetProb(id, 0.1+0.8*float64(i)/5); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  commit %d durable: fact %d reweighted, P = %.12f\n",
+			st.Seq(), id, v.Probability())
+	}
+
+	ws := w.Stats()
+	fmt.Printf("wal: %d appends in %d flushes, %d fsyncs, %d log bytes\n",
+		ws.Appends, ws.Flushes, ws.Syncs, ws.LogBytes)
+
+	// Kill, not Close: simulate a crash. Everything acknowledged above is
+	// already durable; a graceful Close would additionally seal the log
+	// under a final snapshot so the next open replays nothing.
+	w.Kill()
+	fmt.Printf("crashed at seq %d — rerun to watch recovery replay the tail\n", st.Seq())
+}

@@ -1,0 +1,218 @@
+package incr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// TestCommitHookSeesAppliedPrefix pins the partial-batch durability
+// contract: when ApplyBatchN stops at an invalid update, the hook receives
+// exactly the staged prefix — never the rejected suffix — at the sequence
+// the partial commit got.
+func TestCommitHookSeesAppliedPrefix(t *testing.T) {
+	s, _ := chainStore(t, 6)
+	type call struct {
+		seq uint64
+		us  []Update
+	}
+	var calls []call
+	s.SetCommitHook(func(seq uint64, us []Update) func() error {
+		cp := make([]Update, len(us))
+		copy(cp, us)
+		calls = append(calls, call{seq, cp})
+		return nil
+	})
+
+	applied, seq, err := s.ApplyBatchN([]Update{
+		{Op: OpSet, ID: 0, P: 0.4},
+		{Op: OpSet, ID: 1, P: 0.6},
+		{Op: OpSet, ID: 9999, P: 0.5}, // invalid: stops the batch
+		{Op: OpSet, ID: 2, P: 0.8},
+	})
+	if err == nil {
+		t.Fatal("batch with an invalid update committed fully")
+	}
+	if applied != 2 {
+		t.Fatalf("applied %d, want 2", applied)
+	}
+	if len(calls) != 1 {
+		t.Fatalf("hook called %d times, want 1", len(calls))
+	}
+	if calls[0].seq != seq {
+		t.Fatalf("hook saw seq %d, commit reported %d", calls[0].seq, seq)
+	}
+	if len(calls[0].us) != 2 {
+		t.Fatalf("hook saw %d updates, want the 2 applied", len(calls[0].us))
+	}
+	if calls[0].us[0].ID != 0 || calls[0].us[1].ID != 1 {
+		t.Fatalf("hook saw wrong prefix: %+v", calls[0].us)
+	}
+
+	// A fully valid commit reaches the hook whole.
+	if err := s.SetProb(3, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || len(calls[1].us) != 1 || calls[1].us[0].ID != 3 {
+		t.Fatalf("hook calls after SetProb: %+v", calls)
+	}
+}
+
+// TestCommitHookWaitErrorBreaksStore: a failed durability barrier must fail
+// the mutating call and leave the store refusing all further work — its
+// in-memory state is ahead of the durable history.
+func TestCommitHookWaitErrorBreaksStore(t *testing.T) {
+	s, _ := chainStore(t, 6)
+	sentinel := errors.New("disk on fire")
+	fail := false
+	s.SetCommitHook(func(seq uint64, us []Update) func() error {
+		if fail {
+			return func() error { return sentinel }
+		}
+		return nil
+	})
+	if err := s.SetProb(0, 0.5); err != nil {
+		t.Fatalf("healthy hook: %v", err)
+	}
+	fail = true
+	if err := s.SetProb(0, 0.6); !errors.Is(err, sentinel) {
+		t.Fatalf("failing barrier returned %v, want the sentinel", err)
+	}
+	fail = false
+	if err := s.SetProb(0, 0.7); err == nil {
+		t.Fatal("store accepted a commit after a durability failure")
+	}
+	if _, err := s.Insert(rel.NewFact("R", "zz"), 0.5); err == nil {
+		t.Fatal("broken store accepted an insert")
+	}
+	if _, _, err := s.ApplyBatchN([]Update{{Op: OpSet, ID: 0, P: 0.1}}); err == nil {
+		t.Fatal("broken store accepted a batch")
+	}
+}
+
+// TestStateRoundtrip: NewStoreFromState(State()) reproduces the store
+// exactly — same sequence, same fact ids including tombstone positions,
+// same weights — and its views agree with the original to 1e-12.
+func TestStateRoundtrip(t *testing.T) {
+	s, views := chainStore(t, 8)
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 40; i++ {
+		switch r.Intn(4) {
+		case 0, 1:
+			id := r.Intn(s.Len())
+			if s.Live(id) {
+				if err := s.SetProb(id, float64(r.Intn(11))/10); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2:
+			if _, err := s.Insert(rel.NewFact("R", fmt.Sprintf("n%d", i)), 0.3); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			id := r.Intn(s.Len())
+			if s.Live(id) && s.NumLive() > 2 {
+				if err := s.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	st := s.State()
+	s2, err := NewStoreFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Seq() != s.Seq() {
+		t.Fatalf("rebuilt seq %d, want %d", s2.Seq(), s.Seq())
+	}
+	if s2.Len() != s.Len() || s2.NumLive() != s.NumLive() {
+		t.Fatalf("rebuilt %d slots / %d live, want %d / %d", s2.Len(), s2.NumLive(), s.Len(), s.NumLive())
+	}
+	for id := 0; id < s.Len(); id++ {
+		if s.Live(id) != s2.Live(id) {
+			t.Fatalf("fact %d live=%v in rebuild, want %v", id, s2.Live(id), s.Live(id))
+		}
+		f1, _ := s.Fact(id)
+		f2, err := s2.Fact(id)
+		if err != nil || f1.Key() != f2.Key() {
+			t.Fatalf("fact id %d is %v in rebuild, want %v (%v)", id, f2, f1, err)
+		}
+		if s.Live(id) {
+			p1, _ := s.Prob(id)
+			p2, _ := s2.Prob(id)
+			if p1 != p2 {
+				t.Fatalf("fact %d weight %v in rebuild, want %v", id, p2, p1)
+			}
+		}
+	}
+	for _, v := range views {
+		v2, err := s2.RegisterView(v.Query(), core.Options{})
+		if err != nil {
+			t.Fatalf("register %v on rebuild: %v", v.Query(), err)
+		}
+		if d := math.Abs(v.Probability() - v2.Probability()); d > tol {
+			t.Fatalf("view %v: rebuild %v, original %v (|Δ|=%.3g)", v.Query(), v2.Probability(), v.Probability(), d)
+		}
+	}
+
+	// Mutations behave identically post-rebuild: revive a tombstone.
+	for id := 0; id < s.Len(); id++ {
+		if !s.Live(id) {
+			f, _ := s.Fact(id)
+			i1, e1 := s.Insert(f, 0.5)
+			i2, e2 := s2.Insert(f, 0.5)
+			if (e1 == nil) != (e2 == nil) || i1 != i2 {
+				t.Fatalf("reviving %v: original (%d, %v), rebuild (%d, %v)", f, i1, e1, i2, e2)
+			}
+			break
+		}
+	}
+}
+
+// TestNewStoreFromStateValidates rejects malformed states instead of
+// building a store that diverges from its log.
+func TestNewStoreFromStateValidates(t *testing.T) {
+	bad := []State{
+		{Facts: []rel.Fact{rel.NewFact("R", "a")}, Probs: []float64{0.5}, Deleted: []bool{false, true}},
+		{Facts: []rel.Fact{rel.NewFact("R", "a")}, Probs: nil, Deleted: []bool{false}},
+		{Facts: []rel.Fact{rel.NewFact("R", "a")}, Probs: []float64{1.5}, Deleted: []bool{false}},
+		{Facts: []rel.Fact{rel.NewFact("R", "a"), rel.NewFact("R", "a")}, Probs: []float64{0.5, 0.5}, Deleted: []bool{false, false}},
+	}
+	for i, st := range bad {
+		if _, err := NewStoreFromState(st); err == nil {
+			t.Errorf("bad state %d built a store", i)
+		}
+	}
+}
+
+// TestCommitEmpty advances the sequence with no updates — the replay
+// primitive for logged commits whose batch staged nothing.
+func TestCommitEmpty(t *testing.T) {
+	s, views := chainStore(t, 4)
+	var hookSeqs []uint64
+	s.SetCommitHook(func(seq uint64, us []Update) func() error {
+		if len(us) != 0 {
+			t.Errorf("empty commit carried %d updates", len(us))
+		}
+		hookSeqs = append(hookSeqs, seq)
+		return nil
+	})
+	before := s.Seq()
+	if err := s.CommitEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq() != before+1 {
+		t.Fatalf("seq %d after empty commit, want %d", s.Seq(), before+1)
+	}
+	if len(hookSeqs) != 1 || hookSeqs[0] != before+1 {
+		t.Fatalf("hook seqs %v", hookSeqs)
+	}
+	checkViews(t, s, views, "after empty commit")
+}

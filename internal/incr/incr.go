@@ -101,6 +101,20 @@ type Commit struct {
 	Views []*View
 }
 
+// CommitHook observes every commit at acknowledgement time: it is invoked
+// under the store's write lock with the commit's sequence number and the
+// updates that actually landed (for a partial batch, only the applied
+// prefix — the rejected suffix never reaches the hook, so a write-ahead log
+// records exactly what committed). The hook must be fast and must not call
+// back into the store; it typically encodes and enqueues a log record. The
+// returned wait function (nil when the hook has nothing to wait for) is
+// invoked after the write lock is released and before the mutating call
+// returns: the commit is acknowledged to the caller only once wait returns
+// nil. A non-nil wait error fails the mutating call and marks the store
+// broken — the in-memory state has advanced past what the hook accepted, so
+// serving further commits would silently diverge from the durable history.
+type CommitHook func(seq uint64, us []Update) (wait func() error)
+
 // subscriber is one Subscribe registration: the callback plus the state that
 // makes cancellation a barrier (see Subscribe).
 type subscriber struct {
@@ -170,6 +184,7 @@ type Store struct {
 	views       []*View
 	needRebuild bool // set while staging when some insert cannot be absorbed
 	broken      error
+	hook        CommitHook
 
 	subs      []*subscriber  // live subscriptions
 	pending   []notification // commits awaiting subscriber delivery
@@ -219,6 +234,78 @@ func NewStore(t *pdb.TID) (*Store, error) {
 	}
 	s.rebuildShards()
 	return s, nil
+}
+
+// State is the full logical state of a Store: every fact ever issued an id
+// (tombstones included, so ids keep their positions), the current
+// probabilities, the deleted flags, and the commit sequence. It is what a
+// durable snapshot must persist for a later NewStoreFromState to resume the
+// exact update history — the live TID of Snapshot is not enough, because it
+// drops tombstones and with them the id ↦ fact alignment that logged updates
+// reference.
+type State struct {
+	Facts   []rel.Fact
+	Probs   []float64
+	Deleted []bool
+	Seq     uint64
+}
+
+// State returns a deep snapshot of the store's logical state, read in one
+// critical section. Derived structures (shards, plans, views, counters) are
+// not part of the logical state: they are recomputed from it.
+func (s *Store) State() State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return State{
+		Facts:   append([]rel.Fact(nil), s.facts...),
+		Probs:   append([]float64(nil), s.probs...),
+		Deleted: append([]bool(nil), s.deleted...),
+		Seq:     s.seq,
+	}
+}
+
+// NewStoreFromState rebuilds a store from a State snapshot: fact ids, probs,
+// tombstones and the commit sequence resume exactly where the snapshot was
+// taken, so a write-ahead log tail recorded after it replays against the
+// same ids. Tombstoned slots keep their positions but are compacted out of
+// the shard plans (equivalent to a post-crash rebuild; an Insert revives
+// them through the usual re-attach path). No views are registered — warm
+// restart re-registers them after replay.
+func NewStoreFromState(st State) (*Store, error) {
+	if len(st.Probs) != len(st.Facts) || len(st.Deleted) != len(st.Facts) {
+		return nil, fmt.Errorf("incr: state is inconsistent: %d facts, %d probs, %d deleted flags",
+			len(st.Facts), len(st.Probs), len(st.Deleted))
+	}
+	s := &Store{byKey: map[string]int{}}
+	s.deliver = sync.NewCond(&s.deliverMu)
+	for i, f := range st.Facts {
+		p := st.Probs[i]
+		if st.Deleted[i] {
+			p = 0 // a tombstone's weight is zero by construction
+		} else if err := pdb.ValidateProb(p); err != nil {
+			return nil, fmt.Errorf("incr: fact %s: %w", f, err)
+		}
+		if _, dup := s.byKey[f.Key()]; dup {
+			return nil, fmt.Errorf("incr: duplicate fact %s", f)
+		}
+		s.byKey[f.Key()] = i
+		s.facts = append(s.facts, f)
+		s.probs = append(s.probs, p)
+		s.deleted = append(s.deleted, st.Deleted[i])
+	}
+	s.seq = st.Seq
+	s.rebuildShards()
+	return s, nil
+}
+
+// SetCommitHook installs (or, with nil, removes) the store's commit hook.
+// Install it before the store serves traffic: commits applied earlier were
+// never offered to the hook and a log built from later ones alone replays
+// against the wrong base state.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
 }
 
 // eventOf names the private event of fact id; ids are stable, so the event
@@ -654,17 +741,38 @@ func (s *Store) flushNotifications() {
 	}
 }
 
+// finishCommit runs the post-lock tail of every mutating call: wait out the
+// commit hook's durability barrier (marking the store broken when it fails —
+// the in-memory state is then ahead of the durable history), and deliver the
+// queued subscriber notifications.
+func (s *Store) finishCommit(wait func() error, err error) error {
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			s.mu.Lock()
+			if s.broken == nil {
+				s.broken = fmt.Errorf("incr: commit not durable, store unusable: %w", werr)
+			}
+			s.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("incr: commit not durable: %w", werr)
+			}
+		}
+	}
+	s.flushNotifications()
+	return err
+}
+
 // SetProb overwrites the probability of fact id and refreshes every view
 // along the dirty spine of the owning shard.
 func (s *Store) SetProb(id int, p float64) error {
 	s.mu.Lock()
 	err := s.stageSet(id, p)
+	var wait func() error
 	if err == nil {
-		err = s.commitLocked(1)
+		wait, err = s.commitLocked([]Update{{Op: OpSet, ID: id, P: p}})
 	}
 	s.mu.Unlock()
-	s.flushNotifications()
-	return err
+	return s.finishCommit(wait, err)
 }
 
 // Insert adds a fact with the given probability and returns its stable id.
@@ -676,12 +784,12 @@ func (s *Store) SetProb(id int, p float64) error {
 func (s *Store) Insert(f rel.Fact, p float64) (int, error) {
 	s.mu.Lock()
 	id, err := s.stageInsert(f, p)
+	var wait func() error
 	if err == nil {
-		err = s.commitLocked(1)
+		wait, err = s.commitLocked([]Update{{Op: OpInsert, Fact: f, P: p}})
 	}
 	s.mu.Unlock()
-	s.flushNotifications()
-	if err != nil {
+	if err = s.finishCommit(wait, err); err != nil {
 		return -1, err
 	}
 	return id, nil
@@ -694,12 +802,12 @@ func (s *Store) Insert(f rel.Fact, p float64) (int, error) {
 func (s *Store) Delete(id int) error {
 	s.mu.Lock()
 	err := s.stageDelete(id)
+	var wait func() error
 	if err == nil {
-		err = s.commitLocked(1)
+		wait, err = s.commitLocked([]Update{{Op: OpDelete, ID: id}})
 	}
 	s.mu.Unlock()
-	s.flushNotifications()
-	return err
+	return s.finishCommit(wait, err)
 }
 
 // ApplyBatch applies the updates in order and commits them as one unit:
@@ -739,16 +847,32 @@ func (s *Store) ApplyBatchN(us []Update) (applied int, seq uint64, err error) {
 		staged++
 	}
 	var commitErr error
+	var wait func() error
 	if staged > 0 || s.needRebuild {
-		commitErr = s.commitLocked(staged)
+		// Only the applied prefix is committed — and only it reaches the
+		// commit hook, so a durability log never records the rejected suffix
+		// (replaying the record reproduces exactly the partial batch the
+		// caller was told about).
+		wait, commitErr = s.commitLocked(us[:staged])
 	}
 	seq = s.seq
 	s.mu.Unlock()
-	s.flushNotifications()
-	if commitErr != nil {
-		return 0, seq, commitErr
+	if err := s.finishCommit(wait, commitErr); err != nil {
+		return 0, seq, err
 	}
 	return staged, seq, stageErr
+}
+
+// CommitEmpty forces a commit that stages no updates: the sequence number
+// advances (and any pending rebuild runs) exactly as for a batch whose every
+// update was rejected after it forced a rebuild. It exists for log replay —
+// a recovery that encounters an empty commit record must advance the store
+// through the same sequence number it had pre-crash.
+func (s *Store) CommitEmpty() error {
+	s.mu.Lock()
+	wait, err := s.commitLocked(nil)
+	s.mu.Unlock()
+	return s.finishCommit(wait, err)
 }
 
 // --- staging (write lock held) ---
@@ -950,12 +1074,14 @@ func (s *Store) attachToShard(k, id int, f rel.Fact, p float64) {
 // commitLocked applies everything staged since the last commit: one re-shard
 // when some update could not be absorbed, the batched dirty-spine
 // recomputation of each view's dirty shards otherwise. It then refreshes
-// every view's combined probability, numbers the commit, and queues the
-// subscriber notification (delivered by flushNotifications after the lock is
-// released).
-func (s *Store) commitLocked(updates int) error {
+// every view's combined probability, numbers the commit, offers the applied
+// updates to the commit hook, and queues the subscriber notification
+// (delivered by flushNotifications after the lock is released). The returned
+// wait is the hook's durability barrier; the caller invokes it after
+// releasing the lock, via finishCommit.
+func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 	if s.broken != nil {
-		return s.broken
+		return nil, s.broken
 	}
 	if s.needRebuild {
 		s.needRebuild = false
@@ -966,7 +1092,7 @@ func (s *Store) commitLocked(updates int) error {
 				// reconciled; refuse further use rather than serve stale
 				// answers.
 				s.broken = fmt.Errorf("incr: rebuild failed, store unusable: %w", err)
-				return s.broken
+				return nil, s.broken
 			}
 		}
 		s.stats.Rebuilds++
@@ -982,7 +1108,7 @@ func (s *Store) commitLocked(updates int) error {
 				n, err := v.shards[k].mat.Commit()
 				if err != nil {
 					s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
-					return s.broken
+					return nil, s.broken
 				}
 				s.stats.NodesRecomputed += uint64(n)
 			}
@@ -990,13 +1116,16 @@ func (s *Store) commitLocked(updates int) error {
 		for _, v := range s.views {
 			if err := v.recombine(); err != nil {
 				s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
-				return s.broken
+				return nil, s.broken
 			}
 		}
 	}
 	s.seq++
 	s.stats.Commits++
-	s.stats.Updates += uint64(updates)
+	s.stats.Updates += uint64(len(us))
+	if s.hook != nil {
+		wait = s.hook(s.seq, us)
+	}
 	if len(s.subs) > 0 {
 		snap := append([]*subscriber(nil), s.subs...)
 		c := Commit{
@@ -1009,7 +1138,7 @@ func (s *Store) commitLocked(updates int) error {
 		}
 		s.pending = append(s.pending, notification{subs: snap, c: c})
 	}
-	return nil
+	return wait, nil
 }
 
 // Oracle recomputes the view's probability from scratch — a fresh TID of the

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/pdb"
 	"repro/internal/pdbio"
 	"repro/internal/rel"
+	"repro/internal/wal"
 )
 
 // Config tunes a Server. The zero value is serviceable: GOMAXPROCS workers,
@@ -75,9 +77,11 @@ type Server struct {
 
 	cache  *planCache
 	frozen *frozenCache
+	wal    *wal.WAL // nil when the server runs without durability
 
 	viewMu sync.Mutex
 	viewFP map[*incr.View]string // registered view -> fingerprint (for /watch)
+	viewQ  map[*incr.View]string // registered view -> normalized query (for snapshots)
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -101,6 +105,13 @@ func New(t *pdb.TID, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewFromStore(st, cfg), nil
+}
+
+// NewFromStore builds a server over an existing live store — the warm
+// restart path, where the store comes out of WAL recovery instead of a
+// parsed instance.
+func NewFromStore(st *incr.Store, cfg Config) *Server {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 64
 	}
@@ -114,12 +125,14 @@ func New(t *pdb.TID, cfg Config) (*Server, error) {
 		frozen:  newFrozenCache(cfg.CacheSize),
 		viewMu:  sync.Mutex{},
 		viewFP:  map[*incr.View]string{},
+		viewQ:   map[*incr.View]string{},
 		drainCh: make(chan struct{}),
 	}
 	s.cache = newPlanCache(cfg.CacheSize, func(v *incr.View) {
 		s.store.UnregisterView(v)
 		s.viewMu.Lock()
 		delete(s.viewFP, v)
+		delete(s.viewQ, v)
 		s.viewMu.Unlock()
 	})
 	s.mux.HandleFunc("POST /query", s.handleQuery)
@@ -128,7 +141,30 @@ func New(t *pdb.TID, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
-	return s, nil
+	return s
+}
+
+// AttachWAL makes the server durable: every commit the store acknowledges
+// from here on is logged through w first, and snapshots record the
+// currently registered view queries so a restart re-registers them warm.
+// Attach before serving traffic; Shutdown closes the log (final flush +
+// clean snapshot).
+func (s *Server) AttachWAL(w *wal.WAL) {
+	s.wal = w
+	w.Attach(s.store, s.ViewQueries)
+}
+
+// ViewQueries returns the normalized query text of every currently cached
+// live view, sorted — the snapshot metadata that makes restarts warm.
+func (s *Server) ViewQueries() []string {
+	s.viewMu.Lock()
+	out := make([]string, 0, len(s.viewQ))
+	for _, q := range s.viewQ {
+		out = append(out, q)
+	}
+	s.viewMu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Store exposes the underlying live store (tests and embedders; handlers go
@@ -164,18 +200,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Shutdown drains the server: new requests are refused, open watch streams
 // are closed, and in-flight requests are given until timeout to finish.
-// Returns false when the timeout expired with requests still running.
+// With a WAL attached, the drained log is then flushed, fsynced and sealed
+// under a final clean snapshot — a planned restart replays nothing.
+// Returns false when the timeout expired with requests still running (the
+// WAL is closed regardless: everything committed so far is made durable).
 func (s *Server) Shutdown(timeout time.Duration) bool {
 	s.draining.Store(true)
 	s.drainOnce.Do(func() { close(s.drainCh) })
 	deadline := time.Now().Add(timeout)
+	drained := true
 	for s.inflight.Load() != 0 {
 		if time.Now().After(deadline) {
-			return false
+			drained = false
+			break
 		}
 		time.Sleep(time.Millisecond)
 	}
-	return true
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			drained = false
+		}
+	}
+	return drained
 }
 
 // --- request/response shapes ---
@@ -288,6 +334,7 @@ func (s *Server) view(nq rel.CQ, fp string) (*incr.View, bool, error) {
 		s.nPrepares.Add(1)
 		s.viewMu.Lock()
 		s.viewFP[v] = fp
+		s.viewQ[v] = nq.String()
 		s.viewMu.Unlock()
 		return v, nil
 	})
@@ -617,14 +664,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	doc := map[string]any{
 		"status": status,
 		"seq":    s.store.Seq(),
 		"facts":  s.store.NumLive(),
 		"views":  s.store.NumViews(),
-	})
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		if ws.Err != "" && code == http.StatusOK {
+			// A poisoned log means acknowledged commits may stop being
+			// durable — fail health so the orchestrator replaces the task.
+			status, code = "wal-failed", http.StatusServiceUnavailable
+			doc["status"] = status
+		}
+		doc["durable"] = true
+		doc["synced_seq"] = ws.SyncedSeq
+		doc["wal_queue"] = ws.QueueDepth
+		doc["snapshot_seq"] = ws.SnapshotSeq
+		if ws.Err != "" {
+			doc["wal_error"] = ws.Err
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(doc)
 }
 
 // Statsz is the counters document served by /statsz.
@@ -648,12 +712,20 @@ type Statsz struct {
 	Facts         int        `json:"facts"`
 	Views         int        `json:"views"`
 	Store         incr.Stats `json:"store"`
+	// Durability is the WAL's counters (last synced/written seq, queue
+	// depth, log size, snapshot age); nil when the server runs without one.
+	Durability *wal.Stats `json:"durability,omitempty"`
 }
 
 // Stats snapshots the serving counters (also served as /statsz).
 func (s *Server) Stats() Statsz {
 	hits, misses, evicts, size := s.cache.stats()
 	fh, fm, fs := s.frozen.stats()
+	var dur *wal.Stats
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		dur = &ws
+	}
 	return Statsz{
 		Queries:       s.nQueries.Load(),
 		BatchRequests: s.nBatchReqs.Load(),
@@ -674,6 +746,7 @@ func (s *Server) Stats() Statsz {
 		Facts:         s.store.NumLive(),
 		Views:         s.store.NumViews(),
 		Store:         s.store.Stats(),
+		Durability:    dur,
 	}
 }
 

@@ -1,0 +1,210 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the writable handle a Backend hands out for one log segment or
+// snapshot: sequential appends, an explicit durability barrier, close.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync blocks until every byte written so far is durable.
+	Sync() error
+	Close() error
+}
+
+// Backend abstracts the directory the WAL lives in, so the same pipeline and
+// recovery code runs over the real filesystem (DirBackend), an in-memory map
+// (MemBackend, for tests and crash-point cloning), a fault injector
+// (FaultBackend), or a later object-store target. Names are flat (no
+// subdirectories); List returns them sorted.
+type Backend interface {
+	// Create opens a fresh writable file, truncating any previous content.
+	Create(name string) (File, error)
+	// ReadFile returns the full content of the named file.
+	ReadFile(name string) ([]byte, error)
+	// List returns every file name, sorted.
+	List() ([]string, error)
+	Remove(name string) error
+	Rename(oldName, newName string) error
+	// SyncDir makes directory-level mutations (Create, Rename, Remove)
+	// durable — the second half of the atomic-rename snapshot protocol.
+	SyncDir() error
+}
+
+// --- filesystem backend ---
+
+// DirBackend stores WAL files in one directory on the real filesystem. It is
+// the production backend: File.Sync is fsync, SyncDir fsyncs the directory.
+type DirBackend struct {
+	dir string
+}
+
+// NewDirBackend opens (creating if needed) the directory at dir.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &DirBackend{dir: dir}, nil
+}
+
+// Dir returns the directory path the backend writes to.
+func (d *DirBackend) Dir() string { return d.dir }
+
+func (d *DirBackend) Create(name string) (File, error) {
+	return os.Create(filepath.Join(d.dir, name))
+}
+
+func (d *DirBackend) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+func (d *DirBackend) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *DirBackend) Remove(name string) error {
+	return os.Remove(filepath.Join(d.dir, name))
+}
+
+func (d *DirBackend) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(d.dir, oldName), filepath.Join(d.dir, newName))
+}
+
+func (d *DirBackend) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// --- in-memory backend ---
+
+// MemBackend keeps every file in memory: the test backend. Clone snapshots
+// the whole directory at an arbitrary instant — the crash-point primitive of
+// the recovery property tests — and Truncate cuts a file at a byte offset to
+// model a torn final write.
+type MemBackend struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{files: map[string][]byte{}}
+}
+
+type memFile struct {
+	b    *MemBackend
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	f.b.files[f.name] = append(f.b.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+func (b *MemBackend) Create(name string) (File, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.files[name] = nil
+	return &memFile{b: b, name: name}, nil
+}
+
+func (b *MemBackend) ReadFile(name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: no file %q", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (b *MemBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.files))
+	for name := range b.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (b *MemBackend) Remove(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.files[name]; !ok {
+		return fmt.Errorf("wal: no file %q", name)
+	}
+	delete(b.files, name)
+	return nil
+}
+
+func (b *MemBackend) Rename(oldName, newName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.files[oldName]
+	if !ok {
+		return fmt.Errorf("wal: no file %q", oldName)
+	}
+	b.files[newName] = data
+	delete(b.files, oldName)
+	return nil
+}
+
+func (b *MemBackend) SyncDir() error { return nil }
+
+// Clone returns a deep copy of the backend's current content: the state a
+// crash at this instant would leave on disk (MemBackend models every write
+// as immediately durable; pair with Truncate to model a torn final write).
+func (b *MemBackend) Clone() *MemBackend {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := NewMemBackend()
+	for name, data := range b.files {
+		c.files[name] = append([]byte(nil), data...)
+	}
+	return c
+}
+
+// Truncate cuts the named file to n bytes (a no-op when it is already
+// shorter): the torn-final-record primitive of the recovery tests.
+func (b *MemBackend) Truncate(name string, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if data, ok := b.files[name]; ok && n < len(data) {
+		b.files[name] = data[:n]
+	}
+}
+
+// Size returns the current length of the named file in bytes (0 when
+// absent).
+func (b *MemBackend) Size(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.files[name])
+}

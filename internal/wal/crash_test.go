@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/incr"
+	"repro/internal/rel"
+)
+
+// faultHarness is newHarness over a FaultBackend: the WAL writes through the
+// injector, the MemBackend underneath holds what "disk" would after a
+// crash. Faults are armed by the caller AFTER the harness (including its
+// baseline snapshot) is up.
+func faultHarness(t *testing.T, opts Options) (*harness, *FaultBackend) {
+	t.Helper()
+	mem := NewMemBackend()
+	fb := NewFaultBackend(mem)
+	opts.Backend = fb
+	w, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 0 {
+		t.Fatalf("empty backend recovered seq %d", rec.Seq)
+	}
+	return attachHarness(t, mem, w), fb
+}
+
+// TestInjectedWriteErrorFailsCommitAndPoisons injects a write failure
+// mid-workload: the committing client gets the error, the store refuses
+// further commits (it can no longer promise durability), and the bytes that
+// did reach disk still recover to the last acknowledged commit.
+func TestInjectedWriteErrorFailsCommitAndPoisons(t *testing.T) {
+	h, fb := faultHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 15; i++ {
+		h.step(r, i)
+	}
+	h.mark(false)
+
+	fb.FailWrite = fb.Writes() + 1 // next write fails
+	err := h.store.SetProb(0, 0.123)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit over failing write: %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "not durable") {
+		t.Errorf("error does not say the commit is not durable: %v", err)
+	}
+	if err := h.store.SetProb(0, 0.5); err == nil {
+		t.Fatal("store accepted a commit after durability failed")
+	}
+	if st := h.w.Stats(); st.Err == "" {
+		t.Error("WAL stats do not report the sticky error")
+	}
+	h.checkRecovered(h.mem, 0, "after injected write error")
+}
+
+// TestInjectedSyncErrorFailsCommitAndPoisons is the same contract for a
+// failing fsync under SyncAlways: acknowledged-means-synced, so a failed
+// sync must fail the commit.
+func TestInjectedSyncErrorFailsCommitAndPoisons(t *testing.T) {
+	h, fb := faultHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 15; i++ {
+		h.step(r, i)
+	}
+	h.mark(false)
+
+	fb.FailSync = fb.Syncs() + 1
+	err := h.store.SetProb(0, 0.321)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit over failing sync: %v, want ErrInjected", err)
+	}
+	if err := h.store.SetProb(0, 0.5); err == nil {
+		t.Fatal("store accepted a commit after a failed fsync")
+	}
+	// The record's bytes were written before the fsync failed, so recovery
+	// may land on either side of the unacknowledged commit — but never
+	// beyond it, and never on a corrupt state.
+	rec, err := Replay(h.mem)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	acked := h.states[0].Seq
+	if rec.Seq != acked && rec.Seq != acked+1 {
+		t.Fatalf("recovered seq %d, want %d (last acked) or %d (written, unacked)", rec.Seq, acked, acked+1)
+	}
+	if rec.Seq == acked {
+		h.checkState(rec, 0, "after injected sync error")
+	}
+}
+
+// crashStep is the fixed workload of the crash-point sweep: deterministic
+// (no liveness races — it never deletes), so the dry run's per-sequence
+// states are an exact oracle for every crashed run.
+func crashStep(store *incr.Store, i int) error {
+	switch i % 4 {
+	case 0, 2:
+		return store.SetProb(i%18, float64(i%9+1)/10)
+	case 1:
+		_, err := store.Insert(rel.NewFact("R", fmt.Sprintf("c%d", i)), 0.4)
+		return err
+	default:
+		return store.ApplyBatch([]incr.Update{
+			{Op: incr.OpSet, ID: (i + 5) % 18, P: 0.35},
+			{Op: incr.OpInsert, Fact: rel.NewFact("T", fmt.Sprintf("d%d", i)), P: 0.6},
+		})
+	}
+}
+
+// TestCrashAtEveryWriteOffset sweeps a torn-write kernel-panic point across
+// every byte offset the workload appends: wherever the crash lands — mid
+// record, at a frame boundary, inside a group-commit batch — recovery from
+// the surviving bytes reaches at least the last acknowledged commit, at
+// most one written-but-unacknowledged commit beyond it, and the state is
+// bit-exact at whichever sequence it lands on.
+func TestCrashAtEveryWriteOffset(t *testing.T) {
+	// Dry run: collect the oracle state at every sequence and the total
+	// bytes the workload writes.
+	const steps = 25
+	dry := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	dry.mark(false) // oracle[0] = seeded state at seq 0
+	for i := 0; i < steps; i++ {
+		if err := crashStep(dry.store, i); err != nil {
+			t.Fatalf("dry step %d: %v", i, err)
+		}
+		dry.mark(false)
+	}
+	oracle := dry.states // oracle[seq] — one commit per step
+	if got := dry.store.Seq(); int(got) != steps {
+		t.Fatalf("dry run ended at seq %d, want %d", got, steps)
+	}
+	dry.w.Kill()
+	total := dry.mem.Size(activeSegment(t, dry.mem)) - len(segMagic)
+
+	for at := 1; at <= total+1; at += 37 { // every offset is legal; stride keeps the sweep fast
+		h, fb := faultHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+		fb.CrashAfterBytes = fb.BytesWritten() + at
+		var acked uint64
+		for i := 0; i < steps; i++ {
+			if err := crashStep(h.store, i); err != nil {
+				break
+			}
+			acked = h.store.Seq()
+		}
+		if !fb.Crashed() {
+			if at <= total {
+				t.Fatalf("crash at +%d (of %d) never fired, acked %d", at, total, acked)
+			}
+			continue
+		}
+		rec, err := Replay(h.mem)
+		if err != nil {
+			t.Fatalf("crash at +%d: replay: %v", at, err)
+		}
+		if rec.Seq < acked || rec.Seq > acked+1 {
+			t.Fatalf("crash at +%d: recovered seq %d, acked %d", at, rec.Seq, acked)
+		}
+		want := oracle[rec.Seq]
+		got := rec.Store.State()
+		if got.Seq != want.Seq || len(got.Facts) != len(want.Facts) {
+			t.Fatalf("crash at +%d: recovered seq %d with %d slots, want %d", at, got.Seq, len(got.Facts), len(want.Facts))
+		}
+		for j := range want.Facts {
+			if got.Facts[j].Key() != want.Facts[j].Key() || got.Probs[j] != want.Probs[j] || got.Deleted[j] != want.Deleted[j] {
+				t.Fatalf("crash at +%d: fact id %d diverges: got (%v, %v, %v), want (%v, %v, %v)",
+					at, j, got.Facts[j], got.Probs[j], got.Deleted[j], want.Facts[j], want.Probs[j], want.Deleted[j])
+			}
+		}
+	}
+}
+
+func activeSegment(t *testing.T, mem *MemBackend) string {
+	t.Helper()
+	names, err := mem.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := ""
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			seg = n
+		}
+	}
+	if seg == "" {
+		t.Fatal("no segment")
+	}
+	return seg
+}
+
+// TestCrashMidSnapshotWrite crashes inside the snapshot temp-file write: the
+// torn temp file must be invisible to recovery (it was never renamed), and
+// the log alone must reconstruct the full acknowledged state.
+func TestCrashMidSnapshotWrite(t *testing.T) {
+	h, fb := faultHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 15; i++ {
+		h.step(r, i)
+	}
+	h.mark(false)
+
+	// The snapshot path writes the fresh segment's magic (8 bytes), then
+	// the snapshot payload: crash a few bytes into the payload.
+	fb.CrashAfterBytes = fb.BytesWritten() + len(segMagic) + 16
+	if err := h.w.Snapshot(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("snapshot over crashing backend: %v, want ErrInjected", err)
+	}
+	rec, err := Replay(h.mem)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rec.SnapshotSeq == h.states[0].Seq {
+		t.Fatal("torn snapshot was loaded as valid")
+	}
+	h.checkState(rec, 0, "after torn snapshot write")
+}
+
+// TestCrashBetweenSnapshotAndTruncate reconstructs the exact on-disk state
+// of a crash after the snapshot rename but before the old segments are
+// deleted: recovery must use the snapshot, skip the duplicate records the
+// stale segments still carry, and land on the acknowledged state.
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(51))
+	for i := 0; i < 15; i++ {
+		h.step(r, i)
+	}
+	h.mark(false)
+
+	preSnap := h.mem.Clone() // all segments, before the mid-run snapshot
+	if err := h.w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	h.w.Kill()
+
+	// Graft the post-snapshot files onto the pre-truncation directory: the
+	// union is what a crash between rename and delete leaves behind.
+	names, err := h.mem.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		data, err := h.mem.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := preSnap.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(data)
+		f.Close()
+	}
+	rec, err := Replay(preSnap)
+	if err != nil {
+		t.Fatalf("replay with stale segments: %v", err)
+	}
+	if rec.SnapshotSeq != h.states[0].Seq {
+		t.Errorf("recovered from snapshot %d, want %d", rec.SnapshotSeq, h.states[0].Seq)
+	}
+	if rec.Records != 0 {
+		t.Errorf("replayed %d records over the covering snapshot, want 0 (all stale)", rec.Records)
+	}
+	h.checkState(rec, 0, "stale segments + fresh snapshot")
+}
+
+// TestCorruptSnapshotFallsBack damages the newest snapshot in place (bit
+// rot after rename). Recovery falls back to the older snapshot — and since
+// the newest snapshot's truncation already deleted the middle of the log,
+// the fallback must either reconstruct the full state from what survives or
+// refuse with a log-gap error. Silently serving a state with missing
+// commits is the one forbidden outcome.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(61))
+	for i := 0; i < 10; i++ {
+		h.step(r, i)
+	}
+	if err := h.w.Snapshot(); err != nil { // snapshot #2, after the baseline
+		t.Fatal(err)
+	}
+	for i := 10; i < 14; i++ {
+		h.step(r, i)
+	}
+	h.mark(false)
+	h.w.Kill()
+
+	names, _ := h.mem.List()
+	var snaps []string
+	for _, n := range names {
+		if _, ok := parseSnapName(n); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("want 2 retained snapshots, have %v", snaps)
+	}
+	newest := snaps[len(snaps)-1]
+	data, err := h.mem.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	f, _ := h.mem.Create(newest)
+	f.Write(data)
+	f.Close()
+
+	rec, err := Replay(h.mem)
+	if err != nil {
+		if !strings.Contains(err.Error(), "log gap") {
+			t.Fatalf("fallback failed with %v, want a log-gap refusal", err)
+		}
+		return
+	}
+	h.checkState(rec, 0, "fallback to older snapshot")
+}

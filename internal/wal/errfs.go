@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the failure every FaultBackend fault surfaces as; tests
+// assert on it with errors.Is.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultBackend wraps another Backend and injects failures at configurable
+// points: the errfs of the crash-recovery property tests. Faults are
+// counted across every file the backend has handed out, so "fail the 7th
+// write" means the 7th write the whole pipeline issues — which lets a test
+// sweep the failure point across an entire workload.
+//
+// Two families of faults:
+//
+//   - Error faults (FailWrite, FailSync, FailCreate): the Nth such call
+//     returns ErrInjected without touching the underlying backend. The
+//     pipeline is expected to surface the error to the committing client
+//     and poison itself.
+//   - Crash faults (CrashAfterBytes): the write that crosses the global
+//     byte-offset threshold is silently truncated at the boundary and every
+//     operation afterwards fails with ErrInjected. The underlying backend
+//     is left holding exactly what a kernel panic mid-write would leave —
+//     hand it to Replay to test recovery.
+type FaultBackend struct {
+	inner Backend
+
+	mu      sync.Mutex
+	writes  int // calls seen so far
+	syncs   int
+	creates int
+	written int // total bytes accepted across all files
+
+	// FailWrite / FailSync / FailCreate fail the Nth call (1-based) of that
+	// kind and every later one. 0 disables.
+	FailWrite  int
+	FailSync   int
+	FailCreate int
+	// CrashAfterBytes crashes the backend once the cumulative bytes written
+	// across all files would exceed it: the crossing write is truncated at
+	// the boundary (a torn write), everything after fails. < 0 disables.
+	CrashAfterBytes int
+
+	crashed bool
+}
+
+// NewFaultBackend wraps inner with no faults armed.
+func NewFaultBackend(inner Backend) *FaultBackend {
+	return &FaultBackend{inner: inner, CrashAfterBytes: -1}
+}
+
+// Crashed reports whether a CrashAfterBytes fault has fired.
+func (b *FaultBackend) Crashed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.crashed
+}
+
+// Writes returns the number of Write calls observed so far — run a workload
+// once to count them, then sweep FailWrite over the range.
+func (b *FaultBackend) Writes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.writes
+}
+
+// Syncs returns the number of Sync calls observed so far.
+func (b *FaultBackend) Syncs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.syncs
+}
+
+// BytesWritten returns the cumulative bytes accepted across all files.
+func (b *FaultBackend) BytesWritten() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.written
+}
+
+type faultFile struct {
+	b     *FaultBackend
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.b.mu.Lock()
+	if f.b.crashed {
+		f.b.mu.Unlock()
+		return 0, ErrInjected
+	}
+	f.b.writes++
+	if f.b.FailWrite > 0 && f.b.writes >= f.b.FailWrite {
+		f.b.mu.Unlock()
+		return 0, ErrInjected
+	}
+	keep := len(p)
+	torn := false
+	if f.b.CrashAfterBytes >= 0 && f.b.written+len(p) > f.b.CrashAfterBytes {
+		keep = f.b.CrashAfterBytes - f.b.written
+		if keep < 0 {
+			keep = 0
+		}
+		torn = true
+		f.b.crashed = true
+	}
+	f.b.written += keep
+	f.b.mu.Unlock()
+
+	if keep > 0 {
+		if _, err := f.inner.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+	}
+	if torn {
+		return keep, ErrInjected
+	}
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	f.b.mu.Lock()
+	if f.b.crashed {
+		f.b.mu.Unlock()
+		return ErrInjected
+	}
+	f.b.syncs++
+	if f.b.FailSync > 0 && f.b.syncs >= f.b.FailSync {
+		f.b.mu.Unlock()
+		return ErrInjected
+	}
+	f.b.mu.Unlock()
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	f.b.mu.Lock()
+	crashed := f.b.crashed
+	f.b.mu.Unlock()
+	if crashed {
+		return ErrInjected
+	}
+	return f.inner.Close()
+}
+
+func (b *FaultBackend) Create(name string) (File, error) {
+	b.mu.Lock()
+	if b.crashed {
+		b.mu.Unlock()
+		return nil, ErrInjected
+	}
+	b.creates++
+	if b.FailCreate > 0 && b.creates >= b.FailCreate {
+		b.mu.Unlock()
+		return nil, ErrInjected
+	}
+	b.mu.Unlock()
+	f, err := b.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{b: b, inner: f}, nil
+}
+
+func (b *FaultBackend) ReadFile(name string) ([]byte, error) {
+	return b.inner.ReadFile(name)
+}
+
+func (b *FaultBackend) List() ([]string, error) { return b.inner.List() }
+
+func (b *FaultBackend) Remove(name string) error {
+	b.mu.Lock()
+	crashed := b.crashed
+	b.mu.Unlock()
+	if crashed {
+		return ErrInjected
+	}
+	return b.inner.Remove(name)
+}
+
+func (b *FaultBackend) Rename(oldName, newName string) error {
+	b.mu.Lock()
+	crashed := b.crashed
+	b.mu.Unlock()
+	if crashed {
+		return ErrInjected
+	}
+	return b.inner.Rename(oldName, newName)
+}
+
+func (b *FaultBackend) SyncDir() error {
+	b.mu.Lock()
+	crashed := b.crashed
+	b.mu.Unlock()
+	if crashed {
+		return ErrInjected
+	}
+	return b.inner.SyncDir()
+}

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/incr"
+	"repro/internal/rel"
+)
+
+// On-disk formats.
+//
+// Every log segment starts with an 8-byte magic, followed by frames:
+//
+//	u32 length | u32 crc32c(payload) | payload
+//
+// both integers little-endian, the checksum over the payload alone
+// (Castagnoli polynomial — the CRC32C storage systems standardize on). A
+// record payload encodes one commit:
+//
+//	u64 seq | uvarint count | count × update
+//	update: u8 op | op-specific fields
+//	  set:    uvarint id | f64 p
+//	  insert: f64 p | str rel | uvarint nargs | nargs × str
+//	  delete: uvarint id
+//	str: uvarint length | bytes
+//
+// Snapshot files carry their own magic and a single frame whose payload is
+//
+//	u64 seq | uvarint nfacts | nfacts × (u8 deleted | f64 p | str rel |
+//	uvarint nargs | nargs × str) | uvarint nviews | nviews × str
+//
+// i.e. the full incr.State (tombstones included, so fact ids stay aligned
+// with the log tail) plus the normalized queries of the registered views.
+//
+// Readers treat any malformed tail — truncated length word, length past the
+// end of the file, checksum mismatch, short payload — as a torn final write:
+// they stop at the last valid frame instead of failing, which is exactly the
+// recovery semantics a crash mid-append needs. A snapshot, by contrast, is
+// only valid as a whole: it is written to a temporary name and atomically
+// renamed, so a torn snapshot never carries the final name.
+
+var (
+	segMagic  = []byte("PDBWAL1\n")
+	snapMagic = []byte("PDBSNAP\n")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	opSet    = 0
+	opInsert = 1
+	opDelete = 2
+)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// appendFrame wraps payload in a length+checksum frame.
+func appendFrame(b, payload []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+	return append(b, payload...)
+}
+
+// readFrame decodes the frame starting at off. ok is false when the bytes
+// from off to the end of data do not form a complete, checksum-valid frame —
+// the torn-tail condition; next is only meaningful when ok.
+func readFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+8 > len(data) {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if off+8+n > len(data) {
+		return nil, 0, false
+	}
+	payload = data[off+8 : off+8+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, false
+	}
+	return payload, off + 8 + n, true
+}
+
+// encodeRecord serializes one commit's applied updates at its sequence
+// number into a record payload (unframed).
+func encodeRecord(seq uint64, us []incr.Update) []byte {
+	b := make([]byte, 0, 16+24*len(us))
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(us)))
+	for _, u := range us {
+		switch u.Op {
+		case incr.OpSet:
+			b = append(b, opSet)
+			b = binary.AppendUvarint(b, uint64(u.ID))
+			b = appendFloat(b, u.P)
+		case incr.OpInsert:
+			b = append(b, opInsert)
+			b = appendFloat(b, u.P)
+			b = appendString(b, u.Fact.Rel)
+			b = binary.AppendUvarint(b, uint64(len(u.Fact.Args)))
+			for _, a := range u.Fact.Args {
+				b = appendString(b, a)
+			}
+		case incr.OpDelete:
+			b = append(b, opDelete)
+			b = binary.AppendUvarint(b, uint64(u.ID))
+		}
+	}
+	return b
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: truncated %s", what)
+	}
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil || d.off+int(n) > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	v := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return v
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wal: %d trailing bytes in payload", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// decodeRecord parses a record payload back into its commit.
+func decodeRecord(payload []byte) (seq uint64, us []incr.Update, err error) {
+	d := &decoder{b: payload}
+	seq = d.u64()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("wal: record claims %d updates in %d bytes", n, len(payload))
+	}
+	us = make([]incr.Update, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		switch op := d.byte(); op {
+		case opSet:
+			id := d.uvarint()
+			us = append(us, incr.Update{Op: incr.OpSet, ID: int(id), P: d.f64()})
+		case opInsert:
+			p := d.f64()
+			relName := d.str()
+			nargs := d.uvarint()
+			if d.err == nil && nargs > uint64(len(payload)) {
+				return 0, nil, fmt.Errorf("wal: insert claims %d args in %d bytes", nargs, len(payload))
+			}
+			args := make([]string, 0, nargs)
+			for j := uint64(0); j < nargs && d.err == nil; j++ {
+				args = append(args, d.str())
+			}
+			us = append(us, incr.Update{Op: incr.OpInsert, Fact: rel.Fact{Rel: relName, Args: args}, P: p})
+		case opDelete:
+			id := d.uvarint()
+			us = append(us, incr.Update{Op: incr.OpDelete, ID: int(id)})
+		default:
+			return 0, nil, fmt.Errorf("wal: unknown update op %d", op)
+		}
+	}
+	if err := d.done(); err != nil {
+		return 0, nil, err
+	}
+	return seq, us, nil
+}
+
+// encodeSnapshot serializes the store state plus the registered views'
+// normalized queries into a snapshot payload (unframed).
+func encodeSnapshot(st incr.State, views []string) []byte {
+	b := make([]byte, 0, 32+32*len(st.Facts))
+	b = binary.LittleEndian.AppendUint64(b, st.Seq)
+	b = binary.AppendUvarint(b, uint64(len(st.Facts)))
+	for i, f := range st.Facts {
+		var del byte
+		if st.Deleted[i] {
+			del = 1
+		}
+		b = append(b, del)
+		b = appendFloat(b, st.Probs[i])
+		b = appendString(b, f.Rel)
+		b = binary.AppendUvarint(b, uint64(len(f.Args)))
+		for _, a := range f.Args {
+			b = appendString(b, a)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(views)))
+	for _, v := range views {
+		b = appendString(b, v)
+	}
+	return b
+}
+
+// decodeSnapshot parses a snapshot payload.
+func decodeSnapshot(payload []byte) (incr.State, []string, error) {
+	d := &decoder{b: payload}
+	var st incr.State
+	st.Seq = d.u64()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(payload)) {
+		return incr.State{}, nil, fmt.Errorf("wal: snapshot claims %d facts in %d bytes", n, len(payload))
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		del := d.byte() != 0
+		p := d.f64()
+		relName := d.str()
+		nargs := d.uvarint()
+		if d.err == nil && nargs > uint64(len(payload)) {
+			return incr.State{}, nil, fmt.Errorf("wal: snapshot fact claims %d args in %d bytes", nargs, len(payload))
+		}
+		args := make([]string, 0, nargs)
+		for j := uint64(0); j < nargs && d.err == nil; j++ {
+			args = append(args, d.str())
+		}
+		st.Facts = append(st.Facts, rel.Fact{Rel: relName, Args: args})
+		st.Probs = append(st.Probs, p)
+		st.Deleted = append(st.Deleted, del)
+	}
+	nv := d.uvarint()
+	if d.err == nil && nv > uint64(len(payload)) {
+		return incr.State{}, nil, fmt.Errorf("wal: snapshot claims %d views in %d bytes", nv, len(payload))
+	}
+	views := make([]string, 0, nv)
+	for i := uint64(0); i < nv && d.err == nil; i++ {
+		views = append(views, d.str())
+	}
+	if err := d.done(); err != nil {
+		return incr.State{}, nil, err
+	}
+	return st, views, nil
+}

@@ -1,0 +1,209 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/incr"
+)
+
+// File naming: log segments are "wal-<firstseq>.log" where <firstseq> is the
+// first sequence number the segment was opened for (zero-padded so lexical
+// order is numeric order), snapshots are "snap-<seq>.snap" taken at commit
+// <seq>. Snapshots are written under a ".tmp" suffix and renamed into place,
+// so a name without the suffix is a complete, checksummed snapshot.
+
+func segName(start uint64) string { return fmt.Sprintf("wal-%020d.log", start) }
+func snapName(seq uint64) string  { return fmt.Sprintf("snap-%020d.snap", seq) }
+
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func parseSegName(name string) (uint64, bool)  { return parseSeqName(name, "wal-", ".log") }
+func parseSnapName(name string) (uint64, bool) { return parseSeqName(name, "snap-", ".snap") }
+
+// Recovered reports what Open or Replay reconstructed from a backend: the
+// rebuilt store positioned at the last recoverable commit, plus enough
+// provenance to explain how it got there.
+type Recovered struct {
+	// Store is the rebuilt store: snapshot state plus the replayed log tail.
+	Store *incr.Store
+	// Views holds the normalized queries of the views registered when the
+	// snapshot was taken; warm restart re-registers them so the plan cache
+	// starts hot.
+	Views []string
+	// SnapshotSeq is the commit the loaded snapshot was taken at (0: no
+	// snapshot, recovery started from an empty store).
+	SnapshotSeq uint64
+	// Seq is the store's commit sequence after replay — the last
+	// acknowledged commit that survived.
+	Seq uint64
+	// Records counts the log records replayed (records the snapshot already
+	// covered are skipped and not counted).
+	Records int
+	// Segments counts the log segment files read.
+	Segments int
+	// TornTail reports that some segment ended in an incomplete or
+	// checksum-failing record — the expected residue of a crash mid-append;
+	// recovery stopped that segment at its last valid record.
+	TornTail bool
+}
+
+// Replay reconstructs the store from the backend without opening it for
+// writing: no files are created, removed or modified, and no background
+// pipeline is started. It is the read-only inspection path (pdbcli
+// -data-dir) and the recovery half of Open.
+func Replay(b Backend) (*Recovered, error) {
+	names, err := b.List()
+	if err != nil {
+		return nil, fmt.Errorf("wal: list: %w", err)
+	}
+
+	// Newest structurally valid snapshot wins; older ones are the fallback
+	// against a snapshot file damaged after it was renamed into place (the
+	// log is only truncated up to the snapshot that replaced it, so the
+	// previous snapshot plus the surviving segments still cover the tail the
+	// newer one covered).
+	var snaps []uint64
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	rec := &Recovered{}
+	var state incr.State
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := b.ReadFile(snapName(snaps[i]))
+		if err != nil {
+			continue
+		}
+		st, views, err := loadSnapshot(data)
+		if err != nil {
+			continue
+		}
+		state, rec.Views, rec.SnapshotSeq = st, views, st.Seq
+		break
+	}
+
+	store, err := incr.NewStoreFromState(state)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot state: %w", err)
+	}
+	rec.Store = store
+
+	var segs []uint64
+	for _, name := range names {
+		if start, ok := parseSegName(name); ok {
+			segs = append(segs, start)
+		}
+	}
+	for _, start := range segs {
+		data, err := b.ReadFile(segName(start))
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment %d: %w", start, err)
+		}
+		torn, err := replaySegment(store, data, rec)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment %s: %w", segName(start), err)
+		}
+		rec.Segments++
+		if torn {
+			rec.TornTail = true
+		}
+	}
+	rec.Seq = store.Seq()
+	return rec, nil
+}
+
+// loadSnapshot validates and decodes one snapshot file.
+func loadSnapshot(data []byte) (incr.State, []string, error) {
+	if len(data) < len(snapMagic) || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return incr.State{}, nil, fmt.Errorf("wal: not a snapshot file")
+	}
+	payload, next, ok := readFrame(data, len(snapMagic))
+	if !ok || next != len(data) {
+		return incr.State{}, nil, fmt.Errorf("wal: snapshot frame is torn or trailed by garbage")
+	}
+	return decodeSnapshot(payload)
+}
+
+// replaySegment applies one segment's records to the store: records at or
+// below the store's current sequence are skipped (the snapshot, or an
+// earlier overlapping segment, already covers them), the next expected
+// sequence is applied, and anything else is a gap — real corruption, not a
+// torn tail — and fails recovery. A malformed tail stops the segment at its
+// last valid record and reports torn.
+func replaySegment(store *incr.Store, data []byte, rec *Recovered) (torn bool, err error) {
+	if len(data) < len(segMagic) {
+		// A crash can sever a segment before its magic finished writing;
+		// there is nothing after it by construction.
+		return len(data) > 0, nil
+	}
+	if !bytes.Equal(data[:len(segMagic)], segMagic) {
+		return false, fmt.Errorf("bad segment magic")
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		payload, next, ok := readFrame(data, off)
+		if !ok {
+			return true, nil
+		}
+		seq, us, derr := decodeRecord(payload)
+		if derr != nil {
+			// The checksum passed but the payload does not parse: treat like
+			// a torn tail — stop at the last good record — rather than
+			// refusing to start at all.
+			return true, nil
+		}
+		cur := store.Seq()
+		switch {
+		case seq <= cur:
+			// Already covered by the snapshot (or an older segment that was
+			// not yet truncated when the crash hit).
+		case seq == cur+1:
+			if err := applyRecord(store, seq, us); err != nil {
+				return false, err
+			}
+			rec.Records++
+		default:
+			return false, fmt.Errorf("commit %d follows %d: log gap", seq, cur)
+		}
+		off = next
+	}
+	return false, nil
+}
+
+// applyRecord replays one logged commit and checks the store lands on the
+// record's sequence — replay is deterministic, so a divergence means the log
+// and the snapshot disagree.
+func applyRecord(store *incr.Store, seq uint64, us []incr.Update) error {
+	if len(us) == 0 {
+		// A commit whose batch staged nothing (every update rejected after
+		// one forced a rebuild) still advanced the sequence.
+		if err := store.CommitEmpty(); err != nil {
+			return fmt.Errorf("replay empty commit %d: %w", seq, err)
+		}
+	} else {
+		applied, _, err := store.ApplyBatchN(us)
+		if err != nil {
+			return fmt.Errorf("replay commit %d: %w", seq, err)
+		}
+		if applied != len(us) {
+			return fmt.Errorf("replay commit %d: %d of %d updates applied", seq, applied, len(us))
+		}
+	}
+	if got := store.Seq(); got != seq {
+		return fmt.Errorf("replay commit %d landed on seq %d", seq, got)
+	}
+	return nil
+}

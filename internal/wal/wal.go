@@ -1,0 +1,824 @@
+// Package wal makes the serving stack crash-safe: a write-ahead log of
+// incr.Store commits, periodic snapshots with log truncation, and recovery
+// that rebuilds the exact pre-crash store.
+//
+// The design leans on a property the incremental-maintenance layer already
+// guarantees: commits are totally ordered by the store's sequence number and
+// each carries the exact update batch that produced it. That makes the
+// update stream its own log — one checksummed record per commit, the
+// sequence number as the log index — and replay is just ApplyBatch in order.
+// Concretely:
+//
+//   - Log. Commits reach the WAL through the store's commit hook: the record
+//     is encoded and enqueued under the commit's write lock (preserving
+//     sequence order), and the mutating call acknowledges only after the
+//     record is durable per the sync policy. A group-commit flusher turns
+//     many concurrent small commits into one write and one fsync (batch
+//     size + max-wait accumulation, plus the natural batching of appends
+//     queueing up behind an in-flight fsync).
+//   - Snapshots. Every SnapshotEvery commits (and on graceful Close) the
+//     full store state — tombstones included, so fact ids stay aligned with
+//     the log — is serialized to snap-<seq> via write-to-temp, fsync,
+//     atomic rename, directory fsync; then the log segments the snapshot
+//     covers are deleted. Rotation happens before the state is read, so
+//     every record in a pre-rotation segment is provably at or below the
+//     snapshot's sequence.
+//   - Recovery. Open loads the newest valid snapshot, replays the remaining
+//     log records in order, tolerates a torn final record (the residue of a
+//     crash mid-append) by stopping at the last valid commit, and returns
+//     the rebuilt store plus the view queries to re-register for a warm
+//     plan cache.
+//
+// Backends are pluggable (Backend): the real filesystem in production, an
+// in-memory map for tests, and a fault injector (FaultBackend) that the
+// crash-recovery property tests drive to kill the pipeline at arbitrary
+// write, sync and byte boundaries.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/incr"
+)
+
+// SyncPolicy selects when an appended record counts as durable and the
+// commit that produced it may be acknowledged.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every flushed batch before acknowledging its
+	// commits: an acknowledged commit survives kill -9. The group-commit
+	// pipeline amortizes the fsync over every commit in the batch.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges after the write and fsyncs in the
+	// background every SyncEvery: a crash loses at most the last interval
+	// of acknowledged commits.
+	SyncInterval
+	// SyncOff never fsyncs (the OS flushes when it pleases): the
+	// throughput ceiling, and the durability floor.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// ErrClosed is returned for appends that arrive after Close or Kill.
+var ErrClosed = errors.New("wal: closed")
+
+// Options configures Open.
+type Options struct {
+	// Backend is the directory abstraction the WAL lives in. Required.
+	Backend Backend
+	// BatchSize is the group-commit batch target: a flush fires as soon as
+	// this many records are queued. <= 0 means 64.
+	BatchSize int
+	// MaxWait is how long a queued record waits for companions before the
+	// batch is flushed anyway. 0 means flush immediately; <0 means the
+	// default 200µs.
+	MaxWait time.Duration
+	// Sync is the durability policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the background fsync period under SyncInterval. <= 0
+	// means 50ms.
+	SyncEvery time.Duration
+	// SnapshotEvery triggers an automatic snapshot (and log truncation)
+	// after this many commits. 0 disables automatic snapshots — Snapshot
+	// and Close still write them.
+	SnapshotEvery uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.MaxWait < 0 {
+		o.MaxWait = 200 * time.Microsecond
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the durability state, for /healthz,
+// /statsz and dashboards.
+type Stats struct {
+	// QueuedSeq/WrittenSeq/SyncedSeq are the last commit sequence enqueued
+	// to, written through, and fsynced by the pipeline. An acknowledged
+	// commit satisfies SyncedSeq >= seq under SyncAlways and
+	// WrittenSeq >= seq otherwise.
+	QueuedSeq  uint64 `json:"queued_seq"`
+	WrittenSeq uint64 `json:"written_seq"`
+	SyncedSeq  uint64 `json:"synced_seq"`
+	// QueueDepth is the group-commit queue length right now.
+	QueueDepth int `json:"queue_depth"`
+	// Appends/Flushes/Syncs count records enqueued, write batches issued,
+	// and fsyncs performed; Appends/Flushes is the group-commit
+	// amortization factor.
+	Appends uint64 `json:"appends"`
+	Flushes uint64 `json:"flushes"`
+	Syncs   uint64 `json:"syncs"`
+	// LogBytes is the framed bytes written to the active segment since it
+	// was opened; Segments counts live segment files.
+	LogBytes int64 `json:"log_bytes"`
+	Segments int   `json:"segments"`
+	// SnapshotSeq is the commit of the last completed snapshot and
+	// SnapshotAge how long ago it finished (0 when none was taken).
+	SnapshotSeq uint64        `json:"snapshot_seq"`
+	SnapshotAge time.Duration `json:"snapshot_age_ns"`
+	Snapshots   uint64        `json:"snapshots"`
+	// Policy echoes the sync policy the log runs under.
+	Policy string `json:"fsync"`
+	// Err is the sticky pipeline failure, empty while healthy. Once set,
+	// every commit fails durability and the attached store marks itself
+	// broken.
+	Err string `json:"error,omitempty"`
+}
+
+// WAL is an open write-ahead log: the group-commit pipeline over the active
+// segment, the snapshot machinery, and the store attachment. Create with
+// Open, wire with Attach, stop with Close (graceful: flush + final
+// snapshot) or Kill (crash simulation: stop without flushing the queue).
+type WAL struct {
+	b    Backend
+	opts Options
+
+	// ioMu serializes file I/O (flusher writes, background syncs, segment
+	// rotation); mu guards the queue and counters and is never held across
+	// I/O. Lock order: ioMu before mu.
+	ioMu sync.Mutex
+	mu   sync.Mutex
+
+	qCond     *sync.Cond // queue became non-empty, or closing
+	flushCond *sync.Cond // written/synced advanced, or the pipeline failed
+
+	queue       [][]byte // encoded record payloads awaiting flush, seq order
+	queuedSeq   uint64
+	writtenSeq  uint64
+	syncedSeq   uint64
+	closed      bool
+	err         error // sticky pipeline failure
+	active      File
+	activeStart uint64
+	activeBytes int64
+	segments    int
+	lastSyncAt  time.Time
+
+	appends, flushes, syncs uint64
+
+	snapMu      sync.Mutex // one snapshot at a time
+	snapshotSeq uint64
+	snapshotAt  time.Time
+	snapshots   uint64
+	sinceSnap   uint64
+	snapC       chan struct{}
+	stopC       chan struct{}
+	closeOnce   sync.Once
+	closeErr    error
+	wg          sync.WaitGroup
+
+	store *incr.Store
+	views func() []string
+}
+
+// Open recovers whatever the backend holds (snapshot + log tail; an empty
+// backend recovers an empty store at sequence 0), opens a fresh active
+// segment after the recovered sequence, and starts the group-commit
+// pipeline. The caller wires the recovered store (or a freshly seeded one)
+// to the log with Attach; until then nothing is appended.
+func Open(opts Options) (*WAL, *Recovered, error) {
+	if opts.Backend == nil {
+		return nil, nil, errors.New("wal: Options.Backend is required")
+	}
+	opts = opts.withDefaults()
+	rec, err := Replay(opts.Backend)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{
+		b:     opts.Backend,
+		opts:  opts,
+		snapC: make(chan struct{}, 1),
+		stopC: make(chan struct{}),
+	}
+	w.qCond = sync.NewCond(&w.mu)
+	w.flushCond = sync.NewCond(&w.mu)
+	w.queuedSeq, w.writtenSeq, w.syncedSeq = rec.Seq, rec.Seq, rec.Seq
+	w.snapshotSeq = rec.SnapshotSeq
+	if err := w.openSegment(rec.Seq + 1); err != nil {
+		return nil, nil, err
+	}
+	// Leftovers from an interrupted snapshot write are dead weight: the
+	// atomic rename never happened, so nothing references them.
+	if names, err := opts.Backend.List(); err == nil {
+		for _, name := range names {
+			if len(name) > 4 && name[len(name)-4:] == ".tmp" {
+				_ = opts.Backend.Remove(name)
+			}
+		}
+	}
+	w.segments = w.countSegments()
+	w.wg.Add(1)
+	go w.flushLoop()
+	if opts.Sync == SyncInterval {
+		w.wg.Add(1)
+		go w.syncLoop()
+	}
+	return w, rec, nil
+}
+
+// openSegment creates and installs a fresh active segment whose first
+// possible record is start. Called from Open (no lock needed) and rotate
+// (under ioMu).
+func (w *WAL) openSegment(start uint64) error {
+	f, err := w.b.Create(segName(start))
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	if err := w.b.SyncDir(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	w.mu.Lock()
+	w.active = f
+	w.activeStart = start
+	w.activeBytes = int64(len(segMagic))
+	w.mu.Unlock()
+	return nil
+}
+
+func (w *WAL) countSegments() int {
+	names, err := w.b.List()
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, name := range names {
+		if _, ok := parseSegName(name); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Attach wires the WAL to the store: every commit is appended through the
+// store's commit hook and acknowledged only once durable, and automatic
+// snapshots (when configured) read the store's state. views, when non-nil,
+// supplies the normalized queries of the currently registered views for
+// snapshot metadata — the warm-restart half of recovery. Attach before the
+// store serves traffic.
+func (w *WAL) Attach(st *incr.Store, views func() []string) {
+	w.mu.Lock()
+	w.store = st
+	w.views = views
+	w.mu.Unlock()
+	st.SetCommitHook(w.commitHook)
+	if w.opts.SnapshotEvery > 0 {
+		w.wg.Add(1)
+		go w.snapLoop()
+	}
+}
+
+// commitHook is the incr.CommitHook: encode, enqueue in sequence order
+// (we run under the store's commit lock), hand back the durability barrier.
+func (w *WAL) commitHook(seq uint64, us []incr.Update) (wait func() error) {
+	payload := encodeRecord(seq, us)
+	w.mu.Lock()
+	if w.err != nil || w.closed {
+		err := w.err
+		if err == nil {
+			err = ErrClosed
+		}
+		w.mu.Unlock()
+		return func() error { return err }
+	}
+	w.queue = append(w.queue, payload)
+	w.queuedSeq = seq
+	w.appends++
+	trigger := false
+	if w.opts.SnapshotEvery > 0 {
+		w.sinceSnap++
+		if w.sinceSnap >= w.opts.SnapshotEvery {
+			w.sinceSnap = 0
+			trigger = true
+		}
+	}
+	w.qCond.Signal()
+	w.mu.Unlock()
+	if trigger {
+		select {
+		case w.snapC <- struct{}{}:
+		default: // a snapshot is already pending
+		}
+	}
+	return func() error { return w.waitDurable(seq) }
+}
+
+// waitDurable blocks until commit seq is durable under the configured
+// policy, or the pipeline has failed or closed.
+func (w *WAL) waitDurable(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		target := w.writtenSeq
+		if w.opts.Sync == SyncAlways {
+			target = w.syncedSeq
+		}
+		if target >= seq {
+			return nil
+		}
+		if w.closed {
+			return ErrClosed
+		}
+		w.flushCond.Wait()
+	}
+}
+
+// flushLoop is the group-commit pipeline: wait for records, give stragglers
+// MaxWait to pile in (unless the batch is already full), then write the
+// whole batch as one append and sync it per policy. An in-flight fsync
+// naturally extends the batching window — appends queue up behind it and
+// the next flush takes them all.
+func (w *WAL) flushLoop() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.qCond.Wait()
+		}
+		if len(w.queue) == 0 && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		if len(w.queue) < w.opts.BatchSize && w.opts.MaxWait > 0 && !w.closed {
+			w.mu.Unlock()
+			time.Sleep(w.opts.MaxWait)
+			w.mu.Lock()
+		}
+		batch := w.queue
+		w.queue = nil
+		last := w.queuedSeq
+		w.mu.Unlock()
+		w.writeBatch(batch, last)
+	}
+}
+
+// writeBatch frames and writes one batch through the active segment,
+// advancing writtenSeq/syncedSeq or recording the sticky pipeline error.
+func (w *WAL) writeBatch(batch [][]byte, last uint64) {
+	var buf []byte
+	for _, payload := range batch {
+		buf = appendFrame(buf, payload)
+	}
+	w.ioMu.Lock()
+	w.mu.Lock()
+	f := w.active
+	w.mu.Unlock()
+	_, werr := f.Write(buf)
+	synced := false
+	if werr == nil {
+		switch w.opts.Sync {
+		case SyncAlways:
+			if werr = f.Sync(); werr == nil {
+				synced = true
+			}
+		case SyncInterval:
+			if time.Since(w.lastSyncAt) >= w.opts.SyncEvery {
+				if werr = f.Sync(); werr == nil {
+					synced = true
+				}
+			}
+		}
+	}
+	w.ioMu.Unlock()
+
+	w.mu.Lock()
+	if werr != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("wal: append failed: %w", werr)
+		}
+	} else {
+		w.writtenSeq = last
+		w.activeBytes += int64(len(buf))
+		w.flushes++
+		if synced {
+			w.syncedSeq = last
+			w.syncs++
+			w.lastSyncAt = time.Now()
+		}
+	}
+	w.flushCond.Broadcast()
+	w.mu.Unlock()
+}
+
+// syncLoop is the SyncInterval background fsync: it catches the written-but
+// -unsynced tail that an idle period would otherwise leave exposed.
+func (w *WAL) syncLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopC:
+			return
+		case <-t.C:
+			w.syncNow()
+		}
+	}
+}
+
+// syncNow fsyncs the active segment if it holds written-but-unsynced
+// records.
+func (w *WAL) syncNow() {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	w.mu.Lock()
+	f, target := w.active, w.writtenSeq
+	stale := w.err == nil && !w.closed && target > w.syncedSeq
+	w.mu.Unlock()
+	if !stale || f == nil {
+		return
+	}
+	serr := f.Sync()
+	w.mu.Lock()
+	if serr != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("wal: sync failed: %w", serr)
+		}
+	} else {
+		if target > w.syncedSeq {
+			w.syncedSeq = target
+		}
+		w.syncs++
+		w.lastSyncAt = time.Now()
+	}
+	w.flushCond.Broadcast()
+	w.mu.Unlock()
+}
+
+// rotate seals the active segment (flush the queue into it, fsync, close)
+// and opens a fresh one. After rotate returns, every record in older
+// segments has sequence <= the sequence of the last commit enqueued before
+// the call — the invariant the snapshot/truncate protocol rests on.
+func (w *WAL) rotate() error {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	w.mu.Lock()
+	batch := w.queue
+	w.queue = nil
+	last := w.queuedSeq
+	old := w.active
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+
+	var buf []byte
+	for _, payload := range batch {
+		buf = appendFrame(buf, payload)
+	}
+	var werr error
+	if len(buf) > 0 {
+		_, werr = old.Write(buf)
+	}
+	if werr == nil {
+		werr = old.Sync() // segment boundaries are always durable
+	}
+	if cerr := old.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = w.openSegmentLocked(last + 1)
+	}
+	w.mu.Lock()
+	if werr != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("wal: rotate failed: %w", werr)
+		}
+	} else {
+		w.writtenSeq = last
+		w.syncedSeq = last
+		w.flushes++
+		w.syncs++
+		w.lastSyncAt = time.Now()
+		w.segments++
+	}
+	w.flushCond.Broadcast()
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// openSegmentLocked is openSegment for callers already holding ioMu.
+func (w *WAL) openSegmentLocked(start uint64) error {
+	f, err := w.b.Create(segName(start))
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	if err := w.b.SyncDir(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	w.mu.Lock()
+	w.active = f
+	w.activeStart = start
+	w.activeBytes = int64(len(segMagic))
+	w.mu.Unlock()
+	return nil
+}
+
+// snapLoop serves the automatic snapshot triggers raised by the commit
+// hook.
+func (w *WAL) snapLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stopC:
+			return
+		case <-w.snapC:
+			_ = w.Snapshot() // failure is sticky in w.err and visible in Stats
+		}
+	}
+}
+
+// Snapshot serializes the attached store's full state to a snap-<seq> file
+// and truncates the log segments it covers. The protocol tolerates a crash
+// at every step:
+//
+//  1. rotate the log — every record in the sealed segments is now at or
+//     below the store sequence read in step 2;
+//  2. read the store state (a consistent cut at some sequence S >= the
+//     rotation boundary) and the registered view queries;
+//  3. write snap-S.tmp, fsync it, rename to snap-S, fsync the directory —
+//     a crash before the rename leaves only the previous snapshot, after it
+//     the new one is complete;
+//  4. delete the sealed segments (all covered by S) and all but the latest
+//     two snapshots. A crash before the deletions leaves extra files that
+//     recovery skips record-by-record.
+func (w *WAL) Snapshot() error {
+	w.mu.Lock()
+	st, views := w.store, w.views
+	w.mu.Unlock()
+	if st == nil {
+		return errors.New("wal: no store attached")
+	}
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+
+	if err := w.rotate(); err != nil {
+		return err
+	}
+	state := st.State()
+	var viewQs []string
+	if views != nil {
+		viewQs = views()
+	}
+	if err := w.writeSnapshotFile(state, viewQs); err != nil {
+		w.mu.Lock()
+		if w.err == nil {
+			w.err = err
+		}
+		w.flushCond.Broadcast()
+		w.mu.Unlock()
+		return err
+	}
+
+	w.mu.Lock()
+	w.snapshotSeq = state.Seq
+	w.snapshotAt = time.Now()
+	w.snapshots++
+	activeStart := w.activeStart
+	w.mu.Unlock()
+
+	// Truncation and snapshot retirement are pure garbage collection:
+	// failures leave extra files, never lost state, so they do not poison
+	// the pipeline.
+	names, err := w.b.List()
+	if err != nil {
+		return nil
+	}
+	var snaps []uint64
+	for _, name := range names {
+		if start, ok := parseSegName(name); ok && start < activeStart {
+			_ = w.b.Remove(name)
+		}
+		if seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	for i := 0; i+2 < len(snaps); i++ { // List is sorted: oldest first
+		_ = w.b.Remove(snapName(snaps[i]))
+	}
+	_ = w.b.SyncDir()
+	w.mu.Lock()
+	w.segments = w.countSegments()
+	w.mu.Unlock()
+	return nil
+}
+
+// writeSnapshotFile runs step 3 of the snapshot protocol.
+func (w *WAL) writeSnapshotFile(state incr.State, views []string) error {
+	name := snapName(state.Seq)
+	tmp := name + ".tmp"
+	f, err := w.b.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot create: %w", err)
+	}
+	var buf []byte
+	buf = append(buf, snapMagic...)
+	buf = appendFrame(buf, encodeSnapshot(state, views))
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := w.b.Rename(tmp, name); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := w.b.SyncDir(); err != nil {
+		return fmt.Errorf("wal: snapshot dir sync: %w", err)
+	}
+	return nil
+}
+
+// Close shuts the WAL down gracefully: drain and fsync the queue, write a
+// final clean snapshot (when a store is attached), and delete the log it
+// covers — a planned restart replays nothing. Close is idempotent; the
+// caller should quiesce the store first (commits racing Close may fail with
+// ErrClosed).
+func (w *WAL) Close() error {
+	w.closeOnce.Do(func() { w.closeErr = w.shutdown(true) })
+	return w.closeErr
+}
+
+// Kill stops the WAL the way kill -9 would: background goroutines exit, the
+// queue is NOT flushed, no final snapshot or fsync happens. What the
+// backend holds afterwards is exactly what a crash at this instant would
+// leave. It exists for crash-recovery tests and benchmarks.
+func (w *WAL) Kill() {
+	w.closeOnce.Do(func() { w.closeErr = w.shutdown(false) })
+}
+
+func (w *WAL) shutdown(graceful bool) error {
+	close(w.stopC)
+	w.mu.Lock()
+	w.closed = true
+	if !graceful {
+		// Drop the unflushed queue: these commits were never acknowledged
+		// durable (their waiters now fail with ErrClosed), and a crash
+		// would have lost them too.
+		w.queue = nil
+	}
+	w.qCond.Broadcast()
+	w.flushCond.Broadcast()
+	w.mu.Unlock()
+	w.wg.Wait()
+
+	w.mu.Lock()
+	err := w.err
+	store := w.store
+	active := w.active
+	w.mu.Unlock()
+	if !graceful {
+		if active != nil {
+			active.Close()
+		}
+		return err
+	}
+	w.ioMu.Lock()
+	if err == nil && active != nil {
+		if serr := active.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	w.ioMu.Unlock()
+	if err == nil && store != nil {
+		// The final snapshot covers everything; the empty segment the
+		// rotation inside Snapshot leaves behind is recreated (truncated)
+		// by the next Open anyway.
+		if serr := w.snapshotClosed(); serr != nil {
+			err = serr
+		}
+	}
+	w.mu.Lock()
+	if w.active != nil {
+		w.active.Close()
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// snapshotClosed is Snapshot for the post-shutdown path: the flusher has
+// exited, so the queue drain happens inline here.
+func (w *WAL) snapshotClosed() error {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	// The flusher exits only once the queue is empty, so rotation here
+	// writes nothing new — it just seals the active segment for the
+	// snapshot's covering argument.
+	w.mu.Lock()
+	w.closed = false // let rotate's error path see a live pipeline
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.closed = true
+		w.mu.Unlock()
+	}()
+	if err := w.rotate(); err != nil {
+		return err
+	}
+	state := w.store.State()
+	var viewQs []string
+	if w.views != nil {
+		viewQs = w.views()
+	}
+	if err := w.writeSnapshotFile(state, viewQs); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.snapshotSeq = state.Seq
+	w.snapshotAt = time.Now()
+	w.snapshots++
+	activeStart := w.activeStart
+	w.mu.Unlock()
+	names, err := w.b.List()
+	if err != nil {
+		return nil
+	}
+	var snaps []uint64
+	for _, name := range names {
+		if start, ok := parseSegName(name); ok && start < activeStart {
+			_ = w.b.Remove(name)
+		}
+		if seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	for i := 0; i+2 < len(snaps); i++ {
+		_ = w.b.Remove(snapName(snaps[i]))
+	}
+	return w.b.SyncDir()
+}
+
+// Flush blocks until every commit enqueued so far is written (and fsynced
+// under SyncAlways).
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	seq := w.queuedSeq
+	w.mu.Unlock()
+	return w.waitDurable(seq)
+}
+
+// Stats returns the current durability counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := Stats{
+		QueuedSeq:   w.queuedSeq,
+		WrittenSeq:  w.writtenSeq,
+		SyncedSeq:   w.syncedSeq,
+		QueueDepth:  len(w.queue),
+		Appends:     w.appends,
+		Flushes:     w.flushes,
+		Syncs:       w.syncs,
+		LogBytes:    w.activeBytes,
+		Segments:    w.segments,
+		SnapshotSeq: w.snapshotSeq,
+		Snapshots:   w.snapshots,
+		Policy:      w.opts.Sync.String(),
+	}
+	if !w.snapshotAt.IsZero() {
+		s.SnapshotAge = time.Since(w.snapshotAt)
+	}
+	if w.err != nil {
+		s.Err = w.err.Error()
+	}
+	return s
+}

@@ -1,0 +1,575 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/incr"
+	"repro/internal/rel"
+)
+
+const tol = 1e-12
+
+// --- encoding roundtrips ---
+
+func TestRecordRoundtrip(t *testing.T) {
+	us := []incr.Update{
+		{Op: incr.OpSet, ID: 3, P: 0.25},
+		{Op: incr.OpInsert, Fact: rel.NewFact("R", "a", "b"), P: 0.5},
+		{Op: incr.OpInsert, Fact: rel.NewFact("Nullary"), P: 1},
+		{Op: incr.OpDelete, ID: 0},
+		{Op: incr.OpSet, ID: 0, P: 0},
+	}
+	for _, batch := range [][]incr.Update{us, nil, us[:1]} {
+		payload := encodeRecord(42, batch)
+		seq, got, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != 42 {
+			t.Fatalf("seq %d", seq)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("got %d updates, want %d", len(got), len(batch))
+		}
+		for i := range batch {
+			if got[i].Op != batch[i].Op || got[i].ID != batch[i].ID || got[i].P != batch[i].P ||
+				got[i].Fact.Key() != batch[i].Fact.Key() {
+				t.Fatalf("update %d: got %+v, want %+v", i, got[i], batch[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	st := incr.State{
+		Facts:   []rel.Fact{rel.NewFact("R", "a"), rel.NewFact("S", "a", "b"), rel.NewFact("T", "b")},
+		Probs:   []float64{0.9, 0, 0.75},
+		Deleted: []bool{false, true, false},
+		Seq:     17,
+	}
+	views := []string{"R(?x) & S(?x, ?y)", "T(?y)"}
+	got, gotViews, err := decodeSnapshot(encodeSnapshot(st, views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != st.Seq || !reflect.DeepEqual(got.Probs, st.Probs) || !reflect.DeepEqual(got.Deleted, st.Deleted) {
+		t.Fatalf("state mismatch: got %+v, want %+v", got, st)
+	}
+	for i := range st.Facts {
+		if got.Facts[i].Key() != st.Facts[i].Key() {
+			t.Fatalf("fact %d: got %v, want %v", i, got.Facts[i], st.Facts[i])
+		}
+	}
+	if !reflect.DeepEqual(gotViews, views) {
+		t.Fatalf("views: got %v, want %v", gotViews, views)
+	}
+}
+
+// TestFrameTorn cuts and corrupts a frame every way a crash can: any
+// truncation and any flipped byte must read as not-ok, the intact frame must
+// round-trip.
+func TestFrameTorn(t *testing.T) {
+	payload := []byte("hello, wal")
+	framed := appendFrame(nil, payload)
+	if got, next, ok := readFrame(framed, 0); !ok || next != len(framed) || string(got) != string(payload) {
+		t.Fatalf("intact frame: ok=%v next=%d got=%q", ok, next, got)
+	}
+	for cut := 0; cut < len(framed); cut++ {
+		if _, _, ok := readFrame(framed[:cut], 0); ok {
+			t.Fatalf("frame truncated to %d bytes still read ok", cut)
+		}
+	}
+	for i := 0; i < len(framed); i++ {
+		bad := append([]byte(nil), framed...)
+		bad[i] ^= 0x40
+		if got, _, ok := readFrame(bad, 0); ok && string(got) == string(payload) {
+			// Flipping a length byte can still yield a valid shorter frame
+			// only if the checksum happens to collide — with CRC32C over
+			// this payload it must not.
+			t.Fatalf("byte %d flipped, frame still read back intact", i)
+		}
+	}
+}
+
+func TestDecodeRejectsOverflowClaims(t *testing.T) {
+	// A payload claiming more updates than it has bytes must fail fast, not
+	// allocate.
+	var b []byte
+	b = append(b, make([]byte, 8)...) // seq 0
+	b = append(b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	if _, _, err := decodeRecord(b); err == nil {
+		t.Fatal("record claiming 2^63 updates decoded")
+	}
+	if _, _, err := decodeSnapshot(b); err == nil {
+		t.Fatal("snapshot claiming 2^63 facts decoded")
+	}
+}
+
+// --- pipeline + recovery harness ---
+
+// harness drives one store through a deterministic random workload with a
+// WAL attached, remembering the exact durable state after every
+// acknowledged commit.
+type harness struct {
+	t     *testing.T
+	store *incr.Store
+	view  *incr.View
+	mem   *MemBackend
+	w     *WAL
+
+	states []incr.State // states[i] = store state after commit seq i+1... indexed by position
+	probs  []float64    // view probability at the same instants
+	clones []*MemBackend
+}
+
+func newHarness(t *testing.T, opts Options) *harness {
+	t.Helper()
+	mem := NewMemBackend()
+	opts.Backend = mem
+	w, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 0 || rec.Records != 0 || rec.SnapshotSeq != 0 {
+		t.Fatalf("empty backend recovered non-empty: %+v", rec)
+	}
+	return attachHarness(t, mem, w)
+}
+
+// attachHarness seeds a fresh store, attaches it to w, and writes the
+// baseline snapshot pdbd writes when seeding a fresh data dir: the backend
+// alone must carry the instance from here on. mem is the raw in-memory
+// directory (w may write through a fault injector on top of it).
+func attachHarness(t *testing.T, mem *MemBackend, w *WAL) *harness {
+	t.Helper()
+	store, err := incr.NewStore(gen.RSTChain(6, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := store.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, store: store, view: v, mem: mem, w: w}
+	w.Attach(store, func() []string { return []string{rel.HardQuery().String()} })
+	if err := w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// mark remembers the current acknowledged state (and optionally the exact
+// backend content via Clone).
+func (h *harness) mark(clone bool) {
+	h.states = append(h.states, h.store.State())
+	h.probs = append(h.probs, h.view.Probability())
+	if clone {
+		h.clones = append(h.clones, h.mem.Clone())
+	}
+}
+
+// step applies one deterministic random mutation and reports whether it
+// committed (workload steps that lose the validity race — deleting the last
+// live fact and such — are skipped, not failed).
+func (h *harness) step(r *rand.Rand, i int) bool {
+	h.t.Helper()
+	switch k := r.Intn(10); {
+	case k < 5: // reweight a live fact
+		id := h.liveID(r)
+		if id < 0 {
+			return false
+		}
+		if err := h.store.SetProb(id, float64(r.Intn(11))/10); err != nil {
+			h.t.Fatalf("step %d set: %v", i, err)
+		}
+	case k < 7: // insert a fresh fact (singleton shard)
+		if _, err := h.store.Insert(rel.NewFact("R", fmt.Sprintf("z%d", i)), 0.5); err != nil {
+			h.t.Fatalf("step %d insert: %v", i, err)
+		}
+	case k < 8: // delete a live fact, keeping at least two alive
+		if h.store.NumLive() <= 2 {
+			return false
+		}
+		id := h.liveID(r)
+		if id < 0 {
+			return false
+		}
+		if err := h.store.Delete(id); err != nil {
+			h.t.Fatalf("step %d delete: %v", i, err)
+		}
+	default: // a batch: two sets and an insert in one commit
+		a, b := h.liveID(r), h.liveID(r)
+		if a < 0 || b < 0 {
+			return false
+		}
+		err := h.store.ApplyBatch([]incr.Update{
+			{Op: incr.OpSet, ID: a, P: 0.3},
+			{Op: incr.OpInsert, Fact: rel.NewFact("T", fmt.Sprintf("w%d", i)), P: 0.25},
+			{Op: incr.OpSet, ID: b, P: 0.7},
+		})
+		if err != nil {
+			h.t.Fatalf("step %d batch: %v", i, err)
+		}
+	}
+	return true
+}
+
+func (h *harness) liveID(r *rand.Rand) int {
+	for try := 0; try < 64; try++ {
+		id := r.Intn(h.store.Len())
+		if h.store.Live(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// checkRecovered asserts that replaying b lands exactly on remembered state
+// i: same sequence, same facts/ids/weights/tombstones, view probability
+// within 1e-12.
+func (h *harness) checkRecovered(b Backend, i int, ctx string) {
+	h.t.Helper()
+	rec, err := Replay(b)
+	if err != nil {
+		h.t.Fatalf("%s: replay: %v", ctx, err)
+	}
+	h.checkState(rec, i, ctx)
+}
+
+func (h *harness) checkState(rec *Recovered, i int, ctx string) {
+	h.t.Helper()
+	want := h.states[i]
+	got := rec.Store.State()
+	if got.Seq != want.Seq {
+		h.t.Fatalf("%s: recovered seq %d, want %d", ctx, got.Seq, want.Seq)
+	}
+	if len(got.Facts) != len(want.Facts) {
+		h.t.Fatalf("%s: recovered %d fact slots, want %d", ctx, len(got.Facts), len(want.Facts))
+	}
+	for j := range want.Facts {
+		if got.Facts[j].Key() != want.Facts[j].Key() {
+			h.t.Fatalf("%s: fact id %d is %v, want %v", ctx, j, got.Facts[j], want.Facts[j])
+		}
+		if got.Probs[j] != want.Probs[j] { // replay is bit-exact
+			h.t.Fatalf("%s: fact id %d weight %v, want %v", ctx, j, got.Probs[j], want.Probs[j])
+		}
+		if got.Deleted[j] != want.Deleted[j] {
+			h.t.Fatalf("%s: fact id %d deleted=%v, want %v", ctx, j, got.Deleted[j], want.Deleted[j])
+		}
+	}
+	v, err := rec.Store.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		h.t.Fatalf("%s: register view on recovered store: %v", ctx, err)
+	}
+	if d := math.Abs(v.Probability() - h.probs[i]); d > tol {
+		h.t.Fatalf("%s: recovered view probability %v, want %v (|Δ|=%.3g)", ctx, v.Probability(), h.probs[i], d)
+	}
+}
+
+// --- recovery property tests ---
+
+// TestRecoverAtEveryCommit is the core crash property: after EVERY
+// acknowledged commit, the backend content alone reconstructs exactly the
+// acknowledged state — same sequence, same fact ids and weights, view
+// probabilities within 1e-12. Snapshots are forced at several points so
+// crash instants land before, between and after snapshot/truncation cycles.
+func TestRecoverAtEveryCommit(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(7))
+	h.mark(true) // the empty pre-workload state
+	for i := 0; i < 60; i++ {
+		if !h.step(r, i) {
+			continue
+		}
+		h.mark(true)
+		if len(h.states)%13 == 0 {
+			if err := h.w.Snapshot(); err != nil {
+				t.Fatalf("snapshot after commit %d: %v", i, err)
+			}
+			// A crash right after the snapshot cycle must also recover.
+			h.clones[len(h.clones)-1] = h.mem.Clone()
+		}
+	}
+	h.w.Kill()
+	for i, c := range h.clones {
+		h.checkRecovered(c, i, fmt.Sprintf("crash point %d (seq %d)", i, h.states[i].Seq))
+	}
+	h.checkRecovered(h.mem, len(h.states)-1, "final kill")
+}
+
+// TestTornTailEveryByte cuts the log at every byte boundary of the final
+// record: recovery must land on the previous commit for every cut short of
+// the full record, and on the final commit at the full length — never fail,
+// never corrupt.
+func TestTornTailEveryByte(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 20 || len(h.states) < 2; i++ {
+		if h.step(r, i) {
+			h.mark(false)
+		}
+	}
+	h.w.Kill()
+
+	// The active segment is the lexically largest wal- file.
+	names, err := h.mem.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := ""
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			seg = n
+		}
+	}
+	full := h.mem.Size(seg)
+
+	// Find where the final record begins by walking the frames.
+	data, err := h.mem.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, lastStart := len(segMagic), len(segMagic)
+	for off < len(data) {
+		_, next, ok := readFrame(data, off)
+		if !ok {
+			t.Fatalf("final segment has a torn record before the kill point")
+		}
+		lastStart = off
+		off = next
+	}
+	if off != full {
+		t.Fatalf("frame walk ended at %d, file is %d", off, full)
+	}
+
+	last := len(h.states) - 1
+	for cut := lastStart; cut <= full; cut++ {
+		c := h.mem.Clone()
+		c.Truncate(seg, cut)
+		rec, err := Replay(c)
+		if err != nil {
+			t.Fatalf("cut at %d: replay: %v", cut, err)
+		}
+		wantIdx := last - 1
+		if cut == full {
+			wantIdx = last
+		}
+		if rec.TornTail != (cut > lastStart && cut < full) {
+			t.Fatalf("cut at %d: TornTail=%v", cut, rec.TornTail)
+		}
+		h.checkState(rec, wantIdx, fmt.Sprintf("cut at byte %d of %d", cut, full))
+	}
+}
+
+// TestGroupCommitCoalesces runs concurrent committers through one WAL and
+// checks (a) the pipeline actually groups appends into fewer flushes, and
+// (b) a crash afterwards still recovers the exact final state.
+func TestGroupCommitCoalesces(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 16, MaxWait: 2 * time.Millisecond, Sync: SyncAlways})
+	const workers, perWorker = 8, 25
+	ids := make([]int, 0)
+	for id := 0; id < h.store.Len(); id++ {
+		if h.store.Live(id) {
+			ids = append(ids, id)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := ids[(g*perWorker+i)%len(ids)]
+				if err := h.store.SetProb(id, float64((g+i)%10+1)/11); err != nil {
+					t.Errorf("worker %d commit %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := h.w.Stats()
+	if st.Appends != workers*perWorker {
+		t.Fatalf("appends %d, want %d", st.Appends, workers*perWorker)
+	}
+	if st.Flushes >= st.Appends {
+		t.Errorf("no group commit: %d flushes for %d appends", st.Flushes, st.Appends)
+	}
+	if st.Syncs > st.Flushes {
+		t.Errorf("%d syncs exceed %d flushes", st.Syncs, st.Flushes)
+	}
+	if st.SyncedSeq != h.store.Seq() {
+		t.Errorf("synced seq %d behind store seq %d after all acks", st.SyncedSeq, h.store.Seq())
+	}
+	h.mark(false)
+	h.w.Kill()
+	h.checkRecovered(h.mem, 0, "after concurrent workload")
+}
+
+// TestSyncPolicies drives the same workload under each fsync policy; after a
+// Flush barrier, the backend recovers the full state under every policy.
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			h := newHarness(t, Options{BatchSize: 8, MaxWait: 0, Sync: pol, SyncEvery: 5 * time.Millisecond})
+			r := rand.New(rand.NewSource(3))
+			for i := 0; i < 25; i++ {
+				h.step(r, i)
+			}
+			if err := h.w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			h.mark(false)
+			if pol == SyncInterval {
+				// The background fsync must catch up without further commits.
+				deadline := time.Now().Add(time.Second)
+				for h.w.Stats().SyncedSeq != h.store.Seq() {
+					if time.Now().After(deadline) {
+						t.Fatalf("interval sync never caught up: %+v", h.w.Stats())
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			h.w.Kill()
+			h.checkRecovered(h.mem, 0, "after flush")
+		})
+	}
+}
+
+// TestGracefulCloseThenReopen checks the planned-restart path: Close seals
+// everything under a final snapshot, reopening replays zero records and
+// carries the recorded views, and the reopened WAL keeps accepting commits
+// that again survive a crash.
+func TestGracefulCloseThenReopen(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		h.step(r, i)
+	}
+	h.mark(false)
+	if err := h.w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := h.w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	rec, err := Replay(h.mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 0 {
+		t.Errorf("planned restart replayed %d records, want 0", rec.Records)
+	}
+	if len(rec.Views) != 1 || rec.Views[0] != rel.HardQuery().String() {
+		t.Errorf("recovered views %v", rec.Views)
+	}
+	h.checkState(rec, 0, "after graceful close")
+
+	// Generation 2: reopen over the same backend, continue committing.
+	w2, rec2, err := Open(Options{Backend: h.mem, BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Seq != h.states[0].Seq {
+		t.Fatalf("reopen at seq %d, want %d", rec2.Seq, h.states[0].Seq)
+	}
+	st2 := rec2.Store
+	w2.Attach(st2, nil)
+	v2, err := st2.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		id := i % st2.Len()
+		if !st2.Live(id) {
+			continue
+		}
+		if err := st2.SetProb(id, float64(i%9+1)/10); err != nil {
+			t.Fatalf("gen2 commit %d: %v", i, err)
+		}
+	}
+	wantSeq, wantProb := st2.Seq(), v2.Probability()
+	w2.Kill()
+	rec3, err := Replay(h.mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Seq != wantSeq {
+		t.Fatalf("gen2 crash recovered seq %d, want %d", rec3.Seq, wantSeq)
+	}
+	v3, err := rec3.Store.RegisterView(rel.HardQuery(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(v3.Probability() - wantProb); d > tol {
+		t.Fatalf("gen2 recovered probability off by %.3g", d)
+	}
+}
+
+// TestSnapshotTruncatesLog checks the log actually shrinks: after a
+// snapshot, the sealed segments are gone and recovery replays only the tail.
+func TestSnapshotTruncatesLog(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		h.step(r, i)
+	}
+	if err := h.w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	snapSeq := h.store.Seq()
+	for i := 20; i < 24; i++ {
+		h.step(r, i)
+	}
+	h.mark(false)
+	h.w.Kill()
+
+	names, _ := h.mem.List()
+	segs := 0
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			segs++
+		}
+	}
+	if segs != 1 {
+		t.Errorf("%d segments survive the snapshot, want 1 (have %v)", segs, names)
+	}
+	rec, err := Replay(h.mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotSeq != snapSeq {
+		t.Errorf("recovered from snapshot %d, want %d", rec.SnapshotSeq, snapSeq)
+	}
+	if want := int(h.states[0].Seq - snapSeq); rec.Records != want {
+		t.Errorf("replayed %d records, want %d", rec.Records, want)
+	}
+	h.checkState(rec, 0, "snapshot + tail")
+}
+
+// TestClosedWALRefusesCommits pins the ErrClosed path: commits after Kill
+// fail, and the store marks itself broken rather than diverging from the
+// log.
+func TestClosedWALRefusesCommits(t *testing.T) {
+	h := newHarness(t, Options{BatchSize: 4, MaxWait: 0, Sync: SyncAlways})
+	if err := h.store.SetProb(0, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	h.w.Kill()
+	if err := h.store.SetProb(0, 0.6); !errors.Is(err, ErrClosed) {
+		t.Fatalf("commit after kill: %v, want ErrClosed", err)
+	}
+	if err := h.store.SetProb(0, 0.7); err == nil {
+		t.Fatal("store still accepts commits after a failed durability wait")
+	}
+}

@@ -49,6 +49,9 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
         else if ($f == "ns/update") update[name] += $(f-1)
         else if ($f == "shards")    shards[name] += $(f-1)
         else if ($f == "req/s")     reqs[name] += $(f-1)
+        else if ($f == "ns/durable_update") durable[name] += $(f-1)
+        else if ($f == "appends/flush")     batching[name] += $(f-1)
+        else if ($f == "recovery_ms")       recms[name] += $(f-1)
     }
     runs[name]++
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
@@ -72,6 +75,12 @@ END {
             extra = extra sprintf(", \"shards\": %.0f", shards[name]/runs[name])
         if (name in reqs)
             extra = extra sprintf(", \"req_per_s\": %.0f", reqs[name]/runs[name])
+        if (name in durable)
+            extra = extra sprintf(", \"ns_per_durable_update\": %.1f", durable[name]/runs[name])
+        if (name in batching)
+            extra = extra sprintf(", \"appends_per_flush\": %.2f", batching[name]/runs[name])
+        if (name in recms)
+            extra = extra sprintf(", \"recovery_ms\": %.2f", recms[name]/runs[name])
         if (!first) printf ",\n"
         first = 0
         printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f%s, \"runs\": %d}", \
