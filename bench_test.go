@@ -647,6 +647,12 @@ func BenchmarkE13Service(b *testing.B) {
 			wg.Wait()
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			// Server-side latency quantiles from the /query histogram — the
+			// same numbers /statsz and /metrics expose.
+			if sn, ok := s.LatencySnapshot("query"); ok && sn.Count > 0 {
+				b.ReportMetric(sn.Quantile(0.50)*1e6, "p50_us")
+				b.ReportMetric(sn.Quantile(0.99)*1e6, "p99_us")
+			}
 			st := s.Stats()
 			if st.Prepares != 1 {
 				b.Fatalf("prepares = %d, want 1 (cache must absorb the load)", st.Prepares)

@@ -811,7 +811,7 @@ func e13() {
 	fmt.Println("E13 Query service (pdbd): /query throughput on a cached shape (chain n=200)")
 	tid := gen.RSTChain(200, 0.5)
 	q := rel.HardQuery()
-	fmt.Println("    clients  requests  total_ms  req/s    cache_hit_rate")
+	fmt.Println("    clients  requests  total_ms  req/s    p50_us   p99_us   cache_hit_rate")
 	const perClient = 200
 	for _, clients := range []int{1, 2, 4, 8} {
 		s, err := server.New(tid, server.Config{Workers: clients})
@@ -854,8 +854,12 @@ func e13() {
 			return
 		}
 		hitRate := float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
-		fmt.Printf("    %-8d %-9d %-9s %-8.0f %.4f\n",
-			clients, total, ms(d), float64(total)/d.Seconds(), hitRate)
+		// Server-side quantiles from the per-endpoint latency histogram —
+		// the same numbers /statsz and /metrics report.
+		sn, _ := s.LatencySnapshot("query")
+		fmt.Printf("    %-8d %-9d %-9s %-8.0f %-8.1f %-8.1f %.4f\n",
+			clients, total, ms(d), float64(total)/d.Seconds(),
+			sn.Quantile(0.50)*1e6, sn.Quantile(0.99)*1e6, hitRate)
 	}
 
 	fmt.Println("    batched sweep (/batch, 64 lanes/request) vs 64 single /query overrides:")

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/rel"
 )
@@ -28,7 +29,8 @@ import (
 //	delete ID            tombstone fact ID
 //	begin ... commit     group the enclosed updates into one batched commit
 //	prob                 print the current probability
-//	stats                print store counters, shards and the decomposition shape
+//	stats                print store counters, commit latency quantiles,
+//	                     shards and the decomposition shape
 //
 // Fact ids are the load order of the instance file, counted from 0; inserts
 // print the id they were assigned.
@@ -51,6 +53,10 @@ func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer, interactive bo
 	if err != nil {
 		return err
 	}
+	// A private registry so `stats` can report commit-latency quantiles from
+	// the same histograms pdbd would export.
+	m := incr.NewMetrics(obs.NewRegistry())
+	s.SetMetrics(m)
 	v, err := s.RegisterView(q, core.Options{})
 	if err != nil {
 		return err
@@ -72,7 +78,7 @@ func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer, interactive bo
 			continue
 		}
 		fields := strings.Fields(text)
-		if err := runUpdateLine(s, v, w, fields, &batch, &inBatch); err != nil {
+		if err := runUpdateLine(s, m, v, w, fields, &batch, &inBatch); err != nil {
 			// Report and carry on: the staged batch (if any) is untouched.
 			fmt.Fprintf(w, "error: line %d: %v\n", line, err)
 		}
@@ -88,7 +94,7 @@ func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer, interactive bo
 
 // runUpdateLine executes one parsed update command. Errors are recoverable:
 // the caller reports them and continues, with all staged state intact.
-func runUpdateLine(s *incr.Store, v *incr.View, w io.Writer, fields []string, batch *[]incr.Update, inBatch *bool) error {
+func runUpdateLine(s *incr.Store, m *incr.Metrics, v *incr.View, w io.Writer, fields []string, batch *[]incr.Update, inBatch *bool) error {
 	switch fields[0] {
 	case "set":
 		if len(fields) != 3 {
@@ -169,6 +175,10 @@ func runUpdateLine(s *incr.Store, v *incr.View, w io.Writer, fields []string, ba
 		sh := v.Shape()
 		fmt.Fprintf(w, "store: %d commits, %d updates (%d set, %d insert, %d delete), %d attached in place, %d shards opened, %d rebuilds, %d tombstones, %d tables recomputed\n",
 			st.Commits, st.Updates, st.SetProbs, st.Inserts, st.Deletes, st.Attached, st.NewShards, st.Rebuilds, st.Tombstones, st.NodesRecomputed)
+		if cs := m.CommitSeconds.Snapshot(); cs.Count > 0 {
+			fmt.Fprintf(w, "commit latency: p50 %.1fus, p95 %.1fus, p99 %.1fus over %d commits\n",
+				cs.Quantile(0.50)*1e6, cs.Quantile(0.95)*1e6, cs.Quantile(0.99)*1e6, cs.Count)
+		}
 		fmt.Fprintf(w, "view: %d shards, max width %d, %d nice nodes, depth %d, max bag %d\n", st.Shards, sh.Width, sh.Nodes, sh.Depth, sh.MaxBag)
 	default:
 		return fmt.Errorf("unknown command %q (set|insert|delete|begin|commit|prob|stats)", fields[0])

@@ -5,6 +5,7 @@
 //
 //	pdbd -i instance.pdb [-addr :8080] [-workers N] [-cache N] [-q 'R(?x)']
 //	     [-data-dir DIR] [-fsync always|interval|off] [-snapshot-every N]
+//	     [-log-format text|json] [-slow-query DUR] [-debug-addr :6060]
 //
 // The instance file uses pdbcli's format (see internal/pdbio): it must be
 // tuple-independent — plain 'fact' lines, or one positive event per cfact —
@@ -16,7 +17,7 @@
 //	POST /batch   {"query": ..., "assignments": [{...}]}  multi-lane sweep
 //	POST /update  {"updates": [{"op":"set","id":0,"p":.5}]}
 //	GET  /watch                                           SSE commit stream
-//	GET  /healthz, /statsz
+//	GET  /healthz, /statsz, /metrics
 //
 // -data-dir makes the server crash-safe: every acknowledged /update commit
 // is written to a write-ahead log in DIR before the response goes out, and
@@ -25,6 +26,14 @@
 // again); a directory holding state ignores -i and recovers exactly the
 // pre-crash store — same commit sequence, same fact ids — re-registering
 // the views the last snapshot recorded so the plan cache starts warm.
+//
+// Observability: /metrics serves the Prometheus exposition of the whole
+// stack (request latencies, cache events, commit and fsync histograms);
+// -slow-query logs any request over the threshold with its per-stage span
+// breakdown; -debug-addr opens a second listener carrying net/http/pprof
+// and a /metrics mirror, so profilers and scrapers never contend with (or
+// get drained with) serving traffic. All logging is structured (log/slog);
+// -log-format json emits one JSON object per line for log shippers.
 //
 // -q pre-registers a query shape so the first client request is already a
 // cache hit. On SIGINT/SIGTERM the server drains: new requests get 503,
@@ -36,8 +45,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/pdbio"
 	"repro/internal/server"
@@ -64,56 +75,107 @@ func main() {
 	walBatch := flag.Int("wal-batch", 64, "group-commit batch size")
 	walMaxWait := flag.Duration("wal-maxwait", 0, "extra group-commit accumulation window (0: the in-flight flush itself is the window)")
 	snapEvery := flag.Uint64("snapshot-every", 4096, "snapshot + truncate the log every N commits (0: only on shutdown)")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this with their span breakdown (0: off)")
+	debugAddr := flag.String("debug-addr", "", "debug listener (net/http/pprof + /metrics mirror); empty: off")
 	flag.Parse()
 
-	cfg := server.Config{Workers: *workers, CacheSize: *cacheSize, Options: core.Options{}}
+	logger := newLogger(*logFormat)
+	slog.SetDefault(logger)
+
+	reg := obs.NewRegistry()
+	cfg := server.Config{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Options:   core.Options{},
+		Metrics:   reg,
+		SlowQuery: *slowQuery,
+		Logger:    logger,
+	}
 	var s *server.Server
 	if *dataDir == "" {
 		tid, err := loadInstance(*inPath)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		s, err = server.New(tid, cfg)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
-		fmt.Fprintf(os.Stderr, "pdbd: loaded %d facts (no durability; set -data-dir)\n", tid.NumFacts())
+		logger.Info("loaded instance (no durability; set -data-dir)", "facts", tid.NumFacts())
 	} else {
 		var err error
 		s, err = openDurable(*dataDir, *inPath, cfg, wal.Options{
 			BatchSize:     *walBatch,
 			MaxWait:       *walMaxWait,
-			Sync:          parseFsync(*fsync),
+			Sync:          parseFsync(logger, *fsync),
 			SyncEvery:     *fsyncEvery,
 			SnapshotEvery: *snapEvery,
-		}, os.Stderr)
+			Metrics:       wal.NewMetrics(reg),
+		}, logger)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 	}
 	if *preQ != "" {
 		if err := s.Preregister(*preQ); err != nil {
-			fatal(fmt.Errorf("-q: %w", err))
+			fatal(logger, fmt.Errorf("-q: %w", err))
 		}
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr, reg)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "pdbd: serving on %s\n", *addr)
+	logger.Info("serving", "addr", *addr, "slow_query", *slowQuery)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		fatal(err)
+		fatal(logger, err)
 	case <-sig:
 	}
-	fmt.Fprintln(os.Stderr, "pdbd: draining")
+	logger.Info("draining")
 	if !s.Shutdown(*drain) {
-		fmt.Fprintln(os.Stderr, "pdbd: drain incomplete (timeout or WAL close error), closing anyway")
+		logger.Warn("drain incomplete (timeout or WAL close error), closing anyway")
 	}
 	httpSrv.Close()
+}
+
+// newLogger builds the process logger in the requested format (both write to
+// stderr, keeping stdout free for shell pipelines).
+func newLogger(format string) *slog.Logger {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	fmt.Fprintf(os.Stderr, "pdbd: -log-format %q: want text or json\n", format)
+	os.Exit(1)
+	panic("unreachable")
+}
+
+// serveDebug runs the side listener: pprof's handlers on an explicit mux
+// (never the DefaultServeMux, which would leak them onto the serving
+// address) plus a /metrics mirror that stays reachable even when the main
+// listener is saturated.
+func serveDebug(logger *slog.Logger, addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	logger.Info("debug listener (pprof + metrics)", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug listener failed", "err", err)
+	}
 }
 
 // loadInstance parses the -i file (or stdin) into a TID instance.
@@ -138,7 +200,7 @@ func loadInstance(inPath string) (*pdb.TID, error) {
 // server over it. A directory with no recoverable state is seeded from the
 // instance file and immediately baseline-snapshotted; a directory holding
 // state is recovered exactly, ignoring -i.
-func openDurable(dir, inPath string, cfg server.Config, opts wal.Options, logw io.Writer) (*server.Server, error) {
+func openDurable(dir, inPath string, cfg server.Config, opts wal.Options, logger *slog.Logger) (*server.Server, error) {
 	b, err := wal.NewDirBackend(dir)
 	if err != nil {
 		return nil, err
@@ -165,32 +227,30 @@ func openDurable(dir, inPath string, cfg server.Config, opts wal.Options, logw i
 		if err := w.Snapshot(); err != nil {
 			return nil, fmt.Errorf("baseline snapshot: %w", err)
 		}
-		fmt.Fprintf(logw, "pdbd: seeded %s with %d facts (fsync=%s)\n", dir, tid.NumFacts(), opts.Sync)
+		logger.Info("seeded data dir", "dir", dir, "facts", tid.NumFacts(), "fsync", opts.Sync.String())
 		return s, nil
 	}
 	if inPath != "" {
-		fmt.Fprintf(logw, "pdbd: %s holds state; ignoring -i %s\n", dir, inPath)
+		logger.Info("data dir holds state; ignoring -i", "dir", dir, "i", inPath)
 	}
 	s := server.NewFromStore(rec.Store, cfg)
 	s.AttachWAL(w)
 	warm := 0
 	for _, q := range rec.Views {
 		if err := s.Preregister(q); err != nil {
-			fmt.Fprintf(logw, "pdbd: warm view %q: %v\n", q, err)
+			logger.Warn("warm view failed", "query", q, "err", err)
 			continue
 		}
 		warm++
 	}
-	torn := ""
-	if rec.TornTail {
-		torn = ", torn tail discarded"
-	}
-	fmt.Fprintf(logw, "pdbd: recovered %s at seq %d (snapshot %d + %d records%s), %d warm views (fsync=%s)\n",
-		dir, rec.Seq, rec.SnapshotSeq, rec.Records, torn, warm, opts.Sync)
+	logger.Info("recovered data dir",
+		"dir", dir, "seq", rec.Seq, "snapshot_seq", rec.SnapshotSeq,
+		"records", rec.Records, "torn_tail", rec.TornTail,
+		"warm_views", warm, "fsync", opts.Sync.String())
 	return s, nil
 }
 
-func parseFsync(s string) wal.SyncPolicy {
+func parseFsync(logger *slog.Logger, s string) wal.SyncPolicy {
 	switch s {
 	case "always":
 		return wal.SyncAlways
@@ -199,11 +259,11 @@ func parseFsync(s string) wal.SyncPolicy {
 	case "off":
 		return wal.SyncOff
 	}
-	fatal(fmt.Errorf("-fsync %q: want always, interval or off", s))
+	fatal(logger, fmt.Errorf("-fsync %q: want always, interval or off", s))
 	panic("unreachable")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pdbd:", err)
+func fatal(logger *slog.Logger, err error) {
+	logger.Error(err.Error())
 	os.Exit(1)
 }

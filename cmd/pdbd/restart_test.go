@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -31,9 +32,10 @@ func TestRestartSmoke(t *testing.T) {
 	dataDir := filepath.Join(dir, "data")
 	opts := wal.Options{BatchSize: 8, MaxWait: 0, Sync: wal.SyncAlways}
 	var logs strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logs, nil))
 
 	// Generation 1: seed from the instance file.
-	s1, err := openDurable(dataDir, inst, server.Config{}, opts, &logs)
+	s1, err := openDurable(dataDir, inst, server.Config{}, opts, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func TestRestartSmoke(t *testing.T) {
 
 	// Generation 2: the data dir alone (no -i) restores everything.
 	logs.Reset()
-	s2, err := openDurable(dataDir, "", server.Config{}, opts, &logs)
+	s2, err := openDurable(dataDir, "", server.Config{}, opts, logger)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,11 @@
 //  1. two query clients asking the same conjunctive query under different
 //     spellings (one Prepare, the second answer is a plan-cache hit),
 //  2. a watch client streaming every commit's refreshed probability,
-//  3. an update client committing probability changes and inserts.
+//  3. an update client committing probability changes and inserts,
+//
+// then the observability surfaces over the same traffic: a Prometheus
+// scrape of /metrics and a slow-query log record with its per-stage span
+// breakdown (the threshold is set to 1ns here so every request qualifies).
 //
 // Run with: go run ./examples/service
 //
@@ -19,10 +23,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"time"
 
 	"repro/internal/pdb"
 	"repro/internal/server"
@@ -35,7 +42,15 @@ func main() {
 	tid.AddFact(0.5, "S", "a", "b")
 	tid.AddFact(0.8, "T", "b")
 
-	s, err := server.New(tid, server.Config{Workers: 4})
+	// The slow-query log goes to a buffer here so the walkthrough can show
+	// one record at the end; pdbd writes the same records to stderr
+	// (-log-format text|json, -slow-query DUR).
+	var slowLog bytes.Buffer
+	s, err := server.New(tid, server.Config{
+		Workers:   4,
+		SlowQuery: time.Nanosecond, // everything is "slow": demo the record
+		Logger:    slog.New(slog.NewJSONHandler(&slowLog, nil)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,4 +128,30 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("statsz: %d queries, %d prepares, %d cache hits, seq %d\n",
 		stats.Queries, stats.Prepares, stats.CacheHits, stats.Seq)
+	if lat, ok := stats.Latency["query"]; ok {
+		fmt.Printf("statsz: /query latency p50 %.1fus, p99 %.1fus over %d requests\n",
+			lat.P50us, lat.P99us, lat.Count)
+	}
+
+	// The Prometheus surface: the same histograms and counters, scrapable.
+	// (pdbd also mirrors this on -debug-addr next to net/http/pprof.)
+	mresp, _ := http.Get(ts.URL + "/metrics")
+	exposition, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	fmt.Println("\nselected /metrics series:")
+	for _, line := range strings.Split(string(exposition), "\n") {
+		if strings.HasPrefix(line, "pdbd_http_requests_total") ||
+			strings.HasPrefix(line, `pdbd_plan_cache_events_total{event="hit"}`) ||
+			strings.HasPrefix(line, "incr_commits_total") ||
+			strings.HasPrefix(line, "pdbd_batch_lanes_sum") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// One slow-query record: endpoint, total, and the stage breakdown that
+	// sums to the end-to-end latency (parse → plan → eval → write).
+	fmt.Println("\nfirst slow-query log record:")
+	if line, _, ok := strings.Cut(slowLog.String(), "\n"); ok {
+		fmt.Println("  " + line)
+	}
 }

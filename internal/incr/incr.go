@@ -46,6 +46,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/logic"
@@ -185,6 +186,7 @@ type Store struct {
 	needRebuild bool // set while staging when some insert cannot be absorbed
 	broken      error
 	hook        CommitHook
+	metrics     *Metrics // nil when the store runs unobserved
 
 	subs      []*subscriber  // live subscriptions
 	pending   []notification // commits awaiting subscriber delivery
@@ -1045,6 +1047,9 @@ func (s *Store) openShard(id int, f rel.Fact) {
 		v.comb = nil // shard set changed; recombine compiles the new fold post-commit
 	}
 	s.stats.NewShards++
+	if m := s.metrics; m != nil {
+		m.RoutedNewShard.Inc()
+	}
 }
 
 // attachToShard absorbs fact id into shard k in place when every view's
@@ -1066,6 +1071,9 @@ func (s *Store) attachToShard(k, id int, f rel.Fact, p float64) {
 	}
 	if len(s.views) > 0 {
 		s.stats.Attached++
+		if m := s.metrics; m != nil {
+			m.RoutedAttached.Inc()
+		}
 	}
 }
 
@@ -1083,6 +1091,8 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 	if s.broken != nil {
 		return nil, s.broken
 	}
+	t0 := time.Now()
+	nodes0 := s.stats.NodesRecomputed
 	if s.needRebuild {
 		s.needRebuild = false
 		s.rebuildShards()
@@ -1096,6 +1106,9 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 			}
 		}
 		s.stats.Rebuilds++
+		if m := s.metrics; m != nil {
+			m.Rebuilds.Inc()
+		}
 	} else {
 		// Batched dirty-spine recompute, shard-major: every view's tables for
 		// one shard commit back-to-back — their spines walk the same
@@ -1123,6 +1136,12 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 	s.seq++
 	s.stats.Commits++
 	s.stats.Updates += uint64(len(us))
+	if m := s.metrics; m != nil {
+		m.CommitSeconds.ObserveSince(t0)
+		m.CommitUpdates.Observe(float64(len(us)))
+		m.NodesRecomputed.Add(s.stats.NodesRecomputed - nodes0)
+		m.Commits.Inc()
+	}
 	if s.hook != nil {
 		wait = s.hook(s.seq, us)
 	}

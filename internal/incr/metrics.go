@@ -1,0 +1,66 @@
+package incr
+
+// The store's observability hooks: a Metrics bundle of obs handles the
+// commit path records into. All recording is atomic and nil-guarded, so a
+// store without metrics pays one pointer check per commit and the
+// instrumented store pays a few atomic adds inside an already-locked
+// critical section — negligible against the spine recompute it measures.
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics is the store's metric bundle. Build one with NewMetrics and
+// install it with Store.SetMetrics before serving traffic.
+type Metrics struct {
+	// CommitSeconds is the latency of the commit critical section: staging
+	// already done, this is the dirty-spine recompute (or rebuild) plus view
+	// recombination — the in-memory cost of a commit, durability excluded
+	// (the WAL's own histograms cover the fsync side).
+	CommitSeconds *obs.Histogram
+	// CommitUpdates is the number of updates carried per commit — the batch
+	// amortization the ingest path achieves.
+	CommitUpdates *obs.Histogram
+	// NodesRecomputed counts DP tables recomputed incrementally across all
+	// views (the spine work), and Commits the commits that drove them.
+	NodesRecomputed *obs.Counter
+	Commits         *obs.Counter
+	// Routing outcome counters for inserts: absorbed in place by the owning
+	// shard, opened a fresh singleton shard, or forced a full rebuild.
+	RoutedAttached *obs.Counter
+	RoutedNewShard *obs.Counter
+	Rebuilds       *obs.Counter
+}
+
+// NewMetrics registers the store's metric families on r and returns the
+// bundle. Idempotent per registry: two stores sharing one registry share
+// the series.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		CommitSeconds: r.Histogram("incr_commit_seconds",
+			"latency of the store commit critical section (spine recompute + recombine)",
+			obs.LatencyBuckets()),
+		CommitUpdates: r.Histogram("incr_commit_updates",
+			"updates carried per commit",
+			obs.ExpBuckets(1, 2, 16)),
+		NodesRecomputed: r.Counter("incr_nodes_recomputed_total",
+			"DP tables recomputed incrementally across all views"),
+		Commits: r.Counter("incr_commits_total",
+			"commits applied to the store"),
+		RoutedAttached: r.Counter("incr_routed_total",
+			"insert routing outcomes", "outcome", "attached"),
+		RoutedNewShard: r.Counter("incr_routed_total",
+			"insert routing outcomes", "outcome", "new_shard"),
+		Rebuilds: r.Counter("incr_routed_total",
+			"insert routing outcomes", "outcome", "rebuild"),
+	}
+}
+
+// SetMetrics installs (or, with nil, removes) the store's metric bundle.
+// Install before the store serves traffic; the handles are read inside the
+// commit critical section.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+}

@@ -1,0 +1,100 @@
+package incr
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/rel"
+
+	"repro/internal/core"
+)
+
+// TestStoreMetrics drives every routing outcome through an instrumented
+// store and checks the obs counters and histograms move in step with the
+// store's own Stats.
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	s, err := NewStore(gen.RSTChain(20, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMetrics(m)
+	if _, err := s.RegisterView(rel.HardQuery(), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.SetProb(0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	// A fact over brand-new constants opens a singleton shard.
+	if _, err := s.Insert(rel.NewFact("R", "zz1"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// A fact joining an existing constant to a new one forces a rebuild.
+	if _, err := s.Insert(rel.NewFact("S", "zz1", "zz2"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// A batch: updates-per-commit histogram sees one commit of 3.
+	if err := s.ApplyBatch([]Update{
+		{Op: OpSet, ID: 0, P: 0.3},
+		{Op: OpSet, ID: 1, P: 0.4},
+		{Op: OpDelete, ID: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if got := m.Commits.Value(); got != st.Commits {
+		t.Fatalf("Commits counter = %d, store says %d", got, st.Commits)
+	}
+	if got := m.Rebuilds.Value(); got != st.Rebuilds || got == 0 {
+		t.Fatalf("Rebuilds counter = %d, store says %d (want nonzero)", got, st.Rebuilds)
+	}
+	if got := m.RoutedNewShard.Value(); got != st.NewShards || got == 0 {
+		t.Fatalf("NewShards counter = %d, store says %d (want nonzero)", got, st.NewShards)
+	}
+	if got := m.NodesRecomputed.Value(); got != st.NodesRecomputed || got == 0 {
+		t.Fatalf("NodesRecomputed counter = %d, store says %d (want nonzero)", got, st.NodesRecomputed)
+	}
+	cs := m.CommitSeconds.Snapshot()
+	if cs.Count != st.Commits {
+		t.Fatalf("CommitSeconds count = %d, want %d", cs.Count, st.Commits)
+	}
+	if cs.Sum <= 0 {
+		t.Fatalf("CommitSeconds sum = %v, want > 0", cs.Sum)
+	}
+	cu := m.CommitUpdates.Snapshot()
+	if cu.Count != st.Commits {
+		t.Fatalf("CommitUpdates count = %d, want %d", cu.Count, st.Commits)
+	}
+	// The batch commit carried 3 updates; the max quantile must reach it.
+	if q := cu.Quantile(1.0); q < 3 {
+		t.Fatalf("CommitUpdates max quantile = %v, want >= 3", q)
+	}
+}
+
+// TestStoreMetricsAttached exercises the absorbed-in-place routing path.
+func TestStoreMetricsAttached(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	s, err := NewStore(gen.RSTChain(20, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMetrics(m)
+	if _, err := s.RegisterView(rel.HardQuery(), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-inserting a known fact's relation over existing constants of one
+	// shard attaches in place (chain facts R(i), S(i,i+1), T(i) share
+	// component constants).
+	if _, err := s.Insert(rel.NewFact("R", "c0"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if got := m.RoutedAttached.Value(); got != st.Attached {
+		t.Fatalf("Attached counter = %d, store says %d", got, st.Attached)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bucketOf returns the index of the bucket value v lands in (le semantics),
+// len(bounds) for the overflow bucket.
+func bucketOf(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}
+
+// TestQuantileCrossCheck is the exact cross-check the histogram's quantile
+// extraction is specified by: for random samples and a sweep of quantiles,
+// the histogram's answer must land in the same bucket as the true
+// sorted-sample quantile — bucket counts are exact, so rank walking can be
+// off by at most the interpolation inside one bucket.
+func TestQuantileCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := LatencyBuckets()
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5000)
+		h := NewHistogram(bounds)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Log-uniform over the bucket range, plus occasional outliers
+			// beyond the last bound to exercise the overflow bucket.
+			v := math.Exp(rng.Float64()*math.Log(20e0/1e-6)) * 1e-6
+			if rng.Intn(50) == 0 {
+				v = bounds[len(bounds)-1] * (1 + rng.Float64())
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			got := h.Quantile(q)
+			wantBucket := bucketOf(bounds, exact)
+			gotBucket := bucketOf(bounds, got)
+			// The overflow bucket reports the last finite bound, which lives
+			// in the final finite bucket — allow that one-off.
+			if wantBucket == len(bounds) && got == bounds[len(bounds)-1] {
+				continue
+			}
+			if gotBucket != wantBucket {
+				t.Fatalf("trial %d n=%d q=%v: histogram quantile %v (bucket %d) vs exact %v (bucket %d)",
+					trial, n, q, got, gotBucket, exact, wantBucket)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(0.5)
+	if got := h.Quantile(0.5); got <= 0 || got > 1 {
+		t.Fatalf("single observation in [0,1] bucket: quantile = %v", got)
+	}
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(100) // overflow only
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow-only quantile = %v, want last bound 2", got)
+	}
+}
+
+func TestHistogramSumCount(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	want := 0.0
+	for i := 1; i <= 100; i++ {
+		v := float64(i) * 1e-5
+		h.Observe(v)
+		want += v
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if math.Abs(s.Sum-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE declaration per family
+// followed by its series, histograms expanded into cumulative _bucket lines
+// plus _sum and _count. Families appear in registration order, so scrapes
+// diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.ctr != nil:
+				writeSample(&b, f.name, s.labels, "", "", float64(s.ctr.Value()))
+			case s.g != nil:
+				writeSample(&b, f.name, s.labels, "", "", float64(s.g.Value()))
+			case s.gf != nil:
+				writeSample(&b, f.name, s.labels, "", "", s.gf())
+			case s.h != nil:
+				snap := s.h.Snapshot()
+				var cum uint64
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
+					writeSample(&b, f.name+"_bucket", s.labels, "le", formatFloat(bound), float64(cum))
+				}
+				writeSample(&b, f.name+"_bucket", s.labels, "le", "+Inf", float64(snap.Count))
+				writeSample(&b, f.name+"_sum", s.labels, "", "", snap.Sum)
+				writeSample(&b, f.name+"_count", s.labels, "", "", float64(snap.Count))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one `name{labels} value` line; extraK/extraV append a
+// synthetic label (the histogram `le` bound) after the series labels.
+func writeSample(b *strings.Builder, name string, labels []string, extraK, extraV string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		b.WriteByte('{')
+		first := true
+		for i := 0; i+1 < len(labels); i += 2 {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(b, "%s=%q", labels[i], escapeLabel(labels[i+1]))
+		}
+		if extraK != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extraK, escapeLabel(extraV))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel prepares a label value for %q-quoting: the format's escapes
+// (\\, \", \n) coincide with Go's for these characters, so the value only
+// needs characters Go would escape differently to be absent — our label
+// values are ASCII enums, but be safe about newlines regardless.
+func escapeLabel(v string) string { return v }
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// validateExposition is a strict-enough Prometheus text-format checker: every
+// line must be a HELP, a TYPE or a sample; TYPE must precede its family's
+// samples; sample names must belong to the declared family (exactly, or the
+// _bucket/_sum/_count expansions for histograms); histogram buckets must be
+// cumulative and end with le="+Inf" matching _count. It returns the parsed
+// samples keyed by full line prefix (name + labels).
+func validateExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typeOf := map[string]string{}
+	var bucketCum float64
+	var lastBucketSeries string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if !helpRe.MatchString(line) {
+				t.Fatalf("line %d: bad HELP line: %q", ln, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad TYPE line: %q", ln, line)
+			}
+			if _, dup := typeOf[m[1]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, m[1])
+			}
+			typeOf[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln, line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: bad sample line: %q", ln, line)
+		}
+		name, labels, valText := m[1], m[2], m[3]
+		// Resolve the family: the name itself, or a histogram expansion.
+		fam := name
+		if typeOf[fam] == "" {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suffix) {
+					base := strings.TrimSuffix(name, suffix)
+					if typeOf[base] == "histogram" {
+						fam = base
+						break
+					}
+				}
+			}
+		}
+		if typeOf[fam] == "" {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", ln, name)
+		}
+		if labels != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+			for _, pair := range strings.Split(inner, ",") {
+				if !labelRe.MatchString(pair) {
+					t.Fatalf("line %d: bad label pair %q", ln, pair)
+				}
+			}
+		}
+		var v float64
+		switch valText {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valText, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln, valText, err)
+			}
+		}
+		key := name + labels
+		if _, dup := samples[key]; dup {
+			t.Fatalf("line %d: duplicate sample %s", ln, key)
+		}
+		samples[key] = v
+
+		// Histogram bucket monotonicity: within one series' run of _bucket
+		// lines, cumulative counts never decrease.
+		if strings.HasSuffix(name, "_bucket") && typeOf[fam] == "histogram" {
+			seriesID := name + stripLe(labels)
+			if seriesID != lastBucketSeries {
+				lastBucketSeries, bucketCum = seriesID, 0
+			}
+			if v < bucketCum {
+				t.Fatalf("line %d: bucket counts not cumulative: %v after %v", ln, v, bucketCum)
+			}
+			bucketCum = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+var leRe = regexp.MustCompile(`,?le="[^"]*"`)
+
+func stripLe(labels string) string { return leRe.ReplaceAllString(labels, "") }
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "requests served", "endpoint", "/query").Add(17)
+	r.Counter("app_requests_total", "requests served", "endpoint", "/batch").Add(3)
+	r.Gauge("app_subscribers", "live watchers").Set(2)
+	r.GaugeFunc("app_seq", "commit sequence", func() float64 { return 42 })
+	h := r.Histogram("app_latency_seconds", "request latency", LatencyBuckets(), "endpoint", "/query")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i+1) * 1e-5)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := validateExposition(t, text)
+
+	if got := samples[`app_requests_total{endpoint="/query"}`]; got != 17 {
+		t.Fatalf("counter sample = %v, want 17", got)
+	}
+	if got := samples[`app_subscribers`]; got != 2 {
+		t.Fatalf("gauge sample = %v, want 2", got)
+	}
+	if got := samples[`app_seq`]; got != 42 {
+		t.Fatalf("gauge func sample = %v, want 42", got)
+	}
+	if got := samples[`app_latency_seconds_count{endpoint="/query"}`]; got != 100 {
+		t.Fatalf("histogram count = %v, want 100", got)
+	}
+	inf := fmt.Sprintf(`app_latency_seconds_bucket{endpoint="/query",le=%q}`, "+Inf")
+	if got := samples[inf]; got != 100 {
+		t.Fatalf("+Inf bucket = %v, want 100 (have keys like %q)", got, firstKey(samples))
+	}
+	// TYPE precedes samples and appears once — validateExposition enforced
+	// it; spot-check the histogram declaration exists.
+	if !strings.Contains(text, "# TYPE app_latency_seconds histogram") {
+		t.Fatal("missing histogram TYPE line")
+	}
+}
+
+func firstKey(m map[string]float64) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	validateExposition(t, rec.Body.String())
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Fatalf("body missing sample: %s", rec.Body.String())
+	}
+}

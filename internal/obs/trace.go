@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is a lightweight single-request trace: a named sequence of stages
+// whose durations tile the span's lifetime exactly (the first stage
+// inherits the span's start, each Stage call closes the previous one, End
+// closes the last), so the per-stage breakdown always sums to the measured
+// end-to-end latency. Spans travel through context.Context (Trace /
+// SpanFrom); every method is nil-safe, so instrumented code never has to
+// check whether the request is being traced.
+//
+// A span is written by the goroutine serving its request; the internal
+// mutex exists so a racing reader (or a handler that fans out) cannot
+// corrupt it, not to make concurrent Stage calls meaningful.
+type Span struct {
+	mu     sync.Mutex
+	name   string
+	start  time.Time
+	cur    string
+	curAt  time.Time
+	stages []Stage
+	attrs  []Attr
+}
+
+// Stage is one closed interval of a span.
+type Stage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Attr is an annotation attached to a span by the code that learned it
+// (query fingerprints, cache verdicts, plan shapes) — the request-scoped
+// facts that belong in a slow-request log line but must never become metric
+// labels.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+type spanKey struct{}
+
+// Trace starts a span named name and returns a context carrying it. The
+// caller owns the span and must End it.
+func Trace(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{name: name, start: time.Now()}
+	sp.curAt = sp.start
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFrom returns the span carried by ctx, or nil when the request is not
+// traced. The nil span is usable: every method no-ops.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Stage closes the currently open stage (if any) and opens a new one. The
+// first Stage call on a span inherits the span's start time, so no interval
+// of the request goes unattributed.
+func (s *Span) Stage(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.cur != "" {
+		s.stages = append(s.stages, Stage{Name: s.cur, Dur: now.Sub(s.curAt)})
+		s.curAt = now
+	}
+	s.cur = name
+	s.mu.Unlock()
+}
+
+// SetAttr attaches an annotation to the span (later slow-log material).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span and returns its summary. Calling End on a nil span
+// returns a zero summary.
+func (s *Span) End() Summary {
+	if s == nil {
+		return Summary{}
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != "" {
+		s.stages = append(s.stages, Stage{Name: s.cur, Dur: now.Sub(s.curAt)})
+		s.cur = ""
+	}
+	return Summary{
+		Name:   s.name,
+		Total:  now.Sub(s.start),
+		Stages: append([]Stage(nil), s.stages...),
+		Attrs:  append([]Attr(nil), s.attrs...),
+	}
+}
+
+// Summary is a finished span: the measured end-to-end duration, the stage
+// breakdown tiling it, and the attached annotations.
+type Summary struct {
+	Name   string
+	Total  time.Duration
+	Stages []Stage
+	Attrs  []Attr
+}
+
+// StageString renders the breakdown as "parse=12.5us cache=3.1us ..." with
+// microsecond floats — compact for humans, regular enough for tools (and
+// tests) to parse back.
+func (s Summary) StageString() string {
+	var b strings.Builder
+	for i, st := range s.Stages {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.1fus", st.Name, float64(st.Dur.Nanoseconds())/1e3)
+	}
+	return b.String()
+}

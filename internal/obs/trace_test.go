@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanStagesTileTotal is the contract the slow-query log leans on: the
+// per-stage durations sum to the measured end-to-end duration (exactly, up
+// to float/clock granularity — far inside the 10% the acceptance criteria
+// allow).
+func TestSpanStagesTileTotal(t *testing.T) {
+	ctx, sp := Trace(context.Background(), "/query")
+	got := SpanFrom(ctx)
+	if got != sp {
+		t.Fatal("SpanFrom should return the traced span")
+	}
+	sp.Stage("parse")
+	time.Sleep(2 * time.Millisecond)
+	sp.Stage("eval")
+	time.Sleep(3 * time.Millisecond)
+	sp.Stage("write")
+	sum := sp.End()
+	if len(sum.Stages) != 3 {
+		t.Fatalf("stages = %v, want 3", sum.Stages)
+	}
+	var stagesTotal time.Duration
+	for _, st := range sum.Stages {
+		stagesTotal += st.Dur
+	}
+	diff := sum.Total - stagesTotal
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Microsecond {
+		t.Fatalf("stage sum %v vs total %v: gap %v", stagesTotal, sum.Total, diff)
+	}
+	if sum.Stages[1].Dur < 2*time.Millisecond {
+		t.Fatalf("eval stage %v, want >= 2ms", sum.Stages[1].Dur)
+	}
+}
+
+func TestSpanFirstStageInheritsStart(t *testing.T) {
+	_, sp := Trace(context.Background(), "x")
+	time.Sleep(time.Millisecond)
+	sp.Stage("only")
+	sum := sp.End()
+	if len(sum.Stages) != 1 {
+		t.Fatalf("stages = %v", sum.Stages)
+	}
+	if sum.Stages[0].Dur < time.Millisecond {
+		t.Fatalf("first stage should absorb pre-Stage time, got %v", sum.Stages[0].Dur)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var sp *Span
+	sp.Stage("a")
+	sp.SetAttr("k", 1)
+	sum := sp.End()
+	if sum.Total != 0 || len(sum.Stages) != 0 {
+		t.Fatalf("nil span summary = %+v", sum)
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("untraced context should carry no span")
+	}
+}
+
+func TestSpanAttrsAndStageString(t *testing.T) {
+	_, sp := Trace(context.Background(), "x")
+	sp.SetAttr("fp", "abc")
+	sp.Stage("parse")
+	sp.Stage("eval")
+	sum := sp.End()
+	if len(sum.Attrs) != 1 || sum.Attrs[0].Key != "fp" || sum.Attrs[0].Value != "abc" {
+		t.Fatalf("attrs = %+v", sum.Attrs)
+	}
+	str := sum.StageString()
+	parts := strings.Fields(str)
+	if len(parts) != 2 {
+		t.Fatalf("stage string %q, want two fields", str)
+	}
+	for _, p := range parts {
+		kv := strings.SplitN(p, "=", 2)
+		if len(kv) != 2 || !strings.HasSuffix(kv[1], "us") {
+			t.Fatalf("stage field %q not name=<float>us", p)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSuffix(kv[1], "us"), 64); err != nil {
+			t.Fatalf("stage field %q: %v", p, err)
+		}
+	}
+}
+
+func TestSpanEndWithoutStages(t *testing.T) {
+	_, sp := Trace(context.Background(), "x")
+	sum := sp.End()
+	if len(sum.Stages) != 0 {
+		t.Fatalf("stages = %v, want none", sum.Stages)
+	}
+	if sum.Total < 0 {
+		t.Fatalf("total = %v", sum.Total)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // planCache is the LRU view cache of the service, keyed by the normalized
@@ -26,6 +27,19 @@ type planCache struct {
 	onEvict func(*incr.View)
 
 	hits, misses, evictions uint64
+
+	// optional obs handles (nil until instrument); mHit counts every reuse,
+	// mCoalesce additionally counts the reuses that joined a still-in-flight
+	// registration — the single-flight savings made visible.
+	mHit, mMiss, mEvict, mCoalesce *obs.Counter
+}
+
+// instrument attaches the metric handles the cache records its events on.
+// Call before serving traffic.
+func (pc *planCache) instrument(hit, miss, evict, coalesce *obs.Counter) {
+	pc.mu.Lock()
+	pc.mHit, pc.mMiss, pc.mEvict, pc.mCoalesce = hit, miss, evict, coalesce
+	pc.mu.Unlock()
 }
 
 type cacheEntry struct {
@@ -56,6 +70,16 @@ func (pc *planCache) get(fp string, build func() (*incr.View, error)) (v *incr.V
 	if e, ok := pc.entries[fp]; ok {
 		pc.order.MoveToFront(e.elem)
 		pc.hits++
+		if pc.mHit != nil {
+			pc.mHit.Inc()
+			select {
+			case <-e.ready:
+			default:
+				// the entry is still building: this request coalesced onto an
+				// in-flight registration rather than finding a finished one.
+				pc.mCoalesce.Inc()
+			}
+		}
 		pc.mu.Unlock()
 		<-e.ready
 		return e.view, true, e.err
@@ -64,6 +88,9 @@ func (pc *planCache) get(fp string, build func() (*incr.View, error)) (v *incr.V
 	e.elem = pc.order.PushFront(e)
 	pc.entries[fp] = e
 	pc.misses++
+	if pc.mMiss != nil {
+		pc.mMiss.Inc()
+	}
 	evicted := pc.evictLocked()
 	pc.mu.Unlock()
 
@@ -102,6 +129,9 @@ func (pc *planCache) evictLocked() []*incr.View {
 			delete(pc.entries, e.fp)
 			pc.order.Remove(elem)
 			pc.evictions++
+			if pc.mEvict != nil {
+				pc.mEvict.Inc()
+			}
 		default:
 			// still building; never evict an in-flight entry
 		}
@@ -139,6 +169,15 @@ type frozenCache struct {
 	entries map[string]*frozenSlot
 	hits    uint64
 	misses  uint64
+
+	mHit, mMiss *obs.Counter // optional obs handles (nil until instrument)
+}
+
+// instrument attaches the metric handles hit/miss events are recorded on.
+func (fc *frozenCache) instrument(hit, miss *obs.Counter) {
+	fc.mu.Lock()
+	fc.mHit, fc.mMiss = hit, miss
+	fc.mu.Unlock()
 }
 
 type frozenSlot struct {
@@ -192,11 +231,17 @@ func (fc *frozenCache) get(fp string, seq uint64, build func() (*frozenEntry, er
 	if slot.entry != nil && slot.entry.seq == seq {
 		fc.mu.Lock()
 		fc.hits++
+		if fc.mHit != nil {
+			fc.mHit.Inc()
+		}
 		fc.mu.Unlock()
 		return slot.entry, true, nil
 	}
 	fc.mu.Lock()
 	fc.misses++
+	if fc.mMiss != nil {
+		fc.mMiss.Inc()
+	}
 	fc.mu.Unlock()
 	e, err = build()
 	if err != nil {

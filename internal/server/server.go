@@ -33,6 +33,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/pdbio"
 	"repro/internal/rel"
@@ -65,6 +67,17 @@ type Config struct {
 	MaxBatchLanes int
 	// Options are passed to every Prepare/RegisterView.
 	Options core.Options
+	// Metrics is the registry the server's metric families are registered
+	// on (pdbd shares one registry between the server and the WAL so
+	// /metrics is a single exposition). nil creates a private registry.
+	Metrics *obs.Registry
+	// SlowQuery is the end-to-end latency threshold above which a request
+	// is counted slow and logged with its per-stage span breakdown.
+	// <= 0 disables the slow-request log (the trace is still recorded).
+	SlowQuery time.Duration
+	// Logger receives the server's structured log records (slow requests,
+	// watch-drop warnings). nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is the query service: an incr.Store of the loaded instance, the
@@ -78,6 +91,10 @@ type Server struct {
 	cache  *planCache
 	frozen *frozenCache
 	wal    *wal.WAL // nil when the server runs without durability
+
+	metrics *serverMetrics
+	logger  *slog.Logger
+	reqSeq  atomic.Uint64 // slow-log request ids
 
 	viewMu sync.Mutex
 	viewFP map[*incr.View]string // registered view -> fingerprint (for /watch)
@@ -118,11 +135,21 @@ func NewFromStore(st *incr.Store, cfg Config) *Server {
 	if cfg.MaxBatchLanes <= 0 {
 		cfg.MaxBatchLanes = 1024
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		store:   st,
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		frozen:  newFrozenCache(cfg.CacheSize),
+		metrics: newServerMetrics(reg),
+		logger:  logger,
 		viewMu:  sync.Mutex{},
 		viewFP:  map[*incr.View]string{},
 		viewQ:   map[*incr.View]string{},
@@ -135,12 +162,20 @@ func NewFromStore(st *incr.Store, cfg Config) *Server {
 		delete(s.viewQ, v)
 		s.viewMu.Unlock()
 	})
+	s.cache.instrument(s.metrics.cacheHit, s.metrics.cacheMiss,
+		s.metrics.cacheEvict, s.metrics.cacheCoalesce)
+	s.frozen.instrument(s.metrics.frozenHit, s.metrics.frozenMiss)
+	// The server owns the store's metric wiring: commit latency, spine work
+	// and routing outcomes land on the same registry as the HTTP families.
+	st.SetMetrics(incr.NewMetrics(reg))
+	s.registerStoreGauges()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.Handle("GET /metrics", reg.Handler())
 	return s
 }
 
@@ -152,6 +187,7 @@ func NewFromStore(st *incr.Store, cfg Config) *Server {
 func (s *Server) AttachWAL(w *wal.WAL) {
 	s.wal = w
 	w.Attach(s.store, s.ViewQueries)
+	s.registerWALGauges()
 }
 
 // ViewQueries returns the normalized query text of every currently cached
@@ -183,19 +219,108 @@ func (s *Server) Preregister(raw string) error {
 }
 
 // ServeHTTP implements http.Handler with request admission: a draining
-// server refuses new work with 503 (health stays reachable so load
-// balancers see the drain), and every admitted request is tracked so
-// Shutdown can wait for it. The increment-then-recheck order pairs with
-// Shutdown's store-then-poll: either this request observes the drain and
-// backs out, or Shutdown observes the in-flight count — never neither.
+// server refuses new work with 503 (health and metrics stay reachable so
+// load balancers and scrapers see the drain), and every admitted request is
+// tracked so Shutdown can wait for it. The increment-then-recheck order
+// pairs with Shutdown's store-then-poll: either this request observes the
+// drain and backs out, or Shutdown observes the in-flight count — never
+// neither.
+//
+// The three JSON endpoints are traced end to end: a span travels down
+// through the handler (which marks its stages — parse, plan, eval, write),
+// the response code and latency land in the per-endpoint metric families,
+// and a request over the slow threshold is logged with its full stage
+// breakdown. /watch is deliberately not wrapped: the recorder would mask
+// the http.Flusher the SSE stream needs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	if s.draining.Load() && r.URL.Path != "/healthz" {
+	if s.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	s.mux.ServeHTTP(w, r)
+	ep := instrumentedEndpoint(r)
+	if ep == "" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	m := s.metrics
+	m.requests[ep].Inc()
+	ctx, span := obs.Trace(r.Context(), ep)
+	sw := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	sum := span.End()
+	m.latency[ep].Observe(sum.Total.Seconds())
+	m.response(ep, sw.code).Inc()
+	if thr := s.cfg.SlowQuery; thr > 0 && sum.Total >= thr {
+		m.slowRequests.Inc()
+		s.logSlow(ep, sw.code, sum)
+	}
+}
+
+// instrumentedEndpoint maps a request to its metric endpoint label, or ""
+// for routes served without tracing.
+func instrumentedEndpoint(r *http.Request) string {
+	if r.Method != http.MethodPost {
+		return ""
+	}
+	switch r.URL.Path {
+	case "/query":
+		return epQuery
+	case "/batch":
+		return epBatch
+	case "/update":
+		return epUpdate
+	}
+	return ""
+}
+
+// statusRecorder captures the response code for the metric and slow-log
+// pipeline. It intentionally does not forward Flush/Hijack — only the
+// non-streaming JSON endpoints are wrapped in one.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// logSlow emits the structured slow-request record: one line carrying the
+// request's identity, end-to-end latency, the stage breakdown (which tiles
+// the total exactly), and every attribute the handler attached — the
+// request-scoped facts (fingerprint, plan shape, cache verdict) that are
+// too high-cardinality for metric labels.
+func (s *Server) logSlow(ep string, code int, sum obs.Summary) {
+	args := []any{
+		slog.Uint64("request_id", s.reqSeq.Add(1)),
+		slog.String("endpoint", ep),
+		slog.Int("code", code),
+		slog.Float64("total_us", float64(sum.Total.Nanoseconds())/1e3),
+		slog.String("stages", sum.StageString()),
+	}
+	for _, a := range sum.Attrs {
+		args = append(args, slog.Any(a.Key, a.Value))
+	}
+	s.logger.Warn("slow request", args...)
+}
+
+// Registry exposes the server's metric registry — pdbd mounts it at
+// /metrics on the debug listener too, and embedders can add their own
+// families alongside the server's.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// LatencySnapshot returns the end-to-end latency histogram of one
+// instrumented endpoint ("query", "batch", "update"); ok is false for any
+// other name.
+func (s *Server) LatencySnapshot(endpoint string) (obs.HistogramSnapshot, bool) {
+	h, ok := s.metrics.latency[endpoint]
+	if !ok {
+		return obs.HistogramSnapshot{}, false
+	}
+	return h.Snapshot(), true
 }
 
 // Shutdown drains the server: new requests are refused, open watch streams
@@ -327,10 +452,12 @@ func parseQuery(raw string) (rel.CQ, string, error) {
 // single-flight on a miss.
 func (s *Server) view(nq rel.CQ, fp string) (*incr.View, bool, error) {
 	return s.cache.get(fp, func() (*incr.View, error) {
+		t0 := time.Now()
 		v, err := s.store.RegisterView(nq, s.cfg.Options)
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.prepareView.ObserveSince(t0)
 		s.nPrepares.Add(1)
 		s.viewMu.Lock()
 		s.viewFP[v] = fp
@@ -347,6 +474,7 @@ func (s *Server) view(nq rel.CQ, fp string) (*incr.View, bool, error) {
 // reports whether a still-fresh cached plan answered.
 func (s *Server) frozenPlan(nq rel.CQ, fp string) (*frozenEntry, bool, error) {
 	return s.frozen.get(fp, s.store.Seq(), func() (*frozenEntry, error) {
+		t0 := time.Now()
 		tid, ids, seq := s.store.Snapshot()
 		sp, base, err := core.PrepareShardedTID(tid, nq, s.cfg.Options)
 		if err != nil {
@@ -355,6 +483,11 @@ func (s *Server) frozenPlan(nq rel.CQ, fp string) (*frozenEntry, bool, error) {
 		if err := sp.Freeze(); err != nil {
 			return nil, err
 		}
+		s.metrics.prepareFrozen.ObserveSince(t0)
+		shardEval := s.metrics.shardEvalGauge
+		sp.SetEvalObserver(func(_ int, d time.Duration) {
+			shardEval.Observe(d.Seconds())
+		})
 		s.nPrepares.Add(1)
 		eventOf := make(map[int]logic.Event, len(ids))
 		for i, id := range ids {
@@ -389,6 +522,8 @@ func (fe *frozenEntry) laneProb(assignment map[string]float64) (logic.Prob, erro
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.nQueries.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.Stage("parse")
 	var req queryRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -398,36 +533,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	span.SetAttr("fp", fp)
+	span.SetAttr("normalized", nq.String())
 	if len(req.Assignment) > 0 {
+		span.SetAttr("path", "frozen")
+		span.Stage("plan")
 		fe, hit, err := s.frozenPlan(nq, fp)
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
+		span.SetAttr("cached", hit)
+		span.SetAttr("shards", fe.sp.NumShards())
+		span.Stage("lanes")
 		p, err := fe.laneProb(req.Assignment)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		span.Stage("eval")
+		t0 := time.Now()
 		prob, err := fe.sp.Probability(p)
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
+		s.metrics.evalSeconds.ObserveSince(t0)
+		span.Stage("write")
 		writeJSON(w, queryResponse{Probability: prob, Seq: fe.seq, Normalized: nq.String(), Cached: hit})
 		return
 	}
+	span.SetAttr("path", "live")
+	span.Stage("plan")
 	v, hit, err := s.view(nq, fp)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	span.SetAttr("cached", hit)
+	span.Stage("eval")
 	prob, seq := v.ProbabilitySeq()
+	span.Stage("write")
 	writeJSON(w, queryResponse{Probability: prob, Seq: seq, Normalized: nq.String(), Cached: hit})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.nBatchReqs.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.Stage("parse")
 	var req batchRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -446,13 +599,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	fe, _, err := s.frozenPlan(nq, fp)
+	span.SetAttr("fp", fp)
+	span.SetAttr("lanes", len(req.Assignments))
+	span.SetAttr("parallel", req.Parallel)
+	span.Stage("plan")
+	fe, hit, err := s.frozenPlan(nq, fp)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	span.SetAttr("cached", hit)
+	span.SetAttr("shards", fe.sp.NumShards())
+	span.Stage("lanes")
 	B := len(req.Assignments)
 	s.nBatchLanes.Add(uint64(B))
+	s.metrics.batchLanes.Observe(float64(B))
 	laneErrs := make([]string, B)
 	// Only lanes whose assignment parses are evaluated: a lane with a bad
 	// fact id fails at admission, it does not burn a DP lane (or a whole
@@ -471,6 +632,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	probs := make([]float64, B)
 	evaled := make([]float64, len(valid))
+	span.Stage("eval")
+	tEval := time.Now()
 	if req.Parallel {
 		reqs := make([]core.Request, len(valid))
 		for i := range ps {
@@ -496,6 +659,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		copy(evaled, out)
 	}
+	s.metrics.evalSeconds.ObserveSince(tEval)
+	span.Stage("write")
 	for i, lane := range valid {
 		probs[lane] = evaled[i]
 	}
@@ -515,6 +680,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.nUpdateReqs.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.Stage("parse")
 	var req struct {
 		Updates []updateOp `json:"updates"`
 	}
@@ -549,8 +716,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	span.SetAttr("updates", len(us))
+	span.Stage("apply")
 	applied, seq, applyErr := s.store.ApplyBatchN(us)
 	s.nUpdates.Add(uint64(applied))
+	span.SetAttr("applied", applied)
+	span.SetAttr("seq", seq)
+	span.Stage("write")
 	resp := updateResponse{Seq: seq, Applied: applied, Stats: s.store.Stats()}
 	// Report inserted ids only for the prefix that actually committed — an
 	// insert beyond the failing update never ran, even if its fact happens
@@ -591,12 +763,23 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	// buffer loses events and is told how many via the dropped counter.
 	events := make(chan incr.Commit, 256)
 	var dropped atomic.Uint64
+	var warned atomic.Bool
 	cancel := s.store.Subscribe(func(c incr.Commit) {
 		select {
 		case events <- c:
 		default:
 			dropped.Add(1)
 			s.nDropped.Add(1)
+			s.metrics.watchDropped.Inc()
+			// One warning per subscriber, at the first drop: losing events
+			// is a consumer-speed problem worth surfacing, but a slow
+			// consumer must not flood the log with one line per commit.
+			if warned.CompareAndSwap(false, true) {
+				s.logger.Warn("watch subscriber dropping events",
+					slog.String("remote", r.RemoteAddr),
+					slog.Int("buffer", cap(events)),
+					slog.Uint64("seq", c.Seq))
+			}
 		}
 	})
 	defer cancel()
@@ -691,27 +874,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(doc)
 }
 
+// EndpointLatency is the quantile summary of one endpoint's end-to-end
+// latency histogram, in microseconds (extracted from the same log-bucketed
+// histogram /metrics exposes, so the two surfaces always agree).
+type EndpointLatency struct {
+	Count uint64  `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+}
+
 // Statsz is the counters document served by /statsz.
 type Statsz struct {
-	Queries       uint64     `json:"queries"`
-	BatchRequests uint64     `json:"batch_requests"`
-	BatchLanes    uint64     `json:"batch_lanes"`
-	UpdateReqs    uint64     `json:"update_requests"`
-	Updates       uint64     `json:"updates"`
-	Prepares      uint64     `json:"prepares"`
-	CacheHits     uint64     `json:"cache_hits"`
-	CacheMisses   uint64     `json:"cache_misses"`
-	CacheEvicts   uint64     `json:"cache_evictions"`
-	CacheSize     int        `json:"cache_size"`
-	FrozenHits    uint64     `json:"frozen_hits"`
-	FrozenMisses  uint64     `json:"frozen_misses"`
-	FrozenSize    int        `json:"frozen_size"`
-	Watchers      int64      `json:"watchers"`
-	WatchDropped  uint64     `json:"watch_events_dropped"`
-	Seq           uint64     `json:"seq"`
-	Facts         int        `json:"facts"`
-	Views         int        `json:"views"`
-	Store         incr.Stats `json:"store"`
+	Queries       uint64 `json:"queries"`
+	BatchRequests uint64 `json:"batch_requests"`
+	BatchLanes    uint64 `json:"batch_lanes"`
+	UpdateReqs    uint64 `json:"update_requests"`
+	Updates       uint64 `json:"updates"`
+	Prepares      uint64 `json:"prepares"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CacheEvicts   uint64 `json:"cache_evictions"`
+	CacheSize     int    `json:"cache_size"`
+	FrozenHits    uint64 `json:"frozen_hits"`
+	FrozenMisses  uint64 `json:"frozen_misses"`
+	FrozenSize    int    `json:"frozen_size"`
+	CacheCoalesce uint64 `json:"cache_coalesces"`
+	Watchers      int64  `json:"watchers"`
+	WatchDropped  uint64 `json:"watch_events_dropped"`
+	SlowRequests  uint64 `json:"slow_requests"`
+	// Latency carries the per-endpoint quantile summaries (query, batch,
+	// update), filled from the serving histograms.
+	Latency map[string]EndpointLatency `json:"latency"`
+	Seq     uint64                     `json:"seq"`
+	Facts   int                        `json:"facts"`
+	Views   int                        `json:"views"`
+	Store   incr.Stats                 `json:"store"`
 	// Durability is the WAL's counters (last synced/written seq, queue
 	// depth, log size, snapshot age); nil when the server runs without one.
 	Durability *wal.Stats `json:"durability,omitempty"`
@@ -725,6 +923,16 @@ func (s *Server) Stats() Statsz {
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		dur = &ws
+	}
+	lat := make(map[string]EndpointLatency, len(endpoints))
+	for _, ep := range endpoints {
+		sn := s.metrics.latency[ep].Snapshot()
+		lat[ep] = EndpointLatency{
+			Count: sn.Count,
+			P50us: sn.Quantile(0.50) * 1e6,
+			P95us: sn.Quantile(0.95) * 1e6,
+			P99us: sn.Quantile(0.99) * 1e6,
+		}
 	}
 	return Statsz{
 		Queries:       s.nQueries.Load(),
@@ -740,8 +948,11 @@ func (s *Server) Stats() Statsz {
 		FrozenHits:    fh,
 		FrozenMisses:  fm,
 		FrozenSize:    fs,
+		CacheCoalesce: s.metrics.cacheCoalesce.Value(),
 		Watchers:      s.nWatchers.Load(),
 		WatchDropped:  s.nDropped.Load(),
+		SlowRequests:  s.metrics.slowRequests.Value(),
+		Latency:       lat,
 		Seq:           s.store.Seq(),
 		Facts:         s.store.NumLive(),
 		Views:         s.store.NumViews(),

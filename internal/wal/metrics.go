@@ -1,0 +1,41 @@
+package wal
+
+// The WAL's observability hooks: a Metrics bundle recorded into from the
+// group-commit flusher, the background sync loop and the snapshot protocol.
+// Handles are resolved at Open (Options.Metrics) and every use is
+// nil-guarded, so an unobserved log pays one pointer check per flush.
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics is the WAL's metric bundle. Build with NewMetrics and pass via
+// Options.Metrics.
+type Metrics struct {
+	// FsyncSeconds is the latency of every fsync the pipeline issues —
+	// group-commit flushes, background interval syncs and segment seals.
+	// Its count against FlushRecords' count is the fsync amortization.
+	FsyncSeconds *obs.Histogram
+	// FlushRecords is the group-commit batch size: records written per
+	// flush (append batching is the pipeline's whole throughput story).
+	FlushRecords *obs.Histogram
+	// SnapshotSeconds is the duration of the full snapshot protocol
+	// (rotate + serialize + fsync + rename + truncate).
+	SnapshotSeconds *obs.Histogram
+}
+
+// NewMetrics registers the WAL's metric families on r and returns the
+// bundle.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		FsyncSeconds: r.Histogram("wal_fsync_seconds",
+			"latency of WAL fsyncs (group-commit flushes, interval syncs, segment seals)",
+			obs.LatencyBuckets()),
+		FlushRecords: r.Histogram("wal_flush_records",
+			"records written per group-commit flush",
+			obs.ExpBuckets(1, 2, 12)),
+		SnapshotSeconds: r.Histogram("wal_snapshot_seconds",
+			"duration of the snapshot protocol (rotate, serialize, fsync, truncate)",
+			obs.LatencyBuckets()),
+	}
+}

@@ -97,6 +97,9 @@ type Options struct {
 	// after this many commits. 0 disables automatic snapshots — Snapshot
 	// and Close still write them.
 	SnapshotEvery uint64
+	// Metrics, when non-nil, receives fsync latencies, group-commit batch
+	// sizes and snapshot durations (see NewMetrics).
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -396,18 +399,21 @@ func (w *WAL) writeBatch(batch [][]byte, last uint64) {
 	if werr == nil {
 		switch w.opts.Sync {
 		case SyncAlways:
-			if werr = f.Sync(); werr == nil {
+			if werr = w.timedSync(f); werr == nil {
 				synced = true
 			}
 		case SyncInterval:
 			if time.Since(w.lastSyncAt) >= w.opts.SyncEvery {
-				if werr = f.Sync(); werr == nil {
+				if werr = w.timedSync(f); werr == nil {
 					synced = true
 				}
 			}
 		}
 	}
 	w.ioMu.Unlock()
+	if m := w.opts.Metrics; m != nil {
+		m.FlushRecords.Observe(float64(len(batch)))
+	}
 
 	w.mu.Lock()
 	if werr != nil {
@@ -426,6 +432,19 @@ func (w *WAL) writeBatch(batch [][]byte, last uint64) {
 	}
 	w.flushCond.Broadcast()
 	w.mu.Unlock()
+}
+
+// timedSync fsyncs f, feeding the fsync latency histogram when metrics are
+// wired. Called with ioMu held (all fsyncs are).
+func (w *WAL) timedSync(f File) error {
+	m := w.opts.Metrics
+	if m == nil {
+		return f.Sync()
+	}
+	t0 := time.Now()
+	err := f.Sync()
+	m.FsyncSeconds.ObserveSince(t0)
+	return err
 }
 
 // syncLoop is the SyncInterval background fsync: it catches the written-but
@@ -456,7 +475,7 @@ func (w *WAL) syncNow() {
 	if !stale || f == nil {
 		return
 	}
-	serr := f.Sync()
+	serr := w.timedSync(f)
 	w.mu.Lock()
 	if serr != nil {
 		if w.err == nil {
@@ -501,7 +520,7 @@ func (w *WAL) rotate() error {
 		_, werr = old.Write(buf)
 	}
 	if werr == nil {
-		werr = old.Sync() // segment boundaries are always durable
+		werr = w.timedSync(old) // segment boundaries are always durable
 	}
 	if cerr := old.Close(); werr == nil {
 		werr = cerr
@@ -585,6 +604,9 @@ func (w *WAL) Snapshot() error {
 	}
 	w.snapMu.Lock()
 	defer w.snapMu.Unlock()
+	if m := w.opts.Metrics; m != nil {
+		defer m.SnapshotSeconds.ObserveSince(time.Now())
+	}
 
 	if err := w.rotate(); err != nil {
 		return err
@@ -740,6 +762,9 @@ func (w *WAL) shutdown(graceful bool) error {
 func (w *WAL) snapshotClosed() error {
 	w.snapMu.Lock()
 	defer w.snapMu.Unlock()
+	if m := w.opts.Metrics; m != nil {
+		defer m.SnapshotSeconds.ObserveSince(time.Now())
+	}
 	// The flusher exits only once the queue is empty, so rotation here
 	// writes nothing new — it just seals the active segment for the
 	// snapshot's covering argument.

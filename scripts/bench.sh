@@ -52,6 +52,8 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
         else if ($f == "ns/durable_update") durable[name] += $(f-1)
         else if ($f == "appends/flush")     batching[name] += $(f-1)
         else if ($f == "recovery_ms")       recms[name] += $(f-1)
+        else if ($f == "p50_us")            p50[name] += $(f-1)
+        else if ($f == "p99_us")            p99[name] += $(f-1)
     }
     runs[name]++
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
@@ -81,6 +83,10 @@ END {
             extra = extra sprintf(", \"appends_per_flush\": %.2f", batching[name]/runs[name])
         if (name in recms)
             extra = extra sprintf(", \"recovery_ms\": %.2f", recms[name]/runs[name])
+        if (name in p50)
+            extra = extra sprintf(", \"p50_us\": %.1f", p50[name]/runs[name])
+        if (name in p99)
+            extra = extra sprintf(", \"p99_us\": %.1f", p99[name]/runs[name])
         if (!first) printf ",\n"
         first = 0
         printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f%s, \"runs\": %d}", \
