@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -226,6 +227,34 @@ func BenchmarkE1Update(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for j := range us {
 				us[j] = incr.Update{Op: incr.OpSet, ID: (i + j*37) % s.Len(), P: 0.3 + 0.4*float64(j%2)}
+			}
+			if err := s.ApplyBatch(us); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(us)), "ns/update")
+	})
+	// Net-zero churn: every staged change is staged back to the committed
+	// weight inside the same batch, so the delta commit recomputes only the
+	// touched leaves, finds each table unchanged, and short-circuits instead
+	// of walking the spine — the low-impact floor of change propagation.
+	// Compare against batch64 (every update propagates to the root).
+	b.Run("churn-batch64/n=800", func(b *testing.B) {
+		s, err := incr.NewStore(tid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RegisterView(q, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		us := make([]incr.Update, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < len(us); j += 2 {
+				id := (i + j*37) % s.Len()
+				us[j] = incr.Update{Op: incr.OpSet, ID: id, P: 0.9}
+				us[j+1] = incr.Update{Op: incr.OpSet, ID: id, P: 0.5}
 			}
 			if err := s.ApplyBatch(us); err != nil {
 				b.Fatal(err)
@@ -693,6 +722,88 @@ func BenchmarkE13Service(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(lanes)), "ns/assign")
 	})
+}
+
+// BenchmarkE15Mixed is the mixed read/write serving benchmark: concurrent
+// /query readers and /update writers share one server, with the ingest
+// batcher off (every write commits alone) and on (concurrent writes
+// coalesce into merged commits). Reported p50/p99 are the server-side
+// /query latency quantiles — the read tail a dashboard watches while writes
+// stream in; the batcher's job is to keep it flat under write pressure.
+func BenchmarkE15Mixed(b *testing.B) {
+	tid := gen.RSTChain(200, 0.5)
+	const readers, writers = 6, 2
+	for _, tc := range []struct {
+		name        string
+		ingestBatch int
+		maxWait     time.Duration
+	}{
+		{"readers=6/writers=2/ingest=none", 0, 0},
+		// The sub-millisecond window is what makes two writers actually
+		// share commits at benchmark scale (with maxWait=0 a commit on this
+		// chain finishes before the next request arrives).
+		{"readers=6/writers=2/ingest=256", 256, 500 * time.Microsecond},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := server.New(tid, server.Config{Workers: readers + writers, IngestBatch: tc.ingestBatch, IngestMaxWait: tc.maxWait})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Preregister("R(?x) & S(?x,?y) & T(?y)"); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(s)
+			defer ts.Close()
+			queryBody := []byte(`{"query": "R(?x) & S(?x,?y) & T(?y)"}`)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			for c := 0; c < readers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := &http.Client{}
+					for next.Add(1) <= int64(b.N) {
+						resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(queryBody))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}()
+			}
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					client := &http.Client{}
+					for i := 0; next.Add(1) <= int64(b.N); i++ {
+						// Each writer walks its own fact ids so merged
+						// commits never collapse two writers' updates into
+						// one staged weight.
+						body := fmt.Sprintf(`{"updates":[{"op":"set","id":%d,"p":%g}]}`,
+							(w*263+i*37)%tid.NumFacts(), float64(i%7+1)/10)
+						resp, err := client.Post(ts.URL+"/update", "application/json", strings.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			if sn, ok := s.LatencySnapshot("query"); ok && sn.Count > 0 {
+				b.ReportMetric(sn.Quantile(0.50)*1e6, "p50_us")
+				b.ReportMetric(sn.Quantile(0.99)*1e6, "p99_us")
+			}
+		})
+	}
 }
 
 // BenchmarkE14DurableUpdate is BenchmarkE1Update with the write-ahead log

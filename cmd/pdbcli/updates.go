@@ -62,7 +62,16 @@ func RunUpdates(tid *pdb.TID, q rel.CQ, r io.Reader, w io.Writer, interactive bo
 		return err
 	}
 	cancel := s.Subscribe(func(c incr.Commit) {
-		fmt.Fprintf(w, "#%d P(q) = %.9f\n", c.Seq, c.Probabilities[0])
+		// The trailing delta ledger shows what the commit actually cost: rows
+		// recomputed by the delta pass, and spines cut short because a
+		// recomputed table came out unchanged (" unchanged" flags a commit
+		// that moved nothing — e.g. churn that cancelled out).
+		suffix := ""
+		if !c.AnyChanged() {
+			suffix = " unchanged"
+		}
+		fmt.Fprintf(w, "#%d P(q) = %.9f [%d rows, %d spines cut]%s\n",
+			c.Seq, c.Probabilities[0], c.RowsRecomputed, c.SpinesShortCircuited, suffix)
 	})
 	defer cancel()
 	fmt.Fprintf(w, "live view ready: %d facts, P(q) = %.9f\n", s.Len(), v.Probability())
@@ -175,6 +184,8 @@ func runUpdateLine(s *incr.Store, m *incr.Metrics, v *incr.View, w io.Writer, fi
 		sh := v.Shape()
 		fmt.Fprintf(w, "store: %d commits, %d updates (%d set, %d insert, %d delete), %d attached in place, %d shards opened, %d rebuilds, %d tombstones, %d tables recomputed\n",
 			st.Commits, st.Updates, st.SetProbs, st.Inserts, st.Deletes, st.Attached, st.NewShards, st.Rebuilds, st.Tombstones, st.NodesRecomputed)
+		fmt.Fprintf(w, "delta: %d rows recomputed, %d spines short-circuited\n",
+			st.RowsRecomputed, st.SpinesShortCircuited)
 		if cs := m.CommitSeconds.Snapshot(); cs.Count > 0 {
 			fmt.Fprintf(w, "commit latency: p50 %.1fus, p95 %.1fus, p99 %.1fus over %d commits\n",
 				cs.Quantile(0.50)*1e6, cs.Quantile(0.95)*1e6, cs.Quantile(0.99)*1e6, cs.Count)

@@ -5,6 +5,7 @@
 //
 //	pdbd -i instance.pdb [-addr :8080] [-workers N] [-cache N] [-q 'R(?x)']
 //	     [-data-dir DIR] [-fsync always|interval|off] [-snapshot-every N]
+//	     [-ingest-batch N] [-ingest-maxwait DUR]
 //	     [-log-format text|json] [-slow-query DUR] [-debug-addr :6060]
 //
 // The instance file uses pdbcli's format (see internal/pdbio): it must be
@@ -16,7 +17,7 @@
 //	POST /query   {"query": "R(?x) & S(?x,?y)"}           live-view answer
 //	POST /batch   {"query": ..., "assignments": [{...}]}  multi-lane sweep
 //	POST /update  {"updates": [{"op":"set","id":0,"p":.5}]}
-//	GET  /watch                                           SSE commit stream
+//	GET  /watch                                           SSE delta stream (?full=1: full state)
 //	GET  /healthz, /statsz, /metrics
 //
 // -data-dir makes the server crash-safe: every acknowledged /update commit
@@ -74,6 +75,8 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "background fsync period under -fsync interval")
 	walBatch := flag.Int("wal-batch", 64, "group-commit batch size")
 	walMaxWait := flag.Duration("wal-maxwait", 0, "extra group-commit accumulation window (0: the in-flight flush itself is the window)")
+	ingestBatch := flag.Int("ingest-batch", 256, "max updates per merged /update commit; concurrent requests coalesce up to this (0: every request commits alone)")
+	ingestMaxWait := flag.Duration("ingest-maxwait", 0, "extra /update coalescing window (0: the in-flight commit itself is the window)")
 	snapEvery := flag.Uint64("snapshot-every", 4096, "snapshot + truncate the log every N commits (0: only on shutdown)")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this with their span breakdown (0: off)")
@@ -85,12 +88,14 @@ func main() {
 
 	reg := obs.NewRegistry()
 	cfg := server.Config{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Options:   core.Options{},
-		Metrics:   reg,
-		SlowQuery: *slowQuery,
-		Logger:    logger,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		IngestBatch:   *ingestBatch,
+		IngestMaxWait: *ingestMaxWait,
+		Options:       core.Options{},
+		Metrics:       reg,
+		SlowQuery:     *slowQuery,
+		Logger:        logger,
 	}
 	var s *server.Server
 	if *dataDir == "" {

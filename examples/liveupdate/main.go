@@ -43,7 +43,13 @@ func main() {
 
 	// 2. Watch every commit: subscribers see the refreshed probability.
 	cancel := s.Subscribe(func(c incr.Commit) {
-		fmt.Printf("   -> commit #%d: P(q) = %.6f\n", c.Seq, c.Probabilities[0])
+		if !c.AnyChanged() {
+			fmt.Printf("   -> commit #%d: unchanged (%d rows recomputed, short-circuited)\n",
+				c.Seq, c.RowsRecomputed)
+			return
+		}
+		fmt.Printf("   -> commit #%d: P(q) = %.6f (%d rows recomputed, %d spines short-circuited)\n",
+			c.Seq, c.Probabilities[0], c.RowsRecomputed, c.SpinesShortCircuited)
 	})
 	defer cancel()
 
@@ -100,6 +106,8 @@ func main() {
 	st := s.Stats()
 	fmt.Printf("\nstats: %d commits, %d updates; %d inserts attached in place, %d shards opened, %d re-shards, %d shards now, %d tombstones, %d DP tables recomputed incrementally\n",
 		st.Commits, st.Updates, st.Attached, st.NewShards, st.Rebuilds, st.Shards, st.Tombstones, st.NodesRecomputed)
+	fmt.Printf("delta ledger: %d rows recomputed across those tables, %d spines short-circuited (recomputed but unchanged)\n",
+		st.RowsRecomputed, st.SpinesShortCircuited)
 
 	// 9. Ground truth: the incremental answer equals a full re-Prepare.
 	want, err := s.Oracle(q)

@@ -25,10 +25,21 @@ import (
 // contiguous memory, with no map traffic. Programs compile lazily on first
 // use and survive until a structure splice invalidates them.
 //
-// Updates are staged (Stage, StageAttach) and applied by Commit, which
-// recomputes the union of the dirty spines in a single bottom-up sweep, so a
-// batch of updates pays for each dirty node once no matter how many updates
-// touched it.
+// Updates are staged (Stage, StageAttach) and applied by Commit/CommitDelta,
+// which propagate *changes* in a single bottom-up sweep: a staged node is
+// recomputed in full and diffed against its persisted table, and from there
+// on each ancestor recomputes only the rows its child's changed rows feed
+// (the compiled edge lists make the affected-row indexing free). Propagation
+// stops at the first node whose recomputed table comes out identical — the
+// short-circuit that makes low-impact updates and churny batches (set then
+// set back, delete then revive) cost a truncated spine instead of a full
+// root path. A batch of updates still pays for each dirty node at most once
+// no matter how many updates touched it.
+//
+// The diff is exact (==, not epsilon): an ancestor's recomputed rows
+// accumulate their contributions in the same program order as a full
+// recompute, so a delta pass is bit-identical to recomputing every table
+// from scratch and the comparison never confuses float noise for change.
 //
 // A Materialized view is single-writer: it must be confined to one goroutine
 // (or externally locked, as incr.Store does). It may share its plan with
@@ -42,14 +53,43 @@ type Materialized struct {
 	layouts   [][]rowKey  // persisted per-node row layouts
 	vals      [][]float64 // persisted per-node row values, same order
 	progs     []*nodeProg // lazily compiled per-node row programs
-	dirty     []bool      // nodes whose table must be recomputed
+	dirty     []uint8     // per-node sweep flag: dirtyNone/dirtyDelta/dirtyFull
 	anyDirty  bool
 	prob      float64
 	recomp    int    // cumulative node recomputations, for cost accounting
 	structGen uint64 // plan structure generation this view tracks
-	commitGen uint64 // bumped by every Commit that recomputed something;
+	commitGen uint64 // bumped by every Commit that changed the root table;
 	// lets a ShardCombiner skip shards whose tables are unchanged
+
+	// Delta-pass state: per-node changed-row sets, valid for one CommitDelta
+	// generation, plus the reusable scratch the pass runs in.
+	changedRows [][]int32 // rows of node t whose value changed this pass
+	changedGen  []uint64  // deltaGen changedRows[t] belongs to
+	deltaGen    uint64    // bumped once per CommitDelta
+	valScratch  []float64 // full-recompute target, swapped with the table on change
+	oldScratch  []float64 // saved pre-values of the affected rows of a partial recompute
+	affList     []int32   // affected dst rows of the node being recomputed
+	dstMark     []uint64  // stamp array: affected dsts of a partial recompute
+	markGen     uint64
 }
+
+// The commit sweep visits every node in postorder, so skipping the untouched
+// majority must cost a single byte load — and the byte carries the whole
+// propagation signal, so a node recomputed on a dense spine never touches
+// the per-node changed-row arrays at all. Levels, in escalation order:
+// dirtyDelta marks nodes reached by a child's sparse changed rows (recompute
+// just the rows those feed); dirtyDense marks nodes reached by a child whose
+// table changed wholesale (recompute in full, no diff, propagate dense);
+// dirtyFull marks staged nodes (new weight, fresh splice, stale program),
+// which recompute in full and diff, because that is where net-zero churn is
+// caught. A node is never downgraded: a dense child overrides a sparse
+// sibling, a staged node ignores both.
+const (
+	dirtyNone uint8 = iota
+	dirtyDelta
+	dirtyDense
+	dirtyFull
+)
 
 // Materialize runs one full evaluation of the plan under p and keeps every
 // node table, returning the live view. The plan may be frozen if only event
@@ -65,14 +105,14 @@ func (pl *Plan) Materialize(p logic.Prob) (*Materialized, error) {
 		layouts:   make([][]rowKey, len(pl.nodes)),
 		vals:      make([][]float64, len(pl.nodes)),
 		progs:     make([]*nodeProg, len(pl.nodes)),
-		dirty:     make([]bool, len(pl.nodes)),
+		dirty:     make([]uint8, len(pl.nodes)),
 		structGen: pl.structGen,
 	}
 	for i, e := range pl.events {
 		m.pe[i] = p.P(e)
 	}
 	for t := range m.dirty {
-		m.dirty[t] = true
+		m.dirty[t] = dirtyFull
 	}
 	m.anyDirty = true
 	if _, err := m.Commit(); err != nil {
@@ -123,7 +163,7 @@ func (m *Materialized) Stage(e logic.Event, pr float64) error {
 	if t < 0 {
 		return fmt.Errorf("core: event %q has no forget node (internal invariant violated)", e)
 	}
-	m.dirty[t] = true
+	m.dirty[t] = dirtyFull
 	m.anyDirty = true
 	return nil
 }
@@ -163,48 +203,94 @@ func (m *Materialized) StageAttach(f rel.Fact, fi int, e logic.Event, pr float64
 	m.layouts = append(m.layouts, nil, nil)
 	m.vals = append(m.vals, nil, nil)
 	m.progs = append(m.progs, nil, nil)
-	m.dirty = append(m.dirty, true, true)
+	m.dirty = append(m.dirty, dirtyFull, dirtyFull)
 	// The splice changes the row layout flowing up from the attach point
 	// (the fact transition can mint new state sets), so every ancestor's
 	// compiled program — wired against the old child layouts — is stale:
 	// drop them for lazy recompilation during the commit sweep.
 	for a := m.pl.parents[forget]; a >= 0; a = m.pl.parents[a] {
 		m.progs[a] = nil
-		m.dirty[a] = true
+		m.dirty[a] = dirtyFull
 	}
 	m.anyDirty = true
 	return nil
 }
 
-// Commit recomputes every table invalidated by the staged changes in one
-// bottom-up sweep — dirtiness propagates from each staged node along its root
-// path, and spines shared between staged updates are recomputed once — then
-// refreshes Probability. Each dirty node reruns its compiled row program
-// (recompiling it first when a structure splice invalidated it) over the
-// persisted dense tables. It returns the number of node tables recomputed.
+// CommitStats reports what one CommitDelta actually did: how many node
+// tables were touched, how many of their rows were recomputed (the delta
+// pass recomputes only the rows a child's changes feed), how many recomputed
+// tables came out identical and cut their spine short, and whether the root
+// table — and with it Probability — changed at all.
+type CommitStats struct {
+	Nodes         int  // node tables recomputed, in full or partially
+	Rows          int  // table rows recomputed across those nodes
+	ShortCircuits int  // recomputed non-root tables that came out unchanged, stopping propagation
+	Changed       bool // the root table (and so Probability) changed
+}
+
+// Commit applies the staged changes and returns the number of node tables
+// recomputed. It is CommitDelta for callers that only track node counts.
 func (m *Materialized) Commit() (int, error) {
+	cs, err := m.CommitDelta()
+	return cs.Nodes, err
+}
+
+// CommitDelta applies every staged change as one bottom-up change
+// propagation. A staged node (new weight, fresh splice) is recomputed in
+// full and diffed against its persisted table; an ancestor reached only
+// through a child's changed rows recomputes just the rows those changes
+// feed, accumulating contributions in program order so the result is
+// bit-identical to a full recompute. A node whose recomputed table is
+// unchanged propagates nothing — the walk stops there instead of running to
+// the root — and when the root table itself is untouched the commit leaves
+// Probability (and the commit generation a ShardCombiner caches on) alone.
+// Spines shared between staged updates are recomputed once.
+func (m *Materialized) CommitDelta() (CommitStats, error) {
+	var cs CommitStats
 	if err := m.check(); err != nil {
-		return 0, err
+		return cs, err
 	}
 	if !m.anyDirty {
-		return 0, nil
+		return cs, nil
 	}
-	n := 0
+	if n := len(m.pl.nodes); len(m.changedGen) < n {
+		m.changedRows = append(m.changedRows, make([][]int32, n-len(m.changedRows))...)
+		m.changedGen = append(m.changedGen, make([]uint64, n-len(m.changedGen))...)
+	}
+	m.deltaGen++
+	gen := m.deltaGen
+	root := m.pl.root
+	rootChanged := false
 	for _, t := range m.pl.post {
-		if !m.dirty[t] {
+		d := m.dirty[t]
+		if d == dirtyNone {
 			continue
 		}
-		m.dirty[t] = false
+		m.dirty[t] = dirtyNone
 		nd := &m.pl.nodes[t]
+		staged := d == dirtyFull
+		full := staged || d == dirtyDense || m.progs[t] == nil
+		var ch0, ch1 []int32
+		if !full {
+			// Only a sparse (dirtyDelta) node consults the children's
+			// changed-row lists; dense propagation travels in the dirty
+			// byte alone.
+			if nd.child0 >= 0 && m.changedGen[nd.child0] == gen {
+				ch0 = m.changedRows[nd.child0]
+			}
+			if nd.child1 >= 0 && m.changedGen[nd.child1] == gen {
+				ch1 = m.changedRows[nd.child1]
+			}
+			if ch0 == nil && ch1 == nil {
+				continue // reached, but every child short-circuited
+			}
+		}
 		np := m.progs[t]
+		recompiled := false
 		if np == nil {
 			m.layouts[t], np = m.pl.compileNodeProg(t, m.layouts)
 			m.progs[t] = np
-		}
-		if len(m.vals[t]) != np.rows {
-			m.vals[t] = make([]float64, np.rows)
-		} else {
-			clear(m.vals[t])
+			recompiled = true
 		}
 		var c0, c1 []float64
 		if nd.child0 >= 0 {
@@ -217,25 +303,77 @@ func (m *Materialized) Commit() (int, error) {
 		if np.kind == pkForgetEvent {
 			w = m.pe[np.eventIdx]
 		}
-		runNodeProg1(np, m.vals[t], c0, c1, w)
-		n++
-		if p := m.pl.parents[t]; p >= 0 {
-			m.dirty[p] = true
+		// Density cutover: the partial pass pays two conditional edge scans
+		// plus per-row bookkeeping, so once half a child's rows changed a
+		// straight full recompute (one unconditional scan, then diff) is
+		// cheaper — and on small tables the diff is nearly free.
+		if !full {
+			dense0 := nd.child0 >= 0 && 2*len(ch0) >= len(c0)
+			dense1 := nd.child1 >= 0 && 2*len(ch1) >= len(c1)
+			full = dense0 || dense1
+		}
+		var changed []int32
+		dense := false
+		switch {
+		case full && !staged:
+			// Reached through a dense child (or a >half-changed sparse
+			// list): the table is recomputed in place with no diff, exactly
+			// like a plain full sweep, and propagates dense. The diff is
+			// reserved for where change originates — staged nodes, whose
+			// tables often come out unchanged (net-zero churn), and sparse
+			// partial recomputes — so the propagation spine pays nothing
+			// over the pre-delta walk.
+			m.commitTrusted(t, np, c0, c1, w, &cs)
+			dense = true
+		case full:
+			changed, dense = m.commitFull(t, np, c0, c1, w, recompiled, m.changedRows[t][:0], &cs)
+		default:
+			changed = m.commitPartial(np, m.vals[t], c0, c1, w, ch0, ch1, m.changedRows[t][:0], &cs)
+		}
+		cs.Nodes++
+		switch {
+		case dense:
+			if p := m.pl.parents[t]; p >= 0 && m.dirty[p] < dirtyDense {
+				m.dirty[p] = dirtyDense
+			}
+			if t == root {
+				rootChanged = true
+			}
+		case len(changed) > 0:
+			m.changedRows[t] = changed
+			m.changedGen[t] = gen
+			if p := m.pl.parents[t]; p >= 0 && m.dirty[p] == dirtyNone {
+				m.dirty[p] = dirtyDelta
+			}
+			if t == root {
+				rootChanged = true
+			}
+		default:
+			if changed != nil {
+				m.changedRows[t] = changed // keep the (possibly regrown) buffer
+			}
+			if m.pl.parents[t] >= 0 {
+				cs.ShortCircuits++
+			}
 		}
 	}
 	m.anyDirty = false
-	m.recomp += n
+	m.recomp += cs.Nodes
+	if !rootChanged {
+		return cs, nil // the root table is untouched; Probability stands
+	}
+	cs.Changed = true
 	m.commitGen++
 	var prob, mass float64
-	rootVals := m.vals[m.pl.root]
-	for i, k := range m.layouts[m.pl.root] {
+	rootVals := m.vals[root]
+	for i, k := range m.layouts[root] {
 		mass += rootVals[i]
 		if m.pl.accept[k.set] {
 			prob += rootVals[i]
 		}
 	}
 	if massDrifted(mass) {
-		return n, errMassDrift(mass)
+		return cs, errMassDrift(mass)
 	}
 	if prob < 0 {
 		prob = 0
@@ -244,7 +382,252 @@ func (m *Materialized) Commit() (int, error) {
 		prob = 1
 	}
 	m.prob = prob
-	return n, nil
+	return cs, nil
+}
+
+// commitFull recomputes node t's whole table into scratch and diffs it
+// against the persisted one, copying the moved rows back so the persisted
+// array keeps its identity (and the scratch buffer is reused commit after
+// commit). The diff stops listing rows once more than half of them changed —
+// at that density the parent recomputes in full anyway (the density
+// cutover), so the exact set is dead weight — and reports dense=true
+// instead. A recompiled program's rows are laid out against the (possibly
+// new) child layouts, so its old table is not comparable row by row and
+// counts as dense outright.
+func (m *Materialized) commitFull(t int, np *nodeProg, c0, c1 []float64, w float64, recompiled bool, changed []int32, cs *CommitStats) ([]int32, bool) {
+	if cap(m.valScratch) < np.rows {
+		m.valScratch = make([]float64, np.rows)
+	}
+	scratch := m.valScratch[:np.rows]
+	clear(scratch)
+	runNodeProg1(np, scratch, c0, c1, w)
+	cs.Rows += np.rows
+	old := m.vals[t]
+	if recompiled || len(old) != np.rows {
+		m.vals[t] = append(old[:0], scratch...)
+		return changed, true
+	}
+	dense := false
+	half := len(old) / 2
+	for i, v := range scratch {
+		if v != old[i] {
+			if len(changed) > half {
+				dense = true
+				break
+			}
+			changed = append(changed, int32(i))
+		}
+	}
+	if dense {
+		copy(old, scratch)
+	} else {
+		for _, i := range changed {
+			old[i] = scratch[i]
+		}
+	}
+	return changed, dense
+}
+
+// commitTrusted recomputes node t's whole table in place with no diff: the
+// caller already knows the change is dense enough that checking for an
+// unchanged result is not worth a scan, so the node is simply treated as
+// fully changed. This is bit-identical to commitFull's recompute — only the
+// bookkeeping differs.
+func (m *Materialized) commitTrusted(t int, np *nodeProg, c0, c1 []float64, w float64, cs *CommitStats) {
+	v := m.vals[t]
+	if len(v) != np.rows {
+		if cap(v) < np.rows {
+			v = make([]float64, np.rows)
+		} else {
+			v = v[:np.rows]
+		}
+		m.vals[t] = v
+	}
+	clear(v)
+	runNodeProg1(np, v, c0, c1, w)
+	cs.Rows += np.rows
+}
+
+// deltaIdx is the lazily built adjacency of one compiled row program, used
+// by the partial commit pass. The forward index (srcN*) maps a child row to
+// the rows it feeds, for marking; the inverse index (dst*) maps a row to its
+// contributions in program order, for re-accumulation. Both passes therefore
+// touch only edges incident to the change, instead of scanning the whole
+// program twice behind a per-edge condition.
+type deltaIdx struct {
+	src0Start []int32 // CSR over child0 rows: dst rows each feeds
+	src0Dst   []int32
+	src1Start []int32 // CSR over child1 rows (joins only)
+	src1Dst   []int32
+	dstStart  []int32 // CSR over this node's rows: contributions, program order
+	dstSrc    []int32 // pkUnary: src row; pkForgetEvent: src<<1 | (0 for e1, 1 for e0)
+	dstL      []int32 // pkJoin: left source rows
+	dstR      []int32 // pkJoin: right source rows
+}
+
+// csr32 builds a stable CSR over n buckets from m entries: key(i) gives
+// entry i's bucket, and fill is called with each entry's slot in key order
+// (entries of one bucket keep their original relative order, which is what
+// makes per-row re-accumulation bit-identical to the full program run).
+func csr32(n, m int, key func(int) int32, fill func(entry, slot int)) []int32 {
+	start := make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		start[key(i)+1]++
+	}
+	for b := 0; b < n; b++ {
+		start[b+1] += start[b]
+	}
+	next := make([]int32, n)
+	copy(next, start[:n])
+	for i := 0; i < m; i++ {
+		b := key(i)
+		fill(i, int(next[b]))
+		next[b]++
+	}
+	return start
+}
+
+// buildDeltaIdx compiles the program's delta adjacency. nc0/nc1 are the
+// child table sizes the forward indexes span.
+func (np *nodeProg) buildDeltaIdx(nc0, nc1 int) *deltaIdx {
+	di := &deltaIdx{}
+	switch np.kind {
+	case pkUnary:
+		di.src0Dst = make([]int32, len(np.edges))
+		di.src0Start = csr32(nc0, len(np.edges),
+			func(i int) int32 { return np.edges[i].src },
+			func(i, s int) { di.src0Dst[s] = np.edges[i].dst })
+		di.dstSrc = make([]int32, len(np.edges))
+		di.dstStart = csr32(np.rows, len(np.edges),
+			func(i int) int32 { return np.edges[i].dst },
+			func(i, s int) { di.dstSrc[s] = np.edges[i].src })
+	case pkForgetEvent:
+		// One merged edge list in program order — all e1 (weight w), then
+		// all e0 (weight 1-w) — with the branch encoded in the low bit.
+		n1 := len(np.e1)
+		n := n1 + len(np.e0)
+		at := func(i int) (rpEdge, int32) {
+			if i < n1 {
+				return np.e1[i], 0
+			}
+			return np.e0[i-n1], 1
+		}
+		di.src0Dst = make([]int32, n)
+		di.src0Start = csr32(nc0, n,
+			func(i int) int32 { e, _ := at(i); return e.src },
+			func(i, s int) { e, _ := at(i); di.src0Dst[s] = e.dst })
+		di.dstSrc = make([]int32, n)
+		di.dstStart = csr32(np.rows, n,
+			func(i int) int32 { e, _ := at(i); return e.dst },
+			func(i, s int) { e, k := at(i); di.dstSrc[s] = e.src<<1 | k })
+	case pkJoin:
+		di.src0Dst = make([]int32, len(np.joins))
+		di.src0Start = csr32(nc0, len(np.joins),
+			func(i int) int32 { return np.joins[i].l },
+			func(i, s int) { di.src0Dst[s] = np.joins[i].dst })
+		di.src1Dst = make([]int32, len(np.joins))
+		di.src1Start = csr32(nc1, len(np.joins),
+			func(i int) int32 { return np.joins[i].r },
+			func(i, s int) { di.src1Dst[s] = np.joins[i].dst })
+		di.dstL = make([]int32, len(np.joins))
+		di.dstR = make([]int32, len(np.joins))
+		di.dstStart = csr32(np.rows, len(np.joins),
+			func(i int) int32 { return np.joins[i].dst },
+			func(i, s int) { di.dstL[s], di.dstR[s] = np.joins[i].l, np.joins[i].r })
+	}
+	np.delta = di
+	return di
+}
+
+// commitPartial recomputes, in place, only the rows of vals that the
+// children's changed rows feed: it marks the dst rows reachable from ch0/ch1
+// through the program's delta adjacency, zeroes them, and re-accumulates
+// every contribution into those rows in program order — so a recomputed row
+// is bit-identical to what a full recompute would produce, and the
+// unaffected rows (whose inputs are untouched) already are. Work is
+// proportional to the edges incident to the changed and affected rows, not
+// to the program size.
+func (m *Materialized) commitPartial(np *nodeProg, vals, c0, c1 []float64, w float64, ch0, ch1 []int32, changed []int32, cs *CommitStats) []int32 {
+	di := np.delta
+	if di == nil {
+		di = np.buildDeltaIdx(len(c0), len(c1))
+	}
+	m.markGen++
+	mg := m.markGen
+	dst := ensureMark(&m.dstMark, np.rows)
+	aff := m.affList[:0]
+	for _, r := range ch0 {
+		for _, d := range di.src0Dst[di.src0Start[r]:di.src0Start[r+1]] {
+			if dst[d] != mg {
+				dst[d] = mg
+				aff = append(aff, d)
+			}
+		}
+	}
+	for _, r := range ch1 {
+		for _, d := range di.src1Dst[di.src1Start[r]:di.src1Start[r+1]] {
+			if dst[d] != mg {
+				dst[d] = mg
+				aff = append(aff, d)
+			}
+		}
+	}
+	if cap(m.oldScratch) < len(aff) {
+		m.oldScratch = make([]float64, len(aff))
+	}
+	oldv := m.oldScratch[:len(aff)]
+	for i, d := range aff {
+		oldv[i] = vals[d]
+		vals[d] = 0
+	}
+	switch np.kind {
+	case pkUnary:
+		for _, d := range aff {
+			v := vals[d]
+			for _, s := range di.dstSrc[di.dstStart[d]:di.dstStart[d+1]] {
+				v += c0[s]
+			}
+			vals[d] = v
+		}
+	case pkForgetEvent:
+		w1m := 1 - w
+		for _, d := range aff {
+			v := vals[d]
+			for _, s := range di.dstSrc[di.dstStart[d]:di.dstStart[d+1]] {
+				if s&1 == 0 {
+					v += c0[s>>1] * w
+				} else {
+					v += c0[s>>1] * w1m
+				}
+			}
+			vals[d] = v
+		}
+	case pkJoin:
+		for _, d := range aff {
+			v := vals[d]
+			for i := di.dstStart[d]; i < di.dstStart[d+1]; i++ {
+				v += c0[di.dstL[i]] * c1[di.dstR[i]]
+			}
+			vals[d] = v
+		}
+	}
+	cs.Rows += len(aff)
+	for i, d := range aff {
+		if vals[d] != oldv[i] {
+			changed = append(changed, d)
+		}
+	}
+	m.affList = aff[:0]
+	return changed
+}
+
+// ensureMark resizes a stamp array to n entries; stale stamps from earlier
+// generations never match the current one, so no clearing is needed.
+func ensureMark(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	return (*buf)[:n]
 }
 
 // SetEventProb stages a single event-probability change and commits it,

@@ -146,6 +146,117 @@ func TestMaterializedBatchSharesSpines(t *testing.T) {
 	}
 }
 
+// TestMaterializedDeltaShortCircuit: a batch that nets out to no change —
+// an event staged away from and back to its committed weight — recomputes
+// the staged leaf, finds the table identical, and stops there: no spine
+// walk, no root recompute, and Probability is bit-identical (the table was
+// never touched, so not even float noise moves).
+func TestMaterializedDeltaShortCircuit(t *testing.T) {
+	tid := gen.RSTChain(30, 0.5)
+	pl, p, err := PrepareTID(tid, rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Probability()
+	e := tid.EventOf(7)
+	orig := p[e]
+	if err := m.Stage(e, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Stage(e, orig); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := m.CommitDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Changed {
+		t.Fatalf("net-zero churn reported a changed root: %+v", cs)
+	}
+	if cs.Nodes == 0 || cs.Rows == 0 {
+		t.Fatalf("churn staged nothing: %+v", cs)
+	}
+	if cs.ShortCircuits == 0 {
+		t.Fatalf("unchanged table did not cut the spine: %+v", cs)
+	}
+	if cs.Nodes > 2 {
+		t.Fatalf("short-circuited churn still walked %d nodes", cs.Nodes)
+	}
+	if got := m.Probability(); got != before {
+		t.Fatalf("probability moved on a no-op commit: %v -> %v", before, got)
+	}
+
+	// A genuine change afterwards still propagates and matches the oracle.
+	if err := m.Stage(e, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	cs, err = m.CommitDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Changed || cs.ShortCircuits != 0 {
+		t.Fatalf("real change did not propagate to the root: %+v", cs)
+	}
+	p[e] = 0.9
+	want, err := pl.Probability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Probability()-want) > 1e-12 {
+		t.Fatalf("after churn + change: materialized %v, eval %v", m.Probability(), want)
+	}
+}
+
+// TestMaterializedDeltaMatchesOracle drives random staged batches through
+// CommitDelta and checks every refreshed probability against a full
+// evaluation, while asserting the delta pass recomputes a strict subset of
+// the view's rows for small batches on a long chain.
+func TestMaterializedDeltaMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	tid := gen.RSTChain(50, 0.5)
+	pl, p, err := PrepareTID(tid, rel.HardQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tid.NumFacts()
+	depth := pl.Shape().Depth
+	for round := 0; round < 25; round++ {
+		k := 1 + r.Intn(3)
+		for j := 0; j < k; j++ {
+			e := tid.EventOf(r.Intn(events))
+			pr := float64(r.Intn(11)) / 10
+			p[e] = pr
+			if err := m.Stage(e, pr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs, err := m.CommitDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pl.Probability(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Probability()-want) > 1e-12 {
+			t.Fatalf("round %d: materialized %v, eval %v", round, m.Probability(), want)
+		}
+		// A ≤3-event batch walks at most 3 spines (shared segments counted
+		// once), never the whole plan.
+		if cs.Nodes > k*(depth+1) {
+			t.Fatalf("round %d: %d staged events recomputed %d nodes (depth %d)", round, k, cs.Nodes, depth)
+		}
+	}
+}
+
 // TestMaterializedAttach grows a live view fact by fact and checks each
 // refreshed probability against a plan freshly prepared on the grown
 // instance.

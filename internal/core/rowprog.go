@@ -65,6 +65,11 @@ type nodeProg struct {
 	edges    []rpEdge // pkUnary: plain gather-add edges
 	e0, e1   []rpEdge // pkForgetEvent: edges for rows with the event false / true
 	joins    []rpJoin // pkJoin
+
+	// delta is the lazily built edge adjacency used by the partial commit
+	// pass (see buildDeltaIdx); nil until a partial recompute first touches
+	// this program, dropped with the program on recompilation.
+	delta *deltaIdx
 }
 
 // rowProgram is the whole-plan compile: one nodeProg per nice node plus the

@@ -14,13 +14,15 @@ import (
 // SetProb / Insert / Delete / ApplyBatch operations on a small sharded chain
 // store and asserts, after every commit, that each live view equals the full
 // re-Prepare oracle to 1e-12 — including after tombstones, revivals,
-// singleton-shard opens, component merges and fallback re-shards. Three
-// bytes drive one operation: opcode, argument, probability.
+// singleton-shard opens, component merges, fallback re-shards and net-zero
+// churn batches that the delta pass short-circuits. Three bytes drive one
+// operation: opcode, argument, probability.
 func FuzzIncrementalUpdates(f *testing.F) {
 	f.Add([]byte{0, 3, 128, 2, 1, 200, 4, 5, 0, 3, 9, 64})
 	f.Add([]byte{2, 0, 255, 2, 0, 10, 5, 0, 77, 1, 2, 30})
 	f.Add([]byte{6, 1, 50, 6, 2, 60, 0, 0, 0, 4, 1, 1})
 	f.Add([]byte{7, 2, 90, 2, 1, 40, 7, 2, 10, 2, 3, 200})
+	f.Add([]byte{9, 2, 100, 0, 1, 30, 9, 0, 5, 6, 4, 90})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := NewStore(gen.RSTChain(3, 0.5))
 		if err != nil {
@@ -41,7 +43,7 @@ func FuzzIncrementalUpdates(f *testing.F) {
 		views := []*View{v1, v2, v3}
 
 		step := func(op, arg byte, pr float64) {
-			switch op % 9 {
+			switch op % 10 {
 			case 0: // probability tweak
 				id := int(arg) % s.Len()
 				if s.Live(id) {
@@ -130,6 +132,38 @@ func FuzzIncrementalUpdates(f *testing.F) {
 				}
 				if len(us) > 0 && s.Stats().NodesRecomputed == before && s.Stats().Rebuilds == 0 {
 					t.Fatalf("batched set of %d facts recomputed no node tables", len(us))
+				}
+			case 9: // net-zero churn: tombstone + revive at the identical weight
+				// in one batch — the delta pass recomputes the staged leaves,
+				// finds every table unchanged, and short-circuits, so the view
+				// probabilities must come out bit-identical, not just within
+				// tolerance
+				id := int(arg) % s.Len()
+				if !s.Live(id) {
+					return
+				}
+				cur, err := s.Prob(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fact, err := s.Fact(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := make([]float64, len(views))
+				for i, v := range views {
+					before[i] = v.Probability()
+				}
+				if err := s.ApplyBatch([]Update{
+					{Op: OpDelete, ID: id},
+					{Op: OpInsert, Fact: fact, P: cur},
+				}); err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range views {
+					if got := v.Probability(); got != before[i] {
+						t.Fatalf("net-zero churn moved view %d: %v -> %v", i, before[i], got)
+					}
 				}
 			}
 		}

@@ -100,6 +100,29 @@ type Commit struct {
 	// views are unregistered, so consumers that outlive a single commit
 	// (e.g. network watch streams) should key on the view, not the index.
 	Views []*View
+	// Changed flags the views this commit actually moved: Changed[i] is
+	// false when the delta pass proved Views[i]'s probability identical to
+	// the previous commit's (every spine short-circuited before its root, or
+	// no shard of the view was touched). Consumers streaming deltas forward
+	// only the changed entries; the full Probabilities slice stays available
+	// for full-state consumers.
+	Changed []bool
+	// RowsRecomputed and SpinesShortCircuited are this commit's delta-pass
+	// work counters, summed over every (shard, view) table set: rows
+	// actually recomputed, and recomputed tables that came out unchanged and
+	// cut their spine short.
+	RowsRecomputed       uint64
+	SpinesShortCircuited uint64
+}
+
+// AnyChanged reports whether the commit moved at least one view.
+func (c Commit) AnyChanged() bool {
+	for _, ch := range c.Changed {
+		if ch {
+			return true
+		}
+	}
+	return false
 }
 
 // CommitHook observes every commit at acknowledgement time: it is invoked
@@ -161,8 +184,14 @@ type Stats struct {
 	NewShards       uint64 // inserts that opened a fresh singleton shard
 	Rebuilds        uint64 // full re-shard fallbacks
 	NodesRecomputed uint64 // DP tables recomputed incrementally, all views
-	Tombstones      int    // deleted facts still occupying plan events
-	Shards          int    // current connected-component shards
+	// RowsRecomputed counts the table rows those recomputations actually
+	// touched (the delta pass recomputes only the rows a change feeds), and
+	// SpinesShortCircuited the recomputed tables that came out unchanged and
+	// stopped their spine's propagation early.
+	RowsRecomputed       uint64
+	SpinesShortCircuited uint64
+	Tombstones           int // deleted facts still occupying plan events
+	Shards               int // current connected-component shards
 }
 
 // Store is a mutable tuple-independent probabilistic database serving live
@@ -1093,10 +1122,13 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 	}
 	t0 := time.Now()
 	nodes0 := s.stats.NodesRecomputed
+	rows0 := s.stats.RowsRecomputed
+	cuts0 := s.stats.SpinesShortCircuited
+	changed := make([]bool, len(s.views))
 	if s.needRebuild {
 		s.needRebuild = false
 		s.rebuildShards()
-		for _, v := range s.views {
+		for i, v := range s.views {
 			if err := v.build(); err != nil {
 				// The store's data and its views have diverged and cannot be
 				// reconciled; refuse further use rather than serve stale
@@ -1104,29 +1136,44 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 				s.broken = fmt.Errorf("incr: rebuild failed, store unusable: %w", err)
 				return nil, s.broken
 			}
+			// A rebuild recomputes every view from scratch; deltas are
+			// unknowable, so every view counts as changed.
+			changed[i] = true
 		}
 		s.stats.Rebuilds++
 		if m := s.metrics; m != nil {
 			m.Rebuilds.Inc()
 		}
 	} else {
-		// Batched dirty-spine recompute, shard-major: every view's tables for
-		// one shard commit back-to-back — their spines walk the same
-		// decomposition of the same sub-instance, so the shard's row layouts
-		// and kernel blocks stay hot across views — and only then does each
-		// view fold its refreshed shards back into a combined probability,
-		// once, no matter how many updates the batch staged.
+		// Batched delta pass, shard-major: every view's tables for one shard
+		// commit back-to-back — their spines walk the same decomposition of
+		// the same sub-instance, so the shard's row layouts and kernel blocks
+		// stay hot across views — with each table set propagating only its
+		// changed rows and stopping at the first unchanged table. Only views
+		// whose combined answer can have moved (a shard's root table changed,
+		// or the shard set itself grew) then refold their shards; the rest
+		// keep their probability without touching the combiner.
 		for k := range s.shards {
-			for _, v := range s.views {
-				n, err := v.shards[k].mat.Commit()
+			for i, v := range s.views {
+				cs, err := v.shards[k].mat.CommitDelta()
 				if err != nil {
 					s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
 					return nil, s.broken
 				}
-				s.stats.NodesRecomputed += uint64(n)
+				s.stats.NodesRecomputed += uint64(cs.Nodes)
+				s.stats.RowsRecomputed += uint64(cs.Rows)
+				s.stats.SpinesShortCircuited += uint64(cs.ShortCircuits)
+				if cs.Changed {
+					changed[i] = true
+				}
 			}
 		}
-		for _, v := range s.views {
+		for i, v := range s.views {
+			if v.comb == nil {
+				changed[i] = true // the shard set changed under the view
+			} else if !changed[i] {
+				continue // no shard root moved: the combined fold is current
+			}
 			if err := v.recombine(); err != nil {
 				s.broken = fmt.Errorf("incr: commit failed, store unusable: %w", err)
 				return nil, s.broken
@@ -1140,6 +1187,8 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 		m.CommitSeconds.ObserveSince(t0)
 		m.CommitUpdates.Observe(float64(len(us)))
 		m.NodesRecomputed.Add(s.stats.NodesRecomputed - nodes0)
+		m.RowsRecomputed.Add(s.stats.RowsRecomputed - rows0)
+		m.SpinesShortCircuited.Add(s.stats.SpinesShortCircuited - cuts0)
 		m.Commits.Inc()
 	}
 	if s.hook != nil {
@@ -1148,9 +1197,12 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 	if len(s.subs) > 0 {
 		snap := append([]*subscriber(nil), s.subs...)
 		c := Commit{
-			Seq:           s.seq,
-			Probabilities: make([]float64, len(s.views)),
-			Views:         append([]*View(nil), s.views...),
+			Seq:                  s.seq,
+			Probabilities:        make([]float64, len(s.views)),
+			Views:                append([]*View(nil), s.views...),
+			Changed:              changed,
+			RowsRecomputed:       s.stats.RowsRecomputed - rows0,
+			SpinesShortCircuited: s.stats.SpinesShortCircuited - cuts0,
 		}
 		for i, v := range s.views {
 			c.Probabilities[i] = v.prob

@@ -800,3 +800,135 @@ func TestSnapshotDetached(t *testing.T) {
 		t.Fatalf("snapshot plan drifted with the store: %v vs %v", got, atSnap)
 	}
 }
+
+// TestDeltaShortCircuitAndStats: a batch that nets out to nothing — a fact
+// tombstoned and revived at its committed weight in one commit — recomputes
+// the staged leaves but propagates no change: every view's Commit.Changed is
+// false, the probabilities are bit-identical (the persisted tables were never
+// swapped), and the delta counters record the cut spines. A genuine change
+// afterwards flips Changed back on.
+func TestDeltaShortCircuitAndStats(t *testing.T) {
+	s, views := chainStore(t, 12)
+	var last Commit
+	cancel := s.Subscribe(func(c Commit) { last = c })
+	defer cancel()
+
+	before := make([]float64, len(views))
+	for i, v := range views {
+		before[i] = v.Probability()
+	}
+	id := 4
+	cur, err := s.Prob(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Fact(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch([]Update{{Op: OpDelete, ID: id}, {Op: OpInsert, Fact: f, P: cur}}); err != nil {
+		t.Fatal(err)
+	}
+	if last.AnyChanged() {
+		t.Fatalf("net-zero churn reported changed views: %v", last.Changed)
+	}
+	if len(last.Changed) != len(views) {
+		t.Fatalf("Commit.Changed has %d entries for %d views", len(last.Changed), len(views))
+	}
+	if last.RowsRecomputed == 0 {
+		t.Fatal("churn commit recomputed no rows (the delta pass did not run)")
+	}
+	if last.SpinesShortCircuited == 0 {
+		t.Fatal("unchanged tables did not cut any spine")
+	}
+	for i, v := range views {
+		if got := v.Probability(); got != before[i] {
+			t.Fatalf("view %d moved on a no-op commit: %v -> %v", i, before[i], got)
+		}
+	}
+	st := s.Stats()
+	if st.RowsRecomputed == 0 || st.SpinesShortCircuited == 0 {
+		t.Fatalf("cumulative delta stats did not move: %+v", st)
+	}
+	if !s.Live(id) {
+		t.Fatal("revival did not land")
+	}
+
+	// A real change propagates: Changed flips on for the touched views and
+	// the results still match the oracle.
+	nv := 0.9
+	if cur == nv {
+		nv = 0.3
+	}
+	if err := s.SetProb(id, nv); err != nil {
+		t.Fatal(err)
+	}
+	if !last.AnyChanged() {
+		t.Fatal("genuine probability change reported no changed views")
+	}
+	checkViews(t, s, views, "after churn then change")
+}
+
+// TestDeltaMultiViewBatchesMatchOracle drives shard-major batches (several
+// spines per view per commit) through stores carrying three overlapping
+// views and cross-checks every commit against the re-Prepare oracle,
+// while verifying the per-commit delta payload is internally consistent:
+// Changed[i] false implies that view's probability is bit-identical to its
+// value before the commit.
+func TestDeltaMultiViewBatchesMatchOracle(t *testing.T) {
+	s, views := chainStore(t, 10)
+	v3, err := s.RegisterView(rel.NewCQ(rel.NewAtom("R", rel.V("x"))), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views = append(views, v3)
+	prev := make([]float64, len(views))
+	for i, v := range views {
+		prev[i] = v.Probability()
+	}
+	var last Commit
+	cancel := s.Subscribe(func(c Commit) { last = c })
+	defer cancel()
+
+	r := rand.New(rand.NewSource(17))
+	for step := 0; step < 30; step++ {
+		var us []Update
+		for k := 0; k < 1+r.Intn(4); k++ {
+			id := r.Intn(s.Len())
+			if !s.Live(id) {
+				continue
+			}
+			if r.Intn(5) == 0 {
+				// occasional net-zero pair to exercise short-circuits mid-batch
+				cur, err := s.Prob(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := s.Fact(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				us = append(us, Update{Op: OpDelete, ID: id}, Update{Op: OpInsert, Fact: f, P: cur})
+			} else {
+				us = append(us, Update{Op: OpSet, ID: id, P: float64(r.Intn(11)) / 10})
+			}
+		}
+		if len(us) == 0 {
+			continue
+		}
+		if err := s.ApplyBatch(us); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkViews(t, s, views, fmt.Sprintf("delta batch step %d", step))
+		for i, v := range views {
+			got := v.Probability()
+			if i < len(last.Changed) && !last.Changed[i] && got != prev[i] {
+				t.Fatalf("step %d view %d: Changed=false but probability moved %v -> %v", step, i, prev[i], got)
+			}
+			prev[i] = got
+		}
+	}
+	if st := s.Stats(); st.SpinesShortCircuited == 0 {
+		t.Fatalf("no spine was ever short-circuited across churn batches: %+v", st)
+	}
+}

@@ -25,6 +25,13 @@ type Metrics struct {
 	// views (the spine work), and Commits the commits that drove them.
 	NodesRecomputed *obs.Counter
 	Commits         *obs.Counter
+	// RowsRecomputed counts the table rows the delta passes actually touched
+	// (a partial recompute touches only the rows a change feeds), and
+	// SpinesShortCircuited the recomputed tables that came out unchanged and
+	// stopped their spine's propagation early — together the observable
+	// economics of delta maintenance.
+	RowsRecomputed       *obs.Counter
+	SpinesShortCircuited *obs.Counter
 	// Routing outcome counters for inserts: absorbed in place by the owning
 	// shard, opened a fresh singleton shard, or forced a full rebuild.
 	RoutedAttached *obs.Counter
@@ -47,6 +54,10 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"DP tables recomputed incrementally across all views"),
 		Commits: r.Counter("incr_commits_total",
 			"commits applied to the store"),
+		RowsRecomputed: r.Counter("incr_rows_recomputed_total",
+			"table rows recomputed by the delta passes across all views"),
+		SpinesShortCircuited: r.Counter("incr_spines_shortcircuited_total",
+			"recomputed tables that came out unchanged and cut their spine short"),
 		RoutedAttached: r.Counter("incr_routed_total",
 			"insert routing outcomes", "outcome", "attached"),
 		RoutedNewShard: r.Counter("incr_routed_total",

@@ -45,6 +45,23 @@ func TestStoreMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Net-zero churn: tombstone + revive at the committed weight moves the
+	// delta counters (rows recomputed, spines cut) without changing results.
+	cur, err := s.Prob(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := s.Fact(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch([]Update{
+		{Op: OpDelete, ID: 5},
+		{Op: OpInsert, Fact: f5, P: cur},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
 	st := s.Stats()
 	if got := m.Commits.Value(); got != st.Commits {
 		t.Fatalf("Commits counter = %d, store says %d", got, st.Commits)
@@ -57,6 +74,12 @@ func TestStoreMetrics(t *testing.T) {
 	}
 	if got := m.NodesRecomputed.Value(); got != st.NodesRecomputed || got == 0 {
 		t.Fatalf("NodesRecomputed counter = %d, store says %d (want nonzero)", got, st.NodesRecomputed)
+	}
+	if got := m.RowsRecomputed.Value(); got != st.RowsRecomputed || got == 0 {
+		t.Fatalf("RowsRecomputed counter = %d, store says %d (want nonzero)", got, st.RowsRecomputed)
+	}
+	if got := m.SpinesShortCircuited.Value(); got != st.SpinesShortCircuited || got == 0 {
+		t.Fatalf("SpinesShortCircuited counter = %d, store says %d (want nonzero)", got, st.SpinesShortCircuited)
 	}
 	cs := m.CommitSeconds.Snapshot()
 	if cs.Count != st.Commits {

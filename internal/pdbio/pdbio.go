@@ -24,6 +24,33 @@ import (
 	"repro/internal/rel"
 )
 
+// WatchEvent is the wire frame of pdbd's GET /watch server-sent-event
+// stream, one frame per store commit (plus one initial snapshot frame). The
+// stream is delta-based: a frame carries in Changed only the views whose
+// probability this commit actually moved, keyed by the view's normalized
+// query fingerprint (the same key /query reports). Full carries the complete
+// fingerprint→probability state instead and appears on the initial snapshot
+// frame, on every frame when the client opted in with ?full=1 (the
+// pre-delta wire format: Full marshals under the legacy "probabilities"
+// key), and as a resync whenever events were dropped on a slow consumer —
+// Dropped then says how many commits the resync covers. A frame with an
+// empty Changed and no Full is a heartbeat: the commit advanced Seq but
+// moved no watched view.
+type WatchEvent struct {
+	// Seq is the store commit the frame reflects.
+	Seq uint64 `json:"seq"`
+	// Changed maps the fingerprint of each view whose probability this
+	// commit moved to its refreshed value.
+	Changed map[string]float64 `json:"changed,omitempty"`
+	// Full is the complete fingerprint→probability state, marshalled under
+	// the legacy "probabilities" key so ?full=1 streams stay byte-compatible
+	// with pre-delta consumers.
+	Full map[string]float64 `json:"probabilities,omitempty"`
+	// Dropped counts the commits lost on this (slow) subscriber since the
+	// previous frame; a non-zero Dropped rides on a Full resync frame.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
 // TIDFromInstance converts a parsed instance into a tuple-independent one:
 // every fact must be annotated by its own single positive event. Instances
 // with shared or complex annotations are rejected — the live-update store

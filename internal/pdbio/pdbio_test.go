@@ -2,6 +2,7 @@ package pdbio
 
 import (
 	"bufio"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -143,5 +144,60 @@ func TestSplitAnnotation(t *testing.T) {
 	}
 	if ann != "e1" || fact != "R x" {
 		t.Errorf("split = %q / %q", ann, fact)
+	}
+}
+
+// TestWatchEventGoldenFrames pins the /watch wire format byte for byte:
+// delta frames carry only "changed", full and resync frames marshal the
+// complete state under the legacy "probabilities" key, a dropped count rides
+// the resync, and a heartbeat is just the sequence number. Field order and
+// key names are the protocol — a change here breaks deployed consumers.
+func TestWatchEventGoldenFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   WatchEvent
+		want string
+	}{
+		{
+			"delta",
+			WatchEvent{Seq: 3, Changed: map[string]float64{"ab12cd34": 0.5}},
+			`{"seq":3,"changed":{"ab12cd34":0.5}}`,
+		},
+		{
+			"initial-or-full",
+			WatchEvent{Seq: 1, Full: map[string]float64{"ab12cd34": 0.25}},
+			`{"seq":1,"probabilities":{"ab12cd34":0.25}}`,
+		},
+		{
+			"drop-resync",
+			WatchEvent{Seq: 9, Full: map[string]float64{"ab12cd34": 1}, Dropped: 2},
+			`{"seq":9,"probabilities":{"ab12cd34":1},"dropped":2}`,
+		},
+		{
+			"heartbeat",
+			WatchEvent{Seq: 5},
+			`{"seq":5}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := json.Marshal(tc.ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != tc.want {
+				t.Fatalf("frame = %s, want %s", b, tc.want)
+			}
+			// The frame round-trips: a consumer decoding with the same type
+			// sees exactly what was sent.
+			var back WatchEvent
+			if err := json.Unmarshal(b, &back); err != nil {
+				t.Fatal(err)
+			}
+			if back.Seq != tc.ev.Seq || back.Dropped != tc.ev.Dropped ||
+				len(back.Changed) != len(tc.ev.Changed) || len(back.Full) != len(tc.ev.Full) {
+				t.Fatalf("round-trip mismatch: %+v vs %+v", back, tc.ev)
+			}
+		})
 	}
 }

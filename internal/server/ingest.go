@@ -1,0 +1,195 @@
+package server
+
+// The ingest batcher coalesces concurrent /update requests into shared
+// store commits, the same group-commit shape the WAL uses for fsyncs: while
+// one ApplyBatch holds the store's write lock, later arrivals queue behind
+// the leader goroutine instead of serializing one commit each, and the next
+// flush carries them all through a single delta pass. Per-caller semantics
+// are preserved exactly — each caller's updates stay a contiguous slice of
+// the merged batch, in arrival order, and a stage failure is attributed to
+// the caller owning the failing update: callers fully inside the committed
+// prefix succeed, the owner sees its own partial prefix plus the error, and
+// the untouched suffix callers are re-flushed as a fresh batch so a bad
+// update in one request never poisons another.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/incr"
+)
+
+// ingestResult is what one caller's slice of a merged batch came to: the
+// same triple ApplyBatchN would have returned for the slice alone.
+type ingestResult struct {
+	applied int
+	seq     uint64
+	err     error
+}
+
+// ingestCall is one caller's update batch queued for a shared commit.
+type ingestCall struct {
+	us   []incr.Update
+	done chan ingestResult
+}
+
+// ingestBatcher owns the leader goroutine that merges queued calls and
+// drives them through ApplyBatchN.
+type ingestBatcher struct {
+	store   *incr.Store
+	maxSize int           // max updates per merged flush
+	maxWait time.Duration // 0: coalesce only what queued behind the in-flight commit
+	calls   chan *ingestCall
+	stop    <-chan struct{} // the server's drain channel
+
+	metrics *serverMetrics
+
+	flushes   atomic.Uint64 // merged commits driven
+	coalesced atomic.Uint64 // requests that shared their commit with another
+}
+
+func newIngestBatcher(store *incr.Store, maxSize int, maxWait time.Duration, stop <-chan struct{}, m *serverMetrics) *ingestBatcher {
+	b := &ingestBatcher{
+		store:   store,
+		maxSize: maxSize,
+		maxWait: maxWait,
+		// The channel is unbuffered on purpose: a send succeeds only while
+		// the leader is alive to receive it, so a caller racing the drain
+		// falls through to its direct-apply path instead of parking a call
+		// nobody will ever flush.
+		calls:   make(chan *ingestCall),
+		stop:    stop,
+		metrics: m,
+	}
+	go b.run()
+	return b
+}
+
+// submit hands one caller's updates to the leader and waits for its share of
+// the merged commit. After the server starts draining (or if the leader is
+// mid-exit), the updates are applied directly — correctness never depends on
+// the batcher being alive, only throughput does.
+func (b *ingestBatcher) submit(us []incr.Update) ingestResult {
+	c := &ingestCall{us: us, done: make(chan ingestResult, 1)}
+	select {
+	case b.calls <- c:
+		return <-c.done
+	case <-b.stop:
+		applied, seq, err := b.store.ApplyBatchN(us)
+		return ingestResult{applied: applied, seq: seq, err: err}
+	}
+}
+
+// run is the leader loop: take the first queued call, gather more until the
+// window closes (size cap hit, max-wait elapsed, or — with no wait window —
+// the queue momentarily empty), then flush the batch as one commit.
+func (b *ingestBatcher) run() {
+	for {
+		select {
+		case c := <-b.calls:
+			b.flush(b.gather(c))
+		case <-b.stop:
+			// Serve the callers already blocked in submit, then exit; later
+			// arrivals take submit's direct path.
+			for {
+				select {
+				case c := <-b.calls:
+					b.flush([]*ingestCall{c})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather collects calls behind first until the batching window closes.
+func (b *ingestBatcher) gather(first *ingestCall) []*ingestCall {
+	batch := []*ingestCall{first}
+	n := len(first.us)
+	var timer *time.Timer
+	var deadline <-chan time.Time
+	if b.maxWait > 0 {
+		timer = time.NewTimer(b.maxWait)
+		deadline = timer.C
+		defer timer.Stop()
+	}
+	for n < b.maxSize {
+		select {
+		case c := <-b.calls:
+			batch = append(batch, c)
+			n += len(c.us)
+			continue
+		default:
+		}
+		if deadline == nil {
+			return batch // no wait window: take only what already queued
+		}
+		select {
+		case c := <-b.calls:
+			batch = append(batch, c)
+			n += len(c.us)
+		case <-deadline:
+			return batch
+		case <-b.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush drives a merged batch through one ApplyBatchN and distributes the
+// outcome to each caller's slice. ApplyBatchN's contract — exactly `applied`
+// leading updates landed, the rest never ran — maps onto the callers as: all
+// callers before the failure point succeeded, the owner of the failing
+// update gets its partial count and the error, and the callers after it are
+// re-flushed untouched (their own merged commit, same semantics, no shared
+// blame).
+func (b *ingestBatcher) flush(batch []*ingestCall) {
+	for len(batch) > 0 {
+		merged := batch[0].us
+		if len(batch) > 1 {
+			merged = make([]incr.Update, 0, totalUpdates(batch))
+			for _, c := range batch {
+				merged = append(merged, c.us...)
+			}
+		}
+		b.flushes.Add(1)
+		if len(batch) > 1 {
+			b.coalesced.Add(uint64(len(batch)))
+			b.metrics.ingestCoalesced.Add(uint64(len(batch)))
+		}
+		b.metrics.ingestBatchSize.Observe(float64(len(merged)))
+		applied, seq, err := b.store.ApplyBatchN(merged)
+		if err == nil {
+			for _, c := range batch {
+				c.done <- ingestResult{applied: len(c.us), seq: seq, err: nil}
+			}
+			return
+		}
+		// The update at merged index `applied` failed; find its owner.
+		off := 0
+		for i, c := range batch {
+			if applied < off+len(c.us) {
+				c.done <- ingestResult{applied: applied - off, seq: seq, err: err}
+				batch = batch[i+1:] // the untouched suffix flushes afresh
+				break
+			}
+			c.done <- ingestResult{applied: len(c.us), seq: seq, err: nil}
+			off += len(c.us)
+		}
+	}
+}
+
+func totalUpdates(batch []*ingestCall) int {
+	n := 0
+	for _, c := range batch {
+		n += len(c.us)
+	}
+	return n
+}
+
+// stats snapshots the batcher's coalescing counters.
+func (b *ingestBatcher) statsSnapshot() (flushes, coalesced uint64) {
+	return b.flushes.Load(), b.coalesced.Load()
+}

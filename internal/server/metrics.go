@@ -51,6 +51,11 @@ type serverMetrics struct {
 
 	watchDropped *obs.Counter
 
+	// ingest batcher: requests that shared a merged commit, and the size
+	// (in updates) of every merged flush.
+	ingestCoalesced *obs.Counter
+	ingestBatchSize *obs.Histogram
+
 	slowRequests *obs.Counter
 }
 
@@ -105,6 +110,11 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 
 	m.watchDropped = reg.Counter("pdbd_watch_dropped_total",
 		"watch events dropped on slow subscribers")
+
+	m.ingestCoalesced = reg.Counter("pdbd_ingest_coalesced_total",
+		"update requests that shared a merged ingest commit")
+	m.ingestBatchSize = reg.Histogram("pdbd_ingest_batch_size",
+		"updates carried per merged ingest flush", obs.ExpBuckets(1, 2, 12))
 
 	m.slowRequests = reg.Counter("pdbd_slow_requests_total",
 		"requests exceeding the slow-query threshold")

@@ -21,10 +21,16 @@
 //     independent requests over the core.Serve worker pool instead.
 //   - POST /update routes set/insert/delete batches through
 //     Store.ApplyBatch: one commit, shared dirty spines, returning the
-//     commit sequence and the store's work counters.
-//   - GET /watch streams every commit as a server-sent event: sequence
-//     number plus the refreshed probability of each cached view, in commit
-//     order — the push channel of the incremental-maintenance layer.
+//     commit sequence and the store's work counters. With Config.IngestBatch
+//     set, concurrent requests coalesce through the ingest batcher into
+//     shared commits (group-commit style; per-request error semantics are
+//     preserved), so write-heavy traffic pays one delta pass per window
+//     instead of one commit per request.
+//   - GET /watch streams every commit as a server-sent event in the
+//     pdbio.WatchEvent delta format: sequence number plus the refreshed
+//     probabilities of only the views the commit moved, in commit order —
+//     the push channel of the incremental-maintenance layer. ?full=1 opts
+//     into the legacy full-state frames.
 //
 // /healthz and /statsz expose liveness and the serving counters; Shutdown
 // drains in-flight requests and closes watch streams.
@@ -65,6 +71,18 @@ type Config struct {
 	// (each lane widens every row block of the sweep, so the cap bounds the
 	// request's memory footprint). <= 0 means 1024.
 	MaxBatchLanes int
+	// IngestBatch enables the /update ingest batcher and caps the number of
+	// updates one merged commit may carry: concurrent update requests
+	// coalesce into shared ApplyBatch commits (per-request 422 semantics
+	// preserved), so N writers queue behind one delta pass instead of
+	// serializing N commits. <= 0 disables batching: every request commits
+	// alone, the pre-batcher behavior.
+	IngestBatch int
+	// IngestMaxWait is how long the batch leader holds an open window for
+	// more requests to join. 0 coalesces only the requests that queued while
+	// the previous commit was in flight — no added latency, group-commit
+	// style; a positive wait trades latency for bigger batches.
+	IngestMaxWait time.Duration
 	// Options are passed to every Prepare/RegisterView.
 	Options core.Options
 	// Metrics is the registry the server's metric families are registered
@@ -90,7 +108,8 @@ type Server struct {
 
 	cache  *planCache
 	frozen *frozenCache
-	wal    *wal.WAL // nil when the server runs without durability
+	wal    *wal.WAL       // nil when the server runs without durability
+	ingest *ingestBatcher // nil when update batching is disabled
 
 	metrics *serverMetrics
 	logger  *slog.Logger
@@ -168,6 +187,9 @@ func NewFromStore(st *incr.Store, cfg Config) *Server {
 	// The server owns the store's metric wiring: commit latency, spine work
 	// and routing outcomes land on the same registry as the HTTP families.
 	st.SetMetrics(incr.NewMetrics(reg))
+	if cfg.IngestBatch > 0 {
+		s.ingest = newIngestBatcher(st, cfg.IngestBatch, cfg.IngestMaxWait, s.drainCh, s.metrics)
+	}
 	s.registerStoreGauges()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
@@ -409,11 +431,8 @@ type updateResponse struct {
 	Error    string         `json:"error,omitempty"`
 }
 
-type watchEvent struct {
-	Seq           uint64             `json:"seq"`
-	Probabilities map[string]float64 `json:"probabilities"`
-	Dropped       uint64             `json:"dropped,omitempty"`
-}
+// The /watch wire frame is pdbio.WatchEvent — the format is specified there
+// so clients, the CLIs and the golden tests all read the same contract.
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
@@ -718,7 +737,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	span.SetAttr("updates", len(us))
 	span.Stage("apply")
-	applied, seq, applyErr := s.store.ApplyBatchN(us)
+	var applied int
+	var seq uint64
+	var applyErr error
+	if s.ingest != nil {
+		res := s.ingest.submit(us)
+		applied, seq, applyErr = res.applied, res.seq, res.err
+	} else {
+		applied, seq, applyErr = s.store.ApplyBatchN(us)
+	}
 	s.nUpdates.Add(uint64(applied))
 	span.SetAttr("applied", applied)
 	span.SetAttr("seq", seq)
@@ -753,6 +780,10 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	// ?full=1 opts back into the pre-delta wire format: every frame carries
+	// the complete state under the legacy "probabilities" key. The default
+	// streams deltas — only the views a commit actually moved.
+	fullMode := r.URL.Query().Get("full") == "1"
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
@@ -786,7 +817,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	s.nWatchers.Add(1)
 	defer s.nWatchers.Add(-1)
 
-	send := func(ev watchEvent) bool {
+	send := func(ev pdbio.WatchEvent) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return false
@@ -800,17 +831,31 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 	// Initial snapshot so clients see the current state before the first
 	// commit arrives.
-	if !send(watchEvent{Seq: s.store.Seq(), Probabilities: s.viewProbabilities()}) {
+	if !send(pdbio.WatchEvent{Seq: s.store.Seq(), Full: s.viewProbabilities()}) {
 		return
 	}
 	for {
 		select {
 		case c := <-events:
-			ev := watchEvent{Seq: c.Seq, Probabilities: map[string]float64{}, Dropped: dropped.Swap(0)}
+			ev := pdbio.WatchEvent{Seq: c.Seq, Dropped: dropped.Swap(0)}
+			if fullMode || ev.Dropped > 0 {
+				// Full-format stream, or a resync after dropped commits: the
+				// client missed deltas it can never replay, so ship the whole
+				// state.
+				ev.Full = map[string]float64{}
+			} else {
+				ev.Changed = map[string]float64{}
+			}
 			s.viewMu.Lock()
 			for i, v := range c.Views {
-				if fp, ok := s.viewFP[v]; ok {
-					ev.Probabilities[fp] = c.Probabilities[i]
+				fp, ok := s.viewFP[v]
+				if !ok {
+					continue // evicted from the plan cache since this commit
+				}
+				if ev.Full != nil {
+					ev.Full[fp] = c.Probabilities[i]
+				} else if c.Changed[i] {
+					ev.Changed[fp] = c.Probabilities[i]
 				}
 			}
 			s.viewMu.Unlock()
@@ -903,6 +948,11 @@ type Statsz struct {
 	Watchers      int64  `json:"watchers"`
 	WatchDropped  uint64 `json:"watch_events_dropped"`
 	SlowRequests  uint64 `json:"slow_requests"`
+	// IngestFlushes counts the merged commits the /update batcher drove and
+	// IngestCoalesced the requests that shared their commit with another;
+	// both zero when batching is disabled.
+	IngestFlushes   uint64 `json:"ingest_flushes"`
+	IngestCoalesced uint64 `json:"ingest_coalesced"`
 	// Latency carries the per-endpoint quantile summaries (query, batch,
 	// update), filled from the serving histograms.
 	Latency map[string]EndpointLatency `json:"latency"`
@@ -934,30 +984,36 @@ func (s *Server) Stats() Statsz {
 			P99us: sn.Quantile(0.99) * 1e6,
 		}
 	}
+	var ingFlushes, ingCoalesced uint64
+	if s.ingest != nil {
+		ingFlushes, ingCoalesced = s.ingest.statsSnapshot()
+	}
 	return Statsz{
-		Queries:       s.nQueries.Load(),
-		BatchRequests: s.nBatchReqs.Load(),
-		BatchLanes:    s.nBatchLanes.Load(),
-		UpdateReqs:    s.nUpdateReqs.Load(),
-		Updates:       s.nUpdates.Load(),
-		Prepares:      s.nPrepares.Load(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEvicts:   evicts,
-		CacheSize:     size,
-		FrozenHits:    fh,
-		FrozenMisses:  fm,
-		FrozenSize:    fs,
-		CacheCoalesce: s.metrics.cacheCoalesce.Value(),
-		Watchers:      s.nWatchers.Load(),
-		WatchDropped:  s.nDropped.Load(),
-		SlowRequests:  s.metrics.slowRequests.Value(),
-		Latency:       lat,
-		Seq:           s.store.Seq(),
-		Facts:         s.store.NumLive(),
-		Views:         s.store.NumViews(),
-		Store:         s.store.Stats(),
-		Durability:    dur,
+		Queries:         s.nQueries.Load(),
+		BatchRequests:   s.nBatchReqs.Load(),
+		BatchLanes:      s.nBatchLanes.Load(),
+		UpdateReqs:      s.nUpdateReqs.Load(),
+		Updates:         s.nUpdates.Load(),
+		Prepares:        s.nPrepares.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvicts:     evicts,
+		CacheSize:       size,
+		FrozenHits:      fh,
+		FrozenMisses:    fm,
+		FrozenSize:      fs,
+		CacheCoalesce:   s.metrics.cacheCoalesce.Value(),
+		Watchers:        s.nWatchers.Load(),
+		WatchDropped:    s.nDropped.Load(),
+		SlowRequests:    s.metrics.slowRequests.Value(),
+		IngestFlushes:   ingFlushes,
+		IngestCoalesced: ingCoalesced,
+		Latency:         lat,
+		Seq:             s.store.Seq(),
+		Facts:           s.store.NumLive(),
+		Views:           s.store.NumViews(),
+		Store:           s.store.Stats(),
+		Durability:      dur,
 	}
 }
 

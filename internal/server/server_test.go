@@ -334,7 +334,14 @@ type sseReader struct {
 
 func openWatch(t *testing.T, url string) *sseReader {
 	t.Helper()
-	resp, err := http.Get(url + "/watch")
+	return openWatchQuery(t, url, "")
+}
+
+// openWatchQuery opens /watch with an explicit query string ("?full=1" opts
+// out of delta frames).
+func openWatchQuery(t *testing.T, url, query string) *sseReader {
+	t.Helper()
+	resp, err := http.Get(url + "/watch" + query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,21 +352,21 @@ func openWatch(t *testing.T, url string) *sseReader {
 	return &sseReader{resp: resp, sc: bufio.NewScanner(resp.Body)}
 }
 
-func (r *sseReader) next(t *testing.T) watchEvent {
+func (r *sseReader) next(t *testing.T) pdbio.WatchEvent {
 	t.Helper()
 	for r.sc.Scan() {
 		line := strings.TrimSpace(r.sc.Text())
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
-		var ev watchEvent
+		var ev pdbio.WatchEvent
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
 			t.Fatalf("bad event %q: %v", line, err)
 		}
 		return ev
 	}
 	t.Fatalf("watch stream ended: %v", r.sc.Err())
-	return watchEvent{}
+	return pdbio.WatchEvent{}
 }
 
 // TestEndToEndServing is the acceptance scenario: two concurrent clients ask
@@ -432,9 +439,11 @@ func TestEndToEndServing(t *testing.T) {
 			t.Fatalf("watch seq %d, want %d (commit order)", ev.Seq, lastSeq+1)
 		}
 		lastSeq = ev.Seq
-		got, ok := ev.Probabilities[fp]
+		// Every commit in this sequence genuinely moves the watched view, so
+		// the delta frame must carry its fingerprint.
+		got, ok := ev.Changed[fp]
 		if !ok {
-			t.Fatalf("event %d misses the view fingerprint %q: %v", ev.Seq, fp, ev.Probabilities)
+			t.Fatalf("event %d misses the view fingerprint %q: %v", ev.Seq, fp, ev.Changed)
 		}
 		want, err := s.Store().Oracle(q)
 		if err != nil {
@@ -641,3 +650,131 @@ func ExampleServer() {
 // ip builds the pointer-typed fact id updateOp wants (an omitted id must be
 // a request error, so the field is *int).
 func ip(i int) *int { return &i }
+
+// TestIngestBatcherConcurrentWriters: concurrent /update writers behind the
+// ingest batcher coalesce into far fewer store commits than requests, while
+// every request still gets its own correct ack — each writer's final weight
+// lands, sequence numbers never go backwards per writer, and the coalescing
+// counters surface in /statsz. A malformed request routed through the same
+// batcher keeps its per-caller 422 semantics.
+func TestIngestBatcherConcurrentWriters(t *testing.T) {
+	s, ts := newTestServer(t, gen.RSTChain(12, 0.5), Config{
+		Workers:       4,
+		CacheSize:     4,
+		IngestBatch:   64,
+		IngestMaxWait: 2 * time.Millisecond,
+	})
+	const writers = 8
+	const perWriter = 20
+	finals := make([]float64, writers) // each slot written by one goroutine only
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lastSeq := uint64(0)
+			for i := 0; i < perWriter; i++ {
+				p := float64((w+i)%10+1) / 11
+				finals[w] = p
+				var ur updateResponse
+				resp := postJSON(t, ts.URL+"/update", map[string]any{
+					"updates": []updateOp{{Op: "set", ID: ip(w), P: p}},
+				}, &ur)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("writer %d: status %d", w, resp.StatusCode)
+					return
+				}
+				if ur.Applied != 1 {
+					t.Errorf("writer %d: applied %d, want 1", w, ur.Applied)
+					return
+				}
+				if ur.Seq < lastSeq {
+					t.Errorf("writer %d: ack seq went backwards: %d after %d", w, ur.Seq, lastSeq)
+					return
+				}
+				lastSeq = ur.Seq
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Each writer touched its own fact, so its last acked write must be the
+	// store's weight — coalescing must not reorder a single caller's updates.
+	for w := 0; w < writers; w++ {
+		got, err := s.Store().Prob(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != finals[w] {
+			t.Errorf("fact %d = %v, want writer %d's final write %v", w, got, w, finals[w])
+		}
+	}
+	total := uint64(writers * perWriter)
+	if commits := s.Store().Stats().Commits; commits*2 > total {
+		t.Errorf("coalescing too weak: %d commits for %d requests", commits, total)
+	}
+	var stats Statsz
+	getJSON(t, ts.URL+"/statsz", &stats)
+	if stats.IngestFlushes == 0 || stats.IngestFlushes != s.Store().Stats().Commits {
+		t.Errorf("statsz ingest_flushes = %d, store commits = %d", stats.IngestFlushes, s.Store().Stats().Commits)
+	}
+	if stats.IngestCoalesced == 0 {
+		t.Error("statsz ingest_coalesced = 0 under concurrent writers")
+	}
+
+	// Per-caller failure semantics survive the batcher: the staged prefix of
+	// THIS request landed, the bad op is the caller's own 422.
+	var ur updateResponse
+	resp := postJSON(t, ts.URL+"/update", map[string]any{
+		"updates": []updateOp{
+			{Op: "set", ID: ip(0), P: 0.5},
+			{Op: "set", ID: ip(9999), P: 0.5},
+		},
+	}, &ur)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad batch through the batcher: status %d", resp.StatusCode)
+	}
+	if ur.Applied != 1 || ur.Error == "" {
+		t.Fatalf("bad batch through the batcher: %+v", ur)
+	}
+	if p, err := s.Store().Prob(0); err != nil || p != 0.5 {
+		t.Fatalf("staged prefix did not land: fact 0 = %v, %v", p, err)
+	}
+}
+
+// TestWatchFullOptIn: ?full=1 keeps the pre-delta wire format — every frame
+// carries the complete state under "probabilities", never a "changed" map —
+// while the default stream sends deltas for the same commits.
+func TestWatchFullOptIn(t *testing.T) {
+	_, ts := newTestServer(t, rstTID(0.9, 0.5, 0.8), Config{})
+	var qr queryResponse
+	postJSON(t, ts.URL+"/query", queryRequest{Query: "R(?x) & S(?x,?y) & T(?y)"}, &qr)
+
+	full := openWatchQuery(t, ts.URL, "?full=1")
+	delta := openWatch(t, ts.URL)
+	if ev := full.next(t); len(ev.Full) != 1 || ev.Changed != nil {
+		t.Fatalf("full-mode initial frame: %+v", ev)
+	}
+	if ev := delta.next(t); len(ev.Full) != 1 || ev.Changed != nil {
+		t.Fatalf("delta-mode initial frame must still be a full snapshot: %+v", ev)
+	}
+
+	var ur updateResponse
+	postJSON(t, ts.URL+"/update", map[string]any{
+		"updates": []updateOp{{Op: "set", ID: ip(1), P: 0.9}},
+	}, &ur)
+
+	fe := full.next(t)
+	if len(fe.Full) != 1 || fe.Changed != nil {
+		t.Fatalf("full-mode commit frame: %+v", fe)
+	}
+	de := delta.next(t)
+	if len(de.Changed) != 1 || de.Full != nil {
+		t.Fatalf("delta-mode commit frame: %+v", de)
+	}
+	for fp, p := range de.Changed {
+		if fe.Full[fp] != p {
+			t.Fatalf("delta %v disagrees with full frame %v", de.Changed, fe.Full)
+		}
+	}
+}
