@@ -154,6 +154,8 @@ func (st *evalState) releaseBatch(bt *batchTable) {
 // valid. The error is non-nil only when at least one lane failed.
 //
 // Safe for concurrent calls once the plan is frozen (see Freeze).
+//
+//pdblint:frozenentry
 func (pl *Plan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	B := len(ps)
 	if B == 0 {
@@ -229,6 +231,8 @@ func finishLanes(out, totals []float64, lerrs *[]error) {
 // batch path; frozen plans run the compiled row program (runBatchProg)
 // instead. Facts are fused into the row keys (factRemap) and joins merge
 // bits-sorted runs, mirroring the scalar computeNode.
+//
+//pdblint:hotpath -maprange
 func (pl *Plan) runBatchDP(st *evalState, pe []float64, B int) *batchTable {
 	if len(st.btables) < len(pl.nodes) {
 		st.btables = make([]*batchTable, len(pl.nodes))

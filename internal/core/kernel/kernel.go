@@ -20,6 +20,8 @@ package kernel
 
 // AddTo accumulates src into dst: dst[i] += src[i]. The blocks must have
 // equal length.
+//
+//pdblint:hotpath boundshint
 func AddTo(dst, src []float64) {
 	_ = src[len(dst)-1] // one bounds check for both blocks
 	for i := range dst {
@@ -31,6 +33,8 @@ func AddTo(dst, src []float64) {
 // both the forget-event kernel (w = the event's Bernoulli lane weights, for
 // rows that recorded the event true) and the join kernel (w = the right
 // child's row block). The blocks must have equal length.
+//
+//pdblint:hotpath boundshint
 func MulAdd(dst, v, w []float64) {
 	n := len(dst)
 	_ = v[n-1]
@@ -43,6 +47,8 @@ func MulAdd(dst, v, w []float64) {
 // FMAdd1m accumulates v weighted by the complement of w into dst:
 // dst[i] += v[i] * (1 - w[i]) — the forget-event kernel for rows that
 // recorded the event false. The blocks must have equal length.
+//
+//pdblint:hotpath boundshint
 func FMAdd1m(dst, v, w []float64) {
 	n := len(dst)
 	_ = v[n-1]
@@ -55,6 +61,8 @@ func FMAdd1m(dst, v, w []float64) {
 // ScaleAdd accumulates v scaled by the single weight c into dst:
 // dst[i] += v[i] * c — the scalar-weight form used by the cross-shard fold
 // and single-lane spine recomputation. The blocks must have equal length.
+//
+//pdblint:hotpath boundshint
 func ScaleAdd(dst, v []float64, c float64) {
 	_ = v[len(dst)-1]
 	for i := range dst {
@@ -64,6 +72,8 @@ func ScaleAdd(dst, v []float64, c float64) {
 
 // Mul multiplies dst pointwise by v: dst[i] *= v[i] (the decomposable-And
 // kernel of the d-DNNF batch pass). The blocks must have equal length.
+//
+//pdblint:hotpath boundshint
 func Mul(dst, v []float64) {
 	_ = v[len(dst)-1]
 	for i := range dst {
@@ -73,6 +83,8 @@ func Mul(dst, v []float64) {
 
 // OneMinus writes the complement of src into dst: dst[i] = 1 - src[i]. The
 // blocks must have equal length.
+//
+//pdblint:hotpath boundshint
 func OneMinus(dst, src []float64) {
 	_ = src[len(dst)-1]
 	for i := range dst {
@@ -81,6 +93,8 @@ func OneMinus(dst, src []float64) {
 }
 
 // Fill sets every element of dst to v.
+//
+//pdblint:hotpath
 func Fill(dst []float64, v float64) {
 	for i := range dst {
 		dst[i] = v
@@ -110,6 +124,8 @@ func class(n int) int {
 
 // Get returns a zeroed block of length n, recycling a previously Put block
 // of the same size class when one is free.
+//
+//pdblint:hotpath
 func (a *Arena) Get(n int) []float64 {
 	if n == 0 {
 		return nil
@@ -127,6 +143,8 @@ func (a *Arena) Get(n int) []float64 {
 
 // Put recycles a block obtained from Get. The caller must not use the block
 // afterwards.
+//
+//pdblint:hotpath
 func (a *Arena) Put(b []float64) {
 	if cap(b) == 0 {
 		return

@@ -50,6 +50,8 @@ func errMassDrift(total float64) error {
 // them: a frozen plan is immutable and safe for any number of concurrent
 // Probability / ProbabilityBatch / Result calls (see also Serve). An
 // unfrozen plan must be confined to one goroutine at a time, as before.
+//
+//pdblint:frozen
 type Plan struct {
 	q           Query
 	emitLineage bool
@@ -444,6 +446,8 @@ func (pl *Plan) Query() Query { return pl.q }
 // returns the exact query probability. Only the numeric dynamic program
 // runs; all structural work was done by Prepare. Safe for concurrent calls
 // once the plan is frozen (see Freeze).
+//
+//pdblint:frozenentry
 func (pl *Plan) Probability(p logic.Prob) (float64, error) {
 	res, err := pl.eval(p, false)
 	if err != nil {
@@ -460,6 +464,8 @@ func (pl *Plan) Probability(p logic.Prob) (float64, error) {
 // caller: every call builds a fresh circuit, and later evaluations on the
 // same plan (under any probability map) never mutate a previously returned
 // Result. Safe for concurrent calls once the plan is frozen (see Freeze).
+//
+//pdblint:frozenentry
 func (pl *Plan) Result(p logic.Prob) (*Result, error) {
 	return pl.eval(p, pl.emitLineage)
 }
@@ -500,6 +506,8 @@ func (pl *Plan) Frozen() bool { return pl.frozen }
 // detStep or a SetPruner) and returns its set id. Sets are canonicalized by
 // sorting their interned state ids, so any permutation of the same strings
 // interns to the same id.
+//
+//pdblint:mutates set interning is guarded: frozen plans never see a new set (missUnlessUnfrozen)
 func (pl *Plan) internStrings(states []string) int32 {
 	ids := pl.sets.idBuf[:0]
 	for _, s := range states {
@@ -511,6 +519,8 @@ func (pl *Plan) internStrings(states []string) int32 {
 }
 
 // internIDs interns a sorted, deduplicated state-id set directly.
+//
+//pdblint:mutates set interning is guarded: frozen plans never see a new set (missUnlessUnfrozen)
 func (pl *Plan) internIDs(ids []int32) int32 {
 	buf := pl.sets.buf[:0]
 	for _, id := range ids {
@@ -546,6 +556,8 @@ func (pl *Plan) setStrings(set int32, buf []string) []string {
 
 // pruned applies the query's SetPruner (if any) to an interned set, caching
 // the result so each distinct set is pruned at most once.
+//
+//pdblint:mutates cache fill on miss; misses panic on frozen plans (missUnlessUnfrozen)
 func (pl *Plan) pruned(raw int32) int32 {
 	if _, isPruner := pl.q.(SetPruner); !isPruner {
 		return raw
@@ -563,6 +575,8 @@ func (pl *Plan) pruned(raw int32) int32 {
 // stepStates returns the successor state ids of a single state under the
 // given operation, computing them from the string-level Query interface on
 // first use only. Fact steps include the implicit identity transition.
+//
+//pdblint:mutates cache fill on miss; misses panic on frozen plans (missUnlessUnfrozen)
 func (pl *Plan) stepStates(op uint8, arg int, state int32) []int32 {
 	k := stepKey{op: op, arg: int32(arg), state: state}
 	if succs, ok := pl.stepCache[k]; ok {
@@ -590,6 +604,8 @@ func (pl *Plan) stepStates(op uint8, arg int, state int32) []int32 {
 // stepSet is the subset construction over interned sets: the successor of a
 // set is the pruned union of its members' successors. Results are cached per
 // (operation, operand, set).
+//
+//pdblint:mutates cache fill on miss; misses panic on frozen plans (missUnlessUnfrozen)
 func (pl *Plan) stepSet(op uint8, arg int, set int32) int32 {
 	k := setTransKey{op: op, arg: int32(arg), set: set}
 	if r, ok := pl.setTrans[k]; ok {
@@ -620,6 +636,8 @@ type directJoiner interface {
 // joinSets merges two interned sets across a join node: every pair of
 // member states is merged through the query's Join, with a per-pair cache
 // so each state pair is merged through the string interface at most once.
+//
+//pdblint:mutates cache fill on miss; misses panic on frozen plans (missUnlessUnfrozen)
 func (pl *Plan) joinSets(a, b int32) int32 {
 	k := uint64(uint32(a))<<32 | uint64(uint32(b))
 	if r, ok := pl.joinCache[k]; ok {

@@ -314,6 +314,8 @@ func (rp *rowProgram) fuseInput(np *nodeProg, in *int32, isLeft bool) {
 // runNodeProg executes one node's program over B-lane row blocks: dst is the
 // node's zeroed rows*B block, c0/c1 the children's blocks, w the node's
 // weight lane block (pkForgetEvent only).
+//
+//pdblint:hotpath
 func runNodeProg(np *nodeProg, B int, dst, c0, c1, w []float64) {
 	switch np.kind {
 	case pkLeaf:
@@ -339,6 +341,8 @@ func runNodeProg(np *nodeProg, B int, dst, c0, c1, w []float64) {
 // runNodeProg1 is the single-lane (B = 1) specialization used by
 // Materialized spine recomputation, where per-edge kernel-call overhead
 // would dominate one-element blocks.
+//
+//pdblint:hotpath
 func runNodeProg1(np *nodeProg, dst, c0, c1 []float64, w float64) {
 	switch np.kind {
 	case pkLeaf:
@@ -368,6 +372,8 @@ func runNodeProg1(np *nodeProg, dst, c0, c1 []float64, w float64) {
 // arena). Blocks are recycled through the arena as soon as each parent has
 // consumed them, so the live memory tracks the frontier of the sweep and
 // steady-state calls through a pooled state allocate nothing.
+//
+//pdblint:hotpath
 func (pl *Plan) runBatchProg(st *evalState, pe []float64, B int) []float64 {
 	if len(st.blocks) < len(pl.nodes) {
 		st.blocks = make([][]float64, len(pl.nodes))
@@ -412,6 +418,8 @@ func (pl *Plan) runBatchProg(st *evalState, pe []float64, B int) []float64 {
 // (logic.Prob's convention for unlisted events) and scatters each lane's map
 // entries through the plan's single event index, so every string key hashes
 // into one cache-resident map exactly once per lane.
+//
+//pdblint:hotpath -maprange
 func (pl *Plan) fillLaneWeights(st *evalState, ps []logic.Prob) []float64 {
 	B := len(ps)
 	need := len(pl.events) * B

@@ -35,6 +35,8 @@ import (
 // ShardedPlan must be confined to one goroutine; after Freeze any number of
 // goroutines may evaluate concurrently, and each call fans its shards over a
 // worker pool.
+//
+//pdblint:frozen
 type ShardedPlan struct {
 	q     rel.CQ
 	combQ Query // join/accept oracle for the cross-shard fold
@@ -382,6 +384,8 @@ func (sp *ShardedPlan) evalShards(p logic.Prob) ([][]float64, error) {
 // distributions into the exact query probability, matching what the
 // monolithic Prepare path returns. Safe for concurrent calls once the plan
 // is frozen (see Freeze).
+//
+//pdblint:frozenentry
 func (sp *ShardedPlan) Probability(p logic.Prob) (float64, error) {
 	res, err := sp.Result(p)
 	if err != nil {
@@ -393,6 +397,8 @@ func (sp *ShardedPlan) Probability(p logic.Prob) (float64, error) {
 // Result evaluates the sharded plan under p. Width is the largest shard
 // width, NiceNodes the total across shards; sharded plans do not emit
 // lineage. Safe for concurrent calls once the plan is frozen (see Freeze).
+//
+//pdblint:frozenentry
 func (sp *ShardedPlan) Result(p logic.Prob) (*Result, error) {
 	vecs, err := sp.evalShards(p)
 	if err != nil {
@@ -417,6 +423,8 @@ func (sp *ShardedPlan) Result(p logic.Prob) (*Result, error) {
 // in (*Plan).ProbabilityBatch: bad lanes come back NaN under a LaneErrors
 // while healthy lanes keep their values. Safe for concurrent calls once the
 // plan is frozen.
+//
+//pdblint:frozenentry
 func (sp *ShardedPlan) ProbabilityBatch(ps []logic.Prob) ([]float64, error) {
 	B := len(ps)
 	if B == 0 {

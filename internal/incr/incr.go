@@ -754,7 +754,10 @@ func (s *Store) flushNotifications() {
 				}
 				sub.delivering.Store(gid)
 				if !sub.cancelled.Load() {
-					sub.fn(n.c)
+					// notifyMu is the delivery-serialization lock, held here by
+					// design (TryLock above makes re-entrant commits hand off
+					// instead of deadlocking); s.mu is NOT held.
+					sub.fn(n.c) //pdblint:allow lockcallback delivery runs under notifyMu by contract
 				}
 				s.deliverMu.Lock()
 				sub.delivering.Store(0)
@@ -1192,7 +1195,10 @@ func (s *Store) commitLocked(us []Update) (wait func() error, err error) {
 		m.Commits.Inc()
 	}
 	if s.hook != nil {
-		wait = s.hook(s.seq, us)
+		// CommitHook is documented to run under the store lock (it must see
+		// the store exactly at the committed seq); hooks must not call back
+		// into the store or block on subscriber-held resources.
+		wait = s.hook(s.seq, us) //pdblint:allow lockcallback CommitHook runs under s.mu by documented contract
 	}
 	if len(s.subs) > 0 {
 		snap := append([]*subscriber(nil), s.subs...)

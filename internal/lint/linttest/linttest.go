@@ -1,0 +1,195 @@
+// Package linttest is pdblint's analysistest analogue: it loads golden
+// packages from a testdata/src GOPATH-style layout, type-checks them against
+// the standard library (and sibling testdata packages), runs one analyzer,
+// and matches the diagnostics against `// want "regexp"` comments — at least
+// one flagged and one clean case per analyzer live under
+// internal/lint/testdata/src.
+//
+// Stdlib dependencies are resolved with the source importer (go/importer
+// "source" mode), so the harness needs no compiled export data and no
+// network; imports among testdata packages resolve by directory, exactly
+// like a GOPATH.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// shared across loads: one fileset and one (slow to warm) source importer.
+var (
+	fset    = token.NewFileSet()
+	srcOnce sync.Once
+	srcImp  types.Importer
+
+	mu     sync.Mutex
+	loaded = map[string]*pkgData{} // cache keyed by srcRoot + "\x00" + path
+)
+
+func sourceImporter() types.Importer {
+	srcOnce.Do(func() { srcImp = importer.ForCompiler(fset, "source", nil) })
+	return srcImp
+}
+
+// pkgData is one loaded testdata package.
+type pkgData struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	err   error
+}
+
+// testdataImporter resolves imports locally first (testdata/src/<path>),
+// then from the standard library.
+type testdataImporter struct {
+	srcRoot string
+}
+
+func (im *testdataImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(im.srcRoot, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		d := load(im.srcRoot, path)
+		if d.err != nil {
+			return nil, d.err
+		}
+		return d.pkg, nil
+	}
+	return sourceImporter().Import(path)
+}
+
+// load parses and type-checks testdata/src/<path>, caching the result.
+func load(srcRoot, path string) *pkgData {
+	mu.Lock()
+	key := srcRoot + "\x00" + path
+	if d, ok := loaded[key]; ok {
+		mu.Unlock()
+		return d
+	}
+	d := &pkgData{}
+	loaded[key] = d
+	mu.Unlock()
+
+	dir := filepath.Join(srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		d.err = err
+		return d
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			d.err = err
+			return d
+		}
+		d.files = append(d.files, f)
+	}
+	if len(d.files) == 0 {
+		d.err = fmt.Errorf("linttest: no Go files in %s", dir)
+		return d
+	}
+	d.info = lint.NewInfo()
+	conf := types.Config{Importer: &testdataImporter{srcRoot: srcRoot}}
+	d.pkg, d.err = conf.Check(path, fset, d.files, d.info)
+	return d
+}
+
+// expectation is one `// want` pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// wants extracts the `// want "p1" "p2"` expectations from the files.
+func wants(t *testing.T, files []*ast.File) []*expectation {
+	var out []*expectation
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[i+len("// want "):], -1) {
+					raw := m[1]
+					if m[2] != "" || raw == "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string: %v", pos.Filename, pos.Line, err)
+						}
+						raw = unq
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run loads testdata/src/<path> for each path, runs the analyzer, and
+// asserts the diagnostics match the `// want` comments exactly: every
+// diagnostic must match a want on its line, and every want must be hit.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		d := load(srcRoot, path)
+		if d.err != nil {
+			t.Fatalf("loading %s: %v", path, d.err)
+		}
+		diags, err := lint.Run(a, fset, d.files, d.pkg, d.info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		exp := wants(t, d.files)
+		for _, diag := range diags {
+			pos := fset.Position(diag.Pos)
+			found := false
+			for _, e := range exp {
+				if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.pattern.MatchString(diag.Message) {
+					e.matched = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, pos.Filename, pos.Line, diag.Message)
+			}
+		}
+		for _, e := range exp {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", a.Name, e.pattern, e.file, e.line)
+			}
+		}
+	}
+}

@@ -1,0 +1,505 @@
+package lint
+
+// lockcallback enforces the PR 4 re-entrancy contract: while a sync.Mutex /
+// sync.RWMutex is held, code must not invoke function values (subscriber
+// callbacks, commit hooks, eviction handlers), perform blocking channel
+// operations, or call a same-package function that does either. A callback
+// invoked under the store lock can re-enter the store and deadlock — the
+// exact bug PR 4 fixed by moving subscriber delivery outside the lock.
+//
+// The analysis is a per-function abstract interpretation of the held-lock
+// set (tracking mu.Lock/RLock/TryLock/Unlock/RUnlock and `defer
+// mu.Unlock()`), plus one interprocedural level: a fixpoint marks functions
+// that perform an unsafe operation while their own lock set is empty
+// ("dirty" — safe to call, but only outside critical sections), and any call
+// to a dirty function while a lock is held is reported with the root cause.
+//
+// Non-blocking channel use (select with a default clause) is legal under a
+// lock; blocking sends, receives and default-less selects are not. Calls to
+// named local closures (`find := func(...)`, declared in the same body) are
+// exempt: they are reviewed-in-place code, not externally-supplied callbacks.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCallback is the analyzer instance.
+var LockCallback = &Analyzer{
+	Name: "lockcallback",
+	Doc:  "flag callback invocations and blocking channel ops while a mutex is held",
+	Run:  runLockCallback,
+}
+
+// lockSet maps a lock's expression key ("s.mu") to its acquisition site.
+type lockSet map[string]token.Pos
+
+func (ls lockSet) clone() lockSet {
+	out := make(lockSet, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+// anyLock returns an arbitrary (key, pos) of the held set for diagnostics.
+func (ls lockSet) anyLock() (string, token.Pos) {
+	for k, v := range ls {
+		return k, v
+	}
+	return "", token.NoPos
+}
+
+// unsafeOp is a dynamic call or blocking channel operation.
+type unsafeOp struct {
+	pos  token.Pos
+	what string
+}
+
+// lcCall records a static same-package call and the lock set at the site.
+type lcCall struct {
+	callee *types.Func
+	pos    token.Pos
+	locks  lockSet // nil or empty when no lock is held
+}
+
+// lcViolation is an unsafe op performed while a lock was held.
+type lcViolation struct {
+	op      unsafeOp
+	lockKey string
+	lockPos token.Pos
+}
+
+// lcFacts is one function's summary.
+type lcFacts struct {
+	decl        *ast.FuncDecl
+	unlockedOps []unsafeOp // candidate dirtiness: unsafe, but no lock held here
+	calls       []lcCall
+	violations  []lcViolation
+}
+
+func runLockCallback(pass *Pass) error {
+	idx := indexFuncs(pass)
+	facts := map[*types.Func]*lcFacts{}
+	for obj, decl := range idx {
+		w := &lcWalker{pass: pass, facts: &lcFacts{decl: decl}, body: decl.Body}
+		w.stmt(decl.Body, lockSet{})
+		facts[obj] = w.facts
+	}
+
+	// Direct violations.
+	for _, f := range facts {
+		for _, v := range f.violations {
+			pass.Reportf(v.op.pos, "%s while holding %s (locked at %s)",
+				v.op.what, v.lockKey, pass.Fset.Position(v.lockPos))
+		}
+	}
+
+	// Fixpoint: a function is dirty when it performs an unsafe op with no
+	// lock of its own held, or calls a dirty function with no lock held —
+	// either way, calling it inside a critical section is a deadlock risk.
+	cause := map[*types.Func]unsafeOp{}
+	for obj, f := range facts {
+		for _, op := range f.unlockedOps {
+			if !pass.Allowed(op.pos) {
+				cause[obj] = op
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, f := range facts {
+			if _, dirty := cause[obj]; dirty {
+				continue
+			}
+			for _, c := range f.calls {
+				if len(c.locks) != 0 {
+					continue
+				}
+				if root, dirty := cause[c.callee]; dirty && !pass.Allowed(c.pos) {
+					cause[obj] = root
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Calls to dirty functions under a held lock.
+	for _, f := range facts {
+		for _, c := range f.calls {
+			if len(c.locks) == 0 {
+				continue
+			}
+			root, dirty := cause[c.callee]
+			if !dirty {
+				continue
+			}
+			key, lockPos := c.locks.anyLock()
+			pass.Reportf(c.pos, "call to %s while holding %s (locked at %s): it reaches a %s at %s",
+				c.callee.Name(), key, pass.Fset.Position(lockPos),
+				root.what, pass.Fset.Position(root.pos))
+		}
+	}
+	return nil
+}
+
+// --- the statement walker ---
+
+type lcWalker struct {
+	pass  *Pass
+	facts *lcFacts
+	body  *ast.BlockStmt // the enclosing FuncDecl's body, for localClosure
+}
+
+// localClosure reports whether a called function value is a variable declared
+// inside the enclosing function's body — a named local closure (`find :=
+// func(...)`). Those are visible, reviewed-in-place code, not the
+// externally-supplied callbacks (struct fields, parameters) the re-entrancy
+// contract is about; parameters declare outside the body and stay flagged.
+func (w *lcWalker) localClosure(fun ast.Expr) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || w.body == nil {
+		return false
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= w.body.Pos() && obj.Pos() < w.body.End()
+}
+
+// unsafe records an unsafe op under the current lock set.
+func (w *lcWalker) unsafe(pos token.Pos, what string, st lockSet) {
+	if len(st) == 0 {
+		w.facts.unlockedOps = append(w.facts.unlockedOps, unsafeOp{pos: pos, what: what})
+		return
+	}
+	key, lockPos := st.anyLock()
+	w.facts.violations = append(w.facts.violations,
+		lcViolation{op: unsafeOp{pos: pos, what: what}, lockKey: key, lockPos: lockPos})
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex method, returning the
+// lock's expression key and the method name.
+func (w *lcWalker) mutexOp(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, found := w.pass.TypesInfo.Selections[sel]
+	if !found || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	fn, _ := selection.Obj().(*types.Func)
+	if fn == nil || pkgPathOf(fn) != "sync" {
+		return "", "", false
+	}
+	recv := recvType(fn)
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return exprKey(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// tryLockCond matches `mu.TryLock()` / `!mu.TryLock()` conditions.
+func (w *lcWalker) tryLockCond(cond ast.Expr) (key string, negated bool, pos token.Pos, ok bool) {
+	e := ast.Unparen(cond)
+	if un, isNot := e.(*ast.UnaryExpr); isNot && un.Op == token.NOT {
+		e = ast.Unparen(un.X)
+		negated = true
+	}
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, token.NoPos, false
+	}
+	k, method, isMu := w.mutexOp(call)
+	if !isMu || (method != "TryLock" && method != "TryRLock") {
+		return "", false, token.NoPos, false
+	}
+	return k, negated, call.Pos(), true
+}
+
+// scan inspects an expression tree for unsafe operations and static calls
+// under the lock set st. Function literal bodies are skipped (they run
+// later, under whatever lock state their caller has) unless immediately
+// invoked, in which case the body executes here and is scanned.
+func (w *lcWalker) scan(e ast.Expr, st lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // scanned only via immediate invocation below
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.unsafe(n.Pos(), "blocking channel receive", st)
+			}
+		case *ast.CallExpr:
+			if _, _, isMu := w.mutexOp(n); isMu {
+				// Lock state transitions are handled at statement level;
+				// a mutex call nested in an expression is not a callback.
+				return true
+			}
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				w.scan2(lit.Body, st) // immediately-invoked literal
+				for _, a := range n.Args {
+					w.scan(a, st)
+				}
+				return false
+			}
+			if dynamicCall(w.pass.TypesInfo, n) {
+				if !w.localClosure(n.Fun) {
+					w.unsafe(n.Pos(), "call of function value "+exprKey(n.Fun), st)
+				}
+			} else if callee := staticCallee(w.pass.TypesInfo, n); callee != nil && callee.Pkg() == w.pass.Pkg {
+				w.facts.calls = append(w.facts.calls, lcCall{callee: callee, pos: n.Pos(), locks: st.clone()})
+			}
+		}
+		return true
+	})
+}
+
+// scan2 scans a block reached from expression context (immediately-invoked
+// function literals), reusing the statement walker.
+func (w *lcWalker) scan2(b *ast.BlockStmt, st lockSet) {
+	w.stmt(b, st.clone())
+}
+
+// stmt interprets one statement, returning the lock set after it and
+// whether control definitely leaves the enclosing block (return / break /
+// continue / goto), which excludes the branch from joins.
+func (w *lcWalker) stmt(s ast.Stmt, st lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case nil:
+		return st, false
+
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			var term bool
+			st, term = w.stmt(sub, st)
+			if term {
+				return st, true
+			}
+		}
+		return st, false
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, method, isMu := w.mutexOp(call); isMu {
+				switch method {
+				case "Lock", "RLock":
+					st[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(st, key)
+				}
+				for _, a := range call.Args {
+					w.scan(a, st)
+				}
+				return st, false
+			}
+		}
+		w.scan(s.X, st)
+		return st, false
+
+	case *ast.SendStmt:
+		w.unsafe(s.Arrow, "blocking channel send", st)
+		w.scan(s.Chan, st)
+		w.scan(s.Value, st)
+		return st, false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, st)
+		}
+		return st, false
+
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held to function end, which is
+		// exactly what not releasing it in the abstract state models. Other
+		// deferred calls run at return, outside this walk; only their
+		// argument expressions evaluate here.
+		if _, method, isMu := w.mutexOp(s.Call); isMu && (method == "Unlock" || method == "RUnlock") {
+			return st, false
+		}
+		for _, a := range s.Call.Args {
+			w.scan(a, st)
+		}
+		return st, false
+
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's critical section;
+		// only the argument expressions evaluate synchronously.
+		for _, a := range s.Call.Args {
+			w.scan(a, st)
+		}
+		return st, false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		thenSt, elseSt := st.clone(), st.clone()
+		if key, negated, pos, isTry := w.tryLockCond(s.Cond); isTry {
+			// `if mu.TryLock()` holds in the then-branch; `if !mu.TryLock()`
+			// holds on the else/fall-through path.
+			if negated {
+				elseSt[key] = pos
+			} else {
+				thenSt[key] = pos
+			}
+		} else {
+			w.scan(s.Cond, st)
+		}
+		thenOut, thenTerm := w.stmt(s.Body, thenSt)
+		elseOut, elseTerm := elseSt, false
+		if s.Else != nil {
+			elseOut, elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenOut, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return joinLocks(thenOut, elseOut), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scan(s.Cond, st)
+		w.stmt(s.Body, st.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, st.clone())
+		}
+		return st, false // loop bodies are assumed lock-balanced
+
+	case *ast.RangeStmt:
+		w.scan(s.X, st)
+		w.stmt(s.Body, st.clone())
+		return st, false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, body = sw.Init, sw.Body
+			w.scan(sw.Tag, st)
+		case *ast.TypeSwitchStmt:
+			init, body = sw.Init, sw.Body
+		}
+		if init != nil {
+			st, _ = w.stmt(init, st)
+		}
+		out := st
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.scan(e, st)
+			}
+			caseSt := st.clone()
+			for _, sub := range cc.Body {
+				var term bool
+				caseSt, term = w.stmt(sub, caseSt)
+				if term {
+					caseSt = nil
+					break
+				}
+			}
+			if caseSt != nil {
+				out = joinLocks(out, caseSt)
+			}
+		}
+		return out, false
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.unsafe(s.Pos(), "blocking select", st)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			caseSt := st.clone()
+			for _, sub := range cc.Body {
+				var term bool
+				caseSt, term = w.stmt(sub, caseSt)
+				if term {
+					break
+				}
+			}
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, st)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		return st, true
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.IncDecStmt:
+		w.scan(s.X, st)
+		return st, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scan(v, st)
+					}
+				}
+			}
+		}
+		return st, false
+
+	default:
+		return st, false
+	}
+}
+
+// joinLocks unions two lock states (conservative: a lock held on either
+// path is treated as held after the join).
+func joinLocks(a, b lockSet) lockSet {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package lint
+
+// obslabels enforces the PR 8 cardinality contract: label values handed to
+// the obs metrics registry (Registry.Counter / Gauge / GaugeFunc /
+// Histogram) must be compile-time constants or members of a declared enum —
+// never variables derived from requests (query fingerprints, paths, user
+// strings), which would mint unbounded Prometheus series.
+//
+// A label argument is legal when it is:
+//   - a compile-time constant (string literal, named const, constant expr);
+//   - the key/value variable of a `range` over a package-level var marked
+//     //pdblint:labelenum (a declared enum slice such as the endpoint list),
+//     or an index expression into such a var;
+//   - strconv.Itoa / strconv.FormatInt / strconv.FormatUint applied to a
+//     legal value (rendering a declared numeric enum, e.g. status codes).
+//
+// Everything else — parameters, struct fields, function results, string
+// concatenations — is reported.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsLabels is the analyzer instance.
+var ObsLabels = &Analyzer{
+	Name: "obslabels",
+	Doc:  "metric label values must be constants or declared enum members",
+	Run:  runObsLabels,
+}
+
+func runObsLabels(pass *Pass) error {
+	enumVars := labelEnumVars(pass)
+
+	for _, file := range pass.Files {
+		// Range variables drawing from enum-marked vars are legal label
+		// sources within their loops; collect their objects file-wide.
+		enumRangeVars := map[types.Object]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isEnumExpr(pass, enumVars, rs.X) {
+				return true
+			}
+			for _, v := range []ast.Expr{rs.Key, rs.Value} {
+				if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						enumRangeVars[obj] = true
+					}
+				}
+			}
+			return true
+		})
+
+		legal := func(arg ast.Expr) bool {
+			var ok func(e ast.Expr) bool
+			ok = func(e ast.Expr) bool {
+				e = ast.Unparen(e)
+				if tv, found := pass.TypesInfo.Types[e]; found && tv.Value != nil {
+					return true // compile-time constant
+				}
+				switch e := e.(type) {
+				case *ast.Ident:
+					return enumRangeVars[pass.TypesInfo.Uses[e]]
+				case *ast.IndexExpr:
+					return isEnumExpr(pass, enumVars, e.X)
+				case *ast.CallExpr:
+					fn := staticCallee(pass.TypesInfo, e)
+					if fn == nil || pkgPathOf(fn) != "strconv" {
+						return false
+					}
+					switch fn.Name() {
+					case "Itoa", "FormatInt", "FormatUint":
+						return len(e.Args) >= 1 && ok(e.Args[0])
+					}
+					return false
+				}
+				return false
+			}
+			return ok(arg)
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			labelStart, isReg := registryCall(pass, call)
+			if !isReg {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				// labels passed as a spread slice: only a declared enum var
+				// itself is acceptable.
+				last := call.Args[len(call.Args)-1]
+				if !isEnumExpr(pass, enumVars, last) {
+					pass.Reportf(last.Pos(),
+						"metric labels spread from %s, which is not a //pdblint:labelenum var", exprKey(last))
+				}
+				return true
+			}
+			for i := labelStart; i < len(call.Args); i++ {
+				arg := call.Args[i]
+				if !legal(arg) {
+					pass.Reportf(arg.Pos(),
+						"metric label argument %s is not a constant or declared enum member (request-derived label values are unbounded-cardinality)",
+						exprKey(arg))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryCall reports whether call is an obs.Registry registration method
+// and returns the index of the first variadic label argument.
+func registryCall(pass *Pass, call *ast.CallExpr) (labelStart int, ok bool) {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return 0, false
+	}
+	path := pkgPathOf(fn)
+	if path != "obs" && !strings.HasSuffix(path, "/obs") {
+		return 0, false
+	}
+	recv := recvType(fn)
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return 0, false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge":
+		return 2, true // (name, help, labels...)
+	case "GaugeFunc", "Histogram":
+		return 3, true // (name, help, fn|bounds, labels...)
+	}
+	return 0, false
+}
+
+// labelEnumVars collects the package-level vars marked //pdblint:labelenum.
+func labelEnumVars(pass *Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declDirs := directives(gd.Doc)
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				dirs := append(append([]Directive{}, declDirs...), directives(vs.Doc, vs.Comment)...)
+				marked := false
+				for _, d := range dirs {
+					if d.Name == "labelenum" {
+						marked = true
+					}
+				}
+				if !marked {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isEnumExpr reports whether e refers to an enum-marked package var.
+func isEnumExpr(pass *Pass, enumVars map[types.Object]bool, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return enumVars[pass.TypesInfo.Uses[id]]
+}

@@ -1,0 +1,74 @@
+package lint
+
+// slogonly enforces the PR 8 logging contract in internal packages: all
+// diagnostics go through log/slog with structured attributes (machine-
+// parseable, leveled, redirectable), never fmt.Print* / log.Print* to
+// ambient stdout/stderr. A raw print inside a library package bypasses the
+// server's log configuration and interleaves with the slow-query log.
+//
+// Reported: calls to fmt.Print/Printf/Println, the printing functions of
+// the legacy log package's default logger (Print*, Fatal*, Panic*), and the
+// print/println builtins. Writer-directed formatting (fmt.Fprintf,
+// fmt.Sprintf, log.New with an explicit writer) is fine. Example functions
+// in _test.go files are exempt — their printed output IS the test contract.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SlogOnly is the analyzer instance.
+var SlogOnly = &Analyzer{
+	Name: "slogonly",
+	Doc:  "no fmt.Print*/log.Print* in internal packages; use log/slog",
+	Run:  runSlogOnly,
+}
+
+// bannedPrinters maps package path to the banned function names.
+var bannedPrinters = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+func runSlogOnly(pass *Pass) error {
+	for _, file := range pass.Files {
+		isTestFile := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isTestFile && strings.HasPrefix(fd.Name.Name, "Example") {
+				continue // the printed output is the Example's contract
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+					if id.Name == "print" || id.Name == "println" {
+						if isBuiltinCall(pass.TypesInfo, call) {
+							pass.Reportf(call.Pos(), "builtin %s in internal package; use log/slog", id.Name)
+						}
+					}
+					return true
+				}
+				fn := staticCallee(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				if banned, ok := bannedPrinters[pkgPathOf(fn)]; ok && banned[fn.Name()] {
+					pass.Reportf(call.Pos(), "%s.%s in internal package; use log/slog with structured attrs",
+						pkgPathOf(fn), fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Golden cases for the frozenmutation analyzer: writes to frozen plan
+// fields on the evaluation-path call closure are flagged; guarded
+// //pdblint:mutates paths and build-time code are not.
+package frozenmutation
+
+// Plan is a miniature frozen plan: a transition cache, scratch, and a
+// counter someone might be tempted to bump during evaluation.
+//
+//pdblint:frozen
+type Plan struct {
+	cache map[int]int
+	buf   []int
+	calls int
+}
+
+// Probability is the concurrent evaluation entry point.
+//
+//pdblint:frozenentry
+func (p *Plan) Probability() float64 {
+	p.calls++ // want `write to Plan field calls in Probability`
+	return p.evalRoot()
+}
+
+// evalRoot is reachable from the entry, so its cache write is a data race
+// on a frozen plan.
+func (p *Plan) evalRoot() float64 {
+	p.cache[1] = 2 // want `write to Plan field cache in evalRoot`
+	p.fill(3, 4)
+	return 0
+}
+
+// fill is the guarded cache-fill path (missUnlessUnfrozen shape) — marked,
+// so its write is legal.
+//
+//pdblint:mutates cache fill guarded by the unfrozen check
+func (p *Plan) fill(k, v int) {
+	p.cache[k] = v
+}
+
+// Build is not reachable from any frozenentry, so construction-time writes
+// are unrestricted.
+func (p *Plan) Build() {
+	p.buf = append(p.buf, 1)
+	p.cache = map[int]int{}
+}

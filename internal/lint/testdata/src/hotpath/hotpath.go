@@ -1,0 +1,55 @@
+// Golden cases for the hotpath analyzer: marked bodies must stay free of
+// fmt, string concatenation, closures and map iteration, and keep their
+// bounds-check-elimination hints.
+package hotpath
+
+import "fmt"
+
+// AddTo is the clean kernel shape: bounds hint present, pure slice
+// arithmetic.
+//
+//pdblint:hotpath boundshint
+func AddTo(dst, src []float64) {
+	_ = src[len(dst)-1]
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// MissingHint deleted its bounds hint — the silent 4×-regression refactor.
+//
+//pdblint:hotpath boundshint
+func MissingHint(dst, src []float64) { // want `declares boundshint but its body has no`
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Slow commits every banned construct.
+//
+//pdblint:hotpath
+func Slow(xs []float64, label string) float64 {
+	fmt.Println(label) // want `fmt\.Println call in hotpath function Slow`
+	s := "x" + label   // want `string concatenation in hotpath function Slow`
+	s += label         // want `string concatenation in hotpath function Slow`
+	_ = s
+	f := func() float64 { return 1 } // want `closure allocation in hotpath function Slow`
+	m := map[int]float64{}
+	var t float64
+	for _, v := range m { // want `map iteration in hotpath function Slow`
+		t += v
+	}
+	return t + f() + xs[0]
+}
+
+// Scatter iterates a map by design — the sparse-table exemption.
+//
+//pdblint:hotpath -maprange
+func Scatter(dst []float64, src map[int]float64) {
+	for i, v := range src {
+		dst[i] = v
+	}
+}
+
+// Free is unmarked: no restrictions apply.
+func Free(label string) string { return "x" + label }

@@ -1,0 +1,82 @@
+// Golden clean cases: the lock-discipline shapes the real store uses after
+// the PR 4 fix. None of these may be flagged.
+package lockcallback
+
+// NotifyUnlocked snapshots under the lock and delivers outside it — the
+// PR 4 fix shape.
+func (s *Store) NotifyUnlocked(c Commit) {
+	s.mu.Lock()
+	subs := append([]*subscriber(nil), s.subs...)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.fn(c)
+	}
+}
+
+// TrySend: non-blocking channel use (select with default) is legal under
+// the lock.
+func (s *Store) TrySend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+// TryPath: `if !mu.TryLock()` guards the critical section; delivery happens
+// after the unlock.
+func (s *Store) TryPath() bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	subs := s.subs
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.fn(Commit{})
+	}
+	return true
+}
+
+// Async: a goroutine launched under the lock does not inherit the critical
+// section.
+func (s *Store) Async(c Commit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.deliver(c)
+}
+
+// HookedCommit invokes a hook under the lock by documented contract — the
+// allow directive records the exception (the commit-hook pattern).
+func (s *Store) HookedCommit(hook func(Commit)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hook(Commit{}) //pdblint:allow lockcallback the hook contract forbids re-entering the store
+}
+
+// BranchBalanced: a conditional early unlock on one path; delivery runs
+// only on the unlocked path.
+func (s *Store) BranchBalanced(c Commit, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		s.deliver(c)
+		return
+	}
+	s.subs = nil
+	s.mu.Unlock()
+}
+
+// LocalClosure: a named closure declared in the same body is reviewed-in-place
+// code, not an externally-supplied callback — calling it under the lock is
+// legal (the real store's union-find helper shape).
+func (s *Store) LocalClosure() int {
+	find := func(x int) int { return x }
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for i := range s.subs {
+		total += find(i)
+	}
+	return total
+}

@@ -1,0 +1,65 @@
+// Golden flagged cases for the lockcallback analyzer: function-value calls,
+// blocking channel operations and dirty-helper calls inside mutex critical
+// sections.
+package lockcallback
+
+import "sync"
+
+type Commit struct{ Seq uint64 }
+
+type subscriber struct{ fn func(Commit) }
+
+type Store struct {
+	mu   sync.Mutex
+	subs []*subscriber
+	ch   chan int
+}
+
+// NotifyLocked invokes subscriber callbacks while the lock is held — the
+// direct form of the PR 4 deadlock.
+func (s *Store) NotifyLocked(c Commit) {
+	s.mu.Lock()
+	for _, sub := range s.subs {
+		sub.fn(c) // want `call of function value sub\.fn while holding s\.mu`
+	}
+	s.mu.Unlock()
+}
+
+// DeferSend: a deferred unlock keeps the critical section open to function
+// end, so the send blocks under the lock.
+func (s *Store) DeferSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `blocking channel send while holding s\.mu`
+}
+
+// WaitLocked blocks on a default-less select under the lock.
+func (s *Store) WaitLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while holding s\.mu`
+	case <-s.ch:
+	}
+}
+
+// RecvLocked blocks on a bare receive under the lock.
+func (s *Store) RecvLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `blocking channel receive while holding s\.mu`
+}
+
+// deliver is safe on its own — but only outside a critical section.
+func (s *Store) deliver(c Commit) {
+	for _, sub := range s.subs {
+		sub.fn(c)
+	}
+}
+
+// Commit calls the dirty helper while holding the lock — the
+// interprocedural form the PR 4 bug actually shipped in.
+func (s *Store) Commit(c Commit) {
+	s.mu.Lock()
+	s.deliver(c) // want `call to deliver while holding s\.mu`
+	s.mu.Unlock()
+}

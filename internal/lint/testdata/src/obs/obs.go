@@ -1,0 +1,26 @@
+// Package obs is a miniature of repro/internal/obs for the obslabels golden
+// tests: the same registration API shape (name, help, [extra], labels...),
+// so the analyzer resolves label positions identically.
+package obs
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Gauge struct{ v int64 }
+
+type Histogram struct{ sum float64 }
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return &Gauge{} }
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {}
+
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}

@@ -1,0 +1,49 @@
+// Golden cases for the obslabels analyzer: constant and declared-enum label
+// values pass; request-derived strings are flagged.
+package obslabels
+
+import (
+	"strconv"
+
+	"obs"
+)
+
+const epQuery = "query"
+
+//pdblint:labelenum
+var endpoints = []string{epQuery, "batch", "update"}
+
+//pdblint:labelenum
+var statusCodes = []int{200, 400, 500}
+
+// notEnum lacks the labelenum directive, so ranging over it does not
+// launder its elements into label values.
+var notEnum = []string{"a", "b"}
+
+// wire is the legal registration shape: constants, enum ranges, and
+// strconv over a numeric enum.
+func wire(r *obs.Registry) {
+	r.Counter("requests_total", "requests", "endpoint", epQuery)
+	r.Gauge("depth", "queue depth")
+	r.GaugeFunc("seq", "commit seq", func() float64 { return 0 }, "endpoint", "query")
+	r.Histogram("lat_seconds", "latency", nil, "endpoint", endpoints[0])
+	for _, ep := range endpoints {
+		r.Counter("requests_total", "requests", "endpoint", ep)
+		for _, code := range statusCodes {
+			r.Counter("responses_total", "responses", "endpoint", ep, "code", strconv.Itoa(code))
+		}
+	}
+}
+
+// bad demonstrates every flagged shape: request-derived values, derived
+// locals, and ranges over unmarked vars.
+func bad(r *obs.Registry, fingerprint string) {
+	r.Counter("bad_total", "bad", "fp", fingerprint) // want `label argument fingerprint is not a constant`
+	q := "q_" + fingerprint
+	r.Histogram("lat_seconds", "latency", nil, "query", q) // want `label argument q is not a constant`
+	for _, v := range notEnum {
+		r.Counter("x_total", "x", "k", v) // want `label argument v is not a constant`
+	}
+	labels := []string{"endpoint", fingerprint}
+	r.Counter("y_total", "y", labels...) // want `labels spread from labels`
+}

@@ -1,0 +1,38 @@
+// Package pr4regress re-introduces the PR 4 subscriber-under-lock deadlock
+// in the exact shape it shipped: ApplyBatch holds the store's write lock
+// (via a deferred unlock) while a notify helper invokes subscriber
+// callbacks. Before pdblint, this was only caught when a subscriber that
+// re-entered the store deadlocked a test under -race; the analyzer must
+// report it statically.
+package pr4regress
+
+import "sync"
+
+type Commit struct{ Seq uint64 }
+
+type subscriber struct{ fn func(Commit) }
+
+type Store struct {
+	mu   sync.RWMutex
+	seq  uint64
+	subs []*subscriber
+}
+
+// notify delivers the commit to every subscriber. Safe — unless a caller
+// still holds the store lock.
+func (s *Store) notify(c Commit) {
+	for _, sub := range s.subs {
+		sub.fn(c)
+	}
+}
+
+// ApplyBatch is the buggy pre-PR 4 commit path: notifications delivered
+// inside the critical section, so a subscriber that calls back into the
+// store (Prob, further updates) deadlocks.
+func (s *Store) ApplyBatch() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.notify(Commit{Seq: s.seq}) // want `call to notify while holding s\.mu`
+	return nil
+}

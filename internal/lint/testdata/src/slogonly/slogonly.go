@@ -1,0 +1,28 @@
+// Golden cases for the slogonly analyzer: ambient prints are flagged,
+// slog and writer-directed formatting are not.
+package slogonly
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+// report uses every banned print form.
+func report(err error) {
+	fmt.Println("failed:", err)   // want `fmt\.Println in internal package`
+	fmt.Printf("failed: %v", err) // want `fmt\.Printf in internal package`
+	log.Printf("failed: %v", err) // want `log\.Printf in internal package`
+	log.Fatal(err)                // want `log\.Fatal in internal package`
+	println("failed")             // want `builtin println in internal package`
+}
+
+// ok uses the legal forms: structured slog, explicit writers, and
+// formatting that produces values rather than output.
+func ok(err error) {
+	slog.Error("request failed", "err", err)
+	fmt.Fprintf(os.Stderr, "usage: pdbd [flags]\n")
+	_ = fmt.Sprintf("%v", err)
+	_ = fmt.Errorf("wrapped: %w", err)
+}

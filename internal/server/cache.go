@@ -243,7 +243,10 @@ func (fc *frozenCache) get(fp string, seq uint64, build func() (*frozenEntry, er
 		fc.mMiss.Inc()
 	}
 	fc.mu.Unlock()
-	e, err = build()
+	// slot.mu is a per-fingerprint build lock: holding it across build is the
+	// singleflight — concurrent getters of the same snapshot wait for one
+	// build instead of duplicating it. The store lock is not held here.
+	e, err = build() //pdblint:allow lockcallback per-slot singleflight holds slot.mu across build by design
 	if err != nil {
 		return nil, false, err
 	}

@@ -21,10 +21,13 @@ const (
 	epUpdate = "update"
 )
 
+//pdblint:labelenum
 var endpoints = []string{epQuery, epBatch, epUpdate}
 
 // statusCodes are the response codes the handlers emit; the exposition keeps
 // one series per (endpoint, code) pair so the label space is 3 × len(this).
+//
+//pdblint:labelenum
 var statusCodes = []int{200, 400, 404, 413, 422, 500, 503}
 
 type serverMetrics struct {
